@@ -1,0 +1,255 @@
+//! Peak-power and area breakdowns (paper Fig. 9).
+
+use crate::config::MirageConfig;
+use crate::converters;
+use crate::energy::{unit_cycle_energy, DigitalEnergy, UnitCycleEnergy};
+
+/// Peak power of the full accelerator, split by component (watts).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerBreakdown {
+    /// Laser wall-plug power.
+    pub laser_w: f64,
+    /// TIA power.
+    pub tia_w: f64,
+    /// DAC + ADC power.
+    pub converters_w: f64,
+    /// BNS↔RNS conversion circuits.
+    pub rns_conv_w: f64,
+    /// FP↔BFP conversion circuits.
+    pub bfp_conv_w: f64,
+    /// FP32 accumulators.
+    pub acc_w: f64,
+    /// SRAM arrays.
+    pub sram_w: f64,
+    /// MRR + phase-shifter tuning.
+    pub tuning_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total peak power.
+    pub fn total_w(&self) -> f64 {
+        self.laser_w
+            + self.tia_w
+            + self.converters_w
+            + self.rns_conv_w
+            + self.bfp_conv_w
+            + self.acc_w
+            + self.sram_w
+            + self.tuning_w
+    }
+
+    /// `(label, watts, share)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_w();
+        let raw = [
+            ("SRAM", self.sram_w),
+            ("TIA", self.tia_w),
+            ("Laser", self.laser_w),
+            ("RNS Conv.", self.rns_conv_w),
+            ("DAC & ADC", self.converters_w),
+            ("BFP Conv.", self.bfp_conv_w),
+            ("Acc.", self.acc_w),
+            ("Tuning", self.tuning_w),
+        ];
+        raw.iter().map(|&(n, w)| (n, w, w / total)).collect()
+    }
+}
+
+/// SRAM word accesses per photonic cycle per RNS-MMVMU: `g` input
+/// reads plus a read-accumulate-write on `rows` FP32 partial outputs
+/// (paper Fig. 2 step 9; weights amortize over tiles).
+fn sram_words_per_cycle(cfg: &MirageConfig) -> f64 {
+    (cfg.g + 2 * cfg.rows) as f64
+}
+
+/// Computes the Fig. 9 peak-power breakdown.
+pub fn power_breakdown(cfg: &MirageConfig, digital: &DigitalEnergy) -> PowerBreakdown {
+    let e: UnitCycleEnergy = unit_cycle_energy(cfg, digital);
+    let units = cfg.num_units as f64;
+    let per_cycle_to_w = 1e-12 / cfg.cycle_s(); // pJ/cycle -> W
+    let sram_pj = sram_words_per_cycle(cfg) * digital.sram_word_pj;
+    PowerBreakdown {
+        laser_w: e.laser_pj * per_cycle_to_w * units,
+        tia_w: e.tia_pj * per_cycle_to_w * units,
+        converters_w: (e.adc_pj + e.dac_pj) * per_cycle_to_w * units,
+        rns_conv_w: e.rns_conv_pj * per_cycle_to_w * units,
+        bfp_conv_w: e.bfp_conv_pj * per_cycle_to_w * units,
+        acc_w: e.acc_pj * per_cycle_to_w * units,
+        sram_w: sram_pj * per_cycle_to_w * units,
+        tuning_w: e.mrr_tuning_pj * per_cycle_to_w * units,
+    }
+}
+
+/// Area of the full accelerator, split by component (mm²).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Photonic devices (MMU banks, detectors, routing).
+    pub photonics_mm2: f64,
+    /// SRAM arrays.
+    pub sram_mm2: f64,
+    /// ADC banks.
+    pub adc_mm2: f64,
+    /// DAC banks.
+    pub dac_mm2: f64,
+    /// Digital conversion circuits + accumulators.
+    pub others_mm2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total silicon area across both chiplets.
+    pub fn total_mm2(&self) -> f64 {
+        self.photonics_mm2 + self.sram_mm2 + self.adc_mm2 + self.dac_mm2 + self.others_mm2
+    }
+
+    /// Electronic-chiplet area (everything but photonics).
+    pub fn electronic_mm2(&self) -> f64 {
+        self.total_mm2() - self.photonics_mm2
+    }
+
+    /// The 3D-stacked footprint: the larger chiplet (paper §VI-C).
+    pub fn footprint_mm2(&self) -> f64 {
+        self.photonics_mm2.max(self.electronic_mm2())
+    }
+
+    /// `(label, mm², share)` rows for reporting.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_mm2();
+        [
+            ("Photonic devices", self.photonics_mm2),
+            ("SRAM", self.sram_mm2),
+            ("ADC", self.adc_mm2),
+            ("DAC", self.dac_mm2),
+            ("Others", self.others_mm2),
+        ]
+        .iter()
+        .map(|&(n, a)| (n, a, a / total))
+        .collect()
+    }
+}
+
+/// Photonic row pitch: waveguide channel height per MDPU row,
+/// accounting for the dual-rail arms, 180° bends (5 µm radius) and
+/// clearances. Calibrated so the default configuration reproduces the
+/// paper's 234 mm² photonic chiplet.
+pub const PHOTONIC_ROW_PITCH_MM: f64 = 0.024;
+
+/// SRAM density for the TSMC 40 nm compiler arrays, mm² per MB
+/// (macro + periphery). Calibrated to the paper's electronic chiplet.
+pub const SRAM_MM2_PER_MB: f64 = 7.15;
+
+/// Computes the Fig. 9 area breakdown.
+pub fn area_breakdown(cfg: &MirageConfig) -> AreaBreakdown {
+    use mirage_photonics::Mmu;
+    let units = cfg.num_units as f64;
+    let rows = cfg.rows as f64;
+    let g = cfg.g as f64;
+
+    // Photonics: one MMU bank per (row, column, modulus), its length set
+    // by the modulus (Eq. 11) times the row pitch.
+    let mmu_len_sum_mm: f64 = cfg
+        .moduli
+        .moduli()
+        .iter()
+        .map(|&m| Mmu::new(m, &cfg.photonics).length_mm())
+        .sum();
+    let photonics_mm2 = units * rows * g * mmu_len_sum_mm * PHOTONIC_ROW_PITCH_MM;
+
+    let sram_mb = (cfg.sram_arrays * cfg.sram_bytes_per_array) as f64 / (1 << 20) as f64;
+    let sram_mm2 = sram_mb * SRAM_MM2_PER_MB;
+
+    // Two ADCs per MDPU per modulus; g DACs per MMVMU (one per column,
+    // loading the stationary tile row by row).
+    let n_moduli = cfg.moduli.len() as f64;
+    let adc_mm2 = units * rows * n_moduli * 2.0 * converters::paper_adc_6bit().area_mm2;
+    let dac_mm2 = units * g * n_moduli * converters::paper_dac_6bit().area_mm2;
+
+    // 10 interleaved copies of each conversion circuit per RNS-MMVMU
+    // (paper §IV-C) plus accumulators: small.
+    let conv_um2 = 1318.4 + 231.7 + 1545.8;
+    let others_mm2 = units * cfg.interleave as f64 * conv_um2 * 1e-6 + 2.0;
+
+    AreaBreakdown {
+        photonics_mm2,
+        sram_mm2,
+        adc_mm2,
+        dac_mm2,
+        others_mm2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MirageConfig {
+        MirageConfig::default()
+    }
+
+    #[test]
+    fn total_power_near_20w() {
+        // Fig. 9: 19.95 W total peak power.
+        let p = power_breakdown(&cfg(), &DigitalEnergy::default());
+        let total = p.total_w();
+        assert!(total > 10.0 && total < 30.0, "total = {total} W");
+    }
+
+    #[test]
+    fn sram_dominates_power() {
+        // Fig. 9: SRAM is 61.9 % of peak power — the top consumer.
+        let p = power_breakdown(&cfg(), &DigitalEnergy::default());
+        let share = p.sram_w / p.total_w();
+        assert!(share > 0.4 && share < 0.75, "sram share = {share}");
+        for (name, w, _) in p.rows() {
+            if name != "SRAM" {
+                assert!(w < p.sram_w, "{name} should not beat SRAM");
+            }
+        }
+    }
+
+    #[test]
+    fn converters_are_minor() {
+        // Fig. 9: DAC & ADC are ~1 % — the headline anti-ADC-wall
+        // result. Allow a few percent in our calibration.
+        let p = power_breakdown(&cfg(), &DigitalEnergy::default());
+        assert!(p.converters_w / p.total_w() < 0.05);
+    }
+
+    #[test]
+    fn laser_and_tia_are_the_analog_heavies() {
+        // Fig. 9: laser 14.4 %, TIA 14.4 %.
+        let p = power_breakdown(&cfg(), &DigitalEnergy::default());
+        for share in [p.laser_w / p.total_w(), p.tia_w / p.total_w()] {
+            assert!(share > 0.03 && share < 0.35, "share = {share}");
+        }
+    }
+
+    #[test]
+    fn area_totals_match_paper_scale() {
+        // Fig. 9: 476.6 mm² total; 234 photonic / 242.7 electronic;
+        // footprint = 242.7 mm².
+        let a = area_breakdown(&cfg());
+        assert!((a.total_mm2() - 476.6).abs() < 60.0, "total = {}", a.total_mm2());
+        assert!((a.photonics_mm2 - 234.0).abs() < 30.0, "photonic = {}", a.photonics_mm2);
+        assert!((a.electronic_mm2() - 242.7).abs() < 40.0);
+        assert!(a.footprint_mm2() >= a.total_mm2() / 2.0 - 1e-9);
+    }
+
+    #[test]
+    fn photonics_and_sram_dominate_area() {
+        // Fig. 9 right: photonics 49.1 %, SRAM 36 %, ADC 9.7 %, DAC 4 %.
+        let a = area_breakdown(&cfg());
+        let t = a.total_mm2();
+        assert!(a.photonics_mm2 / t > 0.35);
+        assert!(a.sram_mm2 / t > 0.25);
+        assert!(a.adc_mm2 / t < 0.15);
+        assert!(a.dac_mm2 / t < 0.10);
+        assert!(a.others_mm2 / t < 0.02);
+    }
+
+    #[test]
+    fn power_rows_sum_to_one() {
+        let p = power_breakdown(&cfg(), &DigitalEnergy::default());
+        let sum: f64 = p.rows().iter().map(|r| r.2).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! Iso-energy and iso-area comparisons against systolic arrays
+//! (paper Fig. 8).
+
+use crate::breakdown::{area_breakdown, power_breakdown};
+use crate::config::MirageConfig;
+use crate::dataflow::DataflowPolicy;
+use crate::energy::{mac_energy_pj, DigitalEnergy};
+use crate::latency::{mirage_step_latency_s, systolic_step_latency_s, SystolicConfig};
+use crate::macunit::MacUnitSpec;
+use crate::workload::Workload;
+
+/// One platform's results for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformResult {
+    /// Platform label (format name or "Mirage").
+    pub platform: String,
+    /// Training-step runtime in seconds.
+    pub runtime_s: f64,
+    /// Average MAC-path power in watts.
+    pub power_w: f64,
+    /// Energy per step (J).
+    pub energy_j: f64,
+    /// Energy-delay product (J·s).
+    pub edp: f64,
+    /// MAC units provisioned.
+    pub macs: usize,
+}
+
+/// How systolic arrays are scaled relative to Mirage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsoScenario {
+    /// Equal energy per cycle: the SA gets as many MAC units as consume
+    /// Mirage's MAC-path energy budget per cycle
+    /// (`#MACs × pJ_fmt = #Mirage_MACs × pJ_Mirage`).
+    Energy,
+    /// Equal silicon area: `#MACs × mm²_fmt = Mirage total area`.
+    Area,
+}
+
+/// Number of SA MAC units allotted under a scenario.
+///
+/// Returns `None` when the scenario needs an area figure the format
+/// lacks (FMAC under iso-area).
+pub fn scaled_sa_macs(
+    cfg: &MirageConfig,
+    fmt: &MacUnitSpec,
+    scenario: IsoScenario,
+) -> Option<usize> {
+    match scenario {
+        IsoScenario::Energy => {
+            let mirage_pj = mac_energy_pj(cfg, &DigitalEnergy::default());
+            let budget = cfg.macs_per_cycle() as f64 * mirage_pj;
+            Some((budget / fmt.pj_per_mac).round().max(1.0) as usize)
+        }
+        IsoScenario::Area => {
+            let area = area_breakdown(cfg).total_mm2();
+            fmt.mm2_per_mac
+                .map(|mm2| (area / mm2).round().max(1.0) as usize)
+        }
+    }
+}
+
+/// Groups a MAC budget into replicated 32×16 arrays (at least one).
+pub fn sa_config_for_macs(fmt: &MacUnitSpec, macs: usize) -> SystolicConfig {
+    let arrays = (macs / (32 * 16)).max(1);
+    SystolicConfig {
+        arrays,
+        rows: 32,
+        width: 16,
+        clock_hz: fmt.clock_hz,
+    }
+}
+
+/// Evaluates Mirage on a workload (OPT2 scheduling, MAC-path power —
+/// the Fig. 8 component list).
+pub fn evaluate_mirage(cfg: &MirageConfig, workload: &Workload) -> PlatformResult {
+    let runtime = mirage_step_latency_s(cfg, workload, DataflowPolicy::Opt2);
+    // MAC-path power: everything except SRAM from the peak breakdown.
+    let p = power_breakdown(cfg, &DigitalEnergy::default());
+    let power = p.total_w() - p.sram_w;
+    PlatformResult {
+        platform: "Mirage".into(),
+        runtime_s: runtime,
+        power_w: power,
+        energy_j: power * runtime,
+        edp: power * runtime * runtime,
+        macs: cfg.macs_per_cycle(),
+    }
+}
+
+/// Evaluates a scaled systolic array on a workload (OPT2 scheduling).
+pub fn evaluate_systolic(
+    fmt: &MacUnitSpec,
+    macs: usize,
+    workload: &Workload,
+) -> PlatformResult {
+    let sa = sa_config_for_macs(fmt, macs);
+    let runtime = systolic_step_latency_s(&sa, workload, DataflowPolicy::Opt2);
+    let power = sa.macs() as f64 * fmt.pj_per_mac * 1e-12 * fmt.clock_hz;
+    PlatformResult {
+        platform: fmt.name.into(),
+        runtime_s: runtime,
+        power_w: power,
+        energy_j: power * runtime,
+        edp: power * runtime * runtime,
+        macs: sa.macs(),
+    }
+}
+
+/// Full Fig. 8 comparison for one workload: Mirage plus every baseline
+/// that supports the scenario.
+pub fn compare(
+    cfg: &MirageConfig,
+    workload: &Workload,
+    baselines: &[MacUnitSpec],
+    scenario: IsoScenario,
+) -> Vec<PlatformResult> {
+    let mut out = vec![evaluate_mirage(cfg, workload)];
+    for fmt in baselines {
+        if let Some(macs) = scaled_sa_macs(cfg, fmt, scenario) {
+            out.push(evaluate_systolic(fmt, macs, workload));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macunit;
+    use crate::workload::WorkloadLayer;
+
+    fn cnn_like() -> Workload {
+        // Medium CNN-ish layer stack with batch-256-scale N dimensions.
+        Workload::new(
+            "cnn",
+            256,
+            vec![
+                WorkloadLayer::new("c1", 64, 147, 256 * 1024),
+                WorkloadLayer::new("c2", 128, 576, 256 * 256),
+                WorkloadLayer::new("c3", 256, 1152, 256 * 64),
+                WorkloadLayer::new("fc", 10, 4096, 256),
+            ],
+        )
+    }
+
+    #[test]
+    fn iso_energy_fmac_gets_more_macs_than_mirage() {
+        let cfg = MirageConfig::default();
+        let fmac = scaled_sa_macs(&cfg, &macunit::FMAC, IsoScenario::Energy).unwrap();
+        let fp32 = scaled_sa_macs(&cfg, &macunit::FP32, IsoScenario::Energy).unwrap();
+        assert!(fmac > cfg.macs_per_cycle(), "FMAC is cheaper per MAC");
+        assert!(fp32 < cfg.macs_per_cycle() / 10, "FP32 is ~60x costlier");
+    }
+
+    #[test]
+    fn iso_area_fmac_unavailable() {
+        let cfg = MirageConfig::default();
+        assert!(scaled_sa_macs(&cfg, &macunit::FMAC, IsoScenario::Area).is_none());
+        assert!(scaled_sa_macs(&cfg, &macunit::INT12, IsoScenario::Area).is_some());
+    }
+
+    #[test]
+    fn iso_energy_mirage_wins_runtime_and_edp() {
+        // The Fig. 8 left-panel shape: Mirage beats every format on
+        // runtime and EDP under the iso-energy budget.
+        let cfg = MirageConfig::default();
+        let w = cnn_like();
+        let results = compare(&cfg, &w, &macunit::BASELINES, IsoScenario::Energy);
+        let mirage = &results[0];
+        for r in &results[1..] {
+            assert!(
+                mirage.runtime_s < r.runtime_s,
+                "runtime vs {}: {} vs {}",
+                r.platform,
+                mirage.runtime_s,
+                r.runtime_s
+            );
+            assert!(mirage.edp < r.edp, "edp vs {}", r.platform);
+        }
+    }
+
+    #[test]
+    fn iso_energy_mirage_power_higher_than_fmac() {
+        // Paper: Mirage consumes ~17x more power than the FMAC SA under
+        // iso-energy (the FMAC array is tiny).
+        let cfg = MirageConfig::default();
+        let w = cnn_like();
+        let results = compare(&cfg, &w, &[macunit::FMAC], IsoScenario::Energy);
+        let (mirage, fmac) = (&results[0], &results[1]);
+        let ratio = mirage.power_w / fmac.power_w;
+        assert!(ratio > 2.0 && ratio < 100.0, "power ratio = {ratio}");
+    }
+
+    #[test]
+    fn iso_area_int12_is_faster_but_hungrier() {
+        // Fig. 8 right: INT12 packs ~600k MACs into Mirage's area and
+        // outruns it, but burns far more power; Mirage keeps better or
+        // comparable EDP.
+        let cfg = MirageConfig::default();
+        let w = cnn_like();
+        let results = compare(&cfg, &w, &[macunit::INT12], IsoScenario::Area);
+        let (mirage, int12) = (&results[0], &results[1]);
+        assert!(int12.runtime_s < mirage.runtime_s, "INT12 should be faster iso-area");
+        assert!(
+            mirage.power_w < int12.power_w / 5.0,
+            "Mirage should be far lower power: {} vs {}",
+            mirage.power_w,
+            int12.power_w
+        );
+    }
+
+    #[test]
+    fn iso_area_mirage_beats_fp32_everywhere() {
+        // Paper: 3.5x runtime, 521.7x EDP, 42.8x power vs FP32 iso-area.
+        let cfg = MirageConfig::default();
+        let w = cnn_like();
+        let results = compare(&cfg, &w, &[macunit::FP32], IsoScenario::Area);
+        let (mirage, fp32) = (&results[0], &results[1]);
+        assert!(mirage.runtime_s < fp32.runtime_s);
+        assert!(mirage.edp < fp32.edp / 10.0);
+        assert!(mirage.power_w < fp32.power_w / 5.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_runtime() {
+        let cfg = MirageConfig::default();
+        let r = evaluate_mirage(&cfg, &cnn_like());
+        assert!((r.energy_j - r.power_w * r.runtime_s).abs() < 1e-12);
+        assert!((r.edp - r.energy_j * r.runtime_s).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,120 @@
+//! Mirage accelerator configuration (paper §IV-C, §VI-A).
+
+use mirage_photonics::PhotonicConfig;
+use mirage_rns::ModuliSet;
+
+/// Full Mirage accelerator configuration.
+///
+/// Defaults follow the paper's chosen design point: 8 RNS-MMVMUs, each
+/// with one 16×32 MMVMU per modulus of `{31, 32, 33}` (`k = 5`), a
+/// 10 GHz photonic clock, 1 GHz digital clock with 10-way interleaving,
+/// three 8 MB SRAM arrays, and 5 ns phase-shifter reprogramming.
+#[derive(Debug, Clone)]
+pub struct MirageConfig {
+    /// Number of RNS-MMVMUs (paper: 8).
+    pub num_units: usize,
+    /// MDPUs per MMVMU — the vertical array size (paper: 32).
+    pub rows: usize,
+    /// MMUs per MDPU — the horizontal array size and BFP group size
+    /// (paper: g = 16).
+    pub g: usize,
+    /// The RNS moduli set (paper: special set with k = 5).
+    pub moduli: ModuliSet,
+    /// BFP mantissa bits (paper: 4).
+    pub bm: u32,
+    /// Photonic device configuration.
+    pub photonics: PhotonicConfig,
+    /// Digital clock in Hz (paper: 1 GHz, 10-way interleaved).
+    pub digital_clock_hz: f64,
+    /// Interleaving factor matching digital to photonic throughput
+    /// (paper: 10).
+    pub interleave: usize,
+    /// SRAM bytes per array; three arrays: activations, weights,
+    /// gradients (paper: 8 MB each).
+    pub sram_bytes_per_array: usize,
+    /// Number of SRAM arrays (paper: 3).
+    pub sram_arrays: usize,
+}
+
+impl Default for MirageConfig {
+    fn default() -> Self {
+        MirageConfig {
+            num_units: 8,
+            rows: 32,
+            g: 16,
+            moduli: ModuliSet::special_set(5).expect("k = 5 is valid"),
+            bm: 4,
+            photonics: PhotonicConfig::default(),
+            digital_clock_hz: 1e9,
+            interleave: 10,
+            sram_bytes_per_array: 8 << 20,
+            sram_arrays: 3,
+        }
+    }
+}
+
+impl MirageConfig {
+    /// Photonic MVM cycle time in seconds (paper: 0.1 ns).
+    pub fn cycle_s(&self) -> f64 {
+        1.0 / self.photonics.clock_hz
+    }
+
+    /// Phase-shifter reprogramming stall per tile in seconds
+    /// (paper: 5 ns).
+    pub fn reprogram_s(&self) -> f64 {
+        self.photonics.phase_shifter.reprogram_time_s
+    }
+
+    /// Real (binary) MACs completed per photonic cycle across the whole
+    /// accelerator: `units × rows × g`.
+    ///
+    /// The `n` moduli channels jointly produce one binary MAC, so the
+    /// moduli count does not multiply throughput.
+    pub fn macs_per_cycle(&self) -> usize {
+        self.num_units * self.rows * self.g
+    }
+
+    /// Peak MAC throughput in MAC/s.
+    pub fn peak_macs_per_s(&self) -> f64 {
+        self.macs_per_cycle() as f64 * self.photonics.clock_hz
+    }
+
+    /// Returns a copy with a different array geometry (for sensitivity
+    /// sweeps, Fig. 6).
+    pub fn with_geometry(mut self, num_units: usize, rows: usize, g: usize) -> Self {
+        self.num_units = num_units;
+        self.rows = rows;
+        self.g = g;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_design_point() {
+        let c = MirageConfig::default();
+        assert_eq!(c.num_units, 8);
+        assert_eq!(c.rows, 32);
+        assert_eq!(c.g, 16);
+        assert_eq!(c.moduli.special_k(), Some(5));
+        assert_eq!(c.macs_per_cycle(), 8 * 32 * 16);
+        assert!((c.cycle_s() - 0.1e-9).abs() < 1e-15);
+        assert!((c.reprogram_s() - 5e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn peak_throughput() {
+        let c = MirageConfig::default();
+        // 4096 MACs x 10 GHz = 40.96 TMAC/s.
+        assert!((c.peak_macs_per_s() - 40.96e12).abs() / 40.96e12 < 1e-12);
+    }
+
+    #[test]
+    fn geometry_override() {
+        let c = MirageConfig::default().with_geometry(4, 64, 32);
+        assert_eq!(c.macs_per_cycle(), 4 * 64 * 32);
+    }
+}

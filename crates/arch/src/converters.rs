@@ -1,0 +1,144 @@
+//! Data-converter energy models (paper Fig. 1(b), §V-B2).
+
+/// Murmann-style ADC energy-per-conversion model (Fig. 1(b)):
+/// a thermal-noise-limited term growing 4× per bit plus a small
+/// per-bit digital term.
+///
+/// Calibrated so a 16-bit conversion costs ≈ 1 nJ (paper §II-C: "a
+/// single A-to-D conversion would require ≥ 1 nJ" for the 8-bit-operand
+/// example needing a 16-bit ADC).
+pub fn adc_energy_per_conversion_j(bits: u32) -> f64 {
+    const THERMAL_COEFF: f64 = 2.3e-19; // J per 4^bit
+    const DIGITAL_COEFF: f64 = 1e-15; // J per bit
+    THERMAL_COEFF * 4f64.powi(bits as i32) + DIGITAL_COEFF * f64::from(bits)
+}
+
+/// DAC energy per conversion: capacitive-array model growing 2× per
+/// bit, two orders of magnitude below the ADC at matched precision
+/// (Fig. 1(b)).
+pub fn dac_energy_per_conversion_j(bits: u32) -> f64 {
+    const COEFF: f64 = 2.0e-18; // J per 2^bit
+    const DIGITAL_COEFF: f64 = 2e-16; // J per bit
+    COEFF * 2f64.powi(bits as i32) + DIGITAL_COEFF * f64::from(bits)
+}
+
+/// A concrete converter design (the paper's cited silicon).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConverterSpec {
+    /// Resolution in bits.
+    pub bits: u32,
+    /// Power at the rated sample rate, in watts.
+    pub power_w: f64,
+    /// Rated sample rate in samples/s.
+    pub sample_rate_hz: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+}
+
+impl ConverterSpec {
+    /// Energy per conversion at the rated rate.
+    pub fn energy_per_conversion_j(&self) -> f64 {
+        self.power_w / self.sample_rate_hz
+    }
+
+    /// Scales the spec to a different bit count using the Murmann
+    /// scaling laws (×4/bit energy for ADCs; pass `adc = false` for the
+    /// ×2/bit DAC law). Area scales ×2/bit.
+    pub fn scaled_to_bits(&self, bits: u32, adc: bool) -> ConverterSpec {
+        let db = bits as i32 - self.bits as i32;
+        let factor = if adc {
+            4f64.powi(db)
+        } else {
+            2f64.powi(db)
+        };
+        ConverterSpec {
+            bits,
+            power_w: self.power_w * factor,
+            sample_rate_hz: self.sample_rate_hz,
+            area_mm2: self.area_mm2 * 2f64.powi(db),
+        }
+    }
+}
+
+/// The paper's 6-bit, 24 GS/s ADC (Xu et al., VLSI 2016): 23 mW,
+/// 0.03 mm².
+pub fn paper_adc_6bit() -> ConverterSpec {
+    ConverterSpec {
+        bits: 6,
+        power_w: 23e-3,
+        sample_rate_hz: 24e9,
+        area_mm2: 0.03,
+    }
+}
+
+/// The paper's 6-bit, 20 GS/s DAC (Kim et al., TCAS-II 2018): 136 mW,
+/// 0.072 mm².
+pub fn paper_dac_6bit() -> ConverterSpec {
+    ConverterSpec {
+        bits: 6,
+        power_w: 136e-3,
+        sample_rate_hz: 20e9,
+        area_mm2: 0.072,
+    }
+}
+
+/// The §VI-E 8-bit DAC option (Nazemi et al., ISSCC 2015 PAM4
+/// transmitter DAC, 18 GS/s).
+pub fn paper_dac_8bit() -> ConverterSpec {
+    paper_dac_6bit().scaled_to_bits(8, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_energy_quadruples_per_bit() {
+        // In the thermal-limited regime the ratio approaches 4x.
+        let r = adc_energy_per_conversion_j(14) / adc_energy_per_conversion_j(13);
+        assert!((r - 4.0).abs() < 0.1, "r = {r}");
+    }
+
+    #[test]
+    fn adc_16bit_is_about_1nj() {
+        let e = adc_energy_per_conversion_j(16);
+        assert!(e > 0.5e-9 && e < 2e-9, "e = {e}");
+    }
+
+    #[test]
+    fn adc_dominates_dac_by_two_orders() {
+        // Fig. 1(b): the gap widens toward two orders of magnitude as
+        // the ADC enters its thermal-limited 4x-per-bit regime.
+        for (bits, min_ratio) in [(8u32, 8.0), (10, 20.0), (12, 100.0)] {
+            let ratio = adc_energy_per_conversion_j(bits) / dac_energy_per_conversion_j(bits);
+            assert!(ratio > min_ratio, "bits = {bits}, ratio = {ratio}");
+        }
+    }
+
+    #[test]
+    fn paper_specs_energy() {
+        // 23 mW / 24 GS/s ≈ 0.96 pJ per conversion.
+        let adc = paper_adc_6bit();
+        assert!((adc.energy_per_conversion_j() - 0.958e-12).abs() < 0.01e-12);
+        // 136 mW / 20 GS/s = 6.8 pJ per conversion.
+        let dac = paper_dac_6bit();
+        assert!((dac.energy_per_conversion_j() - 6.8e-12).abs() < 0.01e-12);
+    }
+
+    #[test]
+    fn bit_scaling() {
+        let adc5 = paper_adc_6bit().scaled_to_bits(5, true);
+        assert!((adc5.power_w - 23e-3 / 4.0).abs() < 1e-9);
+        let dac8 = paper_dac_8bit();
+        assert_eq!(dac8.bits, 8);
+        assert!((dac8.power_w - 136e-3 * 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_in_bits() {
+        for b in 2..15 {
+            assert!(adc_energy_per_conversion_j(b + 1) > adc_energy_per_conversion_j(b));
+            assert!(dac_energy_per_conversion_j(b + 1) > dac_energy_per_conversion_j(b));
+        }
+    }
+}

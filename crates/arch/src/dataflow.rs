@@ -1,0 +1,140 @@
+//! Dataflows and scheduling policies (paper §VI-A3).
+//!
+//! Training renames the classic stationary dataflows: DF1 keeps the
+//! *first* GEMM operand stationary (weight-stationary in the forward
+//! pass), DF2 the *second* (input-stationary), DF3 the *output*. Mirage
+//! supports DF1/DF2 only — DF3 would reprogram phase shifters every
+//! cycle (§VI-A3); systolic arrays support all three.
+
+use crate::workload::GemmShape;
+
+/// A stationary-operand dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// First operand stationary (weight-stationary in the forward pass).
+    Df1,
+    /// Second operand stationary (input-stationary in the forward pass).
+    Df2,
+    /// Output stationary — systolic arrays only.
+    Df3,
+}
+
+impl Dataflow {
+    /// The dataflows Mirage's photonic core supports.
+    pub const MIRAGE: [Dataflow; 2] = [Dataflow::Df1, Dataflow::Df2];
+    /// The dataflows a systolic array supports.
+    pub const SYSTOLIC: [Dataflow; 3] = [Dataflow::Df1, Dataflow::Df2, Dataflow::Df3];
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Dataflow::Df1 => "DF1",
+            Dataflow::Df2 => "DF2",
+            Dataflow::Df3 => "DF3",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How dataflows are assigned to the GEMMs of a training step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataflowPolicy {
+    /// One fixed dataflow for every GEMM.
+    Fixed(Dataflow),
+    /// Best dataflow per GEMM *kind* (forward / input-grad /
+    /// weight-grad), shared by all layers — the paper's OPT1.
+    Opt1,
+    /// Best dataflow per GEMM per layer — the paper's OPT2.
+    Opt2,
+}
+
+/// The tiling of one GEMM under a dataflow on an `rows × width` array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileGrid {
+    /// Number of stationary tiles.
+    pub tiles: usize,
+    /// Vectors streamed through each tile.
+    pub streamed: usize,
+    /// Elements of the stationary operand actually mapped (for
+    /// utilization).
+    pub stationary_elems: usize,
+}
+
+impl TileGrid {
+    /// Tiles a GEMM `C(m×n) = A(m×k)·B(k×n)` for the given dataflow.
+    ///
+    /// - DF1: `A` stationary — grid `⌈m/rows⌉ × ⌈k/width⌉`, stream `n`.
+    /// - DF2: `Bᵀ` stationary — grid `⌈n/rows⌉ × ⌈k/width⌉`, stream `m`.
+    /// - DF3: `C` stationary — grid `⌈m/rows⌉ × ⌈n/width⌉`, stream `k`.
+    pub fn for_gemm(shape: GemmShape, df: Dataflow, rows: usize, width: usize) -> TileGrid {
+        let ceil = |a: usize, b: usize| a.div_ceil(b);
+        let (d1, d2, streamed) = match df {
+            Dataflow::Df1 => (shape.m, shape.k, shape.n),
+            Dataflow::Df2 => (shape.n, shape.k, shape.m),
+            Dataflow::Df3 => (shape.m, shape.n, shape.k),
+        };
+        TileGrid {
+            tiles: ceil(d1, rows) * ceil(d2, width),
+            streamed,
+            stationary_elems: d1 * d2,
+        }
+    }
+
+    /// Fraction of stationary array slots holding real data, averaged
+    /// over tiles.
+    pub fn stationary_utilization(&self, rows: usize, width: usize) -> f64 {
+        if self.tiles == 0 {
+            return 0.0;
+        }
+        self.stationary_elems as f64 / (self.tiles * rows * width) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn df1_tiling() {
+        let g = TileGrid::for_gemm(GemmShape::new(64, 32, 100), Dataflow::Df1, 32, 16);
+        assert_eq!(g.tiles, 2 * 2);
+        assert_eq!(g.streamed, 100);
+        assert!((g.stationary_utilization(32, 16) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn df2_swaps_roles() {
+        let g = TileGrid::for_gemm(GemmShape::new(64, 32, 100), Dataflow::Df2, 32, 16);
+        assert_eq!(g.tiles, 4 * 2); // ceil(100/32)=4, ceil(32/16)=2
+        assert_eq!(g.streamed, 64);
+    }
+
+    #[test]
+    fn df3_streams_reduction() {
+        let g = TileGrid::for_gemm(GemmShape::new(64, 32, 100), Dataflow::Df3, 32, 16);
+        assert_eq!(g.tiles, 2 * 7); // ceil(100/16)=7
+        assert_eq!(g.streamed, 32);
+    }
+
+    #[test]
+    fn ragged_edges_reduce_utilization() {
+        // 33 rows on a 32-row array: second tile row is almost empty.
+        let g = TileGrid::for_gemm(GemmShape::new(33, 16, 10), Dataflow::Df1, 32, 16);
+        assert_eq!(g.tiles, 2);
+        let u = g.stationary_utilization(32, 16);
+        assert!((u - 33.0 * 16.0 / (2.0 * 512.0)).abs() < 1e-12);
+        assert!(u < 0.6);
+    }
+
+    #[test]
+    fn mirage_excludes_df3() {
+        assert!(!Dataflow::MIRAGE.contains(&Dataflow::Df3));
+        assert!(Dataflow::SYSTOLIC.contains(&Dataflow::Df3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Dataflow::Df1.to_string(), "DF1");
+    }
+}

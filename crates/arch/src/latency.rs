@@ -1,0 +1,340 @@
+//! Tile-level latency models (paper §V-B1, Fig. 7).
+
+use crate::config::MirageConfig;
+use crate::dataflow::{Dataflow, DataflowPolicy, TileGrid};
+use crate::workload::{GemmShape, TrainingGemm, Workload, WorkloadLayer};
+
+/// A systolic-array configuration for the baseline comparisons.
+///
+/// The paper keeps the 16×32 tile fixed and replicates whole arrays
+/// when scaling (§VI-C: larger single arrays suffer long tile-load
+/// latencies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystolicConfig {
+    /// Number of replicated arrays.
+    pub arrays: usize,
+    /// Array height (stationary rows; paper tile: 32).
+    pub rows: usize,
+    /// Array width (stationary columns; paper tile: 16).
+    pub width: usize,
+    /// Clock frequency in Hz (per data format, Table II).
+    pub clock_hz: f64,
+}
+
+impl SystolicConfig {
+    /// A single 32×16 array at the given clock.
+    pub fn single(clock_hz: f64) -> Self {
+        SystolicConfig {
+            arrays: 1,
+            rows: 32,
+            width: 16,
+            clock_hz,
+        }
+    }
+
+    /// Total MAC units.
+    pub fn macs(&self) -> usize {
+        self.arrays * self.rows * self.width
+    }
+}
+
+/// Latency of one GEMM on Mirage under a dataflow.
+///
+/// Tiles are spread over the RNS-MMVMUs; each tile costs one
+/// phase-shifter reprogramming stall (5 ns) plus one photonic cycle
+/// (0.1 ns) per streamed vector.
+pub fn mirage_gemm_latency_s(cfg: &MirageConfig, shape: GemmShape, df: Dataflow) -> f64 {
+    assert!(
+        Dataflow::MIRAGE.contains(&df),
+        "mirage does not support {df} (phase shifters would reprogram every cycle)"
+    );
+    let grid = TileGrid::for_gemm(shape, df, cfg.rows, cfg.g);
+    let rounds = grid.tiles.div_ceil(cfg.num_units);
+    rounds as f64 * (cfg.reprogram_s() + grid.streamed as f64 * cfg.cycle_s())
+}
+
+/// Latency of one GEMM on a systolic array under a dataflow.
+///
+/// Per tile: loading the stationary operand (one row per cycle), then
+/// streaming with pipeline fill/drain of `rows + width` cycles; DF3
+/// additionally writes the stationary outputs back.
+pub fn systolic_gemm_latency_s(sa: &SystolicConfig, shape: GemmShape, df: Dataflow) -> f64 {
+    let grid = TileGrid::for_gemm(shape, df, sa.rows, sa.width);
+    let rounds = grid.tiles.div_ceil(sa.arrays);
+    let load = sa.rows;
+    let fill_drain = sa.rows + sa.width;
+    let writeback = if df == Dataflow::Df3 { sa.rows } else { 0 };
+    let cycles_per_tile = load + grid.streamed + fill_drain + writeback;
+    rounds as f64 * cycles_per_tile as f64 / sa.clock_hz
+}
+
+/// The latency of each of the three training GEMMs of one layer under a
+/// chosen per-GEMM dataflow assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerLatency {
+    /// Layer name.
+    pub name: String,
+    /// `(kind, chosen dataflow, seconds)` per training GEMM.
+    pub gemms: Vec<(TrainingGemm, Dataflow, f64)>,
+}
+
+impl LayerLatency {
+    /// Total seconds across the three GEMMs.
+    pub fn total_s(&self) -> f64 {
+        self.gemms.iter().map(|g| g.2).sum()
+    }
+}
+
+/// Generic per-GEMM latency function for policy evaluation.
+type GemmLatencyFn<'a> = dyn Fn(GemmShape, Dataflow) -> f64 + 'a;
+
+fn schedule(
+    layers: &[WorkloadLayer],
+    allowed: &[Dataflow],
+    policy: DataflowPolicy,
+    latency: &GemmLatencyFn<'_>,
+) -> Vec<LayerLatency> {
+    let pick_fixed = |df: Dataflow| -> Vec<LayerLatency> {
+        layers
+            .iter()
+            .map(|l| LayerLatency {
+                name: l.name.clone(),
+                gemms: TrainingGemm::ALL
+                    .iter()
+                    .map(|&k| (k, df, latency(l.gemm(k), df)))
+                    .collect(),
+            })
+            .collect()
+    };
+    match policy {
+        DataflowPolicy::Fixed(df) => {
+            assert!(allowed.contains(&df), "dataflow {df} not supported here");
+            pick_fixed(df)
+        }
+        DataflowPolicy::Opt1 => {
+            // Best dataflow per GEMM kind, fixed across layers.
+            let best_for_kind = |kind: TrainingGemm| -> Dataflow {
+                *allowed
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let ta: f64 = layers.iter().map(|l| latency(l.gemm(kind), a)).sum();
+                        let tb: f64 = layers.iter().map(|l| latency(l.gemm(kind), b)).sum();
+                        ta.partial_cmp(&tb).expect("finite latencies")
+                    })
+                    .expect("non-empty dataflow set")
+            };
+            let choice: Vec<(TrainingGemm, Dataflow)> = TrainingGemm::ALL
+                .iter()
+                .map(|&k| (k, best_for_kind(k)))
+                .collect();
+            layers
+                .iter()
+                .map(|l| LayerLatency {
+                    name: l.name.clone(),
+                    gemms: choice
+                        .iter()
+                        .map(|&(k, df)| (k, df, latency(l.gemm(k), df)))
+                        .collect(),
+                })
+                .collect()
+        }
+        DataflowPolicy::Opt2 => layers
+            .iter()
+            .map(|l| LayerLatency {
+                name: l.name.clone(),
+                gemms: TrainingGemm::ALL
+                    .iter()
+                    .map(|&k| {
+                        let (df, t) = allowed
+                            .iter()
+                            .map(|&df| (df, latency(l.gemm(k), df)))
+                            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                            .expect("non-empty dataflow set");
+                        (k, df, t)
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Per-layer training-step latencies on Mirage.
+pub fn mirage_layer_latencies(
+    cfg: &MirageConfig,
+    workload: &Workload,
+    policy: DataflowPolicy,
+) -> Vec<LayerLatency> {
+    schedule(
+        &workload.layers,
+        &Dataflow::MIRAGE,
+        policy,
+        &|shape, df| mirage_gemm_latency_s(cfg, shape, df),
+    )
+}
+
+/// Total training-step latency on Mirage.
+pub fn mirage_step_latency_s(
+    cfg: &MirageConfig,
+    workload: &Workload,
+    policy: DataflowPolicy,
+) -> f64 {
+    mirage_layer_latencies(cfg, workload, policy)
+        .iter()
+        .map(LayerLatency::total_s)
+        .sum()
+}
+
+/// Per-layer training-step latencies on a systolic array.
+pub fn systolic_layer_latencies(
+    sa: &SystolicConfig,
+    workload: &Workload,
+    policy: DataflowPolicy,
+) -> Vec<LayerLatency> {
+    schedule(
+        &workload.layers,
+        &Dataflow::SYSTOLIC,
+        policy,
+        &|shape, df| systolic_gemm_latency_s(sa, shape, df),
+    )
+}
+
+/// Total training-step latency on a systolic array.
+pub fn systolic_step_latency_s(
+    sa: &SystolicConfig,
+    workload: &Workload,
+    policy: DataflowPolicy,
+) -> f64 {
+    systolic_layer_latencies(sa, workload, policy)
+        .iter()
+        .map(LayerLatency::total_s)
+        .sum()
+}
+
+/// Inference (forward-only) latency on Mirage.
+pub fn mirage_inference_latency_s(cfg: &MirageConfig, workload: &Workload) -> f64 {
+    workload
+        .layers
+        .iter()
+        .map(|l| {
+            Dataflow::MIRAGE
+                .iter()
+                .map(|&df| mirage_gemm_latency_s(cfg, l.forward, df))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MirageConfig {
+        MirageConfig::default()
+    }
+
+    fn layer(m: usize, k: usize, n: usize) -> WorkloadLayer {
+        WorkloadLayer::new("l", m, k, n)
+    }
+
+    #[test]
+    fn single_tile_gemm_latency() {
+        // 32x16 stationary fits one tile: 5 ns + n * 0.1 ns on one unit.
+        let t = mirage_gemm_latency_s(&cfg(), GemmShape::new(32, 16, 1000), Dataflow::Df1);
+        assert!((t - (5e-9 + 1000.0 * 0.1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tiles_round_over_units() {
+        // 9 tiles over 8 units -> 2 rounds.
+        let shape = GemmShape::new(32 * 9, 16, 100);
+        let t = mirage_gemm_latency_s(&cfg(), shape, Dataflow::Df1);
+        assert!((t - 2.0 * (5e-9 + 100.0 * 0.1e-9)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn mirage_rejects_df3() {
+        mirage_gemm_latency_s(&cfg(), GemmShape::new(1, 1, 1), Dataflow::Df3);
+    }
+
+    #[test]
+    fn df_choice_matters_for_rectangular_gemms() {
+        // m >> n: DF2 keeps the small operand stationary and streams m.
+        let shape = GemmShape::new(10_000, 16, 32);
+        let t1 = mirage_gemm_latency_s(&cfg(), shape, Dataflow::Df1);
+        let t2 = mirage_gemm_latency_s(&cfg(), shape, Dataflow::Df2);
+        // DF1: 313 tiles / 8 units = 40 rounds of (5 + 3.2) ns.
+        // DF2: 1 tile, stream 10000 -> ~1 µs.
+        assert!(t2 > t1, "t1 = {t1}, t2 = {t2}");
+        // And the reverse for n >> m: DF2 splits the huge operand into
+        // many tiles that the 8 units chew in parallel, beating DF1's
+        // single tile streaming 10k vectors through one unit.
+        let shape_r = GemmShape::new(32, 16, 10_000);
+        let r1 = mirage_gemm_latency_s(&cfg(), shape_r, Dataflow::Df1);
+        let r2 = mirage_gemm_latency_s(&cfg(), shape_r, Dataflow::Df2);
+        assert!(r1 > r2, "unit-level parallelism should win: r1 = {r1}, r2 = {r2}");
+    }
+
+    #[test]
+    fn opt2_never_worse_than_fixed() {
+        let w = Workload::new(
+            "t",
+            1,
+            vec![layer(96, 363, 3025), layer(256, 1200, 729), layer(10, 4096, 256)],
+        );
+        let c = cfg();
+        let t_opt2 = mirage_step_latency_s(&c, &w, DataflowPolicy::Opt2);
+        for df in Dataflow::MIRAGE {
+            let t_fixed = mirage_step_latency_s(&c, &w, DataflowPolicy::Fixed(df));
+            assert!(t_opt2 <= t_fixed + 1e-18, "{df}");
+        }
+        let t_opt1 = mirage_step_latency_s(&c, &w, DataflowPolicy::Opt1);
+        assert!(t_opt2 <= t_opt1 + 1e-18);
+    }
+
+    #[test]
+    fn systolic_latency_includes_load_and_drain() {
+        let sa = SystolicConfig::single(1e9);
+        let t = systolic_gemm_latency_s(&sa, GemmShape::new(32, 16, 100), Dataflow::Df1);
+        // 1 tile: 32 load + 100 stream + 48 fill/drain = 180 cycles @ 1 GHz.
+        assert!((t - 180e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn df3_writeback_charged() {
+        let sa = SystolicConfig::single(1e9);
+        let t3 = systolic_gemm_latency_s(&sa, GemmShape::new(32, 100, 16), Dataflow::Df3);
+        // 1 tile: 32 + 100 + 48 + 32 = 212 cycles.
+        assert!((t3 - 212e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn more_arrays_reduce_latency() {
+        let w = Workload::new("t", 1, vec![layer(512, 512, 512)]);
+        let one = SystolicConfig::single(1e9);
+        let eight = SystolicConfig {
+            arrays: 8,
+            ..SystolicConfig::single(1e9)
+        };
+        let t1 = systolic_step_latency_s(&one, &w, DataflowPolicy::Opt2);
+        let t8 = systolic_step_latency_s(&eight, &w, DataflowPolicy::Opt2);
+        assert!(t8 < t1 / 6.0, "t1 = {t1}, t8 = {t8}");
+    }
+
+    #[test]
+    fn mirage_is_much_faster_than_one_systolic_array() {
+        // 10 GHz photonics + 4096 MAC slots vs 512 MACs at 1 GHz.
+        let w = Workload::new("t", 1, vec![layer(1024, 1024, 1024)]);
+        let tm = mirage_step_latency_s(&cfg(), &w, DataflowPolicy::Opt2);
+        let ts = systolic_step_latency_s(&SystolicConfig::single(1e9), &w, DataflowPolicy::Opt2);
+        assert!(ts / tm > 20.0, "ratio = {}", ts / tm);
+    }
+
+    #[test]
+    fn inference_latency_is_forward_only() {
+        let w = Workload::new("t", 1, vec![layer(64, 64, 64), layer(64, 64, 64)]);
+        let inf = mirage_inference_latency_s(&cfg(), &w);
+        let step = mirage_step_latency_s(&cfg(), &w, DataflowPolicy::Opt2);
+        assert!(inf < step / 2.0);
+    }
+}

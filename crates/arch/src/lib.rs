@@ -1,0 +1,42 @@
+//! # mirage-arch
+//!
+//! Architecture-level performance, power and area models for the Mirage
+//! accelerator and its systolic-array baselines (paper §V-B, §VI).
+//!
+//! - [`converters`] — Murmann-style ADC/DAC energy model (Fig. 1(b)) and
+//!   the paper's concrete converter specs.
+//! - [`config`] — the Mirage accelerator configuration (8 RNS-MMVMUs of
+//!   3 × 16×32 MMVMUs, 10 GHz photonic / 1 GHz digital clocks).
+//! - [`workload`] — GEMM-level training workloads (one forward + two
+//!   backward GEMMs per layer, Eqs. 1–3).
+//! - [`dataflow`] — DF1/DF2/DF3 and the OPT1/OPT2 schedulers (Fig. 7).
+//! - [`latency`] — tile-level latency models for Mirage and systolic
+//!   arrays.
+//! - [`utilization`] — spatial-utilization sweeps (Fig. 6).
+//! - [`energy`] — energy per MAC vs `(bm, g)` (Fig. 5(b), Table II).
+//! - [`breakdown`] — peak-power and area breakdowns (Fig. 9).
+//! - [`compare`] — iso-energy and iso-area comparisons (Fig. 8).
+//! - [`inference`] — inference throughput comparison (Table III).
+//! - [`macunit`] — MAC-unit-level constants (Table II).
+//! - [`sram`] — the interleaved SRAM subsystem (§IV-C).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod compare;
+pub mod config;
+pub mod converters;
+pub mod dataflow;
+pub mod energy;
+pub mod inference;
+pub mod latency;
+pub mod macunit;
+pub mod sram;
+pub mod utilization;
+pub mod workload;
+
+pub use config::MirageConfig;
+pub use dataflow::{Dataflow, DataflowPolicy};
+pub use macunit::MacUnitSpec;
+pub use workload::{GemmShape, TrainingGemm, Workload, WorkloadLayer};

@@ -1,0 +1,126 @@
+//! MAC-unit specifications (paper Table II).
+
+use crate::config::MirageConfig;
+use crate::energy::{mac_energy_pj, DigitalEnergy};
+
+/// Performance/power/area of one MAC unit in a given data format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MacUnitSpec {
+    /// Format name as in Table II.
+    pub name: &'static str,
+    /// Energy per MAC in pJ.
+    pub pj_per_mac: f64,
+    /// Area per MAC in mm² (`None` for FMAC, which the paper lacks).
+    pub mm2_per_mac: Option<f64>,
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+}
+
+/// Table II, FP32 row (synthesized 40 nm, 500 MHz).
+pub const FP32: MacUnitSpec = MacUnitSpec {
+    name: "FP32",
+    pj_per_mac: 12.42,
+    mm2_per_mac: Some(9.6e-3),
+    clock_hz: 500e6,
+};
+
+/// Table II, bfloat16 row.
+pub const BFLOAT16: MacUnitSpec = MacUnitSpec {
+    name: "BFLOAT16",
+    pj_per_mac: 3.20,
+    mm2_per_mac: Some(3.5e-3),
+    clock_hz: 500e6,
+};
+
+/// Table II, HFP8 row.
+pub const HFP8: MacUnitSpec = MacUnitSpec {
+    name: "HFP8",
+    pj_per_mac: 1.47,
+    mm2_per_mac: Some(1.4e-3),
+    clock_hz: 500e6,
+};
+
+/// Table II, INT12 row (integer units close timing at 1 GHz).
+pub const INT12: MacUnitSpec = MacUnitSpec {
+    name: "INT12",
+    pj_per_mac: 0.71,
+    mm2_per_mac: Some(7.7e-4),
+    clock_hz: 1e9,
+};
+
+/// Table II, INT8 row.
+pub const INT8: MacUnitSpec = MacUnitSpec {
+    name: "INT8",
+    pj_per_mac: 0.42,
+    mm2_per_mac: Some(4.1e-4),
+    clock_hz: 1e9,
+};
+
+/// Table II, FMAC row (Zhang et al., HPCA 2022; no published area).
+pub const FMAC: MacUnitSpec = MacUnitSpec {
+    name: "FMAC",
+    pj_per_mac: 0.11,
+    mm2_per_mac: None,
+    clock_hz: 500e6,
+};
+
+/// All systolic-array baselines, in Table II order.
+pub const BASELINES: [MacUnitSpec; 6] = [FP32, BFLOAT16, HFP8, INT12, INT8, FMAC];
+
+/// The Mirage row of Table II, with the energy derived from the
+/// component model (laser + TIA + converters + conversions + acc) and
+/// the paper's reported area per MAC.
+pub fn mirage_spec(cfg: &MirageConfig) -> MacUnitSpec {
+    MacUnitSpec {
+        name: "Mirage",
+        pj_per_mac: mac_energy_pj(cfg, &DigitalEnergy::default()),
+        mm2_per_mac: Some(0.12),
+        clock_hz: cfg.photonics.clock_hz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_energy_ordering() {
+        // FP32 > bf16 > HFP8 > INT12 > INT8 > FMAC.
+        let e: Vec<f64> = BASELINES.iter().map(|s| s.pj_per_mac).collect();
+        for w in e.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+    }
+
+    #[test]
+    fn mirage_beats_all_digital_formats_except_fmac() {
+        let m = mirage_spec(&MirageConfig::default());
+        for fmt in [FP32, BFLOAT16, HFP8, INT12, INT8] {
+            assert!(m.pj_per_mac < fmt.pj_per_mac, "vs {}", fmt.name);
+        }
+        // FMAC is the one format below Mirage (paper: ~2x lower).
+        assert!(FMAC.pj_per_mac < m.pj_per_mac);
+        assert!(m.pj_per_mac / FMAC.pj_per_mac < 5.0);
+    }
+
+    #[test]
+    fn mirage_clock_advantage() {
+        let m = mirage_spec(&MirageConfig::default());
+        assert_eq!(m.clock_hz, 10e9);
+        for fmt in BASELINES {
+            assert!(m.clock_hz / fmt.clock_hz >= 10.0);
+        }
+    }
+
+    #[test]
+    fn mirage_area_disadvantage() {
+        // §VI-C: photonics is far less area-dense than CMOS MACs.
+        let m = mirage_spec(&MirageConfig::default());
+        assert!(m.mm2_per_mac.unwrap() > FP32.mm2_per_mac.unwrap() * 10.0);
+    }
+
+    #[test]
+    fn fmac_has_no_area() {
+        assert!(FMAC.mm2_per_mac.is_none());
+    }
+}

@@ -1,0 +1,142 @@
+//! On-chip SRAM model (paper §IV-C, §V-B2).
+//!
+//! Mirage keeps three 8 MB SRAM arrays (activations, weights,
+//! gradients) built from 32 kB banks with ≤ 1 ns access latency. The
+//! digital side runs at 1 GHz but the photonic core completes an MVM
+//! every 0.1 ns, so each RNS-MMVMU owns **10 interleaved sub-arrays**
+//! per SRAM type, triggered with 0.1 ns offsets — every photonic cycle
+//! one sub-array begins an access and the aggregate bandwidth matches
+//! the core.
+
+use crate::config::MirageConfig;
+
+/// One SRAM array (e.g. the activation store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramArray {
+    /// Total capacity in bytes (paper: 8 MB).
+    pub bytes: usize,
+    /// Bank size in bytes (paper: 32 kB).
+    pub bank_bytes: usize,
+    /// Word width in bytes (FP32 storage: 4).
+    pub word_bytes: usize,
+    /// Single-bank access latency in seconds (paper: <= 1 ns).
+    pub access_latency_s_x1e12: u64,
+}
+
+impl SramArray {
+    /// The paper's 8 MB / 32 kB-bank array.
+    pub fn paper_default() -> Self {
+        SramArray {
+            bytes: 8 << 20,
+            bank_bytes: 32 << 10,
+            word_bytes: 4,
+            access_latency_s_x1e12: 1000, // 1 ns in picoseconds
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.bytes / self.bank_bytes
+    }
+
+    /// Access latency in seconds.
+    pub fn access_latency_s(&self) -> f64 {
+        self.access_latency_s_x1e12 as f64 * 1e-12
+    }
+
+    /// Words per bank.
+    pub fn words_per_bank(&self) -> usize {
+        self.bank_bytes / self.word_bytes
+    }
+}
+
+/// The interleaved SRAM subsystem serving one RNS-MMVMU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SramSubsystem {
+    /// The array geometry.
+    pub array: SramArray,
+    /// Interleaving factor (paper: 10 sub-arrays at 0.1 ns offsets).
+    pub interleave: usize,
+    /// Photonic cycle time the subsystem must keep up with.
+    pub photonic_cycle_s: f64,
+}
+
+impl SramSubsystem {
+    /// Builds the subsystem implied by a [`MirageConfig`].
+    pub fn from_config(cfg: &MirageConfig) -> Self {
+        SramSubsystem {
+            array: SramArray {
+                bytes: cfg.sram_bytes_per_array,
+                ..SramArray::paper_default()
+            },
+            interleave: cfg.interleave,
+            photonic_cycle_s: cfg.cycle_s(),
+        }
+    }
+
+    /// Whether the interleaving hides the bank latency: an access
+    /// starting every photonic cycle completes within
+    /// `interleave × cycle` — the §IV-C requirement.
+    pub fn keeps_up(&self) -> bool {
+        self.interleave as f64 * self.photonic_cycle_s >= self.array.access_latency_s()
+    }
+
+    /// Peak word bandwidth (words/s) of the interleaved subsystem:
+    /// one access per photonic cycle per interleaved port.
+    pub fn peak_words_per_s(&self) -> f64 {
+        1.0 / self.photonic_cycle_s
+    }
+
+    /// Sustained access rate needed by one RNS-MMVMU per photonic
+    /// cycle, in words: `g` input reads plus a read-accumulate-write on
+    /// `rows` outputs (Fig. 2 step 9).
+    pub fn words_needed_per_cycle(cfg: &MirageConfig) -> usize {
+        cfg.g + 2 * cfg.rows
+    }
+
+    /// Number of parallel sub-array groups required to sustain the
+    /// per-cycle demand (each interleave group supplies one word per
+    /// cycle).
+    pub fn required_ports(cfg: &MirageConfig) -> usize {
+        Self::words_needed_per_cycle(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry() {
+        let a = SramArray::paper_default();
+        assert_eq!(a.banks(), 256); // 8 MB / 32 kB
+        assert_eq!(a.words_per_bank(), 8192);
+        assert!((a.access_latency_s() - 1e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interleaving_matches_photonic_rate() {
+        // 10 sub-arrays x 0.1 ns = 1 ns >= the 1 ns bank latency: the
+        // paper's interleave factor is exactly the break-even point.
+        let s = SramSubsystem::from_config(&MirageConfig::default());
+        assert!(s.keeps_up());
+        // 9-way interleaving would fall behind.
+        let mut slow = s;
+        slow.interleave = 9;
+        assert!(!slow.keeps_up());
+    }
+
+    #[test]
+    fn per_cycle_demand() {
+        let cfg = MirageConfig::default();
+        // 16 input reads + 32 partial reads + 32 writes = 80 words.
+        assert_eq!(SramSubsystem::words_needed_per_cycle(&cfg), 80);
+        assert_eq!(SramSubsystem::required_ports(&cfg), 80);
+    }
+
+    #[test]
+    fn bandwidth_is_cycle_limited() {
+        let s = SramSubsystem::from_config(&MirageConfig::default());
+        assert!((s.peak_words_per_s() - 1e10).abs() / 1e10 < 1e-12);
+    }
+}

@@ -1,0 +1,142 @@
+//! Spatial-utilization analysis (paper Fig. 6).
+
+use crate::config::MirageConfig;
+use crate::dataflow::{Dataflow, TileGrid};
+use crate::workload::{TrainingGemm, Workload};
+
+/// MAC-slot utilization of one GEMM on Mirage: real MACs divided by the
+/// MAC slots provisioned while the GEMM runs (padding in ragged tiles
+/// and idle units in the last round both count as waste).
+pub fn gemm_utilization(cfg: &MirageConfig, grid: &TileGrid) -> f64 {
+    if grid.tiles == 0 || grid.streamed == 0 {
+        return 0.0;
+    }
+    let rounds = grid.tiles.div_ceil(cfg.num_units);
+    let provisioned =
+        (rounds * cfg.num_units * cfg.rows * cfg.g) as f64 * grid.streamed as f64;
+    let busy = grid.stationary_elems as f64 * grid.streamed as f64;
+    busy / provisioned
+}
+
+/// Average spatial utilization over a whole training step, weighted by
+/// each GEMM's provisioned time. Each GEMM uses its best (DF1/DF2)
+/// mapping, matching how Fig. 6 is swept at fixed `g = 16`.
+pub fn workload_utilization(cfg: &MirageConfig, workload: &Workload) -> f64 {
+    let mut busy = 0.0f64;
+    let mut provisioned = 0.0f64;
+    for layer in &workload.layers {
+        for kind in TrainingGemm::ALL {
+            let shape = layer.gemm(kind);
+            // Pick the dataflow with higher utilization (equivalently
+            // the lower provisioned-slot count).
+            let best = Dataflow::MIRAGE
+                .iter()
+                .map(|&df| TileGrid::for_gemm(shape, df, cfg.rows, cfg.g))
+                .min_by(|a, b| {
+                    let pa = a.tiles.div_ceil(cfg.num_units) as f64 * a.streamed as f64;
+                    let pb = b.tiles.div_ceil(cfg.num_units) as f64 * b.streamed as f64;
+                    pa.partial_cmp(&pb).expect("finite")
+                })
+                .expect("dataflow set non-empty");
+            let rounds = best.tiles.div_ceil(cfg.num_units);
+            provisioned +=
+                (rounds * cfg.num_units * cfg.rows * cfg.g) as f64 * best.streamed as f64;
+            busy += best.stationary_elems as f64 * best.streamed as f64;
+        }
+    }
+    if provisioned == 0.0 {
+        0.0
+    } else {
+        busy / provisioned
+    }
+}
+
+/// Sweeps utilization versus the number of MDPUs per MMVMU
+/// (Fig. 6(a)); all other parameters from `base`.
+pub fn sweep_rows(base: &MirageConfig, workload: &Workload, rows: &[usize]) -> Vec<(usize, f64)> {
+    rows.iter()
+        .map(|&r| {
+            let cfg = base.clone().with_geometry(base.num_units, r, base.g);
+            (r, workload_utilization(&cfg, workload))
+        })
+        .collect()
+}
+
+/// Sweeps utilization versus the number of RNS-MMVMUs (Fig. 6(b)).
+pub fn sweep_units(
+    base: &MirageConfig,
+    workload: &Workload,
+    units: &[usize],
+) -> Vec<(usize, f64)> {
+    units
+        .iter()
+        .map(|&u| {
+            let cfg = base.clone().with_geometry(u, base.rows, base.g);
+            (u, workload_utilization(&cfg, workload))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadLayer;
+
+    fn wl(layers: Vec<(usize, usize, usize)>) -> Workload {
+        Workload::new(
+            "t",
+            1,
+            layers
+                .into_iter()
+                .enumerate()
+                .map(|(i, (m, k, n))| WorkloadLayer::new(format!("l{i}"), m, k, n))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn perfect_fit_is_full_utilization() {
+        let cfg = MirageConfig::default();
+        let w = wl(vec![(256, 256, 256)]);
+        let u = workload_utilization(&cfg, &w);
+        assert!((u - 1.0).abs() < 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn small_layers_underutilize() {
+        let cfg = MirageConfig::default();
+        let w = wl(vec![(4, 4, 16)]);
+        let u = workload_utilization(&cfg, &w);
+        assert!(u < 0.05, "u = {u}");
+        assert!(u > 0.0);
+    }
+
+    #[test]
+    fn utilization_declines_with_more_rows() {
+        // Fig. 6(a): beyond some point, taller arrays stop helping.
+        let cfg = MirageConfig::default();
+        let w = wl(vec![(96, 363, 3025), (256, 2304, 729), (10, 1024, 256)]);
+        let sweep = sweep_rows(&cfg, &w, &[8, 16, 32, 64, 128, 256]);
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(last < first, "sweep = {sweep:?}");
+    }
+
+    #[test]
+    fn utilization_declines_with_more_units() {
+        let cfg = MirageConfig::default();
+        let w = wl(vec![(96, 363, 3025), (256, 2304, 729)]);
+        let sweep = sweep_units(&cfg, &w, &[2, 4, 8, 16, 32, 64, 128, 256]);
+        let first = sweep.first().unwrap().1;
+        let last = sweep.last().unwrap().1;
+        assert!(last < first, "sweep = {sweep:?}");
+        // Monotone non-increasing overall trend at the tail.
+        assert!(sweep[7].1 <= sweep[4].1 + 1e-9);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let cfg = MirageConfig::default();
+        assert_eq!(workload_utilization(&cfg, &wl(vec![])), 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! GEMM-level training workloads.
+//!
+//! Each DNN layer contributes three GEMMs per training step (paper
+//! §II-A): the forward product `O = W·X` (Eq. 1), the input-gradient
+//! product `∆X = Wᵀ·∆O` (Eq. 2) and the weight-gradient product
+//! `∆W = ∆O·Xᵀ` (Eq. 3).
+
+use std::fmt;
+
+/// A single GEMM `C(m×n) = A(m×k) · B(k×n)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemmShape {
+    /// Rows of `A` and `C`.
+    pub m: usize,
+    /// The reduction dimension.
+    pub k: usize,
+    /// Columns of `B` and `C`.
+    pub n: usize,
+}
+
+impl GemmShape {
+    /// Creates a shape.
+    pub fn new(m: usize, k: usize, n: usize) -> Self {
+        GemmShape { m, k, n }
+    }
+
+    /// Total MAC operations.
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.k as u64 * self.n as u64
+    }
+
+    /// The shape of the transposed product `Cᵀ = Bᵀ·Aᵀ`.
+    pub fn transposed(&self) -> GemmShape {
+        GemmShape {
+            m: self.n,
+            k: self.k,
+            n: self.m,
+        }
+    }
+}
+
+impl fmt::Display for GemmShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.m, self.k, self.n)
+    }
+}
+
+/// Which of the three training GEMMs a shape belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrainingGemm {
+    /// Forward pass `O = W·X`.
+    Forward,
+    /// Input gradient `∆X = Wᵀ·∆O`.
+    InputGrad,
+    /// Weight gradient `∆W = ∆O·Xᵀ`.
+    WeightGrad,
+}
+
+impl TrainingGemm {
+    /// All three kinds, in forward/input/weight order.
+    pub const ALL: [TrainingGemm; 3] = [
+        TrainingGemm::Forward,
+        TrainingGemm::InputGrad,
+        TrainingGemm::WeightGrad,
+    ];
+}
+
+impl fmt::Display for TrainingGemm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TrainingGemm::Forward => "fwd",
+            TrainingGemm::InputGrad => "dX",
+            TrainingGemm::WeightGrad => "dW",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One network layer, described by its forward GEMM.
+///
+/// Convolutions are lowered to GEMM via im2col: the forward GEMM is
+/// `(out_channels) × (in_channels·k²) × (batch·out_h·out_w)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadLayer {
+    /// Layer name (for per-layer reports like Fig. 7(a)).
+    pub name: String,
+    /// The forward GEMM `O(m×n) = W(m×k) · X(k×n)`.
+    pub forward: GemmShape,
+}
+
+impl WorkloadLayer {
+    /// Creates a layer from its forward GEMM dimensions.
+    pub fn new(name: impl Into<String>, m: usize, k: usize, n: usize) -> Self {
+        WorkloadLayer {
+            name: name.into(),
+            forward: GemmShape::new(m, k, n),
+        }
+    }
+
+    /// The GEMM shape of one training product.
+    ///
+    /// With forward `O(m×n) = W(m×k)·X(k×n)`:
+    /// - `∆X(k×n) = Wᵀ(k×m)·∆O(m×n)` — shape `(k, m, n)`;
+    /// - `∆W(m×k) = ∆O(m×n)·Xᵀ(n×k)` — shape `(m, n, k)`.
+    pub fn gemm(&self, kind: TrainingGemm) -> GemmShape {
+        let f = self.forward;
+        match kind {
+            TrainingGemm::Forward => f,
+            TrainingGemm::InputGrad => GemmShape::new(f.k, f.m, f.n),
+            TrainingGemm::WeightGrad => GemmShape::new(f.m, f.n, f.k),
+        }
+    }
+
+    /// MACs per training step (3 GEMMs).
+    pub fn training_macs(&self) -> u64 {
+        TrainingGemm::ALL.iter().map(|&k| self.gemm(k).macs()).sum()
+    }
+}
+
+/// A DNN workload: a named list of layers at a given batch size.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Model name.
+    pub name: String,
+    /// Training batch size folded into the layer shapes.
+    pub batch: usize,
+    /// Layers in execution order.
+    pub layers: Vec<WorkloadLayer>,
+}
+
+impl Workload {
+    /// Creates a workload.
+    pub fn new(name: impl Into<String>, batch: usize, layers: Vec<WorkloadLayer>) -> Self {
+        Workload {
+            name: name.into(),
+            batch,
+            layers,
+        }
+    }
+
+    /// Total MACs for one training step.
+    pub fn training_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.training_macs()).sum()
+    }
+
+    /// Total MACs for one inference (forward-only) pass.
+    pub fn inference_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.forward.macs()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_macs() {
+        assert_eq!(GemmShape::new(2, 3, 4).macs(), 24);
+        assert_eq!(GemmShape::new(0, 3, 4).macs(), 0);
+    }
+
+    #[test]
+    fn training_gemm_shapes() {
+        let layer = WorkloadLayer::new("conv1", 64, 147, 12544);
+        assert_eq!(layer.gemm(TrainingGemm::Forward), GemmShape::new(64, 147, 12544));
+        assert_eq!(layer.gemm(TrainingGemm::InputGrad), GemmShape::new(147, 64, 12544));
+        assert_eq!(layer.gemm(TrainingGemm::WeightGrad), GemmShape::new(64, 12544, 147));
+    }
+
+    #[test]
+    fn all_three_gemms_have_equal_mac_counts() {
+        // m·k·n is invariant under the role permutation.
+        let layer = WorkloadLayer::new("l", 10, 20, 30);
+        let macs: Vec<u64> = TrainingGemm::ALL.iter().map(|&k| layer.gemm(k).macs()).collect();
+        assert_eq!(macs, vec![6000, 6000, 6000]);
+        assert_eq!(layer.training_macs(), 18000);
+    }
+
+    #[test]
+    fn workload_totals() {
+        let w = Workload::new(
+            "tiny",
+            4,
+            vec![
+                WorkloadLayer::new("a", 2, 3, 4),
+                WorkloadLayer::new("b", 5, 6, 7),
+            ],
+        );
+        assert_eq!(w.inference_macs(), 24 + 210);
+        assert_eq!(w.training_macs(), 3 * (24 + 210));
+    }
+
+    #[test]
+    fn transpose() {
+        let s = GemmShape::new(2, 3, 4).transposed();
+        assert_eq!(s, GemmShape::new(4, 3, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GemmShape::new(1, 2, 3).to_string(), "1x2x3");
+        assert_eq!(TrainingGemm::Forward.to_string(), "fwd");
+        assert_eq!(TrainingGemm::InputGrad.to_string(), "dX");
+        assert_eq!(TrainingGemm::WeightGrad.to_string(), "dW");
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the performance model.
+
+use mirage_arch::dataflow::TileGrid;
+use mirage_arch::latency::{
+    mirage_gemm_latency_s, mirage_step_latency_s, systolic_gemm_latency_s, SystolicConfig,
+};
+use mirage_arch::utilization::gemm_utilization;
+use mirage_arch::{Dataflow, DataflowPolicy, GemmShape, MirageConfig, Workload, WorkloadLayer};
+use proptest::prelude::*;
+
+fn shape() -> impl Strategy<Value = GemmShape> {
+    (1usize..2000, 1usize..2000, 1usize..2000).prop_map(|(m, k, n)| GemmShape::new(m, k, n))
+}
+
+proptest! {
+    /// Latency is positive and monotone in every GEMM dimension.
+    #[test]
+    fn mirage_latency_monotone(s in shape()) {
+        let cfg = MirageConfig::default();
+        for df in Dataflow::MIRAGE {
+            let base = mirage_gemm_latency_s(&cfg, s, df);
+            prop_assert!(base > 0.0);
+            let bigger = GemmShape::new(s.m + 64, s.k + 32, s.n + 64);
+            prop_assert!(mirage_gemm_latency_s(&cfg, bigger, df) >= base);
+        }
+    }
+
+    /// More units never increase latency.
+    #[test]
+    fn more_units_never_slower(s in shape(), units in 1usize..32) {
+        let cfg1 = MirageConfig::default().with_geometry(units, 32, 16);
+        let cfg2 = MirageConfig::default().with_geometry(units * 2, 32, 16);
+        for df in Dataflow::MIRAGE {
+            let t1 = mirage_gemm_latency_s(&cfg1, s, df);
+            let t2 = mirage_gemm_latency_s(&cfg2, s, df);
+            prop_assert!(t2 <= t1 + 1e-18, "{t2} > {t1}");
+        }
+    }
+
+    /// Tile grids cover every stationary element exactly once:
+    /// grid capacity >= stationary elements > capacity of (grid - 1 tile).
+    #[test]
+    fn tile_grids_cover(s in shape()) {
+        for df in [Dataflow::Df1, Dataflow::Df2, Dataflow::Df3] {
+            let grid = TileGrid::for_gemm(s, df, 32, 16);
+            prop_assert!(grid.tiles * 32 * 16 >= grid.stationary_elems);
+            // Utilization in (0, 1].
+            let u = grid.stationary_utilization(32, 16);
+            prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Mirage utilization is in (0, 1] and never exceeds the tile-grid
+    /// stationary utilization.
+    #[test]
+    fn utilization_bounded(s in shape()) {
+        let cfg = MirageConfig::default();
+        let grid = TileGrid::for_gemm(s, Dataflow::Df1, cfg.rows, cfg.g);
+        let u = gemm_utilization(&cfg, &grid);
+        prop_assert!(u > 0.0 && u <= 1.0 + 1e-12);
+        prop_assert!(u <= grid.stationary_utilization(cfg.rows, cfg.g) + 1e-12);
+    }
+
+    /// OPT2 is never worse than any fixed dataflow or OPT1, for both
+    /// platforms.
+    #[test]
+    fn opt2_optimal(ls in prop::collection::vec((1usize..1500, 1usize..1500, 1usize..1500), 1..5)) {
+        let layers: Vec<WorkloadLayer> = ls
+            .iter()
+            .enumerate()
+            .map(|(i, &(m, k, n))| WorkloadLayer::new(format!("l{i}"), m, k, n))
+            .collect();
+        let w = Workload::new("p", 1, layers);
+        let cfg = MirageConfig::default();
+        let opt2 = mirage_step_latency_s(&cfg, &w, DataflowPolicy::Opt2);
+        for df in Dataflow::MIRAGE {
+            prop_assert!(opt2 <= mirage_step_latency_s(&cfg, &w, DataflowPolicy::Fixed(df)) * (1.0 + 1e-12));
+        }
+        prop_assert!(opt2 <= mirage_step_latency_s(&cfg, &w, DataflowPolicy::Opt1) * (1.0 + 1e-12));
+    }
+
+    /// Systolic latency scales inversely (within rounding) in array
+    /// count and is monotone in the streamed dimension.
+    #[test]
+    fn systolic_scaling(s in shape()) {
+        let one = SystolicConfig::single(1e9);
+        let four = SystolicConfig { arrays: 4, ..one };
+        for df in Dataflow::SYSTOLIC {
+            let t1 = systolic_gemm_latency_s(&one, s, df);
+            let t4 = systolic_gemm_latency_s(&four, s, df);
+            prop_assert!(t4 <= t1 + 1e-18);
+            prop_assert!(t4 >= t1 / 4.0 - 1e-18, "superlinear speedup?");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 1(b): energy per conversion for ADCs and DACs vs bit precision.
+
+use criterion::Criterion;
+use mirage_arch::converters::{adc_energy_per_conversion_j, dac_energy_per_conversion_j};
+use mirage_bench::print_table;
+use std::hint::black_box;
+
+fn main() {
+    let rows: Vec<Vec<String>> = (1..=14u32)
+        .map(|bits| {
+            vec![
+                bits.to_string(),
+                format!("{:.3e}", adc_energy_per_conversion_j(bits) * 1e15),
+                format!("{:.3e}", dac_energy_per_conversion_j(bits) * 1e15),
+                format!(
+                    "{:.1}",
+                    adc_energy_per_conversion_j(bits) / dac_energy_per_conversion_j(bits)
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 1(b) — converter energy per conversion (Murmann model)",
+        &["bits", "ADC (fJ)", "DAC (fJ)", "ADC/DAC"],
+        &rows,
+    );
+    println!("\nPaper shape: ADC energy ~4x per extra bit, two orders of");
+    println!("magnitude above DACs at matched precision; a 16-bit conversion");
+    println!(
+        "costs {:.2} nJ (paper: >= 1 nJ).",
+        adc_energy_per_conversion_j(16) * 1e9
+    );
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("fig1/converter_energy_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bits in 1..=16u32 {
+                acc += adc_energy_per_conversion_j(black_box(bits));
+                acc += dac_energy_per_conversion_j(black_box(bits));
+            }
+            acc
+        })
+    });
+    c.final_summary();
+}

@@ -1,0 +1,52 @@
+//! Fig. 6: spatial utilization vs (a) number of MDPUs per MMVMU and
+//! (b) number of RNS-MMVMUs, for all seven DNNs.
+
+use criterion::Criterion;
+use mirage_arch::utilization::workload_utilization;
+use mirage_arch::MirageConfig;
+use mirage_bench::experiments::fig6_sweeps;
+use mirage_bench::print_table;
+use mirage_models::zoo;
+use std::hint::black_box;
+
+fn main() {
+    let sweeps = fig6_sweeps(1); // per-image spatial utilization
+
+    let points: Vec<usize> = sweeps.vs_rows[0].1.iter().map(|p| p.0).collect();
+    let headers: Vec<String> = std::iter::once("model".to_string())
+        .chain(points.iter().map(|p| p.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    let fmt = |sweep: &[(String, Vec<(usize, f64)>)]| -> Vec<Vec<String>> {
+        sweep
+            .iter()
+            .map(|(name, pts)| {
+                std::iter::once(name.clone())
+                    .chain(pts.iter().map(|&(_, u)| format!("{:.1}", u * 100.0)))
+                    .collect()
+            })
+            .collect()
+    };
+
+    print_table(
+        "Fig. 6(a) — utilization (%) vs MDPUs per MMVMU (g = 16, 8 units)",
+        &header_refs,
+        &fmt(&sweeps.vs_rows),
+    );
+    print_table(
+        "Fig. 6(b) — utilization (%) vs RNS-MMVMUs (16x32 arrays)",
+        &header_refs,
+        &fmt(&sweeps.vs_units),
+    );
+    println!("\nPaper shape: utilization starts declining past ~32 MDPUs and");
+    println!("~8 RNS-MMVMUs for most models — the chosen design point.");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let cfg = MirageConfig::default();
+    let w = zoo::resnet18(256);
+    c.bench_function("fig6/utilization_resnet18", |b| {
+        b.iter(|| workload_utilization(black_box(&cfg), black_box(&w)))
+    });
+    c.final_summary();
+}

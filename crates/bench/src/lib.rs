@@ -1,0 +1,29 @@
+//! # mirage-bench
+//!
+//! Shared experiment logic for the benchmark harness. Every table and
+//! figure of the paper has a bench target (`crates/bench/benches/`)
+//! that prints the reproduced rows by calling into this crate and then
+//! times the underlying computation with Criterion.
+//!
+//! | Paper artifact | Bench target |
+//! |----------------|--------------|
+//! | Fig. 1(b) | `fig1_converter_energy` |
+//! | Fig. 5(a) | `fig5a_accuracy_sweep` |
+//! | Fig. 5(b) | `fig5b_energy_per_mac` |
+//! | Fig. 6(a,b) | `fig6_utilization` |
+//! | Fig. 7(a,b) | `fig7_dataflow_latency` |
+//! | Fig. 8 | `fig8_iso_comparison` |
+//! | Fig. 9 | `fig9_breakdown` |
+//! | Table I | `table1_accuracy` |
+//! | Table II | `table2_mac_units` |
+//! | Table III | `table3_inference` |
+//! | §VI-E study | `fige_variation` |
+//! | Design-choice ablations | `ablations` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use table::print_table;

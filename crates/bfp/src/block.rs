@@ -1,0 +1,349 @@
+//! A quantized BFP group (shared exponent + integer mantissae).
+
+use crate::config::{BfpConfig, RoundingMode};
+use crate::{BfpError, Result};
+
+/// One BFP group: a shared scale exponent and signed integer mantissae.
+///
+/// Each element's value is `mantissa * 2^scale_exp`, with
+/// `|mantissa| <= 2^bm - 1`. The scale exponent is chosen so the largest
+/// group element uses the full mantissa width (paper §III step 2: the
+/// shared exponent is the max exponent in the group; smaller elements are
+/// right-shifted into alignment, losing their LSBs).
+///
+/// ```
+/// use mirage_bfp::{BfpBlock, BfpConfig};
+///
+/// let cfg = BfpConfig::new(4, 4)?;
+/// let block = BfpBlock::quantize(&[1.0, 0.5, -0.25, 0.0], cfg);
+/// assert_eq!(block.mantissas(), &[8, 4, -2, 0]);
+/// assert_eq!(block.scale_exp(), -3); // values = mantissa * 2^-3
+/// # Ok::<(), mirage_bfp::BfpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfpBlock {
+    scale_exp: i32,
+    mantissas: Vec<i32>,
+    config: BfpConfig,
+}
+
+/// The exact result of a BFP dot product: an integer accumulation plus a
+/// scale exponent.
+///
+/// In Mirage the integer part is what travels through the RNS/photonic
+/// path; the exponent is handled digitally (paper Fig. 2, step 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BfpDotProduct {
+    /// The integer accumulation `Σ m_x[i] * m_w[i]`.
+    pub integer: i64,
+    /// Combined scale exponent; the real value is `integer * 2^scale_exp`.
+    pub scale_exp: i32,
+}
+
+impl BfpDotProduct {
+    /// The dot product as an `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.integer as f64 * (self.scale_exp as f64).exp2()
+    }
+
+    /// The dot product as an `f32` (the accelerator's output format).
+    pub fn to_f32(self) -> f32 {
+        self.to_f64() as f32
+    }
+}
+
+/// Unbiased exponent of a finite, non-zero f32 (subnormals get their
+/// effective exponent).
+fn exponent_of(v: f32) -> i32 {
+    debug_assert!(v.is_finite() && v != 0.0);
+    let bits = v.to_bits();
+    let raw = ((bits >> 23) & 0xff) as i32;
+    if raw == 0 {
+        // Subnormal: value = mantissa_field * 2^-149.
+        let mant = bits & 0x7f_ffff;
+        // Effective exponent of the leading bit.
+        -127 - (23 - (32 - mant.leading_zeros()) as i32) + 1 - 1
+    } else {
+        raw - 127
+    }
+}
+
+impl BfpBlock {
+    /// Quantizes a slice of finite `f32` values into a BFP group.
+    ///
+    /// Slices shorter than the configured group size are allowed (tail
+    /// groups of a tensor); longer slices are split by [`crate::BfpVector`].
+    ///
+    /// Non-finite inputs are mapped to the clamped extremes (`NaN` → 0),
+    /// mirroring saturating hardware. Use [`BfpBlock::try_quantize`] to
+    /// reject them instead.
+    pub fn quantize(values: &[f32], config: BfpConfig) -> Self {
+        let sanitized: Vec<f32> = values
+            .iter()
+            .map(|&v| {
+                if v.is_nan() {
+                    0.0
+                } else if v.is_infinite() {
+                    f32::MAX.copysign(v)
+                } else {
+                    v
+                }
+            })
+            .collect();
+        Self::quantize_finite(&sanitized, config)
+    }
+
+    /// Quantizes, returning an error on NaN or infinite inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfpError::NonFinite`] if any input is NaN or infinite.
+    pub fn try_quantize(values: &[f32], config: BfpConfig) -> Result<Self> {
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(BfpError::NonFinite);
+        }
+        Ok(Self::quantize_finite(values, config))
+    }
+
+    fn quantize_finite(values: &[f32], config: BfpConfig) -> Self {
+        let bm = config.mantissa_bits();
+        let max_exp = values
+            .iter()
+            .filter(|v| **v != 0.0)
+            .map(|&v| exponent_of(v))
+            .max();
+        let Some(e_shared) = max_exp else {
+            // All-zero group.
+            return BfpBlock {
+                scale_exp: 0,
+                mantissas: vec![0; values.len()],
+                config,
+            };
+        };
+        // value = m * 2^(e_shared - bm + 1); the largest element maps to
+        // magnitude in [2^(bm-1), 2^bm).
+        let scale_exp = e_shared - bm as i32 + 1;
+        let scale = (-(scale_exp as f64)).exp2();
+        let limit = config.max_mantissa() as f64;
+        let mantissas = values
+            .iter()
+            .map(|&v| {
+                let scaled = f64::from(v) * scale;
+                let q = match config.rounding() {
+                    RoundingMode::Truncate => scaled.trunc(),
+                    RoundingMode::RoundNearest => scaled.round(),
+                };
+                q.clamp(-limit, limit) as i32
+            })
+            .collect();
+        BfpBlock {
+            scale_exp,
+            mantissas,
+            config,
+        }
+    }
+
+    /// Builds a block directly from raw parts (for tests and engines).
+    pub fn from_parts(scale_exp: i32, mantissas: Vec<i32>, config: BfpConfig) -> Self {
+        BfpBlock {
+            scale_exp,
+            mantissas,
+            config,
+        }
+    }
+
+    /// The scale exponent: element value = `mantissa * 2^scale_exp`.
+    pub fn scale_exp(&self) -> i32 {
+        self.scale_exp
+    }
+
+    /// The integer mantissae.
+    pub fn mantissas(&self) -> &[i32] {
+        &self.mantissas
+    }
+
+    /// The configuration this block was quantized with.
+    pub fn config(&self) -> BfpConfig {
+        self.config
+    }
+
+    /// Number of elements in the group.
+    pub fn len(&self) -> usize {
+        self.mantissas.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mantissas.is_empty()
+    }
+
+    /// Reconstructs the quantized `f32` values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let scale = (self.scale_exp as f64).exp2();
+        self.mantissas
+            .iter()
+            .map(|&m| (f64::from(m) * scale) as f32)
+            .collect()
+    }
+
+    /// Exact BFP dot product with another block.
+    ///
+    /// The integer accumulation is exact in `i64` (the RNS path carries it
+    /// losslessly when Eq. 13 holds); the exponent is the sum of scales.
+    ///
+    /// # Errors
+    ///
+    /// - [`BfpError::LengthMismatch`] for differing lengths.
+    /// - [`BfpError::ConfigMismatch`] for differing `bm`.
+    pub fn dot(&self, other: &BfpBlock) -> Result<BfpDotProduct> {
+        if self.len() != other.len() {
+            return Err(BfpError::LengthMismatch {
+                left: self.len(),
+                right: other.len(),
+            });
+        }
+        if self.config.mantissa_bits() != other.config.mantissa_bits() {
+            return Err(BfpError::ConfigMismatch);
+        }
+        let integer: i64 = self
+            .mantissas
+            .iter()
+            .zip(&other.mantissas)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum();
+        Ok(BfpDotProduct {
+            integer,
+            scale_exp: self.scale_exp + other.scale_exp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(bm: u32, g: usize) -> BfpConfig {
+        BfpConfig::new(bm, g).unwrap()
+    }
+
+    #[test]
+    fn exponent_of_matches_log2() {
+        for v in [1.0f32, 1.5, 2.0, 3.9, 4.0, 0.5, 0.25, 1e-20, 1e20, -8.0] {
+            let e = exponent_of(v);
+            assert_eq!(e, v.abs().log2().floor() as i32, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn quantize_powers_of_two_is_exact() {
+        let block = BfpBlock::quantize(&[1.0, 0.5, -0.25, 0.0], cfg(4, 4));
+        assert_eq!(block.dequantize(), vec![1.0, 0.5, -0.25, 0.0]);
+    }
+
+    #[test]
+    fn shared_exponent_is_group_max() {
+        let block = BfpBlock::quantize(&[0.1, 8.0], cfg(4, 2));
+        // e_shared = 3, scale_exp = 3 - 4 + 1 = 0 -> mantissa of 8.0 is 8.
+        assert_eq!(block.scale_exp(), 0);
+        assert_eq!(block.mantissas()[1], 8);
+        // 0.1 truncates to 0 at this scale: small values die in BFP groups
+        // dominated by large ones — the quantization the paper studies.
+        assert_eq!(block.mantissas()[0], 0);
+    }
+
+    #[test]
+    fn all_zero_group() {
+        let block = BfpBlock::quantize(&[0.0, 0.0], cfg(4, 2));
+        assert_eq!(block.mantissas(), &[0, 0]);
+        assert_eq!(block.dequantize(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn mantissa_magnitude_bounded() {
+        let cfg4 = cfg(4, 8);
+        let vals = [1.9999999f32, -1.9999999, 1.0, 0.3, -0.7, 0.0, 1.5, -1.5];
+        let block = BfpBlock::quantize(&vals, cfg4);
+        for &m in block.mantissas() {
+            assert!(m.unsigned_abs() as i64 <= cfg4.max_mantissa());
+        }
+    }
+
+    #[test]
+    fn round_nearest_beats_truncate_on_average() {
+        let vals: Vec<f32> = (0..64).map(|i| (i as f32 * 0.37).sin()).collect();
+        let t = BfpBlock::quantize(&vals, cfg(4, 64));
+        let r = BfpBlock::quantize(&vals, cfg(4, 64).with_rounding(RoundingMode::RoundNearest));
+        let err = |b: &BfpBlock| -> f64 {
+            b.dequantize()
+                .iter()
+                .zip(&vals)
+                .map(|(q, v)| (f64::from(*q) - f64::from(*v)).powi(2))
+                .sum()
+        };
+        assert!(err(&r) <= err(&t));
+    }
+
+    #[test]
+    fn quantize_sanitizes_nan_inf() {
+        let block = BfpBlock::quantize(&[f32::NAN, f32::INFINITY, 1.0], cfg(4, 3));
+        assert_eq!(block.mantissas()[0], 0);
+        assert!(block.mantissas()[1] > 0);
+    }
+
+    #[test]
+    fn try_quantize_rejects_non_finite() {
+        assert_eq!(
+            BfpBlock::try_quantize(&[f32::NAN], cfg(4, 1)).unwrap_err(),
+            BfpError::NonFinite
+        );
+        assert!(BfpBlock::try_quantize(&[1.0], cfg(4, 1)).is_ok());
+    }
+
+    #[test]
+    fn dot_product_is_exact_integer_math() {
+        let c = cfg(4, 4);
+        let x = BfpBlock::quantize(&[1.0, 0.5, -0.25, 0.75], c);
+        let w = BfpBlock::quantize(&[0.5, 0.5, 0.5, -0.5], c);
+        let d = x.dot(&w).unwrap();
+        let expected: i64 = x
+            .mantissas()
+            .iter()
+            .zip(w.mantissas())
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum();
+        assert_eq!(d.integer, expected);
+        assert_eq!(d.scale_exp, x.scale_exp() + w.scale_exp());
+        // And it approximates the float dot product.
+        let float_dot: f64 = [1.0, 0.5, -0.25, 0.75]
+            .iter()
+            .zip(&[0.5, 0.5, 0.5, -0.5])
+            .map(|(a, b): (&f64, &f64)| a * b)
+            .sum();
+        assert!((d.to_f64() - float_dot).abs() < 0.1);
+    }
+
+    #[test]
+    fn dot_validates() {
+        let x = BfpBlock::quantize(&[1.0], cfg(4, 1));
+        let y = BfpBlock::quantize(&[1.0, 2.0], cfg(4, 2));
+        assert!(matches!(x.dot(&y), Err(BfpError::LengthMismatch { .. })));
+        let z = BfpBlock::quantize(&[1.0], cfg(5, 1));
+        assert_eq!(x.dot(&z).unwrap_err(), BfpError::ConfigMismatch);
+    }
+
+    #[test]
+    fn subnormal_inputs_do_not_panic() {
+        let tiny = f32::from_bits(1); // smallest subnormal
+        let block = BfpBlock::quantize(&[tiny, 1.0], cfg(4, 2));
+        assert_eq!(block.mantissas()[0], 0);
+    }
+
+    #[test]
+    fn dot_to_f32_matches_f64_narrowing() {
+        let d = BfpDotProduct {
+            integer: 100,
+            scale_exp: -6,
+        };
+        assert_eq!(d.to_f32(), 100.0 / 64.0);
+    }
+}

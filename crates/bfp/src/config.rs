@@ -1,0 +1,165 @@
+//! BFP configuration.
+
+use crate::{BfpError, Result};
+use std::fmt;
+
+/// How mantissae are reduced to `bm` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Truncate the LSBs toward zero — the paper's hardware behaviour
+    /// ("the LSBs of the mantissae are then truncated", §III step 2).
+    #[default]
+    Truncate,
+    /// Round to nearest (ties away from zero). Cheaper-than-stochastic
+    /// accuracy improvement; kept for ablation studies.
+    RoundNearest,
+}
+
+/// A BFP operating point: `bm` mantissa bits and group size `g`.
+///
+/// The paper's sensitivity analysis (Fig. 5) selects `bm = 4`, `g = 16`
+/// as the smallest configuration that trains to FP32-comparable accuracy
+/// at the lowest energy per MAC.
+///
+/// ```
+/// use mirage_bfp::BfpConfig;
+///
+/// let cfg = BfpConfig::mirage_default();
+/// assert_eq!((cfg.mantissa_bits(), cfg.group_size()), (4, 16));
+/// assert_eq!(cfg.dot_product_bits(), 13); // Eq. 13: 2*(4+1) + log2(16) - 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BfpConfig {
+    bm: u32,
+    g: usize,
+    rounding: RoundingMode,
+}
+
+impl BfpConfig {
+    /// Creates a configuration with the default [`RoundingMode::Truncate`].
+    ///
+    /// # Errors
+    ///
+    /// - [`BfpError::InvalidMantissaBits`] unless `1 <= bm <= 23` (an f32
+    ///   has 23 explicit mantissa bits).
+    /// - [`BfpError::InvalidGroupSize`] if `g == 0`.
+    pub fn new(bm: u32, g: usize) -> Result<Self> {
+        if !(1..=23).contains(&bm) {
+            return Err(BfpError::InvalidMantissaBits(bm));
+        }
+        if g == 0 {
+            return Err(BfpError::InvalidGroupSize(g));
+        }
+        Ok(BfpConfig {
+            bm,
+            g,
+            rounding: RoundingMode::default(),
+        })
+    }
+
+    /// The paper's chosen operating point: `bm = 4`, `g = 16`.
+    pub fn mirage_default() -> Self {
+        BfpConfig::new(4, 16).expect("static configuration is valid")
+    }
+
+    /// Returns a copy using the given rounding mode.
+    pub fn with_rounding(mut self, rounding: RoundingMode) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Mantissa bits `bm` (excluding sign).
+    pub fn mantissa_bits(self) -> u32 {
+        self.bm
+    }
+
+    /// Group size `g` — the dot-product length the hardware executes.
+    pub fn group_size(self) -> usize {
+        self.g
+    }
+
+    /// The rounding mode used during quantization.
+    pub fn rounding(self) -> RoundingMode {
+        self.rounding
+    }
+
+    /// Largest representable mantissa magnitude, `2^bm - 1`.
+    pub fn max_mantissa(self) -> i64 {
+        (1i64 << self.bm) - 1
+    }
+
+    /// Bits of information in a `g`-long dot product of two BFP groups:
+    /// `b_out = 2*(bm + 1) + log2(g) - 1` (paper Eq. 13, with
+    /// `b_in = b_w = bm + 1`).
+    pub fn dot_product_bits(self) -> u32 {
+        2 * (self.bm + 1) + (self.g as f64).log2().ceil() as u32 - 1
+    }
+
+    /// Worst-case dot-product magnitude: `g * (2^bm - 1)^2`.
+    ///
+    /// An RNS dynamic range `M` must satisfy `ψ >= this` for lossless
+    /// accumulation (the concrete form of Eq. 13).
+    pub fn max_dot_magnitude(self) -> u128 {
+        (self.g as u128) * (self.max_mantissa() as u128).pow(2)
+    }
+}
+
+impl Default for BfpConfig {
+    fn default() -> Self {
+        BfpConfig::mirage_default()
+    }
+}
+
+impl fmt::Display for BfpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BFP(bm={}, g={})", self.bm, self.g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates_parameters() {
+        assert!(BfpConfig::new(0, 16).is_err());
+        assert!(BfpConfig::new(24, 16).is_err());
+        assert!(BfpConfig::new(4, 0).is_err());
+        assert!(BfpConfig::new(23, 1).is_ok());
+    }
+
+    #[test]
+    fn mirage_default_is_paper_operating_point() {
+        let cfg = BfpConfig::mirage_default();
+        assert_eq!(cfg.mantissa_bits(), 4);
+        assert_eq!(cfg.group_size(), 16);
+        assert_eq!(cfg.rounding(), RoundingMode::Truncate);
+    }
+
+    #[test]
+    fn dot_product_bits_matches_eq13() {
+        // bm=4, g=16: 2*(4+1) + log2(16) - 1 = 13.
+        assert_eq!(BfpConfig::new(4, 16).unwrap().dot_product_bits(), 13);
+        assert_eq!(BfpConfig::new(4, 32).unwrap().dot_product_bits(), 14);
+        assert_eq!(BfpConfig::new(3, 16).unwrap().dot_product_bits(), 11);
+        assert_eq!(BfpConfig::new(5, 64).unwrap().dot_product_bits(), 17);
+    }
+
+    #[test]
+    fn max_dot_magnitude() {
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        assert_eq!(cfg.max_mantissa(), 15);
+        assert_eq!(cfg.max_dot_magnitude(), 16 * 225);
+    }
+
+    #[test]
+    fn rounding_builder() {
+        let cfg = BfpConfig::mirage_default().with_rounding(RoundingMode::RoundNearest);
+        assert_eq!(cfg.rounding(), RoundingMode::RoundNearest);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BfpConfig::mirage_default().to_string(), "BFP(bm=4, g=16)");
+    }
+}

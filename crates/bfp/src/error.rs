@@ -1,0 +1,60 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by BFP configuration and quantization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BfpError {
+    /// Mantissa bit-width outside the supported range.
+    InvalidMantissaBits(u32),
+    /// Group size must be at least 1.
+    InvalidGroupSize(usize),
+    /// A non-finite value (NaN or infinity) was quantized.
+    NonFinite,
+    /// Two blocks with different configurations were combined.
+    ConfigMismatch,
+    /// Vector length mismatch in a dot product.
+    LengthMismatch {
+        /// Left operand length.
+        left: usize,
+        /// Right operand length.
+        right: usize,
+    },
+}
+
+impl fmt::Display for BfpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BfpError::InvalidMantissaBits(b) => {
+                write!(f, "mantissa bits {b} outside supported range 1..=23")
+            }
+            BfpError::InvalidGroupSize(g) => write!(f, "group size {g} must be at least 1"),
+            BfpError::NonFinite => write!(f, "cannot quantize NaN or infinite values"),
+            BfpError::ConfigMismatch => write!(f, "blocks use different BFP configurations"),
+            BfpError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for BfpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_follow_conventions() {
+        for e in [
+            BfpError::InvalidMantissaBits(0),
+            BfpError::InvalidGroupSize(0),
+            BfpError::NonFinite,
+            BfpError::ConfigMismatch,
+            BfpError::LengthMismatch { left: 1, right: 2 },
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty() && !s.ends_with('.'));
+        }
+    }
+}

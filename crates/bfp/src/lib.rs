@@ -1,0 +1,44 @@
+//! # mirage-bfp
+//!
+//! Block Floating Point (BFP) arithmetic for the Mirage photonic DNN
+//! training accelerator (paper §II-B, §III step 2).
+//!
+//! BFP splits a tensor into groups of `g` elements; each group stores one
+//! shared exponent and `g` signed `bm`-bit mantissae. Within a group the
+//! arithmetic is pure integer arithmetic — exactly what an analog core can
+//! execute — while the shared exponent preserves dynamic range across
+//! groups. Mirage pairs BFP with the RNS so those integer dot products
+//! survive low-precision converters without loss.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mirage_bfp::{BfpConfig, BfpBlock};
+//!
+//! let cfg = BfpConfig::new(4, 16)?; // the paper's chosen operating point
+//! let xs = [0.51f32, -0.23, 0.08, 1.92];
+//! let block = BfpBlock::quantize(&xs, cfg);
+//! let back = block.dequantize();
+//! for (a, b) in xs.iter().zip(&back) {
+//!     assert!((a - b).abs() < 0.15); // bm = 4 keeps ~2 decimal digits
+//! }
+//! # Ok::<(), mirage_bfp::BfpError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod config;
+mod error;
+mod stats;
+mod vector;
+
+pub use block::{BfpBlock, BfpDotProduct};
+pub use config::{BfpConfig, RoundingMode};
+pub use error::BfpError;
+pub use stats::QuantizationStats;
+pub use vector::BfpVector;
+
+/// Result alias for fallible BFP operations.
+pub type Result<T> = std::result::Result<T, BfpError>;

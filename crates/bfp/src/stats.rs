@@ -1,0 +1,146 @@
+//! Quantization-error statistics.
+
+use crate::config::BfpConfig;
+use crate::vector::BfpVector;
+use std::fmt;
+
+/// Summary statistics of BFP quantization error over a data set.
+///
+/// Used by the sensitivity analysis (paper Fig. 5) to relate `(bm, g)`
+/// choices to signal degradation before running full training sweeps.
+///
+/// ```
+/// use mirage_bfp::{BfpConfig, QuantizationStats};
+///
+/// let xs: Vec<f32> = (0..256).map(|i| (i as f32 * 0.1).sin()).collect();
+/// let s = QuantizationStats::measure(&xs, BfpConfig::new(4, 16)?);
+/// assert!(s.snr_db() > 15.0);
+/// let s8 = QuantizationStats::measure(&xs, BfpConfig::new(8, 16)?);
+/// assert!(s8.snr_db() > s.snr_db()); // more mantissa bits, higher SNR
+/// # Ok::<(), mirage_bfp::BfpError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantizationStats {
+    mse: f64,
+    signal_power: f64,
+    max_abs_err: f64,
+    count: usize,
+}
+
+impl QuantizationStats {
+    /// Quantizes `values` with `config` and measures the error.
+    pub fn measure(values: &[f32], config: BfpConfig) -> Self {
+        let q = BfpVector::quantize(values, config).dequantize();
+        let mut mse = 0.0f64;
+        let mut signal = 0.0f64;
+        let mut max_abs = 0.0f64;
+        for (&v, &r) in values.iter().zip(&q) {
+            let e = f64::from(v) - f64::from(r);
+            mse += e * e;
+            signal += f64::from(v) * f64::from(v);
+            max_abs = max_abs.max(e.abs());
+        }
+        let n = values.len().max(1) as f64;
+        QuantizationStats {
+            mse: mse / n,
+            signal_power: signal / n,
+            max_abs_err: max_abs,
+            count: values.len(),
+        }
+    }
+
+    /// Mean squared quantization error.
+    pub fn mse(&self) -> f64 {
+        self.mse
+    }
+
+    /// Mean signal power of the original values.
+    pub fn signal_power(&self) -> f64 {
+        self.signal_power
+    }
+
+    /// Largest absolute element-wise error.
+    pub fn max_abs_err(&self) -> f64 {
+        self.max_abs_err
+    }
+
+    /// Number of samples measured.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Signal-to-quantization-noise ratio in dB
+    /// (infinite when the error is zero).
+    pub fn snr_db(&self) -> f64 {
+        if self.mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (self.signal_power / self.mse).log10()
+        }
+    }
+}
+
+impl fmt::Display for QuantizationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "snr = {:.1} dB, mse = {:.3e}, max|err| = {:.3e} over {} samples",
+            self.snr_db(),
+            self.mse,
+            self.max_abs_err,
+            self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Vec<f32> {
+        (0..512).map(|i| (i as f32 * 0.173).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn snr_increases_with_mantissa_bits() {
+        let d = data();
+        let mut prev = f64::NEG_INFINITY;
+        for bm in [2u32, 4, 6, 8, 12] {
+            let s = QuantizationStats::measure(&d, BfpConfig::new(bm, 16).unwrap());
+            assert!(s.snr_db() > prev, "bm = {bm}: {} <= {prev}", s.snr_db());
+            prev = s.snr_db();
+        }
+    }
+
+    #[test]
+    fn snr_decreases_with_group_size() {
+        // Larger groups share one exponent over more disparate values, so
+        // quantization gets worse — the Fig. 5(a) accuracy cliff mechanism.
+        let d: Vec<f32> = (0..512)
+            .map(|i| (i as f32 * 0.173).sin() * (1.0 + (i % 37) as f32))
+            .collect();
+        let small = QuantizationStats::measure(&d, BfpConfig::new(4, 4).unwrap());
+        let large = QuantizationStats::measure(&d, BfpConfig::new(4, 128).unwrap());
+        assert!(small.snr_db() > large.snr_db());
+    }
+
+    #[test]
+    fn zero_error_gives_infinite_snr() {
+        let s = QuantizationStats::measure(&[1.0, 0.5, 0.25], BfpConfig::new(8, 4).unwrap());
+        assert_eq!(s.mse(), 0.0);
+        assert!(s.snr_db().is_infinite());
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = QuantizationStats::measure(&[], BfpConfig::mirage_default());
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mse(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_snr() {
+        let s = QuantizationStats::measure(&data(), BfpConfig::mirage_default());
+        assert!(s.to_string().contains("snr"));
+    }
+}

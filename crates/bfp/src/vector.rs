@@ -1,0 +1,173 @@
+//! Group-wise quantization of longer vectors.
+
+use crate::block::{BfpBlock, BfpDotProduct};
+use crate::config::BfpConfig;
+use crate::{BfpError, Result};
+
+/// A vector quantized as consecutive BFP groups of size `g`.
+///
+/// This is the unit of work Mirage's tiling step produces (paper Fig. 2,
+/// step 1-2): each `g`-long chunk of a row becomes one group with its own
+/// shared exponent, and a long dot product is the sum of per-group exact
+/// dot products accumulated in FP32.
+///
+/// ```
+/// use mirage_bfp::{BfpConfig, BfpVector};
+///
+/// let cfg = BfpConfig::new(4, 16)?;
+/// let xs: Vec<f32> = (0..40).map(|i| (i as f32 * 0.1).cos()).collect();
+/// let v = BfpVector::quantize(&xs, cfg);
+/// assert_eq!(v.num_groups(), 3); // 16 + 16 + 8
+/// assert_eq!(v.len(), 40);
+/// # Ok::<(), mirage_bfp::BfpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BfpVector {
+    groups: Vec<BfpBlock>,
+    len: usize,
+    config: BfpConfig,
+}
+
+impl BfpVector {
+    /// Quantizes a slice into groups of the configured size.
+    pub fn quantize(values: &[f32], config: BfpConfig) -> Self {
+        let groups = values
+            .chunks(config.group_size())
+            .map(|chunk| BfpBlock::quantize(chunk, config))
+            .collect();
+        BfpVector {
+            groups,
+            len: values.len(),
+            config,
+        }
+    }
+
+    /// The quantized groups.
+    pub fn groups(&self) -> &[BfpBlock] {
+        &self.groups
+    }
+
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> BfpConfig {
+        self.config
+    }
+
+    /// Reconstructs the quantized values.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len);
+        for g in &self.groups {
+            out.extend(g.dequantize());
+        }
+        out
+    }
+
+    /// Full-length dot product: per-group exact integer dot products
+    /// accumulated in `f64` (the FP32-accumulator path of the paper,
+    /// Fig. 2 step 9, with extra headroom in simulation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BfpError::LengthMismatch`] if lengths differ, or
+    /// propagates group-level errors.
+    pub fn dot(&self, other: &BfpVector) -> Result<f64> {
+        if self.len != other.len {
+            return Err(BfpError::LengthMismatch {
+                left: self.len,
+                right: other.len,
+            });
+        }
+        let mut acc = 0.0f64;
+        for (a, b) in self.groups.iter().zip(&other.groups) {
+            let d: BfpDotProduct = a.dot(b)?;
+            acc += d.to_f64();
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_partitioning() {
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        let xs = vec![1.0f32; 33];
+        let v = BfpVector::quantize(&xs, cfg);
+        assert_eq!(v.num_groups(), 3);
+        assert_eq!(v.groups()[2].len(), 1);
+        assert_eq!(v.len(), 33);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        let v = BfpVector::quantize(&[], cfg);
+        assert!(v.is_empty());
+        assert_eq!(v.num_groups(), 0);
+        assert_eq!(v.dot(&v).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn per_group_exponents_preserve_dynamic_range() {
+        // Values spanning a huge range survive because each group gets its
+        // own exponent — the reason BFP beats plain fixed point (§II-B).
+        let cfg = BfpConfig::new(4, 4).unwrap();
+        let xs = [1e10f32, 1.5e10, 0.9e10, 1.1e10, 1e-10, 1.5e-10, 0.9e-10, 1.1e-10];
+        let v = BfpVector::quantize(&xs, cfg);
+        let back = v.dequantize();
+        for (a, b) in xs.iter().zip(&back) {
+            let rel = ((a - b) / a).abs();
+            assert!(rel < 0.2, "a = {a}, b = {b}");
+        }
+    }
+
+    #[test]
+    fn dot_approximates_float_dot() {
+        let cfg = BfpConfig::new(7, 16).unwrap();
+        let xs: Vec<f32> = (0..64).map(|i| (i as f32 * 0.21).sin()).collect();
+        let ws: Vec<f32> = (0..64).map(|i| (i as f32 * 0.13).cos()).collect();
+        let exact: f64 = xs
+            .iter()
+            .zip(&ws)
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum();
+        let vx = BfpVector::quantize(&xs, cfg);
+        let vw = BfpVector::quantize(&ws, cfg);
+        let approx = vx.dot(&vw).unwrap();
+        assert!((exact - approx).abs() < 0.05 * exact.abs().max(1.0));
+    }
+
+    #[test]
+    fn dot_length_mismatch() {
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        let a = BfpVector::quantize(&[1.0; 8], cfg);
+        let b = BfpVector::quantize(&[1.0; 9], cfg);
+        assert!(matches!(a.dot(&b), Err(BfpError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn round_trip_keeps_quantized_fixed_point() {
+        // Quantizing an already-quantized vector is idempotent.
+        let cfg = BfpConfig::new(4, 8).unwrap();
+        let xs: Vec<f32> = (0..24).map(|i| (i as f32 * 0.7).sin()).collect();
+        let once = BfpVector::quantize(&xs, cfg).dequantize();
+        let twice = BfpVector::quantize(&once, cfg).dequantize();
+        assert_eq!(once, twice);
+    }
+}

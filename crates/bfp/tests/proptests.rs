@@ -1,0 +1,110 @@
+//! Property-based tests for BFP invariants.
+
+use mirage_bfp::{BfpBlock, BfpConfig, BfpVector, RoundingMode};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Moderate range so squared errors stay finite in f64.
+    prop::num::f32::NORMAL.prop_map(|v| v.clamp(-1e12, 1e12))
+}
+
+proptest! {
+    /// Mantissa magnitudes never exceed 2^bm - 1.
+    #[test]
+    fn mantissa_bound(
+        vals in prop::collection::vec(finite_f32(), 1..64),
+        bm in 1u32..=12,
+    ) {
+        let cfg = BfpConfig::new(bm, vals.len()).unwrap();
+        for mode in [RoundingMode::Truncate, RoundingMode::RoundNearest] {
+            let block = BfpBlock::quantize(&vals, cfg.with_rounding(mode));
+            for &m in block.mantissas() {
+                prop_assert!(i64::from(m).abs() <= cfg.max_mantissa());
+            }
+        }
+    }
+
+    /// Relative error of the dominant element is bounded by 2^-bm
+    /// (truncation of a full-width mantissa).
+    #[test]
+    fn dominant_element_relative_error(
+        vals in prop::collection::vec(finite_f32(), 1..32),
+        bm in 3u32..=12,
+    ) {
+        let cfg = BfpConfig::new(bm, vals.len()).unwrap();
+        let block = BfpBlock::quantize(&vals, cfg);
+        let back = block.dequantize();
+        // Find the largest-magnitude element; it defines the shared
+        // exponent so its own error is one ulp of the bm-bit mantissa.
+        let (idx, &v) = vals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .unwrap();
+        let rel = ((f64::from(v) - f64::from(back[idx])) / f64::from(v)).abs();
+        prop_assert!(rel <= (-(bm as f64 - 1.0)).exp2() + 1e-9, "rel = {rel}");
+    }
+
+    /// Quantization is idempotent.
+    #[test]
+    fn idempotent(
+        vals in prop::collection::vec(finite_f32(), 1..48),
+        bm in 2u32..=10,
+        g in 1usize..=32,
+    ) {
+        let cfg = BfpConfig::new(bm, g).unwrap();
+        let once = BfpVector::quantize(&vals, cfg).dequantize();
+        let twice = BfpVector::quantize(&once, cfg).dequantize();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Block dot product equals the exact dot of the dequantized values.
+    #[test]
+    fn dot_exactness(
+        n in 1usize..=24,
+        seed in any::<u64>(),
+        bm in 2u32..=10,
+    ) {
+        let cfg = BfpConfig::new(bm, n).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        let xs: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ws: Vec<f32> = (0..n).map(|_| next()).collect();
+        let bx = BfpBlock::quantize(&xs, cfg);
+        let bw = BfpBlock::quantize(&ws, cfg);
+        let d = bx.dot(&bw).unwrap().to_f64();
+        let exact: f64 = bx
+            .dequantize()
+            .iter()
+            .zip(&bw.dequantize())
+            .map(|(a, b)| f64::from(*a) * f64::from(*b))
+            .sum();
+        prop_assert!((d - exact).abs() <= 1e-6 * exact.abs().max(1.0), "{d} vs {exact}");
+    }
+
+    /// Vector dot never loses more than the worst-case group bound.
+    #[test]
+    fn vector_dot_error_bounded(
+        n in 1usize..=128,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BfpConfig::new(8, 16).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        let xs: Vec<f32> = (0..n).map(|_| next()).collect();
+        let ws: Vec<f32> = (0..n).map(|_| next()).collect();
+        let exact: f64 = xs.iter().zip(&ws).map(|(a, b)| f64::from(*a) * f64::from(*b)).sum();
+        let d = BfpVector::quantize(&xs, cfg)
+            .dot(&BfpVector::quantize(&ws, cfg))
+            .unwrap();
+        // 8-bit mantissae: error per element ~2^-7; allow generous slack.
+        let bound = n as f64 * 2.0f64.powi(-6);
+        prop_assert!((d - exact).abs() <= bound, "err = {}", (d - exact).abs());
+    }
+}

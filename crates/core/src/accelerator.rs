@@ -1,0 +1,144 @@
+//! The Mirage accelerator object.
+
+use crate::photonic_gemm::PhotonicGemmEngine;
+use crate::report::PerformanceReport;
+use mirage_arch::breakdown::{area_breakdown, power_breakdown, AreaBreakdown, PowerBreakdown};
+use mirage_arch::energy::DigitalEnergy;
+use mirage_arch::{MirageConfig, Workload};
+use mirage_bfp::BfpConfig;
+use mirage_nn::Engines;
+use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
+use mirage_tensor::Result as TensorResult;
+
+/// The Mirage RNS-based photonic DNN training accelerator.
+///
+/// Owns a [`MirageConfig`] and exposes:
+/// - the *arithmetic* (GEMM engines implementing the Fig. 2 dataflow),
+/// - the *performance model* (latency / power / area, §V-B),
+/// - constructors for training [`Engines`] used by `mirage-nn`.
+#[derive(Debug, Clone)]
+pub struct Mirage {
+    config: MirageConfig,
+}
+
+impl Mirage {
+    /// Builds an accelerator from an explicit configuration.
+    pub fn new(config: MirageConfig) -> Self {
+        Mirage { config }
+    }
+
+    /// The paper's design point: 8 RNS-MMVMUs × 3 × (16×32), `k = 5`,
+    /// `bm = 4`, `g = 16`.
+    pub fn paper_default() -> Self {
+        Mirage::new(MirageConfig::default())
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MirageConfig {
+        &self.config
+    }
+
+    /// The BFP operating point implied by the configuration.
+    pub fn bfp_config(&self) -> BfpConfig {
+        BfpConfig::new(self.config.bm, self.config.g).expect("validated by construction")
+    }
+
+    /// The fast functional GEMM engine (BFP arithmetic; bit-identical
+    /// to the RNS path when Eq. 13 holds — enforced in tests).
+    pub fn gemm_engine(&self) -> BfpEngine {
+        BfpEngine::new(self.bfp_config())
+    }
+
+    /// The RNS-faithful GEMM engine (routes every group dot product
+    /// through residues and reverse conversion).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured moduli set violates Eq. 13
+    /// for the configured BFP point.
+    pub fn rns_gemm_engine(&self) -> TensorResult<RnsBfpEngine> {
+        RnsBfpEngine::new(self.bfp_config(), self.config.moduli.clone())
+    }
+
+    /// The device-level photonic GEMM engine (phase accumulation and
+    /// detection on the simulated MMVMUs).
+    pub fn photonic_gemm_engine(&self) -> PhotonicGemmEngine {
+        PhotonicGemmEngine::new(&self.config)
+    }
+
+    /// Training engines for `mirage-nn` (same Mirage arithmetic in
+    /// forward and backward passes, per §V-A).
+    pub fn training_engines(&self) -> Engines {
+        Engines::uniform(self.gemm_engine())
+    }
+
+    /// Full performance evaluation of one workload (runtime, power,
+    /// energy, EDP, utilization).
+    pub fn evaluate(&self, workload: &Workload) -> PerformanceReport {
+        PerformanceReport::evaluate(&self.config, workload)
+    }
+
+    /// Fig. 9 peak-power breakdown.
+    pub fn power_breakdown(&self) -> PowerBreakdown {
+        power_breakdown(&self.config, &DigitalEnergy::default())
+    }
+
+    /// Fig. 9 area breakdown.
+    pub fn area_breakdown(&self) -> AreaBreakdown {
+        area_breakdown(&self.config)
+    }
+}
+
+impl Default for Mirage {
+    fn default() -> Self {
+        Mirage::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_tensor::engines::ExactEngine;
+    use mirage_tensor::{GemmEngine, Tensor};
+    use rand::SeedableRng;
+
+    #[test]
+    fn engines_agree_bit_exactly() {
+        // BFP fast path == RNS path == photonic device path.
+        let mirage = Mirage::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+        let a = Tensor::randn(&[6, 40], 1.0, &mut rng);
+        let b = Tensor::randn(&[40, 5], 1.0, &mut rng);
+        let fast = mirage.gemm_engine().gemm(&a, &b).unwrap();
+        let rns = mirage.rns_gemm_engine().unwrap().gemm(&a, &b).unwrap();
+        let photonic = mirage.photonic_gemm_engine().gemm(&a, &b).unwrap();
+        assert_eq!(fast.data(), rns.data());
+        assert_eq!(fast.data(), photonic.data());
+    }
+
+    #[test]
+    fn gemm_approximates_fp32() {
+        let mirage = Mirage::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let a = Tensor::randn(&[8, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 8], 1.0, &mut rng);
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let got = mirage.gemm_engine().gemm(&a, &b).unwrap();
+        let err = got.sub(&exact).unwrap().max_abs();
+        assert!(err < 0.25 * exact.max_abs());
+    }
+
+    #[test]
+    fn breakdowns_accessible() {
+        let mirage = Mirage::paper_default();
+        assert!(mirage.power_breakdown().total_w() > 1.0);
+        assert!(mirage.area_breakdown().total_mm2() > 100.0);
+    }
+
+    #[test]
+    fn bfp_config_reflects_paper_defaults() {
+        let m = Mirage::paper_default();
+        assert_eq!(m.bfp_config().mantissa_bits(), 4);
+        assert_eq!(m.bfp_config().group_size(), 16);
+    }
+}

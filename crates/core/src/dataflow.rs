@@ -1,0 +1,213 @@
+//! The Fig. 2 dataflow, step by step.
+//!
+//! [`TiledMvm`] executes one tiled-MVM exactly as the paper's Fig. 2
+//! draws it — ① tiling, ② FP→BFP, ③ forward conversion, ④ weight
+//! programming, ⑤ analog modular MVM, ⑥ ADC read-out, ⑦ reverse
+//! conversion, ⑧ exponent recombination, ⑨ partial-output accumulation
+//! — and records a [`StepTrace`] so users can inspect what each stage
+//! produced. The numeric result is bit-identical to
+//! [`crate::PhotonicGemmEngine`]; this type trades speed for
+//! observability.
+
+use mirage_arch::MirageConfig;
+use mirage_bfp::{BfpBlock, BfpConfig};
+use mirage_photonics::RnsMmvmu;
+use mirage_tensor::{Result, Tensor, TensorError};
+
+/// Counters describing one full tiled-MVM execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepTrace {
+    /// ① Number of (row-tile × k-group) stationary tiles formed.
+    pub tiles: usize,
+    /// ② FP→BFP group quantizations performed.
+    pub bfp_conversions: usize,
+    /// ③ Values forward-converted to residues.
+    pub forward_conversions: usize,
+    /// ④ Phase-shifter programming events (one per tile per modulus).
+    pub weight_programmings: usize,
+    /// ⑤ Analog modular MVMs executed (per modulus channel).
+    pub modular_mvms: usize,
+    /// ⑥/⑦ Output residues read and reverse-converted.
+    pub reverse_conversions: usize,
+    /// ⑨ FP32 read-accumulate-write operations on partial outputs.
+    pub accumulations: usize,
+}
+
+/// An observable executor for one MVM `y = W·x` on the Mirage
+/// dataflow.
+///
+/// ```
+/// use mirage_core::dataflow::TiledMvm;
+/// use mirage_arch::MirageConfig;
+/// use mirage_tensor::Tensor;
+///
+/// let mvm = TiledMvm::new(&MirageConfig::default());
+/// let w = Tensor::ones(&[40, 20]);
+/// let x = Tensor::ones(&[20]);
+/// let (y, trace) = mvm.execute(&w, &x)?;
+/// assert_eq!(y.len(), 40);
+/// assert!((y.data()[0] - 20.0).abs() < 0.5);
+/// // 40 rows over 32-row tiles x ceil(20/16) k-groups = 2 x 2 tiles.
+/// assert_eq!(trace.tiles, 4);
+/// # Ok::<(), mirage_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TiledMvm {
+    bfp: BfpConfig,
+    unit: RnsMmvmu,
+    rows: usize,
+    g: usize,
+    n_moduli: usize,
+}
+
+impl TiledMvm {
+    /// Builds the executor for a configuration.
+    pub fn new(cfg: &MirageConfig) -> Self {
+        TiledMvm {
+            bfp: BfpConfig::new(cfg.bm, cfg.g).expect("validated by MirageConfig"),
+            unit: RnsMmvmu::new(&cfg.moduli, cfg.rows, cfg.g, &cfg.photonics),
+            rows: cfg.rows,
+            g: cfg.g,
+            n_moduli: cfg.moduli.len(),
+        }
+    }
+
+    /// Executes `y = W(m×k) · x(k)` through all Fig. 2 steps, returning
+    /// the output vector and the step trace.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for non-matrix `w` / mismatched `x`.
+    pub fn execute(&self, w: &Tensor, x: &Tensor) -> Result<(Tensor, StepTrace)> {
+        if w.rank() != 2 || x.rank() != 1 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: w.rank(),
+            });
+        }
+        let (m, k) = (w.shape()[0], w.shape()[1]);
+        if x.len() != k {
+            return Err(TensorError::DimMismatch {
+                left: k,
+                right: x.len(),
+            });
+        }
+        let mut trace = StepTrace::default();
+
+        // ① + ② Tile W by (rows x g) and quantize; group x along k.
+        let x_groups: Vec<BfpBlock> = x
+            .data()
+            .chunks(self.g)
+            .map(|c| BfpBlock::quantize(c, self.bfp))
+            .collect();
+        trace.bfp_conversions += x_groups.len();
+
+        let mut y = Tensor::zeros(&[m]);
+        for row0 in (0..m).step_by(self.rows) {
+            let rows_here = (row0 + self.rows).min(m) - row0;
+            for (gi, xg) in x_groups.iter().enumerate() {
+                let k0 = gi * self.g;
+                let k1 = (k0 + self.g).min(k);
+                trace.tiles += 1;
+
+                // ② Quantize this tile's weight rows.
+                let w_blocks: Vec<BfpBlock> = (0..rows_here)
+                    .map(|r| BfpBlock::quantize(&w.row(row0 + r)[k0..k1], self.bfp))
+                    .collect();
+                trace.bfp_conversions += w_blocks.len();
+
+                // ③ Forward conversion of the tile + input group.
+                trace.forward_conversions += (k1 - k0) * (rows_here + 1);
+                // ④ One programming event per modulus channel.
+                trace.weight_programmings += self.n_moduli;
+
+                let weight_tile: Vec<Vec<i64>> = w_blocks
+                    .iter()
+                    .map(|b| b.mantissas().iter().map(|&v| i64::from(v)).collect())
+                    .collect();
+                let xv: Vec<i64> = xg.mantissas().iter().map(|&v| i64::from(v)).collect();
+
+                // ⑤-⑦ Analog modular MVM, detection, reverse conversion.
+                let outs = self
+                    .unit
+                    .mvm_signed_ideal(&xv, &weight_tile)
+                    .map_err(|e| TensorError::InvalidGeometry(e.to_string()))?;
+                trace.modular_mvms += self.n_moduli;
+                trace.reverse_conversions += rows_here;
+
+                // ⑧ + ⑨ Exponent recombination and accumulation.
+                for (r, &integer) in outs.iter().enumerate() {
+                    let scale_exp = w_blocks[r].scale_exp() + xg.scale_exp();
+                    y.data_mut()[row0 + r] +=
+                        (integer as f64 * (scale_exp as f64).exp2()) as f32;
+                    trace.accumulations += 1;
+                }
+            }
+        }
+        Ok((y, trace))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_tensor::engines::{BfpEngine, GemmEngine};
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_bfp_engine() {
+        let cfg = MirageConfig::default();
+        let mvm = TiledMvm::new(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let w = Tensor::randn(&[50, 40], 1.0, &mut rng);
+        let x = Tensor::randn(&[40], 1.0, &mut rng);
+        let (y, _) = mvm.execute(&w, &x).unwrap();
+        let xm = x.reshape(&[40, 1]).unwrap();
+        let want = BfpEngine::new(BfpConfig::mirage_default()).gemm(&w, &xm).unwrap();
+        assert_eq!(y.data(), want.data());
+    }
+
+    #[test]
+    fn trace_counters_are_exact() {
+        let cfg = MirageConfig::default();
+        let mvm = TiledMvm::new(&cfg);
+        let w = Tensor::ones(&[64, 32]); // 2 row-tiles x 2 k-groups
+        let x = Tensor::ones(&[32]);
+        let (_, t) = mvm.execute(&w, &x).unwrap();
+        assert_eq!(t.tiles, 4);
+        // x: 2 groups; weights: 4 tiles x 32 rows.
+        assert_eq!(t.bfp_conversions, 2 + 4 * 32);
+        // 3 moduli per tile programming and per analog MVM.
+        assert_eq!(t.weight_programmings, 12);
+        assert_eq!(t.modular_mvms, 12);
+        // Each tile reverse-converts its 32 outputs and accumulates.
+        assert_eq!(t.reverse_conversions, 128);
+        assert_eq!(t.accumulations, 128);
+        // Forward conversions: per tile, 16 values x (32 rows + 1 input).
+        assert_eq!(t.forward_conversions, 4 * 16 * 33);
+    }
+
+    #[test]
+    fn ragged_shapes() {
+        let cfg = MirageConfig::default();
+        let mvm = TiledMvm::new(&cfg);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let w = Tensor::randn(&[33, 17], 1.0, &mut rng); // both dims ragged
+        let x = Tensor::randn(&[17], 1.0, &mut rng);
+        let (y, t) = mvm.execute(&w, &x).unwrap();
+        assert_eq!(y.len(), 33);
+        assert_eq!(t.tiles, 2 * 2);
+        let xm = x.reshape(&[17, 1]).unwrap();
+        let want = BfpEngine::new(BfpConfig::mirage_default()).gemm(&w, &xm).unwrap();
+        assert_eq!(y.data(), want.data());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mvm = TiledMvm::new(&MirageConfig::default());
+        assert!(mvm.execute(&Tensor::zeros(&[4]), &Tensor::zeros(&[4])).is_err());
+        assert!(mvm
+            .execute(&Tensor::zeros(&[4, 4]), &Tensor::zeros(&[5]))
+            .is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! # mirage-core
+//!
+//! The Mirage accelerator: an RNS-based photonic DNN training
+//! accelerator (Demirkiran et al., ISCA 2024). This crate binds the
+//! substrates together into the paper's system:
+//!
+//! - [`Mirage`] — the accelerator object: configuration, training
+//!   engines implementing the Fig. 2 dataflow, performance / power /
+//!   area reports.
+//! - [`PhotonicGemmEngine`] — a GEMM engine that executes every tile on
+//!   the *device-level* photonic simulator (phase accumulation, phase
+//!   detection, reverse conversion), bit-identical to the fast BFP
+//!   engine when noise is off.
+//! - [`report`] — evaluation summaries used by the benchmark harness.
+//!
+//! ```
+//! use mirage_core::Mirage;
+//! use mirage_tensor::{Tensor, engines::ExactEngine, GemmEngine};
+//!
+//! let mirage = Mirage::paper_default();
+//! let a = Tensor::from_vec(vec![0.5, -1.0, 0.25, 0.75], &[2, 2])?;
+//! let b = Tensor::from_vec(vec![1.0, 0.5, -0.5, 0.25], &[2, 2])?;
+//! // Train-time GEMM through the Mirage arithmetic (BFP + RNS):
+//! let c = mirage.gemm_engine().gemm(&a, &b)?;
+//! assert!(c.allclose(&ExactEngine.gemm(&a, &b)?, 0.1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+pub mod dataflow;
+mod photonic_gemm;
+pub mod report;
+
+pub use accelerator::Mirage;
+pub use dataflow::{StepTrace, TiledMvm};
+pub use photonic_gemm::PhotonicGemmEngine;

@@ -1,0 +1,97 @@
+//! Evaluation summaries used by the benchmark harness.
+
+use mirage_arch::breakdown::{area_breakdown, power_breakdown};
+use mirage_arch::energy::{mac_energy_pj, DigitalEnergy};
+use mirage_arch::latency::mirage_step_latency_s;
+use mirage_arch::utilization::workload_utilization;
+use mirage_arch::{DataflowPolicy, MirageConfig, Workload};
+use std::fmt;
+
+/// A one-workload performance summary for Mirage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceReport {
+    /// Workload name.
+    pub workload: String,
+    /// Training-step latency (seconds) under OPT2 scheduling.
+    pub step_latency_s: f64,
+    /// Total MACs per training step.
+    pub step_macs: u64,
+    /// Effective throughput in TMAC/s.
+    pub effective_tmacs: f64,
+    /// Spatial utilization.
+    pub utilization: f64,
+    /// MAC-path energy per step (J).
+    pub mac_energy_j: f64,
+    /// Peak power (W, full accelerator including SRAM).
+    pub peak_power_w: f64,
+    /// 3D-stacked footprint (mm²).
+    pub footprint_mm2: f64,
+}
+
+impl PerformanceReport {
+    /// Evaluates a workload on a configuration.
+    pub fn evaluate(cfg: &MirageConfig, workload: &Workload) -> Self {
+        let step_latency_s = mirage_step_latency_s(cfg, workload, DataflowPolicy::Opt2);
+        let step_macs = workload.training_macs();
+        let pj = mac_energy_pj(cfg, &DigitalEnergy::default());
+        PerformanceReport {
+            workload: workload.name.clone(),
+            step_latency_s,
+            step_macs,
+            effective_tmacs: step_macs as f64 / step_latency_s / 1e12,
+            utilization: workload_utilization(cfg, workload),
+            mac_energy_j: step_macs as f64 * pj * 1e-12,
+            peak_power_w: power_breakdown(cfg, &DigitalEnergy::default()).total_w(),
+            footprint_mm2: area_breakdown(cfg).footprint_mm2(),
+        }
+    }
+}
+
+impl fmt::Display for PerformanceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: step = {:.3} ms, {:.2} TMAC/s effective, util = {:.1}%, {:.2} J/step",
+            self.workload,
+            self.step_latency_s * 1e3,
+            self.effective_tmacs,
+            self.utilization * 100.0,
+            self.mac_energy_j
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_arch::WorkloadLayer;
+
+    fn workload() -> Workload {
+        Workload::new(
+            "test-cnn",
+            256,
+            vec![
+                WorkloadLayer::new("c1", 64, 147, 256 * 3136),
+                WorkloadLayer::new("c2", 128, 576, 256 * 784),
+                WorkloadLayer::new("fc", 10, 2048, 256),
+            ],
+        )
+    }
+
+    #[test]
+    fn report_fields_consistent() {
+        let r = PerformanceReport::evaluate(&MirageConfig::default(), &workload());
+        assert!(r.step_latency_s > 0.0);
+        assert_eq!(r.step_macs, workload().training_macs());
+        let tmacs = r.step_macs as f64 / r.step_latency_s / 1e12;
+        assert!((r.effective_tmacs - tmacs).abs() < 1e-9);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0);
+        assert!(r.effective_tmacs <= 41.0, "cannot beat peak throughput");
+    }
+
+    #[test]
+    fn display_mentions_workload() {
+        let r = PerformanceReport::evaluate(&MirageConfig::default(), &workload());
+        assert!(r.to_string().contains("test-cnn"));
+    }
+}

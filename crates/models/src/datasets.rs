@@ -1,0 +1,282 @@
+//! Synthetic datasets for the accuracy experiments.
+//!
+//! The paper trains on ImageNet / VOC2012 / IWSLT14 — multi-week GPU
+//! jobs on datasets we do not ship. The accuracy claims, however, are
+//! properties of the *arithmetic* (BFP quantization inside every
+//! training GEMM). These generators produce controlled classification
+//! problems of tunable difficulty that exercise the same quantized
+//! forward/backward path; DESIGN.md documents the substitution.
+
+use mirage_nn::train::Batch;
+use mirage_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Two-dimensional Gaussian blobs, one per class, arranged on a circle.
+pub fn gaussian_blobs(
+    classes: usize,
+    samples_per_class: usize,
+    noise: f32,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points: Vec<(Vec<f32>, usize)> = Vec::new();
+    for c in 0..classes {
+        let angle = c as f32 / classes as f32 * std::f32::consts::TAU;
+        let (cx, cy) = (angle.cos() * 2.0, angle.sin() * 2.0);
+        for _ in 0..samples_per_class {
+            let n = Tensor::randn(&[2], noise, &mut rng);
+            points.push((vec![cx + n.data()[0], cy + n.data()[1]], c));
+        }
+    }
+    shuffle_and_batch(points, 2, batch_size, &mut rng)
+}
+
+/// Interleaved spirals — a classic non-linearly-separable 2-D task.
+pub fn spirals(
+    classes: usize,
+    samples_per_class: usize,
+    noise: f32,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points: Vec<(Vec<f32>, usize)> = Vec::new();
+    for c in 0..classes {
+        for i in 0..samples_per_class {
+            let t = i as f32 / samples_per_class as f32;
+            let r = 0.2 + t * 2.0;
+            let theta =
+                t * 3.0 * std::f32::consts::PI + c as f32 / classes as f32 * std::f32::consts::TAU;
+            let n = Tensor::randn(&[2], noise, &mut rng);
+            points.push((
+                vec![r * theta.cos() + n.data()[0], r * theta.sin() + n.data()[1]],
+                c,
+            ));
+        }
+    }
+    shuffle_and_batch(points, 2, batch_size, &mut rng)
+}
+
+/// Synthetic image classification: each class has a characteristic
+/// spatial frequency/orientation pattern on a `size × size` single
+/// channel, plus Gaussian pixel noise. Stands in for small-image CNN
+/// training.
+pub fn synthetic_images(
+    classes: usize,
+    samples_per_class: usize,
+    size: usize,
+    noise: f32,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<Batch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = size * size;
+    let mut points: Vec<(Vec<f32>, usize)> = Vec::new();
+    for c in 0..classes {
+        // Class-specific orientation and frequency.
+        let angle = c as f32 / classes as f32 * std::f32::consts::PI;
+        let freq = 1.0 + (c % 3) as f32;
+        for _ in 0..samples_per_class {
+            let phase: f32 = rng.random::<f32>() * std::f32::consts::TAU;
+            let mut img = Vec::with_capacity(dim);
+            for y in 0..size {
+                for x in 0..size {
+                    let u = x as f32 / size as f32 - 0.5;
+                    let v = y as f32 / size as f32 - 0.5;
+                    let proj = u * angle.cos() + v * angle.sin();
+                    let signal = (proj * freq * std::f32::consts::TAU * 2.0 + phase).sin();
+                    img.push(signal);
+                }
+            }
+            let n = Tensor::randn(&[dim], noise, &mut rng);
+            for (p, nv) in img.iter_mut().zip(n.data()) {
+                *p += nv;
+            }
+            points.push((img, c));
+        }
+    }
+    // Batches carry images as [batch, 1, size, size].
+    let mut batches = shuffle_and_batch(points, dim, batch_size, &mut rng);
+    for b in &mut batches {
+        let n = b.labels.len();
+        b.inputs = b
+            .inputs
+            .reshape(&[n, 1, size, size])
+            .expect("dimensions agree");
+    }
+    batches
+}
+
+fn shuffle_and_batch(
+    mut points: Vec<(Vec<f32>, usize)>,
+    dim: usize,
+    batch_size: usize,
+    rng: &mut StdRng,
+) -> Vec<Batch> {
+    // Fisher-Yates.
+    for i in (1..points.len()).rev() {
+        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+        points.swap(i, j);
+    }
+    points
+        .chunks(batch_size)
+        .map(|chunk| {
+            let mut data = Vec::with_capacity(chunk.len() * dim);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (x, y) in chunk {
+                data.extend_from_slice(x);
+                labels.push(*y);
+            }
+            Batch {
+                inputs: Tensor::from_vec(data, &[chunk.len(), dim]).expect("sized correctly"),
+                labels,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shapes_and_labels() {
+        let batches = gaussian_blobs(4, 32, 0.1, 16, 1);
+        assert_eq!(batches.len(), 8);
+        for b in &batches {
+            assert_eq!(b.inputs.shape(), &[16, 2]);
+            assert!(b.labels.iter().all(|&l| l < 4));
+        }
+    }
+
+    #[test]
+    fn blobs_are_deterministic_per_seed() {
+        let a = gaussian_blobs(2, 8, 0.1, 4, 7);
+        let b = gaussian_blobs(2, 8, 0.1, 4, 7);
+        assert_eq!(a[0].inputs, b[0].inputs);
+        let c = gaussian_blobs(2, 8, 0.1, 4, 8);
+        assert_ne!(a[0].inputs, c[0].inputs);
+    }
+
+    #[test]
+    fn spirals_cover_all_classes() {
+        let batches = spirals(3, 50, 0.05, 25, 2);
+        let mut seen = [false; 3];
+        for b in &batches {
+            for &l in &b.labels {
+                seen[l] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn images_are_rank4() {
+        let batches = synthetic_images(4, 8, 8, 0.2, 8, 3);
+        assert_eq!(batches[0].inputs.shape(), &[8, 1, 8, 8]);
+        // Signal should be bounded-ish.
+        assert!(batches[0].inputs.max_abs() < 5.0);
+    }
+
+    #[test]
+    fn tail_batch_is_smaller() {
+        let batches = gaussian_blobs(2, 5, 0.1, 4, 4); // 10 points, batch 4
+        assert_eq!(batches.last().unwrap().labels.len(), 2);
+    }
+}
+
+/// Synthetic sequence classification: each class is a distinct
+/// temporal motif (sinusoid frequency/phase pattern across `seq` steps
+/// of `dim` features) plus noise. Inputs are `[batch*seq, dim]` row
+/// blocks — the layout `mirage_nn::attention::SelfAttention` consumes.
+/// Stands in for the paper's IWSLT14 translation task.
+pub fn synthetic_sequences(
+    classes: usize,
+    samples_per_class: usize,
+    seq: usize,
+    dim: usize,
+    noise: f32,
+    batch_size: usize,
+    seed: u64,
+) -> Vec<SeqBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut items: Vec<(Vec<f32>, usize)> = Vec::new();
+    for c in 0..classes {
+        let freq = 1.0 + c as f32;
+        for _ in 0..samples_per_class {
+            let phase: f32 = rng.random::<f32>() * std::f32::consts::TAU;
+            let mut x = Vec::with_capacity(seq * dim);
+            for s in 0..seq {
+                for d in 0..dim {
+                    let t = s as f32 / seq as f32;
+                    let carrier =
+                        (t * freq * std::f32::consts::TAU + phase + d as f32 * 0.3).sin();
+                    x.push(carrier);
+                }
+            }
+            let n = Tensor::randn(&[seq * dim], noise, &mut rng);
+            for (v, nv) in x.iter_mut().zip(n.data()) {
+                *v += nv;
+            }
+            items.push((x, c));
+        }
+    }
+    // Shuffle.
+    for i in (1..items.len()).rev() {
+        let j = (rng.random::<u64>() % (i as u64 + 1)) as usize;
+        items.swap(i, j);
+    }
+    items
+        .chunks(batch_size)
+        .map(|chunk| {
+            let mut data = Vec::with_capacity(chunk.len() * seq * dim);
+            let mut labels = Vec::with_capacity(chunk.len());
+            for (x, y) in chunk {
+                data.extend_from_slice(x);
+                labels.push(*y);
+            }
+            SeqBatch {
+                inputs: Tensor::from_vec(data, &[chunk.len() * seq, dim])
+                    .expect("sized correctly"),
+                labels,
+                seq,
+            }
+        })
+        .collect()
+}
+
+/// A sequence mini-batch: inputs are `[batch*seq, dim]` with rows
+/// grouped per sample.
+#[derive(Debug, Clone)]
+pub struct SeqBatch {
+    /// Input rows, `seq` consecutive rows per sample.
+    pub inputs: Tensor,
+    /// One label per sample.
+    pub labels: Vec<usize>,
+    /// Sequence length.
+    pub seq: usize,
+}
+
+#[cfg(test)]
+mod seq_tests {
+    use super::*;
+
+    #[test]
+    fn sequence_batches_shaped_correctly() {
+        let batches = synthetic_sequences(3, 8, 6, 4, 0.1, 4, 9);
+        assert_eq!(batches.len(), 6);
+        let b = &batches[0];
+        assert_eq!(b.inputs.shape(), &[4 * 6, 4]);
+        assert_eq!(b.labels.len(), 4);
+        assert_eq!(b.seq, 6);
+    }
+
+    #[test]
+    fn sequences_deterministic() {
+        let a = synthetic_sequences(2, 4, 4, 4, 0.1, 2, 3);
+        let b = synthetic_sequences(2, 4, 4, 4, 0.1, 2, 3);
+        assert_eq!(a[0].inputs, b[0].inputs);
+    }
+}

@@ -1,0 +1,19 @@
+//! # mirage-models
+//!
+//! Workloads for the Mirage evaluation:
+//!
+//! - [`zoo`] — GEMM-level layer tables for the seven DNNs of the paper
+//!   (AlexNet, ResNet-18/50, VGG16, MobileNet-v2, YOLO-v2, a 12-layer
+//!   Transformer), used by the performance model (Figs. 6–8, Table III).
+//! - [`datasets`] — synthetic labelled datasets standing in for
+//!   ImageNet/VOC/IWSLT in the accuracy experiments (see DESIGN.md for
+//!   the substitution rationale).
+//! - [`small`] — small trainable networks exercising the same
+//!   BFP-quantized GEMM path as the paper's accuracy model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod small;
+pub mod zoo;

@@ -1,0 +1,133 @@
+//! Small trainable networks for the accuracy experiments.
+
+use mirage_nn::layers::{Conv2d, Dense, Flatten, MaxPool2d, Relu};
+use mirage_nn::Sequential;
+use mirage_tensor::conv::Conv2dGeometry;
+use rand::RngExt;
+
+/// A 2-hidden-layer MLP for 2-D toy tasks (blobs, spirals).
+pub fn small_mlp(in_dim: usize, hidden: usize, classes: usize, rng: &mut impl RngExt) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Dense::new(in_dim, hidden, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(hidden, hidden, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(hidden, classes, rng));
+    net
+}
+
+/// A small CNN for `size × size` single-channel synthetic images:
+/// conv3x3(8) → relu → pool2 → conv3x3(16) → relu → pool2 → fc.
+///
+/// # Panics
+///
+/// Panics if `size` is not divisible by 4 (two 2× poolings).
+pub fn small_cnn(size: usize, classes: usize, rng: &mut impl RngExt) -> Sequential {
+    assert_eq!(size % 4, 0, "size must be divisible by 4");
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(
+        Conv2dGeometry {
+            in_channels: 1,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+        rng,
+    ));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Conv2d::new(
+        Conv2dGeometry {
+            in_channels: 8,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+        rng,
+    ));
+    net.push(Relu::new());
+    net.push(MaxPool2d::new(2, 2));
+    net.push(Flatten::new());
+    let feat = 16 * (size / 4) * (size / 4);
+    net.push(Dense::new(feat, classes, rng));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_nn::Engines;
+    use mirage_tensor::engines::ExactEngine;
+    use mirage_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = small_mlp(2, 16, 3, &mut rng);
+        let e = Engines::uniform(ExactEngine);
+        let y = net.forward(&Tensor::ones(&[5, 2]), &e).unwrap();
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn cnn_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut net = small_cnn(8, 4, &mut rng);
+        let e = Engines::uniform(ExactEngine);
+        let y = net.forward(&Tensor::ones(&[3, 1, 8, 8]), &e).unwrap();
+        assert_eq!(y.shape(), &[3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible by 4")]
+    fn cnn_rejects_bad_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        small_cnn(9, 4, &mut rng);
+    }
+}
+
+/// A tiny attention classifier for `[batch*seq, dim]` sequence inputs:
+/// dense embed → self-attention → layer norm → mean-pool → classifier.
+/// The Transformer-proxy for the Table I accuracy experiment.
+pub fn tiny_attention_classifier(
+    seq: usize,
+    in_dim: usize,
+    model_dim: usize,
+    heads: usize,
+    classes: usize,
+    rng: &mut impl RngExt,
+) -> Sequential {
+    use mirage_nn::attention::{SelfAttention, SeqMeanPool};
+    use mirage_nn::norm::LayerNorm;
+    let mut net = Sequential::new();
+    net.push(Dense::new(in_dim, model_dim, rng));
+    net.push(Relu::new());
+    net.push(SelfAttention::new(seq, model_dim, heads, rng));
+    net.push(LayerNorm::new(model_dim));
+    net.push(SeqMeanPool::new(seq));
+    net.push(Dense::new(model_dim, classes, rng));
+    net
+}
+
+#[cfg(test)]
+mod attention_tests {
+    use super::*;
+    use mirage_nn::Engines;
+    use mirage_tensor::engines::ExactEngine;
+    use mirage_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn attention_classifier_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut net = tiny_attention_classifier(6, 4, 8, 2, 3, &mut rng);
+        let e = Engines::uniform(ExactEngine);
+        let y = net.forward(&Tensor::ones(&[2 * 6, 4]), &e).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        // Backward runs through the whole stack.
+        net.backward(&Tensor::ones(&[2, 3]), &e).unwrap();
+    }
+}

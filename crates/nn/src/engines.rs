@@ -1,0 +1,85 @@
+//! Engine selection for forward and backward GEMMs.
+
+use mirage_tensor::GemmEngine;
+use std::sync::Arc;
+
+/// The GEMM engines used by a training run.
+///
+/// DNN training performs three GEMM kinds per layer (paper §II-A): the
+/// forward product (Eq. 1), the input-gradient product (Eq. 2) and the
+/// weight-gradient product (Eq. 3). Formats like HFP8 use different
+/// encodings for forward and backward; Mirage uses the same BFP config
+/// everywhere. `Engines` lets callers choose per-direction engines.
+#[derive(Clone)]
+pub struct Engines {
+    forward: Arc<dyn GemmEngine>,
+    backward: Arc<dyn GemmEngine>,
+}
+
+impl Engines {
+    /// Uses the same engine for forward and backward GEMMs.
+    pub fn uniform(engine: impl GemmEngine + 'static) -> Self {
+        let e: Arc<dyn GemmEngine> = Arc::new(engine);
+        Engines {
+            forward: e.clone(),
+            backward: e,
+        }
+    }
+
+    /// Uses distinct forward/backward engines (e.g. HFP8's 1-4-3 forward
+    /// and 1-5-2 backward formats).
+    pub fn split(
+        forward: impl GemmEngine + 'static,
+        backward: impl GemmEngine + 'static,
+    ) -> Self {
+        Engines {
+            forward: Arc::new(forward),
+            backward: Arc::new(backward),
+        }
+    }
+
+    /// The forward-pass engine.
+    pub fn forward(&self) -> &dyn GemmEngine {
+        self.forward.as_ref()
+    }
+
+    /// The backward-pass engine.
+    pub fn backward(&self) -> &dyn GemmEngine {
+        self.backward.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Engines {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engines")
+            .field("forward", &self.forward.name())
+            .field("backward", &self.backward.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_tensor::engines::{Bf16Engine, ExactEngine};
+
+    #[test]
+    fn uniform_shares_engine() {
+        let e = Engines::uniform(ExactEngine);
+        assert_eq!(e.forward().name(), "fp32");
+        assert_eq!(e.backward().name(), "fp32");
+    }
+
+    #[test]
+    fn split_engines() {
+        let e = Engines::split(ExactEngine, Bf16Engine);
+        assert_eq!(e.forward().name(), "fp32");
+        assert_eq!(e.backward().name(), "bfloat16");
+    }
+
+    #[test]
+    fn debug_shows_names() {
+        let e = Engines::uniform(ExactEngine);
+        assert!(format!("{e:?}").contains("fp32"));
+    }
+}

@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced during network construction and training.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Propagated tensor/engine error.
+    Tensor(mirage_tensor::TensorError),
+    /// `backward` was called before `forward` (no cached activations).
+    BackwardBeforeForward,
+    /// Label index outside the class count.
+    InvalidLabel {
+        /// The offending label.
+        label: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Batch size mismatch between inputs and labels.
+    BatchMismatch {
+        /// Input batch size.
+        inputs: usize,
+        /// Label count.
+        labels: usize,
+    },
+    /// The loss became NaN or infinite — training diverged.
+    Diverged,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor error: {e}"),
+            NnError::BackwardBeforeForward => {
+                write!(f, "backward called before forward")
+            }
+            NnError::InvalidLabel { label, classes } => {
+                write!(f, "label {label} outside class range 0..{classes}")
+            }
+            NnError::BatchMismatch { inputs, labels } => {
+                write!(f, "batch size mismatch: {inputs} inputs vs {labels} labels")
+            }
+            NnError::Diverged => write!(f, "loss is not finite; training diverged"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mirage_tensor::TensorError> for NnError {
+    fn from(e: mirage_tensor::TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NnError::from(mirage_tensor::TensorError::DimMismatch { left: 1, right: 2 });
+        assert!(e.source().is_some());
+        assert!(NnError::Diverged.source().is_none());
+        assert!(NnError::Diverged.to_string().contains("diverged"));
+    }
+}

@@ -1,0 +1,579 @@
+//! Network layers.
+//!
+//! Every GEMM-bearing layer ([`Dense`], [`Conv2d`]) routes its products
+//! through the configured [`Engines`], in both directions — the paper's
+//! accuracy-model contract (§V-A).
+
+use crate::engines::Engines;
+use crate::network::Param;
+use crate::{NnError, Result};
+use mirage_tensor::conv::{
+    conv2d_backward, conv2d_forward, maxpool2d_backward, maxpool2d_forward, Conv2dGeometry,
+};
+use mirage_tensor::Tensor;
+
+/// A differentiable layer.
+///
+/// Layers cache whatever they need during [`Layer::forward`] and consume
+/// it in [`Layer::backward`]; parameter gradients accumulate into
+/// [`Param::grad`].
+pub trait Layer: Send {
+    /// Short name for debugging.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/engine errors.
+    fn forward(&mut self, x: &Tensor, engines: &Engines) -> Result<Tensor>;
+
+    /// Backward pass: upstream gradient in, input gradient out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tensor/engine errors;
+    /// [`NnError::BackwardBeforeForward`] without a prior forward.
+    fn backward(&mut self, d_out: &Tensor, engines: &Engines) -> Result<Tensor>;
+
+    /// Visits trainable parameters (default: none).
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+/// Fully connected layer: `y = x · Wᵀ + b`.
+#[derive(Debug)]
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// He-initialized dense layer mapping `in_dim -> out_dim`.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl rand::RngExt) -> Self {
+        let std = (2.0 / in_dim as f32).sqrt();
+        Dense {
+            weight: Param::new(Tensor::randn(&[out_dim, in_dim], std, rng)),
+            bias: Param::new(Tensor::zeros(&[out_dim])),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a dense layer from explicit weights (for tests).
+    pub fn from_weights(weight: Tensor, bias: Tensor) -> Self {
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// The weight matrix `[out_dim, in_dim]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, x: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let wt = self.weight.value.transpose2d()?;
+        let mut y = engines.forward().gemm(x, &wt)?;
+        let out_dim = self.bias.value.len();
+        let rows = y.len() / out_dim.max(1);
+        for r in 0..rows {
+            for c in 0..out_dim {
+                y.data_mut()[r * out_dim + c] += self.bias.value.data()[c];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        // ∆W = ∆Yᵀ · X (Eq. 3), ∆X = ∆Y · W (Eq. 2).
+        let dw = engines.backward().gemm(&d_out.transpose2d()?, x)?;
+        let dx = engines.backward().gemm(d_out, &self.weight.value)?;
+        self.weight.grad = self.weight.grad.add(&dw)?;
+        // Bias gradient: column sums of ∆Y.
+        let out_dim = self.bias.value.len();
+        let rows = d_out.len() / out_dim.max(1);
+        for r in 0..rows {
+            for c in 0..out_dim {
+                self.bias.grad.data_mut()[c] += d_out.data()[r * out_dim + c];
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+/// 2-D convolution layer (square kernel, no bias — batch-norm-free nets
+/// fold any bias into the following dense layer in our small models).
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param,
+    geometry: Conv2dGeometry,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// He-initialized convolution.
+    pub fn new(geometry: Conv2dGeometry, rng: &mut impl rand::RngExt) -> Self {
+        let fan_in = geometry.patch_len();
+        let std = (2.0 / fan_in as f32).sqrt();
+        let weight = Tensor::randn(
+            &[
+                geometry.out_channels,
+                geometry.in_channels,
+                geometry.kernel,
+                geometry.kernel,
+            ],
+            std,
+            rng,
+        );
+        Conv2d {
+            weight: Param::new(weight),
+            geometry,
+            cached_input: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> Conv2dGeometry {
+        self.geometry
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let y = conv2d_forward(x, &self.weight.value, &self.geometry, engines.forward())?;
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        let (dx, dw) = conv2d_backward(
+            x,
+            &self.weight.value,
+            d_out,
+            &self.geometry,
+            engines.backward(),
+        )?;
+        self.weight.grad = self.weight.grad.add(&dw)?;
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+    }
+}
+
+/// Rectified linear unit (element-wise, computed digitally in FP32 —
+/// nonlinearities never enter the photonic core, Fig. 2 step 10).
+#[derive(Debug, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        Ok(x.map(|v| v.max(0.0)))
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let mask = self.mask.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let data = d_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Ok(Tensor::from_vec(data, d_out.shape())?)
+    }
+}
+
+/// 2-D max pooling.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    kernel: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, input shape)
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with the given window and stride.
+    pub fn new(kernel: usize, stride: usize) -> Self {
+        MaxPool2d {
+            kernel,
+            stride,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let (y, arg) = maxpool2d_forward(x, self.kernel, self.stride)?;
+        self.cache = Some((arg, x.shape().to_vec()));
+        Ok(y)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let (arg, shape) = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        Ok(maxpool2d_backward(d_out, arg, shape)?)
+    }
+}
+
+/// Flattens `[b, ...]` into `[b, prod(...)]`.
+#[derive(Debug, Default)]
+pub struct Flatten {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        self.cached_shape = Some(x.shape().to_vec());
+        let b = x.shape()[0];
+        let rest: usize = x.shape()[1..].iter().product();
+        Ok(x.reshape(&[b, rest])?)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        Ok(d_out.reshape(shape)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_tensor::engines::ExactEngine;
+    use rand::SeedableRng;
+
+    fn engines() -> Engines {
+        Engines::uniform(ExactEngine)
+    }
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let w = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.5, -0.5], &[2]).unwrap();
+        let mut layer = Dense::from_weights(w, b);
+        let x = Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]).unwrap();
+        let y = layer.forward(&x, &engines()).unwrap();
+        assert_eq!(y.data(), &[6.5, 14.5]);
+    }
+
+    #[test]
+    fn dense_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let e = engines();
+        let y = layer.forward(&x, &e).unwrap();
+        let d_out = Tensor::ones(y.shape());
+        let dx = layer.backward(&d_out, &e).unwrap();
+
+        let eps = 1e-3;
+        // Finite difference on one input coordinate.
+        let loss = |layer: &mut Dense, x: &Tensor| layer.forward(x, &e).unwrap().sum();
+        let mut xp = x.clone();
+        *xp.at_mut(&[1, 2]) += eps;
+        let num = (loss(&mut layer, &xp) - loss(&mut layer, &x)) / eps;
+        assert!((num - dx.at(&[1, 2])).abs() < 1e-2);
+    }
+
+    #[test]
+    fn dense_weight_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let e = engines();
+        let y = layer.forward(&x, &e).unwrap();
+        layer.backward(&Tensor::ones(y.shape()), &e).unwrap();
+        let mut grads = Vec::new();
+        layer.visit_params(&mut |p| grads.push(p.grad.clone()));
+        let dw = &grads[0];
+        let db = &grads[1];
+
+        let eps = 1e-3;
+        let base = y.sum();
+        // Perturb W[0][1].
+        let mut pert = Dense::from_weights(layer.weight.value.clone(), layer.bias.value.clone());
+        *pert.weight.value.at_mut(&[0, 1]) += eps;
+        let num = (pert.forward(&x, &e).unwrap().sum() - base) / eps;
+        assert!((num - dw.at(&[0, 1])).abs() < 1e-2);
+        // Bias gradient is just the batch size here.
+        assert_eq!(db.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0, 3.0], &[2, 2]).unwrap();
+        let y = relu.forward(&x, &engines()).unwrap();
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0, 3.0]);
+        let d = relu
+            .backward(&Tensor::ones(&[2, 2]), &engines())
+            .unwrap();
+        assert_eq!(d.data(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut relu = Relu::new();
+        assert_eq!(
+            relu.backward(&Tensor::ones(&[1]), &engines()).unwrap_err(),
+            NnError::BackwardBeforeForward
+        );
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut fl = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4, 5]);
+        let y = fl.forward(&x, &engines()).unwrap();
+        assert_eq!(y.shape(), &[2, 60]);
+        let d = fl.backward(&y, &engines()).unwrap();
+        assert_eq!(d.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn conv_layer_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        let geo = Conv2dGeometry {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut conv = Conv2d::new(geo, &mut rng);
+        let x = Tensor::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let e = engines();
+        let y = conv.forward(&x, &e).unwrap();
+        let dx = conv.backward(&Tensor::ones(y.shape()), &e).unwrap();
+        assert_eq!(dx.shape(), x.shape());
+
+        let eps = 1e-2;
+        let loss = |c: &mut Conv2d, x: &Tensor| c.forward(x, &e).unwrap().sum();
+        let mut xp = x.clone();
+        *xp.at_mut(&[0, 0, 2, 2]) += eps;
+        let num = (loss(&mut conv, &xp) - loss(&mut conv, &x)) / eps;
+        assert!((num - dx.at(&[0, 0, 2, 2])).abs() < 0.05);
+    }
+
+    #[test]
+    fn maxpool_layer_shapes() {
+        let mut mp = MaxPool2d::new(2, 2);
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let y = mp.forward(&x, &engines()).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        let d = mp.backward(&Tensor::ones(y.shape()), &engines()).unwrap();
+        assert_eq!(d.shape(), x.shape());
+        assert_eq!(d.sum(), 8.0); // one gradient unit per pooled cell
+    }
+}
+
+/// Global average pooling layer: `[b, c, h, w] -> [b, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool2d {
+    cached_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool2d {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        GlobalAvgPool2d::default()
+    }
+}
+
+impl Layer for GlobalAvgPool2d {
+    fn name(&self) -> &'static str {
+        "global-avgpool2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        self.cached_shape = Some(x.shape().to_vec());
+        Ok(mirage_tensor::conv::global_avgpool2d(x)?)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let shape = self
+            .cached_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
+        Ok(mirage_tensor::conv::global_avgpool2d_backward(d_out, shape)?)
+    }
+}
+
+/// Inverted dropout: active during training, identity at inference.
+/// The AlexNet/VGG regularizer; runs digitally like every non-GEMM op.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    training: bool,
+    seed_state: u64,
+    mask: Option<Vec<f32>>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer dropping with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1)");
+        Dropout {
+            p,
+            training: true,
+            seed_state: seed | 1,
+            mask: None,
+        }
+    }
+
+    /// Switches training/inference behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn next_uniform(&mut self) -> f32 {
+        // SplitMix64-style counter RNG: deterministic and Send.
+        self.seed_state = self
+            .seed_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.seed_state >> 40) as f32) / ((1u64 << 24) as f32)
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        if !self.training || self.p == 0.0 {
+            self.mask = None;
+            return Ok(x.clone());
+        }
+        let keep = 1.0 - self.p;
+        let mask: Vec<f32> = (0..x.len())
+            .map(|_| if self.next_uniform() < self.p { 0.0 } else { 1.0 / keep })
+            .collect();
+        let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        self.mask = Some(mask);
+        Ok(Tensor::from_vec(data, x.shape())?)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        match &self.mask {
+            None => Ok(d_out.clone()),
+            Some(mask) => {
+                let data = d_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                Ok(Tensor::from_vec(data, d_out.shape())?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod extra_layer_tests {
+    use super::*;
+    use mirage_tensor::engines::ExactEngine;
+
+    fn engines() -> Engines {
+        Engines::uniform(ExactEngine)
+    }
+
+    #[test]
+    fn global_avgpool_layer_round_trip() {
+        let mut l = GlobalAvgPool2d::new();
+        let x = Tensor::ones(&[2, 3, 4, 4]);
+        let y = l.forward(&x, &engines()).unwrap();
+        assert_eq!(y.shape(), &[2, 3]);
+        assert_eq!(y.data(), &[1.0; 6]);
+        let dx = l.backward(&Tensor::ones(&[2, 3]), &engines()).unwrap();
+        assert_eq!(dx.shape(), &[2, 3, 4, 4]);
+        assert!((dx.sum() - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_and_masks_gradient() {
+        let mut d = Dropout::new(0.5, 42);
+        let x = Tensor::ones(&[1, 10_000]);
+        let y = d.forward(&x, &engines()).unwrap();
+        // Inverted dropout: E[y] = x.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean = {}", y.mean());
+        // Backward uses the same mask.
+        let g = d.backward(&Tensor::ones(&[1, 10_000]), &engines()).unwrap();
+        for (a, b) in y.data().iter().zip(g.data()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let mut d = Dropout::new(0.9, 1);
+        d.set_training(false);
+        let x = Tensor::ones(&[4, 4]);
+        assert_eq!(d.forward(&x, &engines()).unwrap(), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0, 1)")]
+    fn dropout_rejects_bad_p() {
+        Dropout::new(1.0, 0);
+    }
+}

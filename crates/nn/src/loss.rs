@@ -1,0 +1,158 @@
+//! Loss functions (computed digitally in FP32, like Mirage's
+//! nonlinearities).
+
+use crate::{NnError, Result};
+use mirage_tensor::Tensor;
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer
+/// labels; returns `(mean_loss, d_logits)`.
+///
+/// # Errors
+///
+/// - [`NnError::BatchMismatch`] when `labels.len() != batch`.
+/// - [`NnError::InvalidLabel`] for out-of-range labels.
+/// - [`NnError::Diverged`] when the loss is not finite.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> Result<(f32, Tensor)> {
+    let batch = logits.shape()[0];
+    let classes = logits.shape()[1];
+    if labels.len() != batch {
+        return Err(NnError::BatchMismatch {
+            inputs: batch,
+            labels: labels.len(),
+        });
+    }
+    let mut d = Tensor::zeros(&[batch, classes]);
+    let mut loss = 0.0f32;
+    for (r, &label) in labels.iter().enumerate() {
+        if label >= classes {
+            return Err(NnError::InvalidLabel { label, classes });
+        }
+        let row = logits.row(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        loss -= ((exps[label] / sum).max(1e-30)).ln();
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            *d.at_mut(&[r, c]) = (p - if c == label { 1.0 } else { 0.0 }) / batch as f32;
+        }
+    }
+    let mean = loss / batch as f32;
+    if !mean.is_finite() {
+        return Err(NnError::Diverged);
+    }
+    Ok((mean, d))
+}
+
+/// Mean-squared-error loss; returns `(mean_loss, d_pred)`.
+///
+/// # Errors
+///
+/// Propagates shape mismatches; [`NnError::Diverged`] on non-finite loss.
+pub fn mse(pred: &Tensor, target: &Tensor) -> Result<(f32, Tensor)> {
+    let diff = pred.sub(target)?;
+    let n = diff.len().max(1) as f32;
+    let loss = diff.data().iter().map(|&v| v * v).sum::<f32>() / n;
+    if !loss.is_finite() {
+        return Err(NnError::Diverged);
+    }
+    Ok((loss, diff.scale(2.0 / n)))
+}
+
+/// Classification accuracy of logits against labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let batch = logits.shape()[0];
+    assert_eq!(labels.len(), batch, "label count must match batch");
+    if batch == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (r, &label) in labels.iter().enumerate() {
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / batch as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let (loss, d) = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(loss < 1e-6);
+        assert!(d.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[2]).unwrap();
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let logits = Tensor::from_vec(vec![0.3, -0.7, 1.1], &[1, 3]).unwrap();
+        let (base, d) = softmax_cross_entropy(&logits, &[1]).unwrap();
+        let eps = 1e-3;
+        for c in 0..3 {
+            let mut lp = logits.clone();
+            *lp.at_mut(&[0, c]) += eps;
+            let (l2, _) = softmax_cross_entropy(&lp, &[1]).unwrap();
+            let num = (l2 - base) / eps;
+            assert!((num - d.at(&[0, c])).abs() < 1e-2, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0]),
+            Err(NnError::BatchMismatch { .. })
+        ));
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 3]),
+            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+        ));
+    }
+
+    #[test]
+    fn cross_entropy_is_numerically_stable_for_huge_logits() {
+        let logits = Tensor::from_vec(vec![1e30, -1e30], &[1, 2]).unwrap();
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(loss.is_finite());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]).unwrap();
+        let (loss, d) = mse(&p, &t).unwrap();
+        assert!((loss - (1.0 + 4.0) / 2.0).abs() < 1e-6);
+        assert_eq!(d.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits =
+            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Sequential networks and trainable parameters.
+
+use crate::engines::Engines;
+use crate::layers::Layer;
+use crate::Result;
+use mirage_tensor::Tensor;
+
+/// A trainable parameter: FP32 master value plus accumulated gradient.
+///
+/// Mirage stores weights in FP32 in SRAM and performs updates in FP32
+/// (paper §III step 10 and §V-A); quantization happens only when values
+/// enter a GEMM.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// FP32 master value.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// A feed-forward stack of layers.
+///
+/// See the crate-level example for usage.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: impl Layer + 'static) {
+        self.layers.push(Box::new(layer));
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Runs the forward pass, caching activations for backward.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/engine errors.
+    pub fn forward(&mut self, x: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, engines)?;
+        }
+        Ok(cur)
+    }
+
+    /// Runs the backward pass from the loss gradient, accumulating
+    /// parameter gradients and returning the input gradient.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer/engine errors;
+    /// [`crate::NnError::BackwardBeforeForward`] if no forward pass ran.
+    pub fn backward(&mut self, d_out: &Tensor, engines: &Engines) -> Result<Tensor> {
+        let mut cur = d_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            cur = layer.backward(&cur, engines)?;
+        }
+        Ok(cur)
+    }
+
+    /// Visits every trainable parameter in a stable order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Zeroes all parameter gradients.
+    pub fn zero_grads(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_parameters(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        write!(f, "Sequential{names:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use mirage_tensor::engines::ExactEngine;
+    use rand::SeedableRng;
+
+    fn net() -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 5, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(5, 2, &mut rng));
+        net
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut n = net();
+        let engines = Engines::uniform(ExactEngine);
+        let y = n.forward(&Tensor::ones(&[4, 3]), &engines).unwrap();
+        assert_eq!(y.shape(), &[4, 2]);
+    }
+
+    #[test]
+    fn param_count() {
+        let mut n = net();
+        // (3*5 + 5) + (5*2 + 2) = 20 + 12.
+        assert_eq!(n.num_parameters(), 32);
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut n = net();
+        let engines = Engines::uniform(ExactEngine);
+        let y = n.forward(&Tensor::ones(&[2, 3]), &engines).unwrap();
+        n.backward(&Tensor::ones(y.shape()), &engines).unwrap();
+        let mut any_nonzero = false;
+        n.visit_params(&mut |p| any_nonzero |= p.grad.max_abs() > 0.0);
+        assert!(any_nonzero);
+        n.zero_grads();
+        let mut all_zero = true;
+        n.visit_params(&mut |p| all_zero &= p.grad.max_abs() == 0.0);
+        assert!(all_zero);
+    }
+
+    #[test]
+    fn debug_lists_layers() {
+        let n = net();
+        assert_eq!(format!("{n:?}"), "Sequential[\"dense\", \"relu\", \"dense\"]");
+    }
+}

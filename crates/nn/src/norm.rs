@@ -1,0 +1,397 @@
+//! Normalization layers (computed digitally in FP32, like all
+//! non-GEMM operations in Mirage).
+
+use crate::engines::Engines;
+use crate::layers::Layer;
+use crate::network::Param;
+use crate::{NnError, Result};
+use mirage_tensor::Tensor;
+
+/// Batch normalization over `[b, c, h, w]` activations (per-channel
+/// statistics), with learnable scale and shift.
+#[derive(Debug)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    momentum: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    training: bool,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels])),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            eps: 1e-5,
+            momentum: 0.1,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            training: true,
+            cache: None,
+        }
+    }
+
+    /// Switches between training (batch statistics) and inference
+    /// (running statistics) behaviour.
+    pub fn set_training(&mut self, training: bool) {
+        self.training = training;
+    }
+
+    fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        if x.rank() != 4 || x.shape()[1] != self.channels() {
+            return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
+                left: x.shape().to_vec(),
+                right: vec![0, self.channels(), 0, 0],
+            }));
+        }
+        let [b, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+        let per_channel = b * h * w;
+        let mut out = x.clone();
+        let mut inv_std = vec![0.0f32; c];
+        let mut x_hat = Tensor::zeros(x.shape());
+        for ci in 0..c {
+            let (mean, var) = if self.training {
+                let mut mean = 0.0f32;
+                for bi in 0..b {
+                    for i in 0..h * w {
+                        mean += x.data()[(bi * c + ci) * h * w + i];
+                    }
+                }
+                mean /= per_channel as f32;
+                let mut var = 0.0f32;
+                for bi in 0..b {
+                    for i in 0..h * w {
+                        let d = x.data()[(bi * c + ci) * h * w + i] - mean;
+                        var += d * d;
+                    }
+                }
+                var /= per_channel as f32;
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean[ci], self.running_var[ci])
+            };
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[ci] = istd;
+            let (g, be) = (self.gamma.value.data()[ci], self.beta.value.data()[ci]);
+            for bi in 0..b {
+                for i in 0..h * w {
+                    let idx = (bi * c + ci) * h * w + i;
+                    let xh = (x.data()[idx] - mean) * istd;
+                    x_hat.data_mut()[idx] = xh;
+                    out.data_mut()[idx] = g * xh + be;
+                }
+            }
+        }
+        self.cache = Some(BnCache {
+            x_hat,
+            inv_std,
+            shape: x.shape().to_vec(),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let [b, c, h, w] = [
+            cache.shape[0],
+            cache.shape[1],
+            cache.shape[2],
+            cache.shape[3],
+        ];
+        let n = (b * h * w) as f32;
+        let mut dx = Tensor::zeros(&cache.shape);
+        for ci in 0..c {
+            let g = self.gamma.value.data()[ci];
+            let istd = cache.inv_std[ci];
+            // Accumulate the channel sums needed by the BN backward.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for bi in 0..b {
+                for i in 0..h * w {
+                    let idx = (bi * c + ci) * h * w + i;
+                    let dy = d_out.data()[idx];
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * cache.x_hat.data()[idx];
+                }
+            }
+            self.beta.grad.data_mut()[ci] += sum_dy;
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat;
+            if self.training {
+                for bi in 0..b {
+                    for i in 0..h * w {
+                        let idx = (bi * c + ci) * h * w + i;
+                        let dy = d_out.data()[idx];
+                        let xh = cache.x_hat.data()[idx];
+                        dx.data_mut()[idx] =
+                            g * istd * (dy - sum_dy / n - xh * sum_dy_xhat / n);
+                    }
+                }
+            } else {
+                for bi in 0..b {
+                    for i in 0..h * w {
+                        let idx = (bi * c + ci) * h * w + i;
+                        dx.data_mut()[idx] = g * istd * d_out.data()[idx];
+                    }
+                }
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+/// Layer normalization over the last dimension of `[rows, dim]` inputs
+/// (the Transformer's normalizer).
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<(Tensor, Vec<f32>)>, // (x_hat, inv_std per row)
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::ones(&[dim])),
+            beta: Param::new(Tensor::zeros(&[dim])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+}
+
+impl Layer for LayerNorm {
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+
+    fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let dim = self.gamma.value.len();
+        if x.rank() != 2 || x.shape()[1] != dim {
+            return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
+                left: x.shape().to_vec(),
+                right: vec![0, dim],
+            }));
+        }
+        let rows = x.shape()[0];
+        let mut out = Tensor::zeros(x.shape());
+        let mut x_hat = Tensor::zeros(x.shape());
+        let mut inv_std = vec![0.0f32; rows];
+        for r in 0..rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / dim as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+            let istd = 1.0 / (var + self.eps).sqrt();
+            inv_std[r] = istd;
+            for cidx in 0..dim {
+                let xh = (row[cidx] - mean) * istd;
+                x_hat.data_mut()[r * dim + cidx] = xh;
+                out.data_mut()[r * dim + cidx] =
+                    self.gamma.value.data()[cidx] * xh + self.beta.value.data()[cidx];
+            }
+        }
+        self.cache = Some((x_hat, inv_std));
+        Ok(out)
+    }
+
+    fn backward(&mut self, d_out: &Tensor, _engines: &Engines) -> Result<Tensor> {
+        let (x_hat, inv_std) = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let dim = self.gamma.value.len();
+        let rows = d_out.shape()[0];
+        let mut dx = Tensor::zeros(d_out.shape());
+        for r in 0..rows {
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for cidx in 0..dim {
+                let idx = r * dim + cidx;
+                let dyg = d_out.data()[idx] * self.gamma.value.data()[cidx];
+                sum_dy += dyg;
+                sum_dy_xhat += dyg * x_hat.data()[idx];
+                self.beta.grad.data_mut()[cidx] += d_out.data()[idx];
+                self.gamma.grad.data_mut()[cidx] += d_out.data()[idx] * x_hat.data()[idx];
+            }
+            let n = dim as f32;
+            for cidx in 0..dim {
+                let idx = r * dim + cidx;
+                let dyg = d_out.data()[idx] * self.gamma.value.data()[cidx];
+                dx.data_mut()[idx] =
+                    inv_std[r] * (dyg - sum_dy / n - x_hat.data()[idx] * sum_dy_xhat / n);
+            }
+        }
+        Ok(dx)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_tensor::engines::ExactEngine;
+    use rand::SeedableRng;
+
+    fn engines() -> Engines {
+        Engines::uniform(ExactEngine)
+    }
+
+    #[test]
+    fn batchnorm_normalizes_channels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[4, 3, 5, 5], 3.0, &mut rng).map(|v| v + 7.0);
+        let y = bn.forward(&x, &engines()).unwrap();
+        // Per-channel mean ~0, var ~1 (gamma=1, beta=0 initially).
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for b in 0..4 {
+                for i in 0..25 {
+                    vals.push(y.data()[(b * 3 + c) * 25 + i]);
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "c = {c}, mean = {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "c = {c}, var = {var}");
+        }
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        let e = engines();
+        // Use a non-uniform upstream gradient: BN's dx is exactly zero
+        // for constant d_out (mean-subtraction kills it).
+        let y = bn.forward(&x, &e).unwrap();
+        let d_out = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let dx = bn.backward(&d_out, &e).unwrap();
+
+        let eps = 1e-2;
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| -> f32 {
+            bn.forward(x, &e)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(d_out.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for idx in [[0usize, 0, 0, 0], [1, 1, 2, 2], [0, 1, 1, 0]] {
+            let mut xp = x.clone();
+            *xp.at_mut(&idx) += eps;
+            let num = (loss(&mut bn, &xp) - loss(&mut bn, &x)) / eps;
+            assert!(
+                (num - dx.at(&idx)).abs() < 0.05,
+                "dx at {idx:?}: {num} vs {}",
+                dx.at(&idx)
+            );
+        }
+    }
+
+    #[test]
+    fn batchnorm_inference_uses_running_stats() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut bn = BatchNorm2d::new(1);
+        let e = engines();
+        for _ in 0..50 {
+            let x = Tensor::randn(&[8, 1, 4, 4], 2.0, &mut rng).map(|v| v + 5.0);
+            bn.forward(&x, &e).unwrap();
+        }
+        bn.set_training(false);
+        // A single constant input should normalize near (5-5)/2 = 0.
+        let x = Tensor::full(&[1, 1, 4, 4], 5.0);
+        let y = bn.forward(&x, &e).unwrap();
+        assert!(y.max_abs() < 0.3, "y = {}", y.max_abs());
+    }
+
+    #[test]
+    fn layernorm_normalizes_rows() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let mut ln = LayerNorm::new(16);
+        let x = Tensor::randn(&[4, 16], 5.0, &mut rng).map(|v| v - 3.0);
+        let y = ln.forward(&x, &engines()).unwrap();
+        for r in 0..4 {
+            let row = y.row(r);
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn layernorm_gradcheck() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(44);
+        let mut ln = LayerNorm::new(6);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let e = engines();
+        let y = ln.forward(&x, &e).unwrap();
+        let d_out = Tensor::randn(y.shape(), 1.0, &mut rng);
+        let dx = ln.backward(&d_out, &e).unwrap();
+
+        let eps = 1e-3;
+        let loss = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
+            ln.forward(x, &e)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(d_out.data())
+                .map(|(a, b)| a * b)
+                .sum()
+        };
+        for idx in [[0usize, 0], [1, 3], [2, 5]] {
+            let mut xp = x.clone();
+            *xp.at_mut(&idx) += eps;
+            let num = (loss(&mut ln, &xp) - loss(&mut ln, &x)) / eps;
+            assert!(
+                (num - dx.at(&idx)).abs() < 0.02,
+                "dx at {idx:?}: {num} vs {}",
+                dx.at(&idx)
+            );
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let e = engines();
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[2, 4, 3, 3]), &e).is_err());
+        let mut ln = LayerNorm::new(8);
+        assert!(ln.forward(&Tensor::zeros(&[2, 7]), &e).is_err());
+    }
+}

@@ -1,0 +1,258 @@
+//! Optimizers — always operating on FP32 master weights (paper Eq. 4,
+//! §V-A: "we store the weights in FP32 ... and perform the weight updates
+//! in FP32").
+
+use crate::network::{Param, Sequential};
+use mirage_tensor::Tensor;
+
+/// An optimizer stepping a [`Sequential`] network's parameters.
+pub trait Optimizer {
+    /// Applies one update step using the accumulated gradients, then the
+    /// caller typically zeroes gradients.
+    fn step(&mut self, net: &mut Sequential);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules, e.g. the paper's
+    /// ÷10-every-20-epochs CNN schedule).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum.
+///
+/// The paper trains its CNNs and YOLO with SGD (§VI-B).
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Sequential) {
+        let mut idx = 0usize;
+        let (lr, mu, wd) = (self.lr, self.momentum, self.weight_decay);
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p: &mut Param| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            for ((vi, wi), &gi) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.value.data_mut().iter_mut())
+                .zip(p.grad.data())
+            {
+                let g = gi + wd * *wi;
+                *vi = mu * *vi + g;
+                *wi -= lr * *vi;
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) — used by the paper for the Transformer (§VI-B:
+/// lr = 1e-4, β1 = 0.9, β2 = 0.999).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the paper's Transformer hyper-parameters except the
+    /// learning rate, which the caller chooses.
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Sequential) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0usize;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        net.visit_params(&mut |p: &mut Param| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.value.shape()));
+                vs.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = &mut ms[idx];
+            let v = &mut vs[idx];
+            for (((mi, vi), wi), &gi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.value.data_mut().iter_mut())
+                .zip(p.grad.data())
+            {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use crate::Engines;
+    use mirage_tensor::engines::ExactEngine;
+    use mirage_tensor::Tensor;
+    use rand::SeedableRng;
+
+    /// One-parameter quadratic: loss = (w - 3)^2, minimized at w = 3.
+    fn quadratic_net(w0: f32) -> Sequential {
+        let mut net = Sequential::new();
+        net.push(Dense::from_weights(
+            Tensor::from_vec(vec![w0], &[1, 1]).unwrap(),
+            Tensor::zeros(&[1]),
+        ));
+        net
+    }
+
+    fn quadratic_step(net: &mut Sequential, opt: &mut dyn Optimizer) -> f32 {
+        let engines = Engines::uniform(ExactEngine);
+        net.zero_grads();
+        let x = Tensor::ones(&[1, 1]);
+        let y = net.forward(&x, &engines).unwrap(); // y = w
+        let w = y.data()[0];
+        // d loss / d y = 2 (w - 3).
+        let d = Tensor::from_vec(vec![2.0 * (w - 3.0)], &[1, 1]).unwrap();
+        net.backward(&d, &engines).unwrap();
+        opt.step(net);
+        (w - 3.0).powi(2)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut net = quadratic_net(0.0);
+        let mut opt = Sgd::new(0.1);
+        let mut last = f32::INFINITY;
+        for _ in 0..50 {
+            last = quadratic_step(&mut net, &mut opt);
+        }
+        assert!(last < 1e-6, "loss = {last}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |mut opt: Sgd| {
+            let mut net = quadratic_net(0.0);
+            let mut loss = f32::INFINITY;
+            for _ in 0..30 {
+                loss = quadratic_step(&mut net, &mut opt);
+            }
+            loss
+        };
+        let plain = run(Sgd::new(0.01));
+        let momentum = run(Sgd::with_momentum(0.01, 0.5));
+        assert!(momentum < plain, "{momentum} vs {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut net = quadratic_net(10.0);
+        let mut opt = Adam::new(0.5);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            last = quadratic_step(&mut net, &mut opt);
+        }
+        assert!(last < 1e-3, "loss = {last}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 4, &mut rng));
+        let mut before = 0.0;
+        net.visit_params(&mut |p| before += p.value.max_abs());
+        // Pure decay: gradients are zero.
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            net.zero_grads();
+            opt.step(&mut net);
+        }
+        let mut after = 0.0;
+        net.visit_params(&mut |p| after += p.value.max_abs());
+        assert!(after < before);
+    }
+
+    #[test]
+    fn learning_rate_schedule_api() {
+        let mut opt = Sgd::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+    }
+}

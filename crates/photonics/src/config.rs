@@ -1,0 +1,211 @@
+//! Photonic device models and the paper's device constants (§V-B1).
+
+/// A tunable optical phase shifter (NOEMS-class, after Baghdadi et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseShifter {
+    /// Modulation efficiency `Vπ·L` in V·cm (paper: 0.002 V·cm).
+    pub v_pi_l_v_cm: f64,
+    /// Propagation loss in dB/mm (paper: 1.6 dB/mm).
+    pub loss_db_per_mm: f64,
+    /// Maximum bias voltage in volts (paper: 1.08 V).
+    pub v_bias: f64,
+    /// Reprogramming (settling) time in seconds (paper: 5 ns).
+    pub reprogram_time_s: f64,
+    /// Tuning energy per bit in joules (paper: "a few fJ/bit").
+    pub tuning_energy_per_bit_j: f64,
+}
+
+impl Default for PhaseShifter {
+    fn default() -> Self {
+        PhaseShifter {
+            v_pi_l_v_cm: 0.002,
+            loss_db_per_mm: 1.6,
+            v_bias: 1.08,
+            reprogram_time_s: 5e-9,
+            tuning_energy_per_bit_j: 3e-15,
+        }
+    }
+}
+
+impl PhaseShifter {
+    /// Total shifter length needed to reach `delta_phi_max` radians at
+    /// full bias (paper Eq. 11): `L = VπL/Vbias * ∆Φmax/π`.
+    pub fn required_length_mm(&self, delta_phi_max: f64) -> f64 {
+        // VπL in V·cm -> V·mm.
+        let v_pi_l_v_mm = self.v_pi_l_v_cm * 10.0;
+        v_pi_l_v_mm / self.v_bias * (delta_phi_max / std::f64::consts::PI)
+    }
+
+    /// Optical loss of a shifter of `length_mm`.
+    pub fn loss_db(&self, length_mm: f64) -> f64 {
+        self.loss_db_per_mm * length_mm
+    }
+}
+
+/// A micro-ring resonator switch routing light through or around a phase
+/// shifter (paper Fig. 3(c); Ohno et al. device metrics).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrrSwitch {
+    /// Ring radius in µm (paper: 10 µm).
+    pub radius_um: f64,
+    /// Total insertion + propagation loss when the light is *coupled*
+    /// into the ring (bypass route), in dB (paper: 0.2 dB).
+    pub loss_db: f64,
+    /// Pass-by loss when the ring is off-resonance and the light stays
+    /// on the bus waveguide, in dB. The paper's worst-case power budget
+    /// routes light through every phase shifter (§VI-E), so MRRs only
+    /// contribute this through-loss on that path.
+    pub through_loss_db: f64,
+    /// Electro-optic switching power in watts (paper: 0.3 pW).
+    pub switching_power_w: f64,
+    /// Modulation bandwidth in Hz (paper cites tens of Gb/s; Mirage
+    /// clocks MVMs at 10 GHz on the strength of this).
+    pub bandwidth_hz: f64,
+}
+
+impl Default for MrrSwitch {
+    fn default() -> Self {
+        MrrSwitch {
+            radius_um: 10.0,
+            loss_db: 0.2,
+            through_loss_db: 0.01,
+            switching_power_w: 0.3e-12,
+            bandwidth_hz: 10e9,
+        }
+    }
+}
+
+/// The laser source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laser {
+    /// Wall-plug efficiency (paper: 20 %).
+    pub efficiency: f64,
+    /// Laser-to-chip coupler loss in dB (paper: 0.2 dB).
+    pub coupler_loss_db: f64,
+}
+
+impl Default for Laser {
+    fn default() -> Self {
+        Laser {
+            efficiency: 0.2,
+            coupler_loss_db: 0.2,
+        }
+    }
+}
+
+/// The photodetector at the end of each MDPU arm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    /// Responsivity in A/W (paper: 1.1 A/W).
+    pub responsivity_a_per_w: f64,
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Photodetector {
+            responsivity_a_per_w: 1.1,
+        }
+    }
+}
+
+/// The trans-impedance amplifier after the photodetector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tia {
+    /// Energy per converted bit in joules (paper: 57 fJ/bit).
+    pub energy_per_bit_j: f64,
+    /// Feedback resistance in ohms (thermal-noise source, Eq. 7).
+    pub feedback_ohms: f64,
+}
+
+impl Default for Tia {
+    fn default() -> Self {
+        Tia {
+            energy_per_bit_j: 57e-15,
+            feedback_ohms: 10_000.0,
+        }
+    }
+}
+
+/// Complete photonic-core configuration with the paper's defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhotonicConfig {
+    /// Phase-shifter device model.
+    pub phase_shifter: PhaseShifter,
+    /// MRR switch model.
+    pub mrr: MrrSwitch,
+    /// Laser model.
+    pub laser: Laser,
+    /// Photodetector model.
+    pub photodetector: Photodetector,
+    /// TIA model.
+    pub tia: Tia,
+    /// 180° bend loss in dB (paper: 0.01 dB, 5 µm radius).
+    pub bend_loss_db: f64,
+    /// 180° bend radius in µm.
+    pub bend_radius_um: f64,
+    /// Photonic clock frequency in Hz (paper: 10 GHz).
+    pub clock_hz: f64,
+    /// Operating temperature in kelvin.
+    pub temperature_k: f64,
+}
+
+impl Default for PhotonicConfig {
+    fn default() -> Self {
+        PhotonicConfig {
+            phase_shifter: PhaseShifter::default(),
+            mrr: MrrSwitch::default(),
+            laser: Laser::default(),
+            photodetector: Photodetector::default(),
+            tia: Tia::default(),
+            bend_loss_db: 0.01,
+            bend_radius_um: 5.0,
+            clock_hz: 10e9,
+            temperature_k: 300.0,
+        }
+    }
+}
+
+impl PhotonicConfig {
+    /// Detection bandwidth, set by the photonic clock (one symbol per
+    /// cycle).
+    pub fn bandwidth_hz(&self) -> f64 {
+        self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_phase_shifter_length_for_m33() {
+        // §V-B1: "the total phase shifter length for the largest modulus
+        // 33 can be calculated as 0.57 mm" using Eq. 11 with
+        // ∆Φmax = ⌈(m-1)²/2⌉·(2π/m).
+        let ps = PhaseShifter::default();
+        let m = 33.0f64;
+        let delta_phi_max = ((m - 1.0) * (m - 1.0) / 2.0).ceil() * (2.0 * std::f64::consts::PI / m);
+        let len = ps.required_length_mm(delta_phi_max);
+        assert!((len - 0.57).abs() < 0.02, "len = {len}");
+    }
+
+    #[test]
+    fn defaults_match_paper_constants() {
+        let c = PhotonicConfig::default();
+        assert_eq!(c.phase_shifter.v_pi_l_v_cm, 0.002);
+        assert_eq!(c.phase_shifter.loss_db_per_mm, 1.6);
+        assert_eq!(c.mrr.loss_db, 0.2);
+        assert_eq!(c.mrr.switching_power_w, 0.3e-12);
+        assert_eq!(c.laser.efficiency, 0.2);
+        assert_eq!(c.photodetector.responsivity_a_per_w, 1.1);
+        assert_eq!(c.tia.energy_per_bit_j, 57e-15);
+        assert_eq!(c.clock_hz, 10e9);
+    }
+
+    #[test]
+    fn loss_scales_with_length() {
+        let ps = PhaseShifter::default();
+        assert!((ps.loss_db(1.0) - 1.6).abs() < 1e-12);
+        assert!((ps.loss_db(0.5) - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Phase detection (paper §IV-A3, Fig. 4(b)).
+
+use crate::config::PhotonicConfig;
+use crate::noise::{sample_standard_normal, total_noise_std};
+use crate::{PhotonicsError, Result};
+use std::f64::consts::TAU;
+
+/// The I/Q phase read-out at the end of an MDPU.
+///
+/// A photodetector measures only amplitude, so the phase is recovered
+/// from two balanced detections: one direct (`I ∝ cos Φ`) and one after
+/// a π/2 shift (`Q ∝ sin Φ`). `atan2(Q, I)` is unique over the full
+/// circle. Shot and thermal noise (Eqs. 6–7) perturb both measurements;
+/// the per-cycle optical power sets the SNR.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseDetector {
+    config: PhotonicConfig,
+    optical_power_w: f64,
+}
+
+impl PhaseDetector {
+    /// Creates a detector fed with `optical_power_w` per arm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidParameter`] for non-positive
+    /// power.
+    pub fn new(config: &PhotonicConfig, optical_power_w: f64) -> Result<Self> {
+        if !optical_power_w.is_finite() || optical_power_w <= 0.0 {
+            return Err(PhotonicsError::InvalidParameter(format!(
+                "optical power must be positive, got {optical_power_w}"
+            )));
+        }
+        Ok(PhaseDetector {
+            config: *config,
+            optical_power_w,
+        })
+    }
+
+    /// The optical power reaching each detection arm.
+    pub fn optical_power_w(&self) -> f64 {
+        self.optical_power_w
+    }
+
+    /// Noiseless read-out: returns the phase in `[0, 2π)`.
+    pub fn detect_ideal(&self, phase: f64) -> f64 {
+        let i = phase.cos();
+        let q = phase.sin();
+        q.atan2(i).rem_euclid(TAU)
+    }
+
+    /// Noisy read-out: I and Q photocurrents each pick up shot + thermal
+    /// noise before the `atan2`.
+    pub fn detect_noisy(&self, phase: f64, rng: &mut impl rand::RngExt) -> f64 {
+        let responsivity = self.config.photodetector.responsivity_a_per_w;
+        let i_full = responsivity * self.optical_power_w;
+        // Balanced detection: signal currents swing ±I_full with phase.
+        let i_sig = i_full * phase.cos();
+        let q_sig = i_full * phase.sin();
+        let sigma = total_noise_std(&self.config, i_full);
+        let i_meas = i_sig + sigma * sample_standard_normal(rng);
+        let q_meas = q_sig + sigma * sample_standard_normal(rng);
+        q_meas.atan2(i_meas).rem_euclid(TAU)
+    }
+
+    /// Quantizes a detected phase to the nearest of `m` levels — the ADC
+    /// step producing the output residue.
+    pub fn quantize_to_residue(&self, phase: f64, m: u64) -> u64 {
+        let phi0 = TAU / m as f64;
+        ((phase.rem_euclid(TAU) / phi0).round() as u64) % m
+    }
+
+    /// RMS phase error implied by the configured power, in radians
+    /// (small-angle approximation: `σ_Φ ≈ σ_I / I`).
+    pub fn phase_noise_std(&self) -> f64 {
+        let i_full = self.config.photodetector.responsivity_a_per_w * self.optical_power_w;
+        total_noise_std(&self.config, i_full) / i_full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn detector(power: f64) -> PhaseDetector {
+        PhaseDetector::new(&PhotonicConfig::default(), power).unwrap()
+    }
+
+    #[test]
+    fn rejects_nonpositive_power() {
+        let cfg = PhotonicConfig::default();
+        assert!(PhaseDetector::new(&cfg, 0.0).is_err());
+        assert!(PhaseDetector::new(&cfg, -1.0).is_err());
+        assert!(PhaseDetector::new(&cfg, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ideal_detection_recovers_phase() {
+        let d = detector(1e-3);
+        for i in 0..64 {
+            let phi = i as f64 * TAU / 64.0;
+            assert!((d.detect_ideal(phi) - phi).abs() < 1e-9, "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn quantization_maps_to_levels() {
+        let d = detector(1e-3);
+        let m = 31u64;
+        for r in 0..m {
+            let phi = r as f64 * TAU / m as f64;
+            assert_eq!(d.quantize_to_residue(phi, m), r);
+            // Small perturbations stay on the same level.
+            assert_eq!(d.quantize_to_residue(phi + 0.4 * TAU / m as f64, m), r);
+        }
+        // Wrap-around: just below 2π quantizes to level 0.
+        assert_eq!(d.quantize_to_residue(TAU - 1e-6, m), 0);
+    }
+
+    #[test]
+    fn high_power_reads_correctly_despite_noise() {
+        let d = detector(1e-3); // plenty of SNR for 31 levels
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let m = 31u64;
+        for r in 0..m {
+            let phi = r as f64 * TAU / m as f64;
+            let read = d.detect_noisy(phi, &mut rng);
+            assert_eq!(d.quantize_to_residue(read, m), r, "r = {r}");
+        }
+    }
+
+    #[test]
+    fn starved_power_misreads() {
+        // Microwatt-scale power at 10 GHz cannot resolve 31 levels.
+        let d = detector(3e-9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        let m = 31u64;
+        let mut errors = 0;
+        for trial in 0..310 {
+            let r = trial % m;
+            let phi = r as f64 * TAU / m as f64;
+            let read = d.detect_noisy(phi, &mut rng);
+            if d.quantize_to_residue(read, m) != r {
+                errors += 1;
+            }
+        }
+        assert!(errors > 0, "expected read-out errors at starved power");
+    }
+
+    #[test]
+    fn phase_noise_shrinks_with_power() {
+        assert!(detector(1e-3).phase_noise_std() < detector(1e-6).phase_noise_std());
+    }
+}

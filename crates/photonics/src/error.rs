@@ -1,0 +1,69 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the photonic simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PhotonicsError {
+    /// An operand is not a reduced residue for the unit's modulus.
+    UnreducedOperand {
+        /// The operand value.
+        value: u64,
+        /// The modulus.
+        modulus: u64,
+    },
+    /// Vector length mismatch in a dot product or MVM.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Propagated RNS error (conversion, moduli sets).
+    Rns(mirage_rns::RnsError),
+    /// A physical parameter is out of range (negative power, zero
+    /// bandwidth, ...).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for PhotonicsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhotonicsError::UnreducedOperand { value, modulus } => {
+                write!(f, "operand {value} is not a residue modulo {modulus}")
+            }
+            PhotonicsError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            PhotonicsError::Rns(e) => write!(f, "rns error: {e}"),
+            PhotonicsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for PhotonicsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PhotonicsError::Rns(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mirage_rns::RnsError> for PhotonicsError {
+    fn from(e: mirage_rns::RnsError) -> Self {
+        PhotonicsError::Rns(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PhotonicsError::from(mirage_rns::RnsError::EmptySet);
+        assert!(e.source().is_some());
+        assert!(PhotonicsError::InvalidParameter("x".into()).source().is_none());
+    }
+}

@@ -1,0 +1,58 @@
+//! # mirage-photonics
+//!
+//! Device-level simulation of Mirage's photonic modular arithmetic units
+//! (paper §IV-A):
+//!
+//! - [`Mmu`] — the modular multiplication unit: binary-weighted phase
+//!   shifters gated by MRR switches; phase wraps at 2π, so with
+//!   `Φ0 = 2π/m` the accumulated phase *is* `|x·w|_m` (Eq. 10).
+//! - [`Mdpu`] — a cascade of `g` MMUs accumulating phase into a modular
+//!   dot product (Eq. 12).
+//! - [`Mmvmu`] / [`RnsMmvmu`] — dot-product rows forming a modular MVM
+//!   unit, replicated per modulus.
+//! - [`PhaseDetector`] — the I/Q read-out (two balanced detections with a
+//!   π/2 offset, Fig. 4(b)) including shot and thermal noise (Eqs. 6–7).
+//! - [`power`] — optical loss budget and the laser power required to
+//!   resolve `m` phase levels (§V-B1).
+//! - [`variation`] — the encoding-error quadrature model (Eq. 14) used
+//!   for the DAC-precision study (§VI-E).
+//!
+//! ```
+//! use mirage_photonics::{Mdpu, PhotonicConfig};
+//! use mirage_rns::Modulus;
+//!
+//! let cfg = PhotonicConfig::default();
+//! let m = Modulus::new(31)?;
+//! let mdpu = Mdpu::new(m, 16, &cfg);
+//! let xs = [3u64, 7, 30, 12, 0, 1, 5, 9, 11, 2, 4, 6, 8, 10, 13, 15];
+//! let ws = [5u64, 1, 2, 28, 3, 0, 7, 9, 30, 22, 17, 4, 19, 25, 6, 12];
+//! // The optical dot product equals the exact modular dot product.
+//! let expected = xs.iter().zip(&ws).map(|(&x, &w)| x * w).sum::<u64>() % 31;
+//! assert_eq!(mdpu.dot_ideal(&xs, &ws)?, expected);
+//! # Ok::<(), mirage_photonics::PhotonicsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod detect;
+mod error;
+mod mdpu;
+mod mmu;
+mod mmvmu;
+pub mod noise;
+pub mod protected;
+pub mod power;
+pub mod variation;
+
+pub use config::{Laser, MrrSwitch, PhaseShifter, Photodetector, PhotonicConfig, Tia};
+pub use detect::PhaseDetector;
+pub use error::PhotonicsError;
+pub use mdpu::Mdpu;
+pub use mmu::Mmu;
+pub use mmvmu::{Mmvmu, RnsMmvmu};
+pub use protected::{ProtectedOutput, ProtectedRnsMmvmu};
+
+/// Result alias for fallible photonic operations.
+pub type Result<T> = std::result::Result<T, PhotonicsError>;

@@ -1,0 +1,176 @@
+//! The Modular Dot Product Unit (MDPU).
+
+use crate::config::PhotonicConfig;
+use crate::detect::PhaseDetector;
+use crate::mmu::Mmu;
+use crate::{PhotonicsError, Result};
+use mirage_rns::Modulus;
+use std::f64::consts::TAU;
+
+/// A cascade of `g` MMUs computing a modular dot product in one optical
+/// pass (paper §IV-A2, Eq. 12):
+///
+/// `∆Φ_total = (2π/m) · | Σ_j x_j · w_j |_m`
+///
+/// The phase shifts of consecutive MMUs accumulate on the same optical
+/// signal; one phase detection at the end reads out the whole dot
+/// product.
+#[derive(Debug, Clone)]
+pub struct Mdpu {
+    mmu: Mmu,
+    g: usize,
+}
+
+impl Mdpu {
+    /// Creates an MDPU with `g` cascaded MMUs for `modulus`.
+    pub fn new(modulus: Modulus, g: usize, config: &PhotonicConfig) -> Self {
+        Mdpu {
+            mmu: Mmu::new(modulus, config),
+            g,
+        }
+    }
+
+    /// The per-element MMU.
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// Number of MMUs in the cascade (the BFP group size `g`).
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Worst-case optical loss across the whole cascade in dB.
+    pub fn worst_case_loss_db(&self) -> f64 {
+        self.g as f64 * self.mmu.worst_case_loss_db()
+    }
+
+    fn check_len(&self, xs: &[u64], ws: &[u64]) -> Result<()> {
+        if xs.len() != ws.len() {
+            return Err(PhotonicsError::LengthMismatch {
+                expected: xs.len(),
+                actual: ws.len(),
+            });
+        }
+        if xs.len() > self.g {
+            return Err(PhotonicsError::LengthMismatch {
+                expected: self.g,
+                actual: xs.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// The total accumulated phase (before wrapping) in radians.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches and unreduced operands.
+    pub fn accumulated_phase(&self, xs: &[u64], ws: &[u64]) -> Result<f64> {
+        self.check_len(xs, ws)?;
+        let mut phase = 0.0f64;
+        for (&x, &w) in xs.iter().zip(ws) {
+            phase += self.mmu.phase_contribution(x, w)?;
+        }
+        Ok(phase)
+    }
+
+    /// Ideal (noiseless) modular dot product read from the wrapped phase.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches and unreduced operands.
+    pub fn dot_ideal(&self, xs: &[u64], ws: &[u64]) -> Result<u64> {
+        let phase = self.accumulated_phase(xs, ws)?;
+        let m = self.mmu.modulus().value();
+        let phi0 = TAU / m as f64;
+        Ok(((phase.rem_euclid(TAU) / phi0).round() as u64) % m)
+    }
+
+    /// Noisy read-out through a [`PhaseDetector`] fed with the given
+    /// per-channel optical power.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches, unreduced operands, or invalid power.
+    pub fn dot_noisy(
+        &self,
+        xs: &[u64],
+        ws: &[u64],
+        detector: &PhaseDetector,
+        rng: &mut impl rand::RngExt,
+    ) -> Result<u64> {
+        let phase = self.accumulated_phase(xs, ws)?;
+        let read = detector.detect_noisy(phase.rem_euclid(TAU), rng);
+        Ok(detector.quantize_to_residue(read, self.mmu.modulus().value()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power;
+    use rand::SeedableRng;
+
+    fn mdpu(m: u64, g: usize) -> Mdpu {
+        Mdpu::new(Modulus::new(m).unwrap(), g, &PhotonicConfig::default())
+    }
+
+    fn pseudo_residues(m: u64, n: usize, salt: u64) -> Vec<u64> {
+        (0..n as u64).map(|i| (i * 2654435761 + salt) % m).collect()
+    }
+
+    #[test]
+    fn dot_matches_modular_arithmetic() {
+        for (m, g) in [(31u64, 16usize), (32, 16), (33, 16), (7, 4), (33, 64)] {
+            let d = mdpu(m, g);
+            let xs = pseudo_residues(m, g, 17);
+            let ws = pseudo_residues(m, g, 91);
+            let expected = xs.iter().zip(&ws).map(|(&x, &w)| x * w).sum::<u64>() % m;
+            assert_eq!(d.dot_ideal(&xs, &ws).unwrap(), expected, "m={m} g={g}");
+        }
+    }
+
+    #[test]
+    fn partial_vectors_allowed() {
+        // Tail tiles use fewer than g MMUs (rest route around).
+        let d = mdpu(31, 16);
+        let xs = pseudo_residues(31, 5, 3);
+        let ws = pseudo_residues(31, 5, 8);
+        let expected = xs.iter().zip(&ws).map(|(&x, &w)| x * w).sum::<u64>() % 31;
+        assert_eq!(d.dot_ideal(&xs, &ws).unwrap(), expected);
+    }
+
+    #[test]
+    fn oversize_vectors_rejected() {
+        let d = mdpu(31, 4);
+        let xs = pseudo_residues(31, 5, 1);
+        assert!(matches!(
+            d.dot_ideal(&xs, &xs),
+            Err(PhotonicsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn loss_scales_with_g() {
+        assert!(mdpu(33, 32).worst_case_loss_db() > mdpu(33, 16).worst_case_loss_db());
+    }
+
+    #[test]
+    fn noisy_dot_correct_at_design_laser_power() {
+        // Feed the detector with the §V-B1 design-point power and verify
+        // the read-out is error-free across many trials.
+        let cfg = PhotonicConfig::default();
+        let m = Modulus::new(31).unwrap();
+        let d = Mdpu::new(m, 16, &cfg);
+        let p = power::required_detector_power_w(&cfg, m);
+        let det = PhaseDetector::new(&cfg, p).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..200 {
+            let xs = pseudo_residues(31, 16, trial);
+            let ws = pseudo_residues(31, 16, trial + 1000);
+            let expected = xs.iter().zip(&ws).map(|(&x, &w)| x * w).sum::<u64>() % 31;
+            assert_eq!(d.dot_noisy(&xs, &ws, &det, &mut rng).unwrap(), expected);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! The Modular Multiplication Unit (MMU).
+
+use crate::config::PhotonicConfig;
+use crate::{PhotonicsError, Result};
+use mirage_rns::Modulus;
+use std::f64::consts::TAU;
+
+/// One photonic modular multiplier (paper §IV-A1, Fig. 3).
+///
+/// The MMU encodes `w` in the voltage applied to a bank of
+/// binary-weighted phase shifters (lengths `L, 2L, …, 2^(b-1)L`) and `x`
+/// digit-by-digit in MRR switches that route light through or around
+/// each shifter. With the unit phase `Φ0 = 2π/m`, the accumulated phase
+/// is
+///
+/// `∆Φ = | Σ_d 2^d x⁽ᵈ⁾ · w · 2π/m |_{2π} = (2π/m) · |x·w|_m`  (Eq. 10)
+///
+/// — the optical phase's natural wrap at 2π performs the modulo.
+#[derive(Debug, Clone)]
+pub struct Mmu {
+    modulus: Modulus,
+    bits: u32,
+    config: PhotonicConfig,
+}
+
+impl Mmu {
+    /// Creates an MMU for residues modulo `m`, sized for
+    /// `b = ⌈log2 m⌉`-bit operands.
+    pub fn new(modulus: Modulus, config: &PhotonicConfig) -> Self {
+        Mmu {
+            modulus,
+            bits: modulus.bits(),
+            config: *config,
+        }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> Modulus {
+        self.modulus
+    }
+
+    /// Operand bit width `b = ⌈log2 m⌉` (number of digit stages).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The unit phase shift `Φ0 = 2π/m` in radians.
+    pub fn phi0(&self) -> f64 {
+        TAU / self.modulus.value() as f64
+    }
+
+    /// Maximum phase the shifter bank must reach (paper §IV-A1):
+    /// `∆Φmax = ⌈(m-1)²/2⌉ · 2π/m`.
+    pub fn delta_phi_max(&self) -> f64 {
+        let m = self.modulus.value() as f64;
+        ((m - 1.0) * (m - 1.0) / 2.0).ceil() * self.phi0()
+    }
+
+    /// Total phase-shifter length in mm (Eq. 11, summed over both arms'
+    /// binary-weighted banks).
+    pub fn total_shifter_length_mm(&self) -> f64 {
+        self.config.phase_shifter.required_length_mm(self.delta_phi_max())
+    }
+
+    /// Number of MRR switches: two per digit (route-in and route-out,
+    /// Fig. 3(c)) — `2·⌈log2 m⌉` per Eq. 14's device count.
+    pub fn mrr_count(&self) -> u32 {
+        2 * self.bits
+    }
+
+    /// Worst-case optical loss through this MMU in dB.
+    ///
+    /// The worst case is the all-shifter path (§VI-E: "the worst-case
+    /// scenario where the light goes through all the phase shifters"):
+    /// full shifter-bank propagation loss, pass-by loss at every
+    /// off-resonance MRR, and the inter-stage bends. The 0.2 dB coupled
+    /// MRR loss applies only on bypass routes, which are never the loss
+    /// maximum.
+    pub fn worst_case_loss_db(&self) -> f64 {
+        let ps = self.config.phase_shifter.loss_db(self.total_shifter_length_mm());
+        let mrr = f64::from(self.mrr_count()) * self.config.mrr.through_loss_db;
+        let bends = f64::from(self.bits.saturating_sub(1)) * self.config.bend_loss_db;
+        ps + mrr + bends
+    }
+
+    /// Horizontal length of the MMU in mm (paper: ~0.8 mm for m = 33,
+    /// shifters plus MRR diameters per digit).
+    pub fn length_mm(&self) -> f64 {
+        let mrr_len_mm = f64::from(self.mrr_count()) * 2.0 * self.config.mrr.radius_um * 1e-3;
+        self.total_shifter_length_mm() + mrr_len_mm
+    }
+
+    /// The ideal analog phase contributed by multiplying `x · w`
+    /// (before any 2π wrap), in radians.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::UnreducedOperand`] if either operand is
+    /// not a residue modulo `m`.
+    pub fn phase_contribution(&self, x: u64, w: u64) -> Result<f64> {
+        let m = self.modulus.value();
+        for v in [x, w] {
+            if v >= m {
+                return Err(PhotonicsError::UnreducedOperand { value: v, modulus: m });
+            }
+        }
+        // Each set digit d of x routes light through the 2^d·L shifter
+        // charged to w·V0, contributing 2^d · w · Φ0.
+        let mut phase = 0.0f64;
+        for d in 0..self.bits {
+            if (x >> d) & 1 == 1 {
+                phase += (1u64 << d) as f64 * w as f64 * self.phi0();
+            }
+        }
+        Ok(phase)
+    }
+
+    /// The modular product recovered from the (wrapped) phase:
+    /// `|x·w|_m = round(∆Φ mod 2π · m/2π)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Mmu::phase_contribution`].
+    pub fn multiply(&self, x: u64, w: u64) -> Result<u64> {
+        let phase = self.phase_contribution(x, w)?;
+        let wrapped = phase.rem_euclid(TAU);
+        let m = self.modulus.value();
+        Ok(((wrapped / self.phi0()).round() as u64) % m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmu(m: u64) -> Mmu {
+        Mmu::new(Modulus::new(m).unwrap(), &PhotonicConfig::default())
+    }
+
+    #[test]
+    fn multiply_matches_modular_product_exhaustively() {
+        for m in [7u64, 31, 32, 33] {
+            let u = mmu(m);
+            for x in 0..m {
+                for w in 0..m {
+                    assert_eq!(u.multiply(x, w).unwrap(), (x * w) % m, "m={m} {x}*{w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_3bit() {
+        // Fig. 3(b): x = 101b = 5, w = 011b = 3 -> 15·Φ0 before wrapping.
+        let u = mmu(8);
+        let phase = u.phase_contribution(5, 3).unwrap();
+        assert!((phase - 15.0 * u.phi0()).abs() < 1e-12);
+        // |15|_8 = 7.
+        assert_eq!(u.multiply(5, 3).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_unreduced_operands() {
+        let u = mmu(31);
+        assert!(matches!(
+            u.multiply(31, 0),
+            Err(PhotonicsError::UnreducedOperand { value: 31, modulus: 31 })
+        ));
+        assert!(u.multiply(30, 30).is_ok());
+    }
+
+    #[test]
+    fn geometry_matches_paper_for_m33() {
+        // §V-B1: total shifter length 0.57 mm, full MMU ≈ 0.8 mm.
+        let u = mmu(33);
+        assert!((u.total_shifter_length_mm() - 0.57).abs() < 0.02);
+        assert!((u.length_mm() - 0.81).abs() < 0.05, "len = {}", u.length_mm());
+        assert_eq!(u.bits(), 6);
+        assert_eq!(u.mrr_count(), 12);
+    }
+
+    #[test]
+    fn loss_budget_is_positive_and_scales_with_modulus() {
+        let small = mmu(7).worst_case_loss_db();
+        let large = mmu(33).worst_case_loss_db();
+        assert!(small > 0.0);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn phi0_partitions_circle() {
+        let u = mmu(31);
+        assert!((u.phi0() * 31.0 - TAU).abs() < 1e-12);
+    }
+}

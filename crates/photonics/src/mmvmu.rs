@@ -1,0 +1,307 @@
+//! Modular MVM units and the full RNS-MMVMU (paper Fig. 4).
+
+use crate::config::PhotonicConfig;
+use crate::detect::PhaseDetector;
+use crate::mdpu::Mdpu;
+use crate::power;
+use crate::{PhotonicsError, Result};
+use mirage_rns::convert::{CrtConverter, ForwardConverter, ReverseConverter};
+use mirage_rns::{ModuliSet, Modulus};
+
+/// One modular MVM unit: `rows` MDPUs sharing a broadcast input vector
+/// (paper Fig. 4(a)). Computes `y_r = |Σ_j w[r][j] · x_j|_m` for every
+/// row in a single photonic cycle.
+#[derive(Debug, Clone)]
+pub struct Mmvmu {
+    mdpu: Mdpu,
+    rows: usize,
+}
+
+impl Mmvmu {
+    /// Creates an `rows × g` MMVMU for `modulus`.
+    pub fn new(modulus: Modulus, rows: usize, g: usize, config: &PhotonicConfig) -> Self {
+        Mmvmu {
+            mdpu: Mdpu::new(modulus, g, config),
+            rows,
+        }
+    }
+
+    /// The per-row dot-product unit.
+    pub fn mdpu(&self) -> &Mdpu {
+        &self.mdpu
+    }
+
+    /// Number of MDPU rows (vertical array size).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn check_tile(&self, weight_tile: &[Vec<u64>]) -> Result<()> {
+        if weight_tile.len() > self.rows {
+            return Err(PhotonicsError::LengthMismatch {
+                expected: self.rows,
+                actual: weight_tile.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Ideal modular MVM: one output residue per weight row.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches and unreduced operands.
+    pub fn mvm_ideal(&self, x: &[u64], weight_tile: &[Vec<u64>]) -> Result<Vec<u64>> {
+        self.check_tile(weight_tile)?;
+        weight_tile
+            .iter()
+            .map(|row| self.mdpu.dot_ideal(x, row))
+            .collect()
+    }
+
+    /// Noisy modular MVM through a shared [`PhaseDetector`] model.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches, unreduced operands, or invalid power.
+    pub fn mvm_noisy(
+        &self,
+        x: &[u64],
+        weight_tile: &[Vec<u64>],
+        detector: &PhaseDetector,
+        rng: &mut impl rand::RngExt,
+    ) -> Result<Vec<u64>> {
+        self.check_tile(weight_tile)?;
+        weight_tile
+            .iter()
+            .map(|row| self.mdpu.dot_noisy(x, row, detector, rng))
+            .collect()
+    }
+}
+
+/// The full RNS-MMVMU: one [`Mmvmu`] per modulus plus the reverse
+/// converter (paper Fig. 4(a) right, Fig. 4(c)).
+///
+/// ```
+/// use mirage_photonics::{PhotonicConfig, RnsMmvmu};
+/// use mirage_rns::ModuliSet;
+///
+/// let set = ModuliSet::special_set(5)?; // {31, 32, 33}
+/// let unit = RnsMmvmu::new(&set, 4, 16, &PhotonicConfig::default());
+/// // Signed mantissa MVM, end to end through the photonic model:
+/// let x: Vec<i64> = (0..16).map(|i| (i % 31) - 15).collect();
+/// let w: Vec<Vec<i64>> = (0..4).map(|r| (0..16).map(|j| ((r * j) % 29) as i64 - 14).collect()).collect();
+/// let y = unit.mvm_signed_ideal(&x, &w)?;
+/// for (row, out) in w.iter().zip(&y) {
+///     let expect: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+///     assert_eq!(*out, i128::from(expect));
+/// }
+/// # Ok::<(), mirage_photonics::PhotonicsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsMmvmu {
+    set: ModuliSet,
+    units: Vec<Mmvmu>,
+    converter: CrtConverter,
+    config: PhotonicConfig,
+    g: usize,
+    rows: usize,
+}
+
+impl RnsMmvmu {
+    /// Creates an RNS-MMVMU with `rows × g` arrays for every modulus in
+    /// `set`.
+    pub fn new(set: &ModuliSet, rows: usize, g: usize, config: &PhotonicConfig) -> Self {
+        let units = set
+            .moduli()
+            .iter()
+            .map(|&m| Mmvmu::new(m, rows, g, config))
+            .collect();
+        RnsMmvmu {
+            set: set.clone(),
+            units,
+            converter: CrtConverter::new(set),
+            config: *config,
+            g,
+            rows,
+        }
+    }
+
+    /// The moduli set.
+    pub fn set(&self) -> &ModuliSet {
+        &self.set
+    }
+
+    /// The per-modulus MMVMUs.
+    pub fn units(&self) -> &[Mmvmu] {
+        &self.units
+    }
+
+    /// Array width `g` (MMUs per MDPU).
+    pub fn g(&self) -> usize {
+        self.g
+    }
+
+    /// Array height (MDPUs per MMVMU).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total wall-plug laser power for this unit (paper §V-B1).
+    pub fn laser_wall_power_w(&self) -> f64 {
+        power::rns_mmvmu_laser_wall_power_w(&self.config, self.set.moduli(), self.g, self.rows)
+    }
+
+    /// Signed-integer MVM end to end: forward conversion → per-modulus
+    /// photonic MVMs → reverse conversion.
+    ///
+    /// Inputs are signed mantissae (e.g. BFP sign+mantissa integers);
+    /// outputs are exact signed dot products as long as they fit in the
+    /// RNS range.
+    ///
+    /// # Errors
+    ///
+    /// Length mismatches, unreduced residues, or conversion errors.
+    pub fn mvm_signed_ideal(&self, x: &[i64], weight_tile: &[Vec<i64>]) -> Result<Vec<i128>> {
+        let mut per_modulus: Vec<Vec<u64>> = Vec::with_capacity(self.units.len());
+        for (unit, &modulus) in self.units.iter().zip(self.set.moduli()) {
+            let xr: Vec<u64> = x.iter().map(|&v| modulus.reduce_i128(v as i128)).collect();
+            let wr: Vec<Vec<u64>> = weight_tile
+                .iter()
+                .map(|row| row.iter().map(|&v| modulus.reduce_i128(v as i128)).collect())
+                .collect();
+            per_modulus.push(unit.mvm_ideal(&xr, &wr)?);
+        }
+        // Transpose: residues per output row, then reverse-convert.
+        let rows = weight_tile.len();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let residues: Vec<u64> = per_modulus.iter().map(|v| v[r]).collect();
+            out.push(self.converter.to_signed(&residues)?);
+        }
+        Ok(out)
+    }
+
+    /// Noisy end-to-end MVM at a given per-channel laser drive relative
+    /// to the design point (`power_scale = 1.0` is the §V-B1 budget).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RnsMmvmu::mvm_signed_ideal`] plus invalid power.
+    pub fn mvm_signed_noisy(
+        &self,
+        x: &[i64],
+        weight_tile: &[Vec<i64>],
+        power_scale: f64,
+        rng: &mut impl rand::RngExt,
+    ) -> Result<Vec<i128>> {
+        let mut per_modulus: Vec<Vec<u64>> = Vec::with_capacity(self.units.len());
+        for (unit, &modulus) in self.units.iter().zip(self.set.moduli()) {
+            let p_det = power::required_detector_power_w(&self.config, modulus) * power_scale;
+            let detector = PhaseDetector::new(&self.config, p_det)?;
+            let xr: Vec<u64> = x.iter().map(|&v| modulus.reduce_i128(v as i128)).collect();
+            let wr: Vec<Vec<u64>> = weight_tile
+                .iter()
+                .map(|row| row.iter().map(|&v| modulus.reduce_i128(v as i128)).collect())
+                .collect();
+            per_modulus.push(unit.mvm_noisy(&xr, &wr, &detector, rng)?);
+        }
+        let rows = weight_tile.len();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let residues: Vec<u64> = per_modulus.iter().map(|v| v[r]).collect();
+            out.push(self.converter.to_signed(&residues)?);
+        }
+        Ok(out)
+    }
+
+    /// Forward-converts a signed value for inspection/testing.
+    pub fn forward_convert(&self, v: i64) -> Vec<u64> {
+        self.converter.to_residues(v as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn unit(rows: usize, g: usize) -> RnsMmvmu {
+        let set = ModuliSet::special_set(5).unwrap();
+        RnsMmvmu::new(&set, rows, g, &PhotonicConfig::default())
+    }
+
+    fn mantissas(n: usize, salt: i64) -> Vec<i64> {
+        (0..n as i64).map(|i| ((i * 7 + salt) % 31) - 15).collect()
+    }
+
+    #[test]
+    fn signed_mvm_is_exact() {
+        let u = unit(8, 16);
+        let x = mantissas(16, 3);
+        let w: Vec<Vec<i64>> = (0..8).map(|r| mantissas(16, r * 11)).collect();
+        let y = u.mvm_signed_ideal(&x, &w).unwrap();
+        for (row, &out) in w.iter().zip(&y) {
+            let expect: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            assert_eq!(out, i128::from(expect));
+        }
+    }
+
+    #[test]
+    fn matches_bfp_range_bound() {
+        // bm = 4, g = 16 worst case: 16 * 15 * 15 = 3600 < psi = 16367.
+        let u = unit(1, 16);
+        let x = vec![15i64; 16];
+        let w = vec![vec![15i64; 16]];
+        assert_eq!(u.mvm_signed_ideal(&x, &w).unwrap()[0], 3600);
+        let neg = vec![vec![-15i64; 16]];
+        assert_eq!(u.mvm_signed_ideal(&x, &neg).unwrap()[0], -3600);
+    }
+
+    #[test]
+    fn noisy_mvm_exact_at_design_power() {
+        let u = unit(4, 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let x = mantissas(16, 5);
+        let w: Vec<Vec<i64>> = (0..4).map(|r| mantissas(16, r * 13 + 1)).collect();
+        let ideal = u.mvm_signed_ideal(&x, &w).unwrap();
+        for _ in 0..20 {
+            let noisy = u.mvm_signed_noisy(&x, &w, 1.0, &mut rng).unwrap();
+            assert_eq!(noisy, ideal);
+        }
+    }
+
+    #[test]
+    fn starved_power_corrupts_results() {
+        let u = unit(8, 16);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let x = mantissas(16, 9);
+        let w: Vec<Vec<i64>> = (0..8).map(|r| mantissas(16, r * 17 + 2)).collect();
+        let ideal = u.mvm_signed_ideal(&x, &w).unwrap();
+        let mut any_error = false;
+        for _ in 0..20 {
+            let noisy = u.mvm_signed_noisy(&x, &w, 1e-4, &mut rng).unwrap();
+            any_error |= noisy != ideal;
+        }
+        assert!(any_error, "expected corruption at 1e-4 of design power");
+    }
+
+    #[test]
+    fn tile_larger_than_rows_rejected() {
+        let u = unit(2, 16);
+        let x = mantissas(16, 0);
+        let w: Vec<Vec<i64>> = (0..3).map(|r| mantissas(16, r)).collect();
+        assert!(matches!(
+            u.mvm_signed_ideal(&x, &w),
+            Err(PhotonicsError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn laser_power_positive_and_scales() {
+        let small = unit(4, 16).laser_wall_power_w();
+        let big = unit(32, 16).laser_wall_power_w();
+        assert!(small > 0.0);
+        assert!((big / small - 8.0).abs() < 1e-9);
+    }
+}

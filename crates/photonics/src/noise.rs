@@ -1,0 +1,104 @@
+//! Analog noise sources (paper §II-E2).
+
+use crate::config::PhotonicConfig;
+
+/// Elementary charge in coulombs.
+pub const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+/// Boltzmann constant in J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Shot-noise current standard deviation (Eq. 6):
+/// `σ = sqrt(2 q I_D ∆f)`.
+pub fn shot_noise_std(photocurrent_a: f64, bandwidth_hz: f64) -> f64 {
+    (2.0 * ELEMENTARY_CHARGE * photocurrent_a.max(0.0) * bandwidth_hz).sqrt()
+}
+
+/// Thermal (Johnson) noise current standard deviation (Eq. 7):
+/// `σ = sqrt(4 k_B T ∆f / R)`.
+pub fn thermal_noise_std(temperature_k: f64, feedback_ohms: f64, bandwidth_hz: f64) -> f64 {
+    (4.0 * BOLTZMANN * temperature_k * bandwidth_hz / feedback_ohms).sqrt()
+}
+
+/// Combined current-noise standard deviation at the detector.
+pub fn total_noise_std(cfg: &PhotonicConfig, photocurrent_a: f64) -> f64 {
+    let bw = cfg.bandwidth_hz();
+    let shot = shot_noise_std(photocurrent_a, bw);
+    let thermal = thermal_noise_std(cfg.temperature_k, cfg.tia.feedback_ohms, bw);
+    (shot * shot + thermal * thermal).sqrt()
+}
+
+/// Amplitude signal-to-noise ratio at the detector for a given optical
+/// power (not in dB): `SNR = I_D / σ_total`.
+pub fn detector_snr(cfg: &PhotonicConfig, optical_power_w: f64) -> f64 {
+    let i_d = cfg.photodetector.responsivity_a_per_w * optical_power_w;
+    let sigma = total_noise_std(cfg, i_d);
+    if sigma == 0.0 {
+        f64::INFINITY
+    } else {
+        i_d / sigma
+    }
+}
+
+/// A standard-normal sampler (Box–Muller) over any [`rand::RngExt`].
+pub fn sample_standard_normal(rng: &mut impl rand::RngExt) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shot_noise_matches_formula() {
+        // 1 mA at 10 GHz: σ = sqrt(2·1.602e-19·1e-3·1e10) ≈ 1.79e-6 A.
+        let s = shot_noise_std(1e-3, 1e10);
+        assert!((s - 1.79e-6).abs() / 1.79e-6 < 0.01, "s = {s}");
+    }
+
+    #[test]
+    fn thermal_noise_matches_formula() {
+        // 300 K, 10 kΩ, 10 GHz: σ = sqrt(4·1.38e-23·300·1e10/1e4) ≈ 1.29e-7 A.
+        let s = thermal_noise_std(300.0, 1e4, 1e10);
+        assert!((s - 1.287e-7).abs() / 1.287e-7 < 0.01, "s = {s}");
+    }
+
+    #[test]
+    fn shot_noise_grows_with_current() {
+        assert!(shot_noise_std(1e-3, 1e10) > shot_noise_std(1e-6, 1e10));
+        assert_eq!(shot_noise_std(0.0, 1e10), 0.0);
+    }
+
+    #[test]
+    fn snr_monotone_in_power() {
+        let cfg = PhotonicConfig::default();
+        let lo = detector_snr(&cfg, 1e-6);
+        let hi = detector_snr(&cfg, 1e-3);
+        assert!(hi > lo);
+        assert!(lo > 0.0);
+    }
+
+    #[test]
+    fn snr_sublinear_once_shot_dominates() {
+        // In the shot-noise limit SNR grows like sqrt(P), so doubling
+        // power must yield less than 2x SNR.
+        let cfg = PhotonicConfig::default();
+        let a = detector_snr(&cfg, 1e-2);
+        let b = detector_snr(&cfg, 2e-2);
+        assert!(b / a < 1.9);
+        assert!(b / a > 1.3);
+    }
+
+    #[test]
+    fn normal_sampler_statistics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Laser-power budgeting (paper §V-B1).
+//!
+//! "The laser power injected into the MMVMUs needs to ensure that a
+//! target SNR, which is dependent on the modulus value, is achieved. For
+//! a modulus m, we should be able to differentiate m phase levels, i.e.,
+//! SNR > m. From the photodetector, we back calculate the required laser
+//! power that can maintain an adequate SNR accounting for all the
+//! optical losses on the optical path."
+
+use crate::config::PhotonicConfig;
+use crate::mdpu::Mdpu;
+use crate::noise::{thermal_noise_std, ELEMENTARY_CHARGE};
+use mirage_rns::Modulus;
+
+/// Amplitude SNR required to separate `m` phase levels: `SNR >= m`.
+///
+/// At SNR = m the phase read-out noise is `σ_Φ ≈ 1/m` rad while the
+/// level spacing is `2π/m` — about 3σ of guard band to the nearest
+/// neighbouring level on either side.
+pub fn required_snr(modulus: Modulus) -> f64 {
+    modulus.value() as f64
+}
+
+/// Photocurrent needed at the detector so that
+/// `I / sqrt(σ_shot² + σ_thermal²) >= snr`.
+///
+/// Solving `I² = snr²·(2qI∆f + 4kT∆f/R)` for the positive root:
+/// `I = snr²·q·∆f + sqrt((snr²·q·∆f)² + snr²·σ_T²)`.
+pub fn required_photocurrent_a(cfg: &PhotonicConfig, snr: f64) -> f64 {
+    let bw = cfg.bandwidth_hz();
+    let a = snr * snr * ELEMENTARY_CHARGE * bw;
+    let sigma_t = thermal_noise_std(cfg.temperature_k, cfg.tia.feedback_ohms, bw);
+    a + (a * a + snr * snr * sigma_t * sigma_t).sqrt()
+}
+
+/// Optical power needed at each detection arm for `m` levels.
+pub fn required_detector_power_w(cfg: &PhotonicConfig, modulus: Modulus) -> f64 {
+    required_photocurrent_a(cfg, required_snr(modulus)) / cfg.photodetector.responsivity_a_per_w
+}
+
+/// Optical power the laser must inject per MDPU channel: the detector
+/// requirement, inflated by the worst-case path loss and doubled for the
+/// I/Q dual-detection read-out (paper §IV-A3: "twice the laser power").
+pub fn required_channel_laser_power_w(cfg: &PhotonicConfig, modulus: Modulus, g: usize) -> f64 {
+    let mdpu = Mdpu::new(modulus, g, cfg);
+    let loss_db = mdpu.worst_case_loss_db() + cfg.laser.coupler_loss_db;
+    let p_det = required_detector_power_w(cfg, modulus);
+    2.0 * p_det * 10f64.powf(loss_db / 10.0)
+}
+
+/// Wall-plug laser power for one MMVMU (`rows` MDPU channels), i.e.
+/// optical power divided by the laser efficiency.
+pub fn mmvmu_laser_wall_power_w(
+    cfg: &PhotonicConfig,
+    modulus: Modulus,
+    g: usize,
+    rows: usize,
+) -> f64 {
+    rows as f64 * required_channel_laser_power_w(cfg, modulus, g) / cfg.laser.efficiency
+}
+
+/// Wall-plug laser power for a full RNS-MMVMU across a moduli set.
+pub fn rns_mmvmu_laser_wall_power_w(
+    cfg: &PhotonicConfig,
+    moduli: &[Modulus],
+    g: usize,
+    rows: usize,
+) -> f64 {
+    moduli
+        .iter()
+        .map(|&m| mmvmu_laser_wall_power_w(cfg, m, g, rows))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::noise::detector_snr;
+
+    fn m(v: u64) -> Modulus {
+        Modulus::new(v).unwrap()
+    }
+
+    #[test]
+    fn photocurrent_achieves_requested_snr() {
+        let cfg = PhotonicConfig::default();
+        for snr in [8.0, 31.0, 33.0, 256.0] {
+            let i = required_photocurrent_a(&cfg, snr);
+            let p = i / cfg.photodetector.responsivity_a_per_w;
+            let achieved = detector_snr(&cfg, p);
+            assert!(
+                (achieved - snr).abs() / snr < 1e-9,
+                "snr = {snr}, achieved = {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_moduli_need_more_power() {
+        let cfg = PhotonicConfig::default();
+        let p31 = required_detector_power_w(&cfg, m(31));
+        let p33 = required_detector_power_w(&cfg, m(33));
+        assert!(p33 > p31);
+    }
+
+    #[test]
+    fn laser_power_grows_exponentially_with_g() {
+        // Each extra MMU adds fixed dB, so linear g -> exponential power.
+        let cfg = PhotonicConfig::default();
+        let p16 = required_channel_laser_power_w(&cfg, m(33), 16);
+        let p32 = required_channel_laser_power_w(&cfg, m(33), 32);
+        let p48 = required_channel_laser_power_w(&cfg, m(33), 48);
+        let r1 = p32 / p16;
+        let r2 = p48 / p32;
+        assert!((r1 - r2).abs() / r1 < 1e-6, "dB-linear growth violated");
+        assert!(r1 > 10.0, "16 extra MMUs should cost >10 dB");
+    }
+
+    #[test]
+    fn wall_power_includes_efficiency_and_rows() {
+        let cfg = PhotonicConfig::default();
+        let per_channel = required_channel_laser_power_w(&cfg, m(31), 16);
+        let wall = mmvmu_laser_wall_power_w(&cfg, m(31), 16, 32);
+        assert!((wall - 32.0 * per_channel / 0.2).abs() / wall < 1e-12);
+    }
+
+    #[test]
+    fn rns_power_sums_over_moduli() {
+        let cfg = PhotonicConfig::default();
+        let ms = [m(31), m(32), m(33)];
+        let total = rns_mmvmu_laser_wall_power_w(&cfg, &ms, 16, 32);
+        let manual: f64 = ms
+            .iter()
+            .map(|&mm| mmvmu_laser_wall_power_w(&cfg, mm, 16, 32))
+            .sum();
+        assert_eq!(total, manual);
+    }
+
+    #[test]
+    fn design_point_power_is_plausible() {
+        // At the paper's operating point the laser should land in the
+        // watts range for the whole accelerator (Fig. 9: 14.4 % of
+        // ~20 W). Eight RNS-MMVMUs, three moduli, 16x32 arrays.
+        let cfg = PhotonicConfig::default();
+        let ms = [m(31), m(32), m(33)];
+        let accel = 8.0 * rns_mmvmu_laser_wall_power_w(&cfg, &ms, 16, 32);
+        assert!(accel > 0.1 && accel < 50.0, "laser wall power = {accel} W");
+    }
+}

@@ -1,0 +1,267 @@
+//! RRNS-protected photonic MVM (paper §VI-E).
+//!
+//! "Redundant RNS (RRNS) can be used for error detection and correction
+//! in RNS-based systems. ... by adding redundant moduli to the original
+//! set, we can recover from accuracy loss during RNS-based DNN
+//! \[computation\] in the presence of noise. The errors can then be
+//! detected and corrected through majority logic decoding."
+//!
+//! [`ProtectedRnsMmvmu`] runs `n + r` modulus channels (each its own
+//! photonic MMVMU) and pushes every output-residue vector through the
+//! RRNS decoder. Power and area scale roughly linearly with the moduli
+//! count while throughput is unchanged — the trade the paper describes.
+
+use crate::config::PhotonicConfig;
+use crate::detect::PhaseDetector;
+use crate::mmvmu::Mmvmu;
+use crate::power;
+use crate::{PhotonicsError, Result};
+use mirage_rns::rrns::Corrected;
+use mirage_rns::{Modulus, RedundantRns};
+
+/// Outcome of one protected output read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectedOutput {
+    /// All channels consistent; no correction needed.
+    Clean(i128),
+    /// One corrupted channel was located and corrected.
+    Corrected {
+        /// The recovered value.
+        value: i128,
+        /// The corrected channel index (into base ++ redundant moduli).
+        channel: usize,
+    },
+    /// Too many channels corrupted; decoding failed.
+    Uncorrectable,
+}
+
+impl ProtectedOutput {
+    /// The decoded value, when decoding succeeded.
+    pub fn value(&self) -> Option<i128> {
+        match *self {
+            ProtectedOutput::Clean(v) => Some(v),
+            ProtectedOutput::Corrected { value, .. } => Some(value),
+            ProtectedOutput::Uncorrectable => None,
+        }
+    }
+}
+
+/// An RNS-MMVMU with redundant modulus channels and majority-logic
+/// decoding on every output.
+#[derive(Debug, Clone)]
+pub struct ProtectedRnsMmvmu {
+    rrns: RedundantRns,
+    units: Vec<Mmvmu>,
+    config: PhotonicConfig,
+    g: usize,
+    rows: usize,
+}
+
+impl ProtectedRnsMmvmu {
+    /// Builds a protected unit from base and redundant moduli.
+    ///
+    /// # Errors
+    ///
+    /// Propagates moduli-set validation errors (co-primality etc.).
+    pub fn new(
+        base: &[u64],
+        redundant: &[u64],
+        rows: usize,
+        g: usize,
+        config: &PhotonicConfig,
+    ) -> Result<Self> {
+        let rrns = RedundantRns::new(base, redundant)?;
+        let units = rrns
+            .full_set()
+            .moduli()
+            .iter()
+            .map(|&m| Mmvmu::new(m, rows, g, config))
+            .collect();
+        Ok(ProtectedRnsMmvmu {
+            rrns,
+            units,
+            config: *config,
+            g,
+            rows,
+        })
+    }
+
+    /// The underlying redundant RNS.
+    pub fn rrns(&self) -> &RedundantRns {
+        &self.rrns
+    }
+
+    /// Relative hardware overhead versus the unprotected design:
+    /// moduli-channel count ratio (≈ power and area ratio; §VI-E).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.rrns.full_set().len() as f64 / self.rrns.base_len() as f64
+    }
+
+    /// Total wall-plug laser power including the redundant channels.
+    pub fn laser_wall_power_w(&self) -> f64 {
+        power::rns_mmvmu_laser_wall_power_w(
+            &self.config,
+            self.rrns.full_set().moduli(),
+            self.g,
+            self.rows,
+        )
+    }
+
+    fn residues_for(&self, modulus: Modulus, values: &[i64]) -> Vec<u64> {
+        values
+            .iter()
+            .map(|&v| modulus.reduce_i128(i128::from(v)))
+            .collect()
+    }
+
+    /// Noisy protected MVM: each channel reads out through its own
+    /// noisy phase detector at `power_scale` of the per-channel design
+    /// budget; outputs are RRNS-decoded.
+    ///
+    /// # Errors
+    ///
+    /// Length/operand validation and invalid power errors.
+    pub fn mvm_protected(
+        &self,
+        x: &[i64],
+        weight_tile: &[Vec<i64>],
+        power_scale: f64,
+        rng: &mut impl rand::RngExt,
+    ) -> Result<Vec<ProtectedOutput>> {
+        let moduli = self.rrns.full_set().moduli();
+        let mut per_channel: Vec<Vec<u64>> = Vec::with_capacity(moduli.len());
+        for (unit, &m) in self.units.iter().zip(moduli) {
+            let p_det = power::required_detector_power_w(&self.config, m) * power_scale;
+            let detector = PhaseDetector::new(&self.config, p_det)?;
+            let xr = self.residues_for(m, x);
+            let wr: Vec<Vec<u64>> = weight_tile
+                .iter()
+                .map(|row| self.residues_for(m, row))
+                .collect();
+            per_channel.push(unit.mvm_noisy(&xr, &wr, &detector, rng)?);
+        }
+        let rows = weight_tile.len();
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let residues: Vec<u64> = per_channel.iter().map(|v| v[r]).collect();
+            out.push(match self.rrns.correct(&residues) {
+                Ok(Corrected {
+                    value,
+                    corrected_channel: None,
+                }) => ProtectedOutput::Clean(value),
+                Ok(Corrected {
+                    value,
+                    corrected_channel: Some(channel),
+                }) => ProtectedOutput::Corrected { value, channel },
+                Err(mirage_rns::RnsError::Uncorrectable) => ProtectedOutput::Uncorrectable,
+                Err(e) => return Err(PhotonicsError::Rns(e)),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Reference (noise-free) outputs for comparison.
+    ///
+    /// # Errors
+    ///
+    /// Length/operand validation.
+    pub fn mvm_ideal(&self, x: &[i64], weight_tile: &[Vec<i64>]) -> Result<Vec<i128>> {
+        weight_tile
+            .iter()
+            .map(|row| {
+                let v: i128 = row
+                    .iter()
+                    .zip(x)
+                    .map(|(&w, &xv)| i128::from(w) * i128::from(xv))
+                    .sum();
+                Ok(v)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn unit() -> ProtectedRnsMmvmu {
+        ProtectedRnsMmvmu::new(&[31, 32, 33], &[37, 41], 8, 16, &PhotonicConfig::default())
+            .expect("valid moduli")
+    }
+
+    fn operands() -> (Vec<i64>, Vec<Vec<i64>>) {
+        let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
+        let w: Vec<Vec<i64>> = (0..8)
+            .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+            .collect();
+        (x, w)
+    }
+
+    #[test]
+    fn clean_at_design_power() {
+        let u = unit();
+        let (x, w) = operands();
+        let ideal = u.mvm_ideal(&x, &w).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let out = u.mvm_protected(&x, &w, 1.0, &mut rng).unwrap();
+        for (o, &want) in out.iter().zip(&ideal) {
+            assert_eq!(o.value(), Some(want));
+        }
+    }
+
+    #[test]
+    fn correction_beats_unprotected_at_starved_power() {
+        // At a power level where single-channel read errors are common
+        // but double errors rare, RRNS recovers most outputs.
+        let u = unit();
+        let (x, w) = operands();
+        let ideal = u.mvm_ideal(&x, &w).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let scale = 0.5;
+        let trials = 60;
+        let mut corrected = 0usize;
+        let mut wrong_after = 0usize;
+        for _ in 0..trials {
+            let out = u.mvm_protected(&x, &w, scale, &mut rng).unwrap();
+            for (o, &want) in out.iter().zip(&ideal) {
+                match o {
+                    ProtectedOutput::Corrected { value, .. } => {
+                        corrected += 1;
+                        if *value != want {
+                            wrong_after += 1;
+                        }
+                    }
+                    ProtectedOutput::Clean(v) => {
+                        if *v != want {
+                            wrong_after += 1;
+                        }
+                    }
+                    ProtectedOutput::Uncorrectable => wrong_after += 1,
+                }
+            }
+        }
+        assert!(corrected > 0, "expected some corrections at {scale}x power");
+        let total = trials * ideal.len();
+        // Decoded error rate must be far below the raw correction rate.
+        assert!(
+            (wrong_after as f64) < 0.5 * corrected as f64,
+            "wrong_after = {wrong_after}, corrected = {corrected} of {total}"
+        );
+    }
+
+    #[test]
+    fn overhead_is_reported() {
+        let u = unit();
+        assert!((u.overhead_ratio() - 5.0 / 3.0).abs() < 1e-12);
+        assert!(u.laser_wall_power_w() > 0.0);
+    }
+
+    #[test]
+    fn rejects_non_coprime() {
+        assert!(
+            ProtectedRnsMmvmu::new(&[31, 32, 33], &[62], 4, 16, &PhotonicConfig::default())
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Encoding errors and process variations (paper §VI-E, Eq. 14).
+//!
+//! The output precision of an MDPU is limited by how precisely values
+//! can be encoded onto phase shifters and MRRs. Adding the per-device
+//! errors in quadrature over the worst-case optical path:
+//!
+//! `∆Φ_out = sqrt( h·∆ε_PS² + 2·h·⌈log2 m⌉·∆ε_MRR² )`
+//!
+//! with `∆ε_PS ≤ 2^-b_DAC` (the DAC sets how precisely the shifter bank
+//! is charged) and `∆ε_MRR ≤ 0.3 %` of the MRR's per-device phase
+//! effect (Ohno et al.). All `ε` values here are expressed as fractions
+//! of the full 2π scale, so the pass criterion is `∆Φ_out ≤ 2^-b_out`.
+//!
+//! The paper concludes `b_DAC ≥ 8` suffices for `b_out ≥ log2 m` at
+//! `h = 16` — with `sqrt(16) = 4 = 2²`, the shifter term alone gives
+//! exactly `b_DAC = b_out + 2 = 8`, and the MRR term is negligible at
+//! `0.3 %` of one unit phase `Φ0/2π = 1/m`.
+
+/// Per-MRR encoding error as a fraction of full scale: 0.3 % of the unit
+/// phase `1/m` (paper §VI-E citing the 0.3 % switching accuracy of the
+/// Ohno et al. MRR).
+pub fn default_mrr_error(m: u64) -> f64 {
+    0.003 / m as f64
+}
+
+/// Phase-shifter encoding error for a `b_dac`-bit DAC, as a fraction of
+/// full scale: `∆ε_PS = 2^-b_dac`.
+pub fn dac_encoding_error(b_dac: u32) -> f64 {
+    (-(f64::from(b_dac))).exp2()
+}
+
+/// The Eq. 14 quadrature sum: RMS output phase error (fraction of full
+/// scale) across an `h`-long MDPU.
+pub fn output_phase_error(h: usize, log2m: u32, eps_ps: f64, eps_mrr: f64) -> f64 {
+    let h = h as f64;
+    (h * eps_ps * eps_ps + 2.0 * h * f64::from(log2m) * eps_mrr * eps_mrr).sqrt()
+}
+
+/// Whether a DAC precision satisfies the output-precision requirement
+/// `∆Φ_out ≤ 2^-b_out` (with a 5 % engineering margin on the bound, as
+/// the quadrature model is itself a worst-case estimate).
+pub fn dac_precision_sufficient(h: usize, m: u64, b_dac: u32, b_out: u32) -> bool {
+    let log2m = 64 - (m - 1).leading_zeros();
+    let err = output_phase_error(h, log2m, dac_encoding_error(b_dac), default_mrr_error(m));
+    err <= 1.05 * (-(f64::from(b_out))).exp2()
+}
+
+/// The minimum DAC precision meeting `b_out` bits of output precision
+/// for an `h`-long MDPU over modulus `m` (up to 16 bits; `None` if even
+/// 16 bits fail, meaning MRR error dominates).
+pub fn min_dac_bits(h: usize, m: u64, b_out: u32) -> Option<u32> {
+    (2..=16).find(|&b| dac_precision_sufficient(h, m, b, b_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_conclusion_bdac_8_for_h16_m33() {
+        // §VI-E: "bDAC >= 8 satisfies this inequality for bout >= log2 m
+        // when h = 16".
+        assert_eq!(min_dac_bits(16, 33, 6), Some(8));
+        assert!(dac_precision_sufficient(16, 33, 8, 6));
+        assert!(!dac_precision_sufficient(16, 33, 7, 6));
+        // The paper's shipped 6-bit DACs do NOT meet the worst-case
+        // bound — exactly why §VI-E proposes the 8-bit upgrade.
+        assert!(!dac_precision_sufficient(16, 33, 6, 6));
+    }
+
+    #[test]
+    fn error_grows_with_h() {
+        let e16 = output_phase_error(16, 6, dac_encoding_error(8), default_mrr_error(33));
+        let e64 = output_phase_error(64, 6, dac_encoding_error(8), default_mrr_error(33));
+        assert!(e64 > e16);
+        // Quadrature: 4x h -> 2x error.
+        assert!((e64 / e16 - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn longer_mdpu_needs_finer_dacs() {
+        let b16 = min_dac_bits(16, 33, 6).unwrap();
+        let b64 = min_dac_bits(64, 33, 6).unwrap();
+        assert!(b64 > b16, "{b64} vs {b16}");
+    }
+
+    #[test]
+    fn mrr_error_negligible_at_paper_point() {
+        let log2m = 6;
+        let with = output_phase_error(16, log2m, dac_encoding_error(8), default_mrr_error(33));
+        let without = output_phase_error(16, log2m, dac_encoding_error(8), 0.0);
+        assert!((with - without) / without < 0.01);
+    }
+
+    #[test]
+    fn impossible_requirements_return_none() {
+        // Demanding 16 output bits from an h = 1024 MDPU: even 16-bit
+        // DACs cannot deliver.
+        assert_eq!(min_dac_bits(1024, 33, 16), None);
+    }
+
+    #[test]
+    fn dac_error_halves_per_bit() {
+        assert_eq!(dac_encoding_error(8), 1.0 / 256.0);
+        assert_eq!(dac_encoding_error(6), 1.0 / 64.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the photonic device simulation.
+
+use mirage_photonics::{Mdpu, Mmu, PhotonicConfig, RnsMmvmu};
+use mirage_rns::{ModuliSet, Modulus};
+use proptest::prelude::*;
+
+fn modulus() -> impl Strategy<Value = u64> {
+    prop_oneof![Just(7u64), Just(31), Just(32), Just(33), Just(63), Just(65)]
+}
+
+proptest! {
+    /// The MMU's phase-wrapped product equals the modular product for
+    /// any pair of residues.
+    #[test]
+    fn mmu_multiply_is_modular_product(m in modulus(), x in 0u64..65, w in 0u64..65) {
+        let x = x % m;
+        let w = w % m;
+        let mmu = Mmu::new(Modulus::new(m).unwrap(), &PhotonicConfig::default());
+        prop_assert_eq!(mmu.multiply(x, w).unwrap(), (x * w) % m);
+    }
+
+    /// The MDPU's accumulated phase equals the modular dot product for
+    /// random operand vectors of any length up to g.
+    #[test]
+    fn mdpu_dot_is_modular_dot(
+        m in modulus(),
+        seed in any::<u64>(),
+        len in 1usize..=32,
+    ) {
+        let mmod = Modulus::new(m).unwrap();
+        let mdpu = Mdpu::new(mmod, 32, &PhotonicConfig::default());
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) % m
+        };
+        let xs: Vec<u64> = (0..len).map(|_| next()).collect();
+        let ws: Vec<u64> = (0..len).map(|_| next()).collect();
+        let expected = xs.iter().zip(&ws).map(|(&a, &b)| a * b).sum::<u64>() % m;
+        prop_assert_eq!(mdpu.dot_ideal(&xs, &ws).unwrap(), expected);
+    }
+
+    /// The end-to-end RNS-MMVMU signed MVM is exact whenever operands
+    /// stay in the BFP mantissa range.
+    #[test]
+    fn rns_mmvmu_signed_mvm_exact(seed in any::<u64>(), rows in 1usize..=8) {
+        let set = ModuliSet::special_set(5).unwrap();
+        let unit = RnsMmvmu::new(&set, rows, 16, &PhotonicConfig::default());
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) % 31) as i64 - 15
+        };
+        let x: Vec<i64> = (0..16).map(|_| next()).collect();
+        let w: Vec<Vec<i64>> = (0..rows).map(|_| (0..16).map(|_| next()).collect()).collect();
+        let out = unit.mvm_signed_ideal(&x, &w).unwrap();
+        for (row, &got) in w.iter().zip(&out) {
+            let want: i64 = row.iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert_eq!(got, i128::from(want));
+        }
+    }
+
+    /// Laser power requirements are monotone in the modulus (more
+    /// levels need more SNR) and in g (more loss).
+    #[test]
+    fn laser_power_monotone(k in 3u32..=7, g in 2usize..=32) {
+        use mirage_photonics::power::required_channel_laser_power_w;
+        let cfg = PhotonicConfig::default();
+        let m_small = Modulus::new((1 << k) - 1).unwrap();
+        let m_large = Modulus::new((1 << k) + 1).unwrap();
+        let p_small = required_channel_laser_power_w(&cfg, m_small, g);
+        let p_large = required_channel_laser_power_w(&cfg, m_large, g);
+        prop_assert!(p_large > p_small);
+        let p_longer = required_channel_laser_power_w(&cfg, m_small, g + 1);
+        prop_assert!(p_longer > p_small);
+    }
+
+    /// Phase quantization is idempotent: re-quantizing an exact level
+    /// phase returns the same residue.
+    #[test]
+    fn quantization_idempotent(m in modulus(), r in 0u64..65) {
+        use mirage_photonics::PhaseDetector;
+        let r = r % m;
+        let det = PhaseDetector::new(&PhotonicConfig::default(), 1e-3).unwrap();
+        let phase = r as f64 * std::f64::consts::TAU / m as f64;
+        let q1 = det.quantize_to_residue(phase, m);
+        prop_assert_eq!(q1, r);
+        let phase2 = q1 as f64 * std::f64::consts::TAU / m as f64;
+        prop_assert_eq!(det.quantize_to_residue(phase2, m), q1);
+    }
+}

@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by RNS construction and arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RnsError {
+    /// A modulus value of 0 or 1 was supplied.
+    InvalidModulus(u64),
+    /// Two moduli in a set share a common factor.
+    NotCoprime {
+        /// First offending modulus.
+        a: u64,
+        /// Second offending modulus.
+        b: u64,
+    },
+    /// A moduli set must contain at least one modulus.
+    EmptySet,
+    /// The value does not fit in the dynamic range of the moduli set.
+    OutOfRange {
+        /// The value that was being encoded.
+        value: i128,
+        /// Half-open symmetric bound `psi`; legal values are `[-psi, psi]`.
+        psi: u128,
+    },
+    /// Two RNS values over different moduli sets were combined.
+    SetMismatch,
+    /// A residue value is not reduced modulo its modulus.
+    UnreducedResidue {
+        /// The residue value.
+        value: u64,
+        /// Its modulus.
+        modulus: u64,
+    },
+    /// The special moduli set parameter `k` is outside the supported range.
+    InvalidK(u32),
+    /// Redundant-RNS decoding could not find a consistent majority.
+    Uncorrectable,
+    /// A vector length mismatch in a dot-product style operation.
+    LengthMismatch {
+        /// Left operand length.
+        left: usize,
+        /// Right operand length.
+        right: usize,
+    },
+}
+
+impl fmt::Display for RnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RnsError::InvalidModulus(m) => write!(f, "invalid modulus {m}; moduli must be >= 2"),
+            RnsError::NotCoprime { a, b } => {
+                write!(f, "moduli {a} and {b} are not co-prime")
+            }
+            RnsError::EmptySet => write!(f, "moduli set must not be empty"),
+            RnsError::OutOfRange { value, psi } => {
+                write!(f, "value {value} outside RNS signed range [-{psi}, {psi}]")
+            }
+            RnsError::SetMismatch => write!(f, "operands use different moduli sets"),
+            RnsError::UnreducedResidue { value, modulus } => {
+                write!(f, "residue {value} is not reduced modulo {modulus}")
+            }
+            RnsError::InvalidK(k) => {
+                write!(f, "special-set parameter k = {k} outside supported range 2..=20")
+            }
+            RnsError::Uncorrectable => {
+                write!(f, "redundant RNS decoding found no consistent majority")
+            }
+            RnsError::LengthMismatch { left, right } => {
+                write!(f, "vector length mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl Error for RnsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let msgs = [
+            RnsError::InvalidModulus(1).to_string(),
+            RnsError::NotCoprime { a: 4, b: 6 }.to_string(),
+            RnsError::EmptySet.to_string(),
+            RnsError::OutOfRange { value: 99, psi: 10 }.to_string(),
+            RnsError::SetMismatch.to_string(),
+            RnsError::UnreducedResidue { value: 9, modulus: 3 }.to_string(),
+            RnsError::InvalidK(40).to_string(),
+            RnsError::Uncorrectable.to_string(),
+            RnsError::LengthMismatch { left: 1, right: 2 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RnsError>();
+    }
+}

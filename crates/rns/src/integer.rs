@@ -1,0 +1,344 @@
+//! Multi-residue RNS integers.
+
+use crate::moduli_set::ModuliSet;
+use crate::{Result, RnsError};
+use std::fmt;
+
+/// An integer represented by its residues over a [`ModuliSet`].
+///
+/// This is the value type flowing through Mirage's RNS dataflow (paper
+/// Fig. 2): each GEMM operand becomes `n` residue matrices, one per
+/// modulus. `RnsInteger` implements the ring operations that are exact in
+/// RNS (`add`, `sub`, `mul`) and decoding back to binary via the CRT.
+///
+/// ```
+/// use mirage_rns::{ModuliSet, RnsInteger};
+///
+/// let set = ModuliSet::special_set(5)?;
+/// let x = RnsInteger::encode(123, &set)?;
+/// let y = RnsInteger::encode(-45, &set)?;
+/// assert_eq!(x.add(&y)?.decode_signed(), 78);
+/// assert_eq!(x.mul(&y)?.decode_signed(), 123 * -45);
+/// # Ok::<(), mirage_rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsInteger {
+    residues: Vec<u64>,
+    set: ModuliSet,
+}
+
+impl RnsInteger {
+    /// Encodes a signed integer into residues (forward conversion).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::OutOfRange`] if `value` lies outside the signed
+    /// dynamic range `[-ψ, ψ]` of the set.
+    pub fn encode(value: i128, set: &ModuliSet) -> Result<Self> {
+        let psi = set.psi();
+        if value.unsigned_abs() > psi {
+            return Err(RnsError::OutOfRange { value, psi });
+        }
+        Ok(Self::encode_wrapping(value, set))
+    }
+
+    /// Encodes a signed integer, wrapping modulo `M` if out of range.
+    ///
+    /// Useful for tests that deliberately overflow the RNS range.
+    pub fn encode_wrapping(value: i128, set: &ModuliSet) -> Self {
+        let residues = set
+            .moduli()
+            .iter()
+            .map(|m| m.reduce_i128(value))
+            .collect();
+        RnsInteger {
+            residues,
+            set: set.clone(),
+        }
+    }
+
+    /// Builds an RNS integer directly from residues.
+    ///
+    /// # Errors
+    ///
+    /// - [`RnsError::LengthMismatch`] if `residues.len() != set.len()`.
+    /// - [`RnsError::UnreducedResidue`] if any residue is not reduced.
+    pub fn from_residues(residues: Vec<u64>, set: &ModuliSet) -> Result<Self> {
+        if residues.len() != set.len() {
+            return Err(RnsError::LengthMismatch {
+                left: residues.len(),
+                right: set.len(),
+            });
+        }
+        for (&r, m) in residues.iter().zip(set.moduli()) {
+            if r >= m.value() {
+                return Err(RnsError::UnreducedResidue {
+                    value: r,
+                    modulus: m.value(),
+                });
+            }
+        }
+        Ok(RnsInteger {
+            residues,
+            set: set.clone(),
+        })
+    }
+
+    /// The zero element of the set.
+    pub fn zero(set: &ModuliSet) -> Self {
+        RnsInteger {
+            residues: vec![0; set.len()],
+            set: set.clone(),
+        }
+    }
+
+    /// The residues, ordered like the set's moduli.
+    pub fn residues(&self) -> &[u64] {
+        &self.residues
+    }
+
+    /// The moduli set this value belongs to.
+    pub fn set(&self) -> &ModuliSet {
+        &self.set
+    }
+
+    /// Decodes to the canonical unsigned value in `[0, M)` using the
+    /// Chinese Remainder Theorem (paper Eq. 5).
+    pub fn decode_unsigned(&self) -> u128 {
+        let set = &self.set;
+        let big_m = set.dynamic_range();
+        let mut acc: u128 = 0;
+        for (&r, m) in self.residues.iter().zip(set.moduli()) {
+            let mi = big_m / u128::from(m.value());
+            // T_i = (M_i)^-1 mod m_i; exists because moduli are co-prime.
+            let mi_mod = m.reduce_u128(mi);
+            let ti = m
+                .inverse(mi_mod)
+                .expect("M_i is invertible for co-prime moduli");
+            // term = r * T_i mod m_i, then * M_i; summed mod M.
+            let term = u128::from(m.mul(r, ti)) * mi % big_m;
+            acc = (acc + term) % big_m;
+        }
+        acc
+    }
+
+    /// Decodes to the symmetric signed value in `[-ψ, ψ]`.
+    pub fn decode_signed(&self) -> i128 {
+        let v = self.decode_unsigned();
+        let set = &self.set;
+        if v > set.psi() {
+            v as i128 - set.dynamic_range() as i128
+        } else {
+            v as i128
+        }
+    }
+
+    /// Residue-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::SetMismatch`] if the sets differ.
+    pub fn add(&self, rhs: &RnsInteger) -> Result<RnsInteger> {
+        self.zip_with(rhs, |m, a, b| m.add(a, b))
+    }
+
+    /// Residue-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::SetMismatch`] if the sets differ.
+    pub fn sub(&self, rhs: &RnsInteger) -> Result<RnsInteger> {
+        self.zip_with(rhs, |m, a, b| m.sub(a, b))
+    }
+
+    /// Residue-wise multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::SetMismatch`] if the sets differ.
+    pub fn mul(&self, rhs: &RnsInteger) -> Result<RnsInteger> {
+        self.zip_with(rhs, |m, a, b| m.mul(a, b))
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> RnsInteger {
+        let residues = self
+            .residues
+            .iter()
+            .zip(self.set.moduli())
+            .map(|(&r, m)| m.neg(r))
+            .collect();
+        RnsInteger {
+            residues,
+            set: self.set.clone(),
+        }
+    }
+
+    /// Multiply-accumulate over vectors: `|Σ_j xs_j * ws_j|_M`.
+    ///
+    /// This mirrors the per-modulus MDPU dot product (paper Eq. 12) across
+    /// all moduli at once.
+    ///
+    /// # Errors
+    ///
+    /// - [`RnsError::LengthMismatch`] for differing vector lengths.
+    /// - [`RnsError::SetMismatch`] if any operand uses a different set.
+    pub fn dot(xs: &[RnsInteger], ws: &[RnsInteger]) -> Result<RnsInteger> {
+        if xs.len() != ws.len() {
+            return Err(RnsError::LengthMismatch {
+                left: xs.len(),
+                right: ws.len(),
+            });
+        }
+        let set = match xs.first() {
+            Some(x) => x.set.clone(),
+            None => return Err(RnsError::EmptySet),
+        };
+        let mut acc = RnsInteger::zero(&set);
+        for (x, w) in xs.iter().zip(ws) {
+            acc = acc.add(&x.mul(w)?)?;
+        }
+        Ok(acc)
+    }
+
+    fn zip_with(
+        &self,
+        rhs: &RnsInteger,
+        f: impl Fn(crate::Modulus, u64, u64) -> u64,
+    ) -> Result<RnsInteger> {
+        if self.set != rhs.set {
+            return Err(RnsError::SetMismatch);
+        }
+        let residues = self
+            .residues
+            .iter()
+            .zip(&rhs.residues)
+            .zip(self.set.moduli())
+            .map(|((&a, &b), &m)| f(m, a, b))
+            .collect();
+        Ok(RnsInteger {
+            residues,
+            set: self.set.clone(),
+        })
+    }
+}
+
+impl fmt::Display for RnsInteger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, r) in self.residues.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, ") over {}", self.set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> ModuliSet {
+        ModuliSet::special_set(5).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip_signed() {
+        let s = set();
+        for v in [-16367i128, -1234, -1, 0, 1, 999, 16367] {
+            let x = RnsInteger::encode(v, &s).unwrap();
+            assert_eq!(x.decode_signed(), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let s = set(); // psi = 16367
+        assert!(RnsInteger::encode(16368, &s).is_err());
+        assert!(RnsInteger::encode(-16368, &s).is_err());
+        assert!(RnsInteger::encode(16367, &s).is_ok());
+    }
+
+    #[test]
+    fn wrapping_encode_wraps_mod_m() {
+        let s = set(); // M = 32736
+        let x = RnsInteger::encode_wrapping(32736 + 5, &s);
+        assert_eq!(x.decode_unsigned(), 5);
+    }
+
+    #[test]
+    fn ring_homomorphism() {
+        let s = set();
+        let pairs = [(100i128, 7i128), (-100, 7), (121, -121), (-50, -60)];
+        for (a, b) in pairs {
+            let x = RnsInteger::encode(a, &s).unwrap();
+            let y = RnsInteger::encode(b, &s).unwrap();
+            assert_eq!(x.add(&y).unwrap().decode_signed(), a + b);
+            assert_eq!(x.sub(&y).unwrap().decode_signed(), a - b);
+            assert_eq!(x.mul(&y).unwrap().decode_signed(), a * b);
+            assert_eq!(x.neg().decode_signed(), -a);
+        }
+    }
+
+    #[test]
+    fn from_residues_validates() {
+        let s = set();
+        assert!(RnsInteger::from_residues(vec![0, 0], &s).is_err());
+        assert!(RnsInteger::from_residues(vec![31, 0, 0], &s).is_err());
+        let x = RnsInteger::from_residues(vec![30, 31, 32], &s).unwrap();
+        assert_eq!(x.residues(), &[30, 31, 32]);
+    }
+
+    #[test]
+    fn set_mismatch_detected() {
+        let s5 = ModuliSet::special_set(5).unwrap();
+        let s6 = ModuliSet::special_set(6).unwrap();
+        let x = RnsInteger::encode(1, &s5).unwrap();
+        let y = RnsInteger::encode(1, &s6).unwrap();
+        assert_eq!(x.add(&y).unwrap_err(), RnsError::SetMismatch);
+    }
+
+    #[test]
+    fn dot_product_matches_integer_dot() {
+        let s = set();
+        // bm = 4 style operands: signed 5-bit mantissae, g = 16.
+        let xs_i: Vec<i128> = (0..16).map(|i| (i as i128 % 31) - 15).collect();
+        let ws_i: Vec<i128> = (0..16).map(|i| ((i * 3) as i128 % 31) - 15).collect();
+        let expected: i128 = xs_i.iter().zip(&ws_i).map(|(a, b)| a * b).sum();
+        let xs: Vec<RnsInteger> = xs_i
+            .iter()
+            .map(|&v| RnsInteger::encode(v, &s).unwrap())
+            .collect();
+        let ws: Vec<RnsInteger> = ws_i
+            .iter()
+            .map(|&v| RnsInteger::encode(v, &s).unwrap())
+            .collect();
+        let d = RnsInteger::dot(&xs, &ws).unwrap();
+        assert_eq!(d.decode_signed(), expected);
+    }
+
+    #[test]
+    fn dot_empty_is_error() {
+        assert_eq!(
+            RnsInteger::dot(&[], &[]).unwrap_err(),
+            RnsError::EmptySet
+        );
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let s = set();
+        let x = RnsInteger::encode(-777, &s).unwrap();
+        let z = RnsInteger::zero(&s);
+        assert_eq!(x.add(&z).unwrap(), x);
+    }
+
+    #[test]
+    fn display_shows_residues() {
+        let s = ModuliSet::special_set(3).unwrap();
+        let x = RnsInteger::encode(10, &s).unwrap();
+        assert_eq!(x.to_string(), "(3, 2, 1) over {7, 8, 9}");
+    }
+}

@@ -1,0 +1,62 @@
+//! # mirage-rns
+//!
+//! Residue Number System (RNS) arithmetic for the Mirage photonic DNN
+//! training accelerator (Demirkiran et al., ISCA 2024).
+//!
+//! The RNS represents an integer `X` as a vector of residues
+//! `x_i = X mod m_i` for a set of pairwise co-prime moduli
+//! `{m_1, ..., m_n}`. Addition and multiplication distribute over the
+//! residues, so a GEMM over `log2(M)`-bit integers decomposes into `n`
+//! independent GEMMs over `log2(m_i)`-bit residues — which is exactly what
+//! lets Mirage use low-precision DACs/ADCs without losing information
+//! (paper §II-D, §III).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mirage_rns::{ModuliSet, RnsInteger};
+//!
+//! // The paper's special moduli set {2^k-1, 2^k, 2^k+1} with k = 5.
+//! let set = ModuliSet::special_set(5)?;
+//! let a = RnsInteger::encode(-73, &set)?;
+//! let b = RnsInteger::encode(42, &set)?;
+//! let prod = a.mul(&b)?;
+//! assert_eq!(prod.decode_signed(), -73 * 42); // within [-psi, psi]
+//! # Ok::<(), mirage_rns::RnsError>(())
+//! ```
+//!
+//! ## Modules
+//!
+//! - [`modulus`] — validated modulus values and co-primality checks.
+//! - [`moduli_set`] — moduli sets, dynamic range, the special set
+//!   `{2^k-1, 2^k, 2^k+1}`.
+//! - [`residue`] — single-residue modular arithmetic.
+//! - [`integer`] — [`RnsInteger`]: multi-residue values with ring ops.
+//! - [`convert`] — forward (binary→RNS) and reverse (RNS→binary)
+//!   conversion, both the generic CRT path and the shift-based special-set
+//!   path (Hiasat-style, paper §IV-B).
+//! - [`rrns`] — redundant RNS for error detection and correction
+//!   (paper §VI-E).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod integer;
+pub mod moduli_set;
+pub mod modulus;
+pub mod residue;
+pub mod rrns;
+
+mod error;
+
+pub use convert::{ForwardConverter, ReverseConverter, SpecialSetConverter};
+pub use error::RnsError;
+pub use integer::RnsInteger;
+pub use moduli_set::ModuliSet;
+pub use modulus::Modulus;
+pub use residue::Residue;
+pub use rrns::RedundantRns;
+
+/// Result alias for fallible RNS operations.
+pub type Result<T> = std::result::Result<T, RnsError>;

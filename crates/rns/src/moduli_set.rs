@@ -1,0 +1,271 @@
+//! Moduli sets and their dynamic range.
+
+use crate::modulus::Modulus;
+use crate::{Result, RnsError};
+use std::fmt;
+use std::sync::Arc;
+
+/// A validated set of pairwise co-prime moduli.
+///
+/// The product `M = Π m_i` is the *dynamic range* of the RNS: any integer
+/// in `[0, M)` — or, in the symmetric signed convention, in
+/// `[-ψ, ψ]` with `ψ = ⌊(M-1)/2⌋` — is uniquely represented
+/// (paper §II-D).
+///
+/// `ModuliSet` is cheaply cloneable (internally reference counted) because
+/// every [`crate::RnsInteger`] carries a handle to its set.
+///
+/// ```
+/// use mirage_rns::ModuliSet;
+///
+/// let set = ModuliSet::special_set(5)?; // {31, 32, 33}
+/// assert_eq!(set.dynamic_range(), 31 * 32 * 33);
+/// assert_eq!(set.psi(), (31 * 32 * 33 - 1) / 2);
+/// # Ok::<(), mirage_rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModuliSet {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct Inner {
+    moduli: Vec<Modulus>,
+    /// Special-set parameter when this set is `{2^k-1, 2^k, 2^k+1}`.
+    special_k: Option<u32>,
+}
+
+impl ModuliSet {
+    /// Builds a moduli set from raw values.
+    ///
+    /// # Errors
+    ///
+    /// - [`RnsError::EmptySet`] if `values` is empty.
+    /// - [`RnsError::InvalidModulus`] for any value below 2.
+    /// - [`RnsError::NotCoprime`] if any pair shares a factor.
+    pub fn new(values: &[u64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(RnsError::EmptySet);
+        }
+        let moduli: Vec<Modulus> = values
+            .iter()
+            .map(|&v| Modulus::new(v))
+            .collect::<Result<_>>()?;
+        for i in 0..moduli.len() {
+            for j in (i + 1)..moduli.len() {
+                if !moduli[i].is_coprime_with(moduli[j]) {
+                    return Err(RnsError::NotCoprime {
+                        a: moduli[i].value(),
+                        b: moduli[j].value(),
+                    });
+                }
+            }
+        }
+        let special_k = detect_special(values);
+        Ok(ModuliSet {
+            inner: Arc::new(Inner { moduli, special_k }),
+        })
+    }
+
+    /// The paper's special three-moduli set `{2^k - 1, 2^k, 2^k + 1}`.
+    ///
+    /// This set turns forward and reverse conversion into shifts and adds
+    /// (paper §IV-B; Hiasat, JCSC 2019). Mirage uses `k = 5`, i.e.
+    /// `{31, 32, 33}`, giving `M = 2^15 - 2^5 = 32736`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::InvalidK`] unless `2 <= k <= 20` (beyond 20 the
+    /// product approaches the `u64` residue headroom used in dot products).
+    pub fn special_set(k: u32) -> Result<Self> {
+        if !(2..=20).contains(&k) {
+            return Err(RnsError::InvalidK(k));
+        }
+        let base = 1u64 << k;
+        ModuliSet::new(&[base - 1, base, base + 1])
+    }
+
+    /// The moduli in this set.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.inner.moduli
+    }
+
+    /// Number of moduli `n` (equals the number of MMVMUs in Mirage).
+    pub fn len(&self) -> usize {
+        self.inner.moduli.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.inner.moduli.is_empty()
+    }
+
+    /// Dynamic range `M = Π m_i`.
+    pub fn dynamic_range(&self) -> u128 {
+        self.inner
+            .moduli
+            .iter()
+            .map(|m| u128::from(m.value()))
+            .product()
+    }
+
+    /// Symmetric signed bound `ψ = ⌊(M-1)/2⌋`; signed values live in
+    /// `[-ψ, ψ]`.
+    pub fn psi(&self) -> u128 {
+        (self.dynamic_range() - 1) / 2
+    }
+
+    /// Effective bit width of the dynamic range, `⌊log2 M⌋ + 1` bits.
+    pub fn range_bits(&self) -> u32 {
+        128 - self.dynamic_range().leading_zeros()
+    }
+
+    /// `k` when this set is exactly `{2^k-1, 2^k, 2^k+1}` (in any order).
+    pub fn special_k(&self) -> Option<u32> {
+        self.inner.special_k
+    }
+
+    /// Largest DAC/ADC precision required across moduli:
+    /// `max_i ⌈log2 m_i⌉`.
+    pub fn max_residue_bits(&self) -> u32 {
+        self.inner
+            .moduli
+            .iter()
+            .map(|m| m.bits())
+            .max()
+            .expect("set is non-empty")
+    }
+
+    /// Checks the paper's range condition, Eq. (13):
+    /// `log2 M >= 2(bm + 1) + log2(g) - 1`, i.e. an entire `g`-long dot
+    /// product of `(bm+1)`-bit signed operands fits in the RNS range.
+    pub fn supports_dot_product(&self, bm: u32, g: usize) -> bool {
+        if g == 0 {
+            return true;
+        }
+        // b_out = 2*(bm+1) + ceil(log2 g) - 1 bits of information; the
+        // signed magnitude bound is g * (2^bm)^2 and must be <= psi.
+        let max_operand = (1u128) << bm; // |mantissa| <= 2^bm for (bm+1)-bit signed
+        let bound = (g as u128).saturating_mul(max_operand * max_operand);
+        bound <= self.psi()
+    }
+
+    /// The minimum special-set `k` satisfying Eq. (13) for a BFP config.
+    ///
+    /// Matches the paper's sensitivity analysis: `k_min = 4` for `bm = 3`,
+    /// `5` for `bm = 4`, `6` for `bm = 5` (at `g = 16..64`).
+    pub fn min_special_k(bm: u32, g: usize) -> Option<u32> {
+        (2..=20).find(|&k| {
+            ModuliSet::special_set(k)
+                .map(|s| s.supports_dot_product(bm, g))
+                .unwrap_or(false)
+        })
+    }
+}
+
+impl fmt::Display for ModuliSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, m) in self.inner.moduli.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn detect_special(values: &[u64]) -> Option<u32> {
+    if values.len() != 3 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let mid = sorted[1];
+    if !mid.is_power_of_two() {
+        return None;
+    }
+    let k = mid.trailing_zeros();
+    (sorted[0] == mid - 1 && sorted[2] == mid + 1).then_some(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_set_k5_matches_paper() {
+        let s = ModuliSet::special_set(5).unwrap();
+        let values: Vec<u64> = s.moduli().iter().map(|m| m.value()).collect();
+        assert_eq!(values, vec![31, 32, 33]);
+        assert_eq!(s.dynamic_range(), 32736); // 2^15 - 2^5
+        assert_eq!(s.special_k(), Some(5));
+        assert_eq!(s.max_residue_bits(), 6); // 33 needs 6 bits
+    }
+
+    #[test]
+    fn rejects_non_coprime() {
+        let err = ModuliSet::new(&[6, 9]).unwrap_err();
+        assert_eq!(err, RnsError::NotCoprime { a: 6, b: 9 });
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(ModuliSet::new(&[]).unwrap_err(), RnsError::EmptySet);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(ModuliSet::special_set(1).is_err());
+        assert!(ModuliSet::special_set(21).is_err());
+        assert!(ModuliSet::special_set(2).is_ok());
+        assert!(ModuliSet::special_set(20).is_ok());
+    }
+
+    #[test]
+    fn detect_special_any_order() {
+        let s = ModuliSet::new(&[33, 31, 32]).unwrap();
+        assert_eq!(s.special_k(), Some(5));
+        let t = ModuliSet::new(&[31, 32, 35]).unwrap();
+        assert_eq!(t.special_k(), None);
+    }
+
+    #[test]
+    fn eq13_min_k_matches_paper_sensitivity() {
+        // Paper §VI-A1: k_min = 4 for bm=3, 5 for bm=4, 6 for bm=5.
+        // The paper states these at the operating points it considers
+        // (g up to 16 for bm=4, and the bm=3/5 cases in Fig. 5).
+        assert_eq!(ModuliSet::min_special_k(3, 16), Some(4));
+        assert_eq!(ModuliSet::min_special_k(4, 16), Some(5));
+        assert_eq!(ModuliSet::min_special_k(5, 64), Some(6));
+    }
+
+    #[test]
+    fn supports_dot_product_boundary() {
+        let s = ModuliSet::special_set(5).unwrap(); // M = 32736, psi = 16367
+        // bm = 4: operands up to 16 in magnitude, g * 256 <= 16367 -> g <= 63.
+        assert!(s.supports_dot_product(4, 63));
+        assert!(!s.supports_dot_product(4, 64));
+        assert!(s.supports_dot_product(4, 0));
+    }
+
+    #[test]
+    fn range_bits() {
+        let s = ModuliSet::special_set(5).unwrap();
+        assert_eq!(s.range_bits(), 15); // 32736 < 2^15
+    }
+
+    #[test]
+    fn display_formats_as_set() {
+        let s = ModuliSet::special_set(3).unwrap();
+        assert_eq!(s.to_string(), "{7, 8, 9}");
+    }
+
+    #[test]
+    fn clones_share_inner() {
+        let s = ModuliSet::special_set(5).unwrap();
+        let t = s.clone();
+        assert_eq!(s, t);
+    }
+}

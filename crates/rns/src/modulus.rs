@@ -1,0 +1,272 @@
+//! Validated modulus values.
+
+use crate::{Result, RnsError};
+use std::fmt;
+
+/// A single RNS modulus.
+///
+/// A modulus is a positive integer `m >= 2`. Residues for this modulus lie
+/// in `[0, m)`. In Mirage the modulus determines both the DAC/ADC bit
+/// precision (`⌈log2 m⌉`, paper Fig. 2 steps 4 and 6) and the number of
+/// phase levels the photonic core must resolve (paper §V-B1).
+///
+/// ```
+/// use mirage_rns::Modulus;
+///
+/// let m = Modulus::new(33)?;
+/// assert_eq!(m.bits(), 6);
+/// assert_eq!(m.reduce_i128(-1), 32);
+/// # Ok::<(), mirage_rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Modulus(u64);
+
+impl Modulus {
+    /// Creates a modulus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::InvalidModulus`] if `m < 2`.
+    pub fn new(m: u64) -> Result<Self> {
+        if m < 2 {
+            return Err(RnsError::InvalidModulus(m));
+        }
+        Ok(Modulus(m))
+    }
+
+    /// The raw modulus value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Number of bits needed to represent a residue: `⌈log2 m⌉`.
+    ///
+    /// This is the precision of the DACs and ADCs serving this modulus's
+    /// MMVMU in Mirage.
+    #[inline]
+    pub fn bits(self) -> u32 {
+        // ceil(log2(m)) == number of bits of (m - 1) for m >= 2.
+        64 - (self.0 - 1).leading_zeros()
+    }
+
+    /// Reduces an unsigned 128-bit value modulo this modulus.
+    #[inline]
+    pub fn reduce_u128(self, v: u128) -> u64 {
+        (v % u128::from(self.0)) as u64
+    }
+
+    /// Reduces a signed 128-bit value into `[0, m)` (mathematical modulo).
+    #[inline]
+    pub fn reduce_i128(self, v: i128) -> u64 {
+        let m = i128::from(self.0);
+        let r = v.rem_euclid(m);
+        r as u64
+    }
+
+    /// Modular addition of two already-reduced residues.
+    #[inline]
+    pub fn add(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.0 && b < self.0);
+        let s = a + b;
+        if s >= self.0 {
+            s - self.0
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two already-reduced residues.
+    #[inline]
+    pub fn sub(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.0 && b < self.0);
+        if a >= b {
+            a - b
+        } else {
+            a + self.0 - b
+        }
+    }
+
+    /// Modular multiplication of two already-reduced residues.
+    #[inline]
+    pub fn mul(self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.0 && b < self.0);
+        (u128::from(a) * u128::from(b) % u128::from(self.0)) as u64
+    }
+
+    /// Modular negation of an already-reduced residue.
+    #[inline]
+    pub fn neg(self, a: u64) -> u64 {
+        debug_assert!(a < self.0);
+        if a == 0 {
+            0
+        } else {
+            self.0 - a
+        }
+    }
+
+    /// Maps a residue in `[0, m)` to the symmetric signed representation
+    /// `[-⌊(m-1)/2⌋, ⌈(m-1)/2⌉]` used when operands are centered around
+    /// zero (paper §IV-A1).
+    #[inline]
+    pub fn to_signed(self, a: u64) -> i64 {
+        debug_assert!(a < self.0);
+        // Positives occupy [0, ⌈(m-1)/2⌉]; anything above wraps negative.
+        if a > self.0 / 2 {
+            -((self.0 - a) as i64)
+        } else {
+            a as i64
+        }
+    }
+
+    /// Multiplicative inverse modulo this modulus, if it exists.
+    ///
+    /// Returns `None` when `gcd(a, m) != 1`.
+    pub fn inverse(self, a: u64) -> Option<u64> {
+        let (g, x, _) = extended_gcd(i128::from(a), i128::from(self.0));
+        if g != 1 {
+            return None;
+        }
+        Some(self.reduce_i128(x))
+    }
+
+    /// Whether this modulus is co-prime with another.
+    pub fn is_coprime_with(self, other: Modulus) -> bool {
+        gcd(self.0, other.0) == 1
+    }
+}
+
+impl fmt::Display for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<Modulus> for u64 {
+    fn from(m: Modulus) -> u64 {
+        m.0
+    }
+}
+
+impl TryFrom<u64> for Modulus {
+    type Error = RnsError;
+
+    fn try_from(v: u64) -> Result<Self> {
+        Modulus::new(v)
+    }
+}
+
+/// Greatest common divisor (Euclid).
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended Euclid: returns `(g, x, y)` with `a*x + b*y == g == gcd(a, b)`.
+pub fn extended_gcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        (a, 1, 0)
+    } else {
+        let (g, x, y) = extended_gcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_trivial_moduli() {
+        assert_eq!(Modulus::new(0), Err(RnsError::InvalidModulus(0)));
+        assert_eq!(Modulus::new(1), Err(RnsError::InvalidModulus(1)));
+        assert!(Modulus::new(2).is_ok());
+    }
+
+    #[test]
+    fn bits_matches_ceil_log2() {
+        let cases = [(2, 1), (3, 2), (4, 2), (5, 3), (31, 5), (32, 5), (33, 6), (1024, 10)];
+        for (m, b) in cases {
+            assert_eq!(Modulus::new(m).unwrap().bits(), b, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn reduce_signed_wraps_like_math_mod() {
+        let m = Modulus::new(7).unwrap();
+        assert_eq!(m.reduce_i128(-1), 6);
+        assert_eq!(m.reduce_i128(-7), 0);
+        assert_eq!(m.reduce_i128(-8), 6);
+        assert_eq!(m.reduce_i128(13), 6);
+    }
+
+    #[test]
+    fn add_sub_mul_neg_consistency() {
+        let m = Modulus::new(31).unwrap();
+        for a in 0..31 {
+            for b in 0..31 {
+                assert_eq!(m.add(a, b), (a + b) % 31);
+                assert_eq!(m.sub(a, b), ((a as i64 - b as i64).rem_euclid(31)) as u64);
+                assert_eq!(m.mul(a, b), (a * b) % 31);
+            }
+            assert_eq!(m.add(a, m.neg(a)), 0);
+        }
+    }
+
+    #[test]
+    fn signed_mapping_round_trips_odd_modulus() {
+        // m = 7: residues 0..=3 are 0..=3, residues 4..=6 are -3..=-1.
+        let m = Modulus::new(7).unwrap();
+        assert_eq!(m.to_signed(0), 0);
+        assert_eq!(m.to_signed(3), 3);
+        assert_eq!(m.to_signed(4), -3);
+        assert_eq!(m.to_signed(6), -1);
+    }
+
+    #[test]
+    fn signed_mapping_even_modulus() {
+        // m = 8: ⌊7/2⌋ = 3 negatives (-1..-3) plus ⌈7/2⌉ = 4 at residue 4.
+        let m = Modulus::new(8).unwrap();
+        assert_eq!(m.to_signed(4), 4);
+        assert_eq!(m.to_signed(5), -3);
+        assert_eq!(m.to_signed(7), -1);
+    }
+
+    #[test]
+    fn inverse_exists_iff_coprime() {
+        let m = Modulus::new(32).unwrap();
+        assert_eq!(m.inverse(2), None);
+        let inv3 = m.inverse(3).unwrap();
+        assert_eq!(m.mul(3, inv3), 1);
+
+        let m31 = Modulus::new(31).unwrap();
+        for a in 1..31 {
+            let inv = m31.inverse(a).unwrap();
+            assert_eq!(m31.mul(a, inv), 1);
+        }
+    }
+
+    #[test]
+    fn coprimality() {
+        let a = Modulus::new(31).unwrap();
+        let b = Modulus::new(32).unwrap();
+        let c = Modulus::new(33).unwrap();
+        let d = Modulus::new(62).unwrap();
+        assert!(a.is_coprime_with(b));
+        assert!(b.is_coprime_with(c));
+        assert!(a.is_coprime_with(c));
+        assert!(!a.is_coprime_with(d));
+    }
+
+    #[test]
+    fn extended_gcd_bezout_identity() {
+        for (a, b) in [(240i128, 46i128), (17, 31), (0, 5), (12, 18)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(a * x + b * y, g);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Single-residue values.
+
+use crate::modulus::Modulus;
+use crate::{Result, RnsError};
+use std::fmt;
+
+/// A residue: a value reduced modulo a specific [`Modulus`].
+///
+/// This is the scalar that flows through a single Mirage MMVMU: one
+/// `⌈log2 m⌉`-bit integer per modulus channel.
+///
+/// ```
+/// use mirage_rns::{Modulus, Residue};
+///
+/// let m = Modulus::new(31)?;
+/// let a = Residue::new(29, m)?;
+/// let b = Residue::new(5, m)?;
+/// assert_eq!((a * b).value(), (29 * 5) % 31);
+/// # Ok::<(), mirage_rns::RnsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Residue {
+    value: u64,
+    modulus: Modulus,
+}
+
+impl Residue {
+    /// Creates a residue from an already-reduced value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError::UnreducedResidue`] if `value >= m`.
+    pub fn new(value: u64, modulus: Modulus) -> Result<Self> {
+        if value >= modulus.value() {
+            return Err(RnsError::UnreducedResidue {
+                value,
+                modulus: modulus.value(),
+            });
+        }
+        Ok(Residue { value, modulus })
+    }
+
+    /// Creates a residue by reducing an arbitrary signed integer.
+    pub fn from_i128(v: i128, modulus: Modulus) -> Self {
+        Residue {
+            value: modulus.reduce_i128(v),
+            modulus,
+        }
+    }
+
+    /// The reduced value in `[0, m)`.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.value
+    }
+
+    /// The modulus this residue is reduced by.
+    #[inline]
+    pub fn modulus(self) -> Modulus {
+        self.modulus
+    }
+
+    /// Symmetric signed interpretation (paper §IV-A1).
+    #[inline]
+    pub fn to_signed(self) -> i64 {
+        self.modulus.to_signed(self.value)
+    }
+
+    /// Multiplicative inverse if it exists.
+    pub fn inverse(self) -> Option<Residue> {
+        self.modulus.inverse(self.value).map(|v| Residue {
+            value: v,
+            modulus: self.modulus,
+        })
+    }
+
+    fn assert_same_modulus(self, other: Residue) {
+        assert_eq!(
+            self.modulus, other.modulus,
+            "residues combined across different moduli"
+        );
+    }
+}
+
+impl fmt::Display for Residue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (mod {})", self.value, self.modulus)
+    }
+}
+
+impl std::ops::Add for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands use different moduli.
+    fn add(self, rhs: Residue) -> Residue {
+        self.assert_same_modulus(rhs);
+        Residue {
+            value: self.modulus.add(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl std::ops::Sub for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands use different moduli.
+    fn sub(self, rhs: Residue) -> Residue {
+        self.assert_same_modulus(rhs);
+        Residue {
+            value: self.modulus.sub(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl std::ops::Mul for Residue {
+    type Output = Residue;
+
+    /// # Panics
+    ///
+    /// Panics if the operands use different moduli.
+    fn mul(self, rhs: Residue) -> Residue {
+        self.assert_same_modulus(rhs);
+        Residue {
+            value: self.modulus.mul(self.value, rhs.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+impl std::ops::Neg for Residue {
+    type Output = Residue;
+
+    fn neg(self) -> Residue {
+        Residue {
+            value: self.modulus.neg(self.value),
+            modulus: self.modulus,
+        }
+    }
+}
+
+/// Modular dot product of two residue slices over one modulus.
+///
+/// This is the mathematical operation a Mirage MDPU performs optically
+/// (paper Eq. 12): `|Σ_j x_j · w_j|_m`.
+///
+/// # Errors
+///
+/// Returns [`RnsError::LengthMismatch`] if the slices differ in length.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if any residue is unreduced.
+pub fn dot_product(xs: &[u64], ws: &[u64], modulus: Modulus) -> Result<u64> {
+    if xs.len() != ws.len() {
+        return Err(RnsError::LengthMismatch {
+            left: xs.len(),
+            right: ws.len(),
+        });
+    }
+    let m = u128::from(modulus.value());
+    let mut acc: u128 = 0;
+    for (&x, &w) in xs.iter().zip(ws) {
+        debug_assert!(x < modulus.value() && w < modulus.value());
+        acc += u128::from(x) * u128::from(w);
+        // Lazy reduction: keep the accumulator bounded well below overflow.
+        if acc >= m << 64 {
+            acc %= m;
+        }
+    }
+    Ok((acc % m) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: u64) -> Modulus {
+        Modulus::new(v).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_unreduced() {
+        assert!(Residue::new(31, m(31)).is_err());
+        assert!(Residue::new(30, m(31)).is_ok());
+    }
+
+    #[test]
+    fn from_i128_reduces_negatives() {
+        let r = Residue::from_i128(-5, m(31));
+        assert_eq!(r.value(), 26);
+        assert_eq!(r.to_signed(), -5);
+    }
+
+    #[test]
+    fn ring_ops() {
+        let a = Residue::new(20, m(31)).unwrap();
+        let b = Residue::new(15, m(31)).unwrap();
+        assert_eq!((a + b).value(), 4);
+        assert_eq!((a - b).value(), 5);
+        assert_eq!((b - a).value(), 26);
+        assert_eq!((a * b).value(), (20 * 15) % 31);
+        assert_eq!((-a).value(), 11);
+        assert_eq!((a + (-a)).value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different moduli")]
+    fn mixing_moduli_panics() {
+        let a = Residue::new(1, m(31)).unwrap();
+        let b = Residue::new(1, m(32)).unwrap();
+        let _ = a + b;
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Residue::new(7, m(31)).unwrap();
+        let inv = a.inverse().unwrap();
+        assert_eq!((a * inv).value(), 1);
+        // Non-invertible case.
+        let b = Residue::new(4, m(32)).unwrap();
+        assert!(b.inverse().is_none());
+    }
+
+    #[test]
+    fn dot_product_matches_naive() {
+        let modulus = m(33);
+        let xs: Vec<u64> = (0..16).map(|i| (i * 7) % 33).collect();
+        let ws: Vec<u64> = (0..16).map(|i| (i * 11 + 3) % 33).collect();
+        let expected: u64 = xs
+            .iter()
+            .zip(&ws)
+            .map(|(&x, &w)| x * w)
+            .sum::<u64>()
+            % 33;
+        assert_eq!(dot_product(&xs, &ws, modulus).unwrap(), expected);
+    }
+
+    #[test]
+    fn dot_product_length_mismatch() {
+        let e = dot_product(&[1, 2], &[1], m(31)).unwrap_err();
+        assert_eq!(e, RnsError::LengthMismatch { left: 2, right: 1 });
+    }
+
+    #[test]
+    fn dot_product_empty_is_zero() {
+        assert_eq!(dot_product(&[], &[], m(31)).unwrap(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let r = Residue::new(5, m(31)).unwrap();
+        assert_eq!(r.to_string(), "5 (mod 31)");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for RNS invariants.
+
+use mirage_rns::convert::{CrtConverter, ForwardConverter, ReverseConverter};
+use mirage_rns::{ModuliSet, RedundantRns, RnsInteger, SpecialSetConverter};
+use proptest::prelude::*;
+
+fn special_set_k() -> impl Strategy<Value = u32> {
+    2u32..=12
+}
+
+proptest! {
+    /// encode -> decode is the identity on the signed dynamic range.
+    #[test]
+    fn encode_decode_roundtrip(k in special_set_k(), v in any::<i64>()) {
+        let set = ModuliSet::special_set(k).unwrap();
+        let psi = set.psi() as i128;
+        let v = (v as i128).rem_euclid(2 * psi + 1) - psi;
+        let x = RnsInteger::encode(v, &set).unwrap();
+        prop_assert_eq!(x.decode_signed(), v);
+    }
+
+    /// Addition/multiplication are ring homomorphisms as long as results
+    /// stay in range.
+    #[test]
+    fn ring_homomorphism(k in 4u32..=12, a in -1000i128..1000, b in -1000i128..1000) {
+        let set = ModuliSet::special_set(k).unwrap();
+        let psi = set.psi() as i128;
+        prop_assume!(a.abs() <= psi && b.abs() <= psi);
+        prop_assume!((a + b).abs() <= psi && (a * b).abs() <= psi);
+        let x = RnsInteger::encode(a, &set).unwrap();
+        let y = RnsInteger::encode(b, &set).unwrap();
+        prop_assert_eq!(x.add(&y).unwrap().decode_signed(), a + b);
+        prop_assert_eq!(x.sub(&y).unwrap().decode_signed(), a - b);
+        prop_assert_eq!(x.mul(&y).unwrap().decode_signed(), a * b);
+    }
+
+    /// The special-set shift converter agrees with the generic CRT
+    /// converter in both directions.
+    #[test]
+    fn special_matches_crt(k in special_set_k(), v in any::<i32>()) {
+        let conv = SpecialSetConverter::new(k).unwrap();
+        let crt = CrtConverter::new(conv.set());
+        let psi = conv.set().psi() as i128;
+        let v = (v as i128).rem_euclid(2 * psi + 1) - psi;
+        let rs = conv.to_residues(v);
+        prop_assert_eq!(&rs, &crt.to_residues(v));
+        prop_assert_eq!(conv.to_signed(&rs).unwrap(), v);
+        prop_assert_eq!(crt.to_signed(&rs).unwrap(), v);
+    }
+
+    /// An RNS dot product of BFP-style mantissae equals the integer dot
+    /// product whenever Eq. (13) holds — the core no-information-loss
+    /// claim of the paper.
+    #[test]
+    fn dot_product_exact_within_range(
+        seed in any::<u64>(),
+        bm in 3u32..=5,
+        g in 1usize..=64,
+    ) {
+        let k = ModuliSet::min_special_k(bm, g).unwrap();
+        let set = ModuliSet::special_set(k).unwrap();
+        prop_assume!(set.supports_dot_product(bm, g));
+
+        // Deterministic pseudo-random mantissae in [-2^bm, 2^bm].
+        let bound = 1i128 << bm;
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as i128 % (2 * bound + 1)) - bound
+        };
+        let xs: Vec<i128> = (0..g).map(|_| next()).collect();
+        let ws: Vec<i128> = (0..g).map(|_| next()).collect();
+        let expected: i128 = xs.iter().zip(&ws).map(|(a, b)| a * b).sum();
+
+        let xr: Vec<RnsInteger> = xs.iter().map(|&v| RnsInteger::encode(v, &set).unwrap()).collect();
+        let wr: Vec<RnsInteger> = ws.iter().map(|&v| RnsInteger::encode(v, &set).unwrap()).collect();
+        let d = RnsInteger::dot(&xr, &wr).unwrap();
+        prop_assert_eq!(d.decode_signed(), expected);
+    }
+
+    /// RRNS corrects any single-channel corruption.
+    #[test]
+    fn rrns_corrects_single_error(
+        v in -16000i128..16000,
+        ch in 0usize..5,
+        delta in 1u64..20,
+    ) {
+        let rrns = RedundantRns::new(&[31, 32, 33], &[37, 41]).unwrap();
+        let moduli = [31u64, 32, 33, 37, 41];
+        let mut res = rrns.encode(v).unwrap();
+        let d = delta % moduli[ch];
+        prop_assume!(d != 0);
+        res[ch] = (res[ch] + d) % moduli[ch];
+        let c = rrns.correct(&res).unwrap();
+        prop_assert_eq!(c.value, v);
+        prop_assert_eq!(c.corrected_channel, Some(ch));
+    }
+
+    /// Wrapping encode is exactly mod-M arithmetic.
+    #[test]
+    fn wrapping_matches_mod(k in special_set_k(), v in any::<i64>()) {
+        let set = ModuliSet::special_set(k).unwrap();
+        let m = set.dynamic_range() as i128;
+        let x = RnsInteger::encode_wrapping(v as i128, &set);
+        prop_assert_eq!(x.decode_unsigned() as i128, (v as i128).rem_euclid(m));
+    }
+}

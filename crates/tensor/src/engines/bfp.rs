@@ -1,0 +1,165 @@
+//! Mirage's BFP-quantized GEMM engine.
+
+use super::{gemm_dims, GemmEngine};
+use crate::{Result, Tensor};
+use mirage_bfp::{BfpBlock, BfpConfig};
+
+/// BFP GEMM: operands are quantized group-by-group along the reduction
+/// dimension; each group dot product is exact integer arithmetic with a
+/// shared-exponent scale, and groups accumulate in FP32.
+///
+/// This mirrors the paper's accuracy model exactly (§V-A): "in an MVM
+/// operation with BFP values, the input vector and each row of the weight
+/// tile represent a group", and "the partial outputs are accumulated" in
+/// FP32 (Fig. 2, step 9). The RNS/moduli choice has no accuracy effect as
+/// long as Eq. 13 holds, so this engine omits the residue round trip —
+/// [`super::RnsBfpEngine`] keeps it and is verified bit-identical.
+///
+/// ```
+/// use mirage_tensor::{Tensor, GemmEngine, engines::{BfpEngine, ExactEngine}};
+/// use mirage_bfp::BfpConfig;
+///
+/// let engine = BfpEngine::new(BfpConfig::mirage_default()); // bm=4, g=16
+/// let a = Tensor::from_vec(vec![0.5, -0.25, 1.0, 0.125], &[2, 2])?;
+/// let b = Tensor::from_vec(vec![1.0, 0.5, -0.5, 0.25], &[2, 2])?;
+/// let c = engine.gemm(&a, &b)?;
+/// assert!(c.allclose(&ExactEngine.gemm(&a, &b)?, 0.1));
+/// # Ok::<(), mirage_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BfpEngine {
+    config: BfpConfig,
+}
+
+impl BfpEngine {
+    /// Creates an engine for the given BFP operating point.
+    pub fn new(config: BfpConfig) -> Self {
+        BfpEngine { config }
+    }
+
+    /// The configured BFP operating point.
+    pub fn config(&self) -> BfpConfig {
+        self.config
+    }
+
+    /// Quantizes the rows of a matrix into BFP groups along the reduction
+    /// (column) dimension. Returns `rows × ceil(k/g)` blocks, row-major.
+    ///
+    /// Public so device-level engines (e.g. the photonic GEMM in
+    /// `mirage-core`) can share the exact same quantization.
+    pub fn quantize_rows(t: &Tensor, config: BfpConfig) -> Vec<Vec<BfpBlock>> {
+        let cols = t.shape()[1];
+        let g = config.group_size();
+        (0..t.shape()[0])
+            .map(|r| {
+                let row = &t.data()[r * cols..(r + 1) * cols];
+                row.chunks(g)
+                    .map(|chunk| BfpBlock::quantize(chunk, config))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl GemmEngine for BfpEngine {
+    fn name(&self) -> &'static str {
+        "mirage-bfp"
+    }
+
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, _k, n) = gemm_dims(a, b)?;
+        // Group along k: rows of A and rows of B^T (columns of B).
+        let a_rows = Self::quantize_rows(a, self.config);
+        let bt = b.transpose2d()?;
+        let b_cols = Self::quantize_rows(&bt, self.config);
+
+        let mut out = vec![0.0f32; m * n];
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (ga, gb) in arow.iter().zip(bcol) {
+                    // Exact integer group dot with shared-exponent scale,
+                    // accumulated in FP32 like the accelerator does.
+                    acc += ga.dot(gb)?.to_f32();
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::ExactEngine;
+    use rand::SeedableRng;
+
+    #[test]
+    fn high_precision_bfp_matches_exact() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&[8, 32], 1.0, &mut rng);
+        let b = Tensor::randn(&[32, 8], 1.0, &mut rng);
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let bfp = BfpEngine::new(BfpConfig::new(16, 16).unwrap())
+            .gemm(&a, &b)
+            .unwrap();
+        assert!(bfp.allclose(&exact, 1e-3));
+    }
+
+    #[test]
+    fn mirage_default_error_is_moderate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let a = Tensor::randn(&[16, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 16], 1.0, &mut rng);
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let bfp = BfpEngine::new(BfpConfig::mirage_default())
+            .gemm(&a, &b)
+            .unwrap();
+        // bm = 4 over g = 16 groups: relative error a few percent of the
+        // output scale.
+        let scale = exact.max_abs();
+        let err = bfp.sub(&exact).unwrap().max_abs();
+        assert!(err < 0.25 * scale, "err = {err}, scale = {scale}");
+        assert!(err > 0.0, "bm=4 should not be exact on random data");
+    }
+
+    #[test]
+    fn lower_bm_is_worse() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&[8, 64], 1.0, &mut rng);
+        let b = Tensor::randn(&[64, 8], 1.0, &mut rng);
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let err = |bm: u32| {
+            BfpEngine::new(BfpConfig::new(bm, 16).unwrap())
+                .gemm(&a, &b)
+                .unwrap()
+                .sub(&exact)
+                .unwrap()
+                .max_abs()
+        };
+        assert!(err(3) > err(5));
+        assert!(err(5) > err(8));
+    }
+
+    #[test]
+    fn tail_groups_handled() {
+        // k = 19 is not a multiple of g = 16: the tail group has 3 elems.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let a = Tensor::randn(&[3, 19], 1.0, &mut rng);
+        let b = Tensor::randn(&[19, 5], 1.0, &mut rng);
+        let c = BfpEngine::new(BfpConfig::mirage_default())
+            .gemm(&a, &b)
+            .unwrap();
+        assert_eq!(c.shape(), &[3, 5]);
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let err = c.sub(&exact).unwrap().max_abs();
+        assert!(err < 0.3 * exact.max_abs(), "err = {err}");
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let e = BfpEngine::new(BfpConfig::mirage_default());
+        assert!(e.gemm(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2])).is_err());
+    }
+}

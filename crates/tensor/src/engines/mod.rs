@@ -1,0 +1,89 @@
+//! Pluggable GEMM engines modelling different hardware arithmetic.
+//!
+//! Every engine computes `C = A · B` for rank-2 tensors `A: (m, k)` and
+//! `B: (k, n)`, differing only in the arithmetic applied to operands and
+//! accumulations. Swapping engines inside the training loop is exactly
+//! how the paper models accuracy (§V-A): "we swapped each GEMM operation
+//! with our customized BFP versions".
+
+mod analog;
+mod bfp;
+mod exact;
+mod formats;
+mod rns_bfp;
+mod stochastic;
+
+pub use analog::AnalogFxpEngine;
+pub use bfp::BfpEngine;
+pub use exact::ExactEngine;
+pub use formats::{Bf16Engine, Hfp8Engine, IntEngine};
+pub use rns_bfp::RnsBfpEngine;
+pub use stochastic::StochasticBfpEngine;
+
+use crate::{Result, Tensor, TensorError};
+
+/// A matrix-multiplication backend.
+///
+/// Implementors are `Send + Sync` so training loops can share them across
+/// threads.
+pub trait GemmEngine: Send + Sync {
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Computes `A (m×k) · B (k×n) -> C (m×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are
+    /// rank-2, and [`TensorError::DimMismatch`] when inner dimensions
+    /// differ. Engines may propagate their own arithmetic errors.
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor>;
+}
+
+/// Validates GEMM operand shapes, returning `(m, k, n)`.
+pub(crate) fn gemm_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize)> {
+    for t in [a, b] {
+        if t.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: t.rank(),
+            });
+        }
+    }
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    if k != k2 {
+        return Err(TensorError::DimMismatch { left: k, right: k2 });
+    }
+    Ok((m, k, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_validation() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 4]);
+        assert_eq!(gemm_dims(&a, &b).unwrap(), (2, 3, 4));
+        let c = Tensor::zeros(&[4, 4]);
+        assert!(matches!(
+            gemm_dims(&a, &c),
+            Err(TensorError::DimMismatch { left: 3, right: 4 })
+        ));
+        let d = Tensor::zeros(&[2]);
+        assert!(matches!(
+            gemm_dims(&d, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn engines_are_object_safe() {
+        fn boxed(e: Box<dyn GemmEngine>) -> &'static str {
+            e.name()
+        }
+        assert_eq!(boxed(Box::new(ExactEngine)), "fp32");
+    }
+}

@@ -1,0 +1,191 @@
+//! BFP GEMM routed bit-exactly through RNS residues.
+
+use super::bfp::BfpEngine;
+use super::{gemm_dims, GemmEngine};
+use crate::{Result, Tensor, TensorError};
+use mirage_bfp::BfpConfig;
+use mirage_rns::convert::{CrtConverter, ReverseConverter};
+use mirage_rns::{residue, ModuliSet};
+
+/// The full Mirage numerical path: BFP mantissae → forward conversion →
+/// per-modulus modular dot products → reverse conversion → FP32
+/// accumulation (paper Fig. 2, steps 2–9).
+///
+/// Because the moduli set satisfies Eq. 13 for the configured `(bm, g)`,
+/// this engine is **bit-identical** to [`BfpEngine`] — which is the
+/// paper's central claim ("the DNN accuracy is determined by the chosen
+/// bm and g and is independent of the exact values of the moduli",
+/// §IV-B). The equivalence is enforced by tests.
+///
+/// ```
+/// use mirage_tensor::{Tensor, GemmEngine, engines::RnsBfpEngine};
+/// use mirage_bfp::BfpConfig;
+///
+/// let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default())?;
+/// assert_eq!(engine.moduli().special_k(), Some(5)); // {31, 32, 33}
+/// # Ok::<(), mirage_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RnsBfpEngine {
+    config: BfpConfig,
+    moduli: ModuliSet,
+    converter: CrtConverter,
+}
+
+impl RnsBfpEngine {
+    /// Creates an engine from an explicit moduli set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] if the set violates
+    /// Eq. 13 for the BFP configuration — RNS results would wrap and the
+    /// engine would silently corrupt dot products.
+    pub fn new(config: BfpConfig, moduli: ModuliSet) -> Result<Self> {
+        if !moduli.supports_dot_product(config.mantissa_bits(), config.group_size()) {
+            return Err(TensorError::InvalidGeometry(format!(
+                "moduli set {moduli} cannot hold a bm={}, g={} dot product (Eq. 13)",
+                config.mantissa_bits(),
+                config.group_size()
+            )));
+        }
+        let converter = CrtConverter::new(&moduli);
+        Ok(RnsBfpEngine {
+            config,
+            moduli,
+            converter,
+        })
+    }
+
+    /// Creates an engine using the smallest special set `{2^k-1, 2^k,
+    /// 2^k+1}` that satisfies Eq. 13 — the paper's moduli-selection rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when no `k <= 20`
+    /// suffices.
+    pub fn with_min_special_set(config: BfpConfig) -> Result<Self> {
+        let k = ModuliSet::min_special_k(config.mantissa_bits(), config.group_size())
+            .ok_or_else(|| {
+                TensorError::InvalidGeometry(format!(
+                    "no special moduli set supports bm={}, g={}",
+                    config.mantissa_bits(),
+                    config.group_size()
+                ))
+            })?;
+        let moduli = ModuliSet::special_set(k).map_err(TensorError::Rns)?;
+        Self::new(config, moduli)
+    }
+
+    /// The BFP operating point.
+    pub fn config(&self) -> BfpConfig {
+        self.config
+    }
+
+    /// The moduli set in use.
+    pub fn moduli(&self) -> &ModuliSet {
+        &self.moduli
+    }
+}
+
+impl GemmEngine for RnsBfpEngine {
+    fn name(&self) -> &'static str {
+        "mirage-rns-bfp"
+    }
+
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, _k, n) = gemm_dims(a, b)?;
+        let a_rows = BfpEngine::quantize_rows(a, self.config);
+        let bt = b.transpose2d()?;
+        let b_cols = BfpEngine::quantize_rows(&bt, self.config);
+        let moduli = self.moduli.moduli();
+
+        let mut out = vec![0.0f32; m * n];
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (ga, gb) in arow.iter().zip(bcol) {
+                    // Forward conversion: signed mantissae -> residues.
+                    // (In hardware: shift-based, per §IV-B.)
+                    let mut residues_out = Vec::with_capacity(moduli.len());
+                    for &modulus in moduli {
+                        let xr: Vec<u64> = ga
+                            .mantissas()
+                            .iter()
+                            .map(|&v| modulus.reduce_i128(i128::from(v)))
+                            .collect();
+                        let wr: Vec<u64> = gb
+                            .mantissas()
+                            .iter()
+                            .map(|&v| modulus.reduce_i128(i128::from(v)))
+                            .collect();
+                        // The modular dot product one MMVMU computes.
+                        residues_out.push(residue::dot_product(&xr, &wr, modulus)?);
+                    }
+                    // Reverse conversion (Fig. 2 step 7) and exponent
+                    // recombination (step 8).
+                    let integer = self.converter.to_signed(&residues_out)? as f64;
+                    let scale_exp = ga.scale_exp() + gb.scale_exp();
+                    acc += (integer * (scale_exp as f64).exp2()) as f32;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bit_identical_to_plain_bfp() {
+        // The paper's core claim: RNS adds zero numerical error.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let cfg = BfpConfig::mirage_default();
+        let rns = RnsBfpEngine::with_min_special_set(cfg).unwrap();
+        let bfp = BfpEngine::new(cfg);
+        for (m, k, n) in [(4, 16, 4), (3, 50, 7), (8, 128, 8)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let c_rns = rns.gemm(&a, &b).unwrap();
+            let c_bfp = bfp.gemm(&a, &b).unwrap();
+            assert_eq!(c_rns.data(), c_bfp.data(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn bit_identical_with_arbitrary_coprime_set() {
+        // Accuracy is independent of the moduli values (§IV-B).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        let moduli = ModuliSet::new(&[11, 13, 16, 9]).unwrap(); // M = 20592 > 2*3600
+        let rns = RnsBfpEngine::new(cfg, moduli).unwrap();
+        let a = Tensor::randn(&[5, 32], 1.0, &mut rng);
+        let b = Tensor::randn(&[32, 5], 1.0, &mut rng);
+        let c_rns = rns.gemm(&a, &b).unwrap();
+        let c_bfp = BfpEngine::new(cfg).gemm(&a, &b).unwrap();
+        assert_eq!(c_rns.data(), c_bfp.data());
+    }
+
+    #[test]
+    fn selects_paper_k_values() {
+        // kmin = 4 for bm=3, 5 for bm=4, 6 for bm=5 (§VI-A1, at g=16).
+        for (bm, expected_k) in [(3, 4), (4, 5), (5, 6)] {
+            let cfg = BfpConfig::new(bm, 16).unwrap();
+            let e = RnsBfpEngine::with_min_special_set(cfg).unwrap();
+            assert_eq!(e.moduli().special_k(), Some(expected_k), "bm = {bm}");
+        }
+    }
+
+    #[test]
+    fn rejects_undersized_moduli() {
+        let cfg = BfpConfig::new(5, 64).unwrap();
+        let too_small = ModuliSet::special_set(4).unwrap();
+        assert!(matches!(
+            RnsBfpEngine::new(cfg, too_small),
+            Err(TensorError::InvalidGeometry(_))
+        ));
+    }
+}

@@ -1,0 +1,206 @@
+//! Scalar number-format conversions used by the baseline GEMM engines.
+//!
+//! These model the data formats of the systolic-array baselines the paper
+//! compares against (Table I/II): bfloat16, HFP8 (hybrid FP8, Sun et al.
+//! NeurIPS 2019) and symmetric integer quantization.
+
+/// Rounds an `f32` to bfloat16 precision (round-to-nearest-even on the
+/// upper 16 bits) and returns it widened back to `f32`.
+///
+/// ```
+/// use mirage_tensor::quant::to_bf16;
+///
+/// assert_eq!(to_bf16(1.0), 1.0);
+/// let v = to_bf16(1.0 + 1.0 / 512.0); // below bf16 resolution near 1.0
+/// assert!(v == 1.0 || v == 1.0078125);
+/// ```
+pub fn to_bf16(v: f32) -> f32 {
+    if v.is_nan() {
+        return v;
+    }
+    let bits = v.to_bits();
+    // Round-to-nearest-even on the truncated 16 LSBs.
+    let rounding_bias = 0x7fff + ((bits >> 16) & 1);
+    let rounded = bits.wrapping_add(rounding_bias) & 0xffff_0000;
+    f32::from_bits(rounded)
+}
+
+/// An FP8 format described by exponent and mantissa widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fp8Format {
+    /// Exponent bits.
+    pub exp_bits: u32,
+    /// Mantissa bits.
+    pub man_bits: u32,
+}
+
+/// HFP8's forward format: 1-4-3 (sign, 4 exponent, 3 mantissa).
+pub const FP8_E4M3: Fp8Format = Fp8Format {
+    exp_bits: 4,
+    man_bits: 3,
+};
+
+/// HFP8's backward format: 1-5-2 (sign, 5 exponent, 2 mantissa).
+pub const FP8_E5M2: Fp8Format = Fp8Format {
+    exp_bits: 5,
+    man_bits: 2,
+};
+
+/// Quantizes an `f32` to a reduced floating-point format and widens back.
+///
+/// Saturates to the format's maximum finite value; flushes values below
+/// the smallest subnormal to zero.
+///
+/// ```
+/// use mirage_tensor::quant::{to_fp8, FP8_E4M3};
+///
+/// assert_eq!(to_fp8(1.0, FP8_E4M3), 1.0);
+/// assert_eq!(to_fp8(0.0, FP8_E4M3), 0.0);
+/// // e4m3 resolution near 1.0 is 1/8.
+/// assert!((to_fp8(1.06, FP8_E4M3) - 1.0).abs() < 0.07);
+/// ```
+pub fn to_fp8(v: f32, format: Fp8Format) -> f32 {
+    if v == 0.0 || v.is_nan() {
+        return if v.is_nan() { v } else { 0.0 };
+    }
+    let bias = (1i32 << (format.exp_bits - 1)) - 1;
+    let max_exp = (1i32 << format.exp_bits) - 2 - bias; // reserve top code
+    let min_exp = 1 - bias;
+    let sign = v.signum();
+    let mag = f64::from(v.abs());
+    let e = mag.log2().floor() as i32;
+    let e_clamped = e.min(max_exp);
+    if e_clamped < min_exp - format.man_bits as i32 {
+        return 0.0; // below subnormal range
+    }
+    // Quantize the mantissa at the (possibly subnormal) scale.
+    let scale_exp = e_clamped.max(min_exp) - format.man_bits as i32;
+    let scale = (scale_exp as f64).exp2();
+    let q = (mag / scale).round();
+    let max_q = ((1u32 << (format.man_bits + 1)) - 1) as f64; // with implicit bit
+    let q = q.min(if e_clamped == max_exp { max_q } else { q });
+    sign * (q * scale) as f32
+}
+
+/// Symmetric signed integer quantization: returns the integer code for
+/// `v` at the given scale, clamped to `[-(2^(bits-1)-1), 2^(bits-1)-1]`.
+///
+/// ```
+/// use mirage_tensor::quant::quantize_int;
+///
+/// assert_eq!(quantize_int(0.5, 0.25, 8), 2);
+/// assert_eq!(quantize_int(-100.0, 0.25, 8), -127); // clamps
+/// ```
+pub fn quantize_int(v: f32, scale: f32, bits: u32) -> i32 {
+    let limit = (1i64 << (bits - 1)) - 1;
+    if scale == 0.0 {
+        return 0;
+    }
+    let q = (f64::from(v) / f64::from(scale)).round();
+    q.clamp(-(limit as f64), limit as f64) as i32
+}
+
+/// The symmetric scale mapping `max_abs` to the largest integer code.
+pub fn int_scale(max_abs: f32, bits: u32) -> f32 {
+    let limit = ((1i64 << (bits - 1)) - 1) as f32;
+    if max_abs == 0.0 {
+        0.0
+    } else {
+        max_abs / limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_exact_on_short_mantissas() {
+        for v in [0.0f32, 1.0, -2.5, 0.15625, 1024.0] {
+            assert_eq!(to_bf16(v), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn bf16_error_bounded() {
+        for i in 0..1000 {
+            let v = (i as f32 * 0.3713).sin() * 100.0;
+            let q = to_bf16(v);
+            let rel = ((v - q) / v.abs().max(1e-9)).abs();
+            assert!(rel < 1.0 / 128.0, "v = {v}, q = {q}");
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_nan() {
+        assert!(to_bf16(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn fp8_e4m3_representable_values() {
+        for v in [1.0f32, -1.5, 0.5, 2.0, 0.125, 240.0] {
+            assert_eq!(to_fp8(v, FP8_E4M3), v, "v = {v}");
+        }
+    }
+
+    #[test]
+    fn fp8_saturates_large_values() {
+        let big = to_fp8(1e10, FP8_E4M3);
+        assert!(big > 100.0 && big.is_finite());
+        let neg = to_fp8(-1e10, FP8_E4M3);
+        assert_eq!(neg, -big);
+    }
+
+    #[test]
+    fn fp8_flushes_tiny_values() {
+        assert_eq!(to_fp8(1e-30, FP8_E4M3), 0.0);
+    }
+
+    #[test]
+    fn fp8_relative_error_bounded() {
+        for i in 1..500 {
+            let v = i as f32 * 0.37;
+            let q = to_fp8(v, FP8_E4M3);
+            let rel = ((v - q) / v).abs();
+            assert!(rel <= 1.0 / 16.0 + 1e-6, "v = {v}, q = {q}, rel = {rel}");
+        }
+    }
+
+    #[test]
+    fn fp8_e5m2_wider_range_coarser_mantissa() {
+        // e5m2 can reach beyond e4m3's ~448 ceiling.
+        assert!(to_fp8(20000.0, FP8_E5M2) > 10000.0);
+        // but is coarser near 1.0.
+        let e4 = (to_fp8(1.1, FP8_E4M3) - 1.1).abs();
+        let e5 = (to_fp8(1.1, FP8_E5M2) - 1.1).abs();
+        assert!(e5 >= e4);
+    }
+
+    #[test]
+    fn int_quantization_round_trip() {
+        let max = 3.7f32;
+        let scale = int_scale(max, 8);
+        let code = quantize_int(max, scale, 8);
+        assert_eq!(code, 127);
+        let back = code as f32 * scale;
+        assert!((back - max).abs() < 1e-5);
+    }
+
+    #[test]
+    fn int_zero_scale() {
+        assert_eq!(int_scale(0.0, 8), 0.0);
+        assert_eq!(quantize_int(1.0, 0.0, 8), 0);
+    }
+
+    #[test]
+    fn int12_finer_than_int8() {
+        let vals: Vec<f32> = (0..100).map(|i| (i as f32 * 0.713).sin()).collect();
+        let err = |bits: u32| -> f32 {
+            let scale = int_scale(1.0, bits);
+            vals.iter()
+                .map(|&v| (v - quantize_int(v, scale, bits) as f32 * scale).abs())
+                .sum()
+        };
+        assert!(err(12) < err(8));
+    }
+}

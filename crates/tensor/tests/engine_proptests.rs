@@ -1,0 +1,88 @@
+//! Property-based tests on the GEMM engines.
+
+use mirage_bfp::BfpConfig;
+use mirage_tensor::engines::{
+    AnalogFxpEngine, Bf16Engine, BfpEngine, ExactEngine, Hfp8Engine, IntEngine, RnsBfpEngine,
+    StochasticBfpEngine,
+};
+use mirage_tensor::{GemmEngine, Tensor};
+use proptest::prelude::*;
+
+fn tensor_pair() -> impl Strategy<Value = (Tensor, Tensor, usize, usize, usize)> {
+    (1usize..8, 1usize..40, 1usize..8, any::<u64>()).prop_map(|(m, k, n, seed)| {
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]).unwrap();
+        let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]).unwrap();
+        (a, b, m, k, n)
+    })
+}
+
+proptest! {
+    /// Every engine produces outputs with the right shape and finite
+    /// values, and approximates the FP32 result within its format's
+    /// error budget.
+    #[test]
+    fn engines_bounded_error((a, b, m, k, n) in tensor_pair()) {
+        let exact = ExactEngine.gemm(&a, &b).unwrap();
+        let scale = exact.max_abs().max(0.5);
+        // (engine, allowed relative error on |.|_inf).
+        let mirage = BfpEngine::new(BfpConfig::mirage_default());
+        let rns = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+        let fmac = StochasticBfpEngine::new(BfpConfig::mirage_default(), 3);
+        let analog = AnalogFxpEngine::new(8, 16, 16);
+        let hfp8 = Hfp8Engine::default();
+        let int8 = IntEngine::int8();
+        let int12 = IntEngine::int12();
+        let cases: Vec<(&dyn GemmEngine, f32)> = vec![
+            (&Bf16Engine, 0.05),
+            (&hfp8, 0.35),
+            (&int8, 0.15),
+            (&int12, 0.05),
+            (&mirage, 0.5),
+            (&rns, 0.5),
+            (&fmac, 0.6),
+            (&analog, 0.3),
+        ];
+        for (engine, tol) in cases {
+            let c = engine.gemm(&a, &b).unwrap();
+            prop_assert_eq!(c.shape(), &[m, n], "{}", engine.name());
+            prop_assert!(c.data().iter().all(|v| v.is_finite()), "{}", engine.name());
+            let err = c.sub(&exact).unwrap().max_abs();
+            prop_assert!(
+                err <= tol * scale * (k as f32).sqrt().max(1.0),
+                "{}: err = {err}, scale = {scale}", engine.name()
+            );
+        }
+    }
+
+    /// The RNS path is always bit-identical to the plain BFP path —
+    /// the paper's exactness claim, across random shapes and configs.
+    #[test]
+    fn rns_always_bit_identical(
+        (a, b, _, _, _) in tensor_pair(),
+        bm in 3u32..=6,
+    ) {
+        let cfg = BfpConfig::new(bm, 16).unwrap();
+        let bfp = BfpEngine::new(cfg);
+        let rns = RnsBfpEngine::with_min_special_set(cfg).unwrap();
+        let c1 = bfp.gemm(&a, &b).unwrap();
+        let c2 = rns.gemm(&a, &b).unwrap();
+        prop_assert_eq!(c1.data(), c2.data());
+    }
+
+    /// GEMM engines are deterministic (same input -> same output).
+    #[test]
+    fn engines_deterministic((a, b, _, _, _) in tensor_pair()) {
+        let mirage = BfpEngine::new(BfpConfig::mirage_default());
+        let fmac = StochasticBfpEngine::new(BfpConfig::mirage_default(), 9);
+        let engines: Vec<&dyn GemmEngine> =
+            vec![&ExactEngine, &Bf16Engine, &mirage, &fmac];
+        for e in engines {
+            prop_assert_eq!(e.gemm(&a, &b).unwrap(), e.gemm(&a, &b).unwrap(), "{}", e.name());
+        }
+    }
+}

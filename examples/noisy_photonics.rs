@@ -1,0 +1,45 @@
+//! Drive the device-level photonic simulator across laser-power levels
+//! and watch the RNS read-out break down — the §VI-E noise story.
+//!
+//! ```sh
+//! cargo run --release --example noisy_photonics
+//! ```
+
+use mirage::photonics::{PhotonicConfig, RnsMmvmu};
+use mirage::rns::ModuliSet;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = PhotonicConfig::default();
+    let set = ModuliSet::special_set(5)?;
+    let unit = RnsMmvmu::new(&set, 8, 16, &cfg);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+
+    // BFP-style mantissa operands (bm = 4).
+    let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
+    let w: Vec<Vec<i64>> = (0..8)
+        .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+        .collect();
+    let ideal = unit.mvm_signed_ideal(&x, &w)?;
+    println!("Ideal modular MVM outputs: {ideal:?}\n");
+
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "laser power (x design)", "trials", "error rate"
+    );
+    for scale in [1.0, 0.3, 0.1, 0.03, 0.01, 0.003] {
+        let trials = 200;
+        let mut wrong = 0usize;
+        for _ in 0..trials {
+            let noisy = unit.mvm_signed_noisy(&x, &w, scale, &mut rng)?;
+            wrong += noisy.iter().zip(&ideal).filter(|(a, b)| a != b).count();
+        }
+        let rate = wrong as f64 / (trials * ideal.len()) as f64;
+        println!("{scale:<22} {trials:>12} {:>13.2} %", rate * 100.0);
+    }
+
+    println!("\nAt the design-point laser budget (SNR >= m per §V-B1) the modular");
+    println!("read-out is error-free; starving the laser corrupts residues, which");
+    println!("is what redundant RNS (§VI-E) detects and corrects.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run a GEMM through every level of the Mirage stack and
+//! show the end-to-end equivalences the paper relies on.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mirage::tensor::engines::ExactEngine;
+use mirage::tensor::{GemmEngine, Tensor};
+use mirage::Mirage;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mirage = Mirage::paper_default();
+    println!("Mirage @ paper design point:");
+    println!("  moduli        : {}", mirage.config().moduli);
+    println!("  BFP           : {}", mirage.bfp_config());
+    println!(
+        "  arrays        : {} RNS-MMVMUs of {}x{}",
+        mirage.config().num_units,
+        mirage.config().rows,
+        mirage.config().g
+    );
+    println!(
+        "  peak          : {:.1} TMAC/s @ {:.0} GHz photonic clock",
+        mirage.config().peak_macs_per_s() / 1e12,
+        mirage.config().photonics.clock_hz / 1e9
+    );
+
+    // A random GEMM through four arithmetic paths.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let a = Tensor::randn(&[16, 64], 1.0, &mut rng);
+    let b = Tensor::randn(&[64, 8], 1.0, &mut rng);
+
+    let exact = ExactEngine.gemm(&a, &b)?;
+    let bfp = mirage.gemm_engine().gemm(&a, &b)?;
+    let rns = mirage.rns_gemm_engine()?.gemm(&a, &b)?;
+    let photonic = mirage.photonic_gemm_engine().gemm(&a, &b)?;
+
+    println!("\nGEMM 16x64x8 through four paths:");
+    let err = |t: &Tensor| t.sub(&exact).unwrap().max_abs() / exact.max_abs();
+    println!("  fp32 reference : max|err| = 0");
+    println!("  BFP (bm=4,g=16): rel err = {:.4}", err(&bfp));
+    println!("  BFP + RNS      : rel err = {:.4}  (bit-identical to BFP: {})",
+        err(&rns), rns.data() == bfp.data());
+    println!("  photonic sim   : rel err = {:.4}  (bit-identical to BFP: {})",
+        err(&photonic), photonic.data() == bfp.data());
+
+    // Performance snapshot on ResNet18.
+    let workload = mirage::models::zoo::resnet18(256);
+    let report = mirage.evaluate(&workload);
+    println!("\nResNet18 (batch 256) on Mirage: {report}");
+
+    let p = mirage.power_breakdown();
+    println!("\nPeak power {:.2} W; top consumers:", p.total_w());
+    for (name, w, share) in p.rows().iter().take(3) {
+        println!("  {name:<10} {w:>7.2} W  ({:.1} %)", share * 100.0);
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Redundant-RNS error correction on the photonic read-out
+//! (paper §VI-E): compare unprotected and RRNS-protected MVMs as the
+//! laser power is starved.
+//!
+//! ```sh
+//! cargo run --release --example rrns_protection
+//! ```
+
+use mirage::photonics::{PhotonicConfig, ProtectedOutput, ProtectedRnsMmvmu, RnsMmvmu};
+use mirage::rns::ModuliSet;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = PhotonicConfig::default();
+    let base = [31u64, 32, 33];
+    let redundant = [37u64, 41];
+    let plain = RnsMmvmu::new(&ModuliSet::special_set(5)?, 8, 16, &cfg);
+    let protected = ProtectedRnsMmvmu::new(&base, &redundant, 8, 16, &cfg)?;
+
+    let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
+    let w: Vec<Vec<i64>> = (0..8)
+        .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+        .collect();
+    let ideal = plain.mvm_signed_ideal(&x, &w)?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4242);
+
+    println!("RRNS protection: base {{31,32,33}} + redundant {{37,41}}");
+    println!(
+        "hardware overhead: {:.2}x channels; throughput unchanged\n",
+        protected.overhead_ratio()
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>12}",
+        "power (x spec)", "plain err (%)", "rrns err (%)", "corrected/N"
+    );
+    for scale in [1.0, 0.7, 0.5, 0.35, 0.25] {
+        let trials = 150;
+        let mut plain_err = 0usize;
+        let mut rrns_err = 0usize;
+        let mut corrected = 0usize;
+        for _ in 0..trials {
+            let noisy = plain.mvm_signed_noisy(&x, &w, scale, &mut rng)?;
+            plain_err += noisy.iter().zip(&ideal).filter(|(a, b)| a != b).count();
+            let out = protected.mvm_protected(&x, &w, scale, &mut rng)?;
+            for (o, &want) in out.iter().zip(&ideal) {
+                match o {
+                    ProtectedOutput::Corrected { value, .. } => {
+                        corrected += 1;
+                        if *value != want {
+                            rrns_err += 1;
+                        }
+                    }
+                    ProtectedOutput::Clean(v) if *v == want => {}
+                    _ => rrns_err += 1,
+                }
+            }
+        }
+        let n = (trials * ideal.len()) as f64;
+        println!(
+            "{:<14} {:>14.2} {:>14.2} {:>9}/{}",
+            scale,
+            plain_err as f64 / n * 100.0,
+            rrns_err as f64 / n * 100.0,
+            corrected,
+            n as usize
+        );
+    }
+    println!("\nAt moderate starvation the RRNS decoder locates and repairs the");
+    println!("single corrupted channel; only multi-channel corruption survives.");
+    Ok(())
+}

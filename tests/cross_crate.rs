@@ -1,0 +1,102 @@
+//! Cross-crate consistency: the same arithmetic must agree across the
+//! rns / bfp / tensor / photonics / core layers.
+
+use mirage::bfp::{BfpBlock, BfpConfig};
+use mirage::photonics::{Mdpu, PhotonicConfig};
+use mirage::rns::convert::ReverseConverter;
+use mirage::rns::{residue, ModuliSet, SpecialSetConverter};
+use mirage::tensor::engines::BfpEngine;
+use mirage::tensor::{GemmEngine, Tensor};
+use mirage::Mirage;
+use rand::SeedableRng;
+
+#[test]
+fn one_dot_product_through_every_layer_of_the_stack() {
+    // A single bm=4, g=16 dot product computed five ways must agree.
+    let cfg = BfpConfig::mirage_default();
+    let xs: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.37).sin()).collect();
+    let ws: Vec<f32> = (0..16).map(|i| ((i as f32) * 0.53).cos()).collect();
+
+    // 1) BFP block dot (integer + exponent).
+    let bx = BfpBlock::quantize(&xs, cfg);
+    let bw = BfpBlock::quantize(&ws, cfg);
+    let d = bx.dot(&bw).expect("same configs");
+    let reference = d.to_f32();
+    let integer = d.integer;
+
+    // 2) RNS residue channel math (what the three MMVMUs compute).
+    let set = ModuliSet::special_set(5).expect("k = 5");
+    let conv = SpecialSetConverter::new(5).expect("k = 5");
+    let mut residues = Vec::new();
+    for &m in set.moduli() {
+        let xr: Vec<u64> = bx.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        let wr: Vec<u64> = bw.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        residues.push(residue::dot_product(&xr, &wr, m).expect("lengths match"));
+    }
+    assert_eq!(conv.to_signed(&residues).expect("reduced"), i128::from(integer));
+
+    // 3) Photonic MDPU phase accumulation per modulus.
+    let pcfg = PhotonicConfig::default();
+    for (i, &m) in set.moduli().iter().enumerate() {
+        let mdpu = Mdpu::new(m, 16, &pcfg);
+        let xr: Vec<u64> = bx.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        let wr: Vec<u64> = bw.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        assert_eq!(mdpu.dot_ideal(&xr, &wr).expect("fits"), residues[i]);
+    }
+
+    // 4) The tensor-level BFP engine on 1x16 x 16x1.
+    let a = Tensor::from_vec(xs.clone(), &[1, 16]).expect("shape");
+    let b = Tensor::from_vec(ws.clone(), &[16, 1]).expect("shape");
+    let c = BfpEngine::new(cfg).gemm(&a, &b).expect("gemm");
+    assert_eq!(c.data()[0], reference);
+
+    // 5) The device-level photonic GEMM engine.
+    let photonic = Mirage::paper_default().photonic_gemm_engine();
+    let c2 = photonic.gemm(&a, &b).expect("gemm");
+    assert_eq!(c2.data()[0], reference);
+}
+
+#[test]
+fn rns_range_guard_matches_bfp_worst_case() {
+    // Eq. 13 glue: BfpConfig::max_dot_magnitude vs ModuliSet::psi.
+    let cfg = BfpConfig::mirage_default();
+    let set = ModuliSet::special_set(5).expect("k = 5");
+    assert!(cfg.max_dot_magnitude() <= set.psi());
+    assert!(set.supports_dot_product(cfg.mantissa_bits(), cfg.group_size()));
+    // And the worst case is actually reachable and exact.
+    let xs = vec![15.9f32; 16]; // quantizes to mantissa 15 at shared exp
+    let bx = BfpBlock::quantize(&xs, cfg);
+    assert!(bx.mantissas().iter().all(|&m| m == 15));
+    let d = bx.dot(&bx).expect("same config");
+    assert_eq!(d.integer, 16 * 225);
+}
+
+#[test]
+fn large_gemm_consistency_between_fast_and_photonic_paths() {
+    let mirage = Mirage::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let a = Tensor::randn(&[33, 48], 1.0, &mut rng);
+    let b = Tensor::randn(&[48, 7], 1.0, &mut rng);
+    let fast = mirage.gemm_engine().gemm(&a, &b).expect("gemm");
+    let device = mirage.photonic_gemm_engine().gemm(&a, &b).expect("gemm");
+    assert_eq!(fast.data(), device.data());
+}
+
+#[test]
+fn workload_reports_are_internally_consistent() {
+    let mirage = Mirage::paper_default();
+    for w in mirage::models::zoo::all_workloads(64) {
+        let r = mirage.evaluate(&w);
+        assert!(r.step_latency_s > 0.0, "{}", w.name);
+        assert!(r.utilization > 0.0 && r.utilization <= 1.0, "{}", w.name);
+        // Effective throughput / utilization cannot exceed peak by the
+        // definition of the tile model.
+        let peak = mirage.config().peak_macs_per_s() / 1e12;
+        assert!(
+            r.effective_tmacs <= peak * 1.0001,
+            "{}: {} > {peak}",
+            w.name,
+            r.effective_tmacs
+        );
+    }
+}
