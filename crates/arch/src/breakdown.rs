@@ -228,8 +228,16 @@ mod tests {
         // Fig. 9: 476.6 mm² total; 234 photonic / 242.7 electronic;
         // footprint = 242.7 mm².
         let a = area_breakdown(&cfg());
-        assert!((a.total_mm2() - 476.6).abs() < 60.0, "total = {}", a.total_mm2());
-        assert!((a.photonics_mm2 - 234.0).abs() < 30.0, "photonic = {}", a.photonics_mm2);
+        assert!(
+            (a.total_mm2() - 476.6).abs() < 60.0,
+            "total = {}",
+            a.total_mm2()
+        );
+        assert!(
+            (a.photonics_mm2 - 234.0).abs() < 30.0,
+            "photonic = {}",
+            a.photonics_mm2
+        );
         assert!((a.electronic_mm2() - 242.7).abs() < 40.0);
         assert!(a.footprint_mm2() >= a.total_mm2() / 2.0 - 1e-9);
     }

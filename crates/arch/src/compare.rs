@@ -89,11 +89,7 @@ pub fn evaluate_mirage(cfg: &MirageConfig, workload: &Workload) -> PlatformResul
 }
 
 /// Evaluates a scaled systolic array on a workload (OPT2 scheduling).
-pub fn evaluate_systolic(
-    fmt: &MacUnitSpec,
-    macs: usize,
-    workload: &Workload,
-) -> PlatformResult {
+pub fn evaluate_systolic(fmt: &MacUnitSpec, macs: usize, workload: &Workload) -> PlatformResult {
     let sa = sa_config_for_macs(fmt, macs);
     let runtime = systolic_step_latency_s(&sa, workload, DataflowPolicy::Opt2);
     let power = sa.macs() as f64 * fmt.pj_per_mac * 1e-12 * fmt.clock_hz;
@@ -201,7 +197,10 @@ mod tests {
         let w = cnn_like();
         let results = compare(&cfg, &w, &[macunit::INT12], IsoScenario::Area);
         let (mirage, int12) = (&results[0], &results[1]);
-        assert!(int12.runtime_s < mirage.runtime_s, "INT12 should be faster iso-area");
+        assert!(
+            int12.runtime_s < mirage.runtime_s,
+            "INT12 should be faster iso-area"
+        );
         assert!(
             mirage.power_w < int12.power_w / 5.0,
             "Mirage should be far lower power: {} vs {}",

@@ -46,11 +46,7 @@ impl ConverterSpec {
     /// ×2/bit DAC law). Area scales ×2/bit.
     pub fn scaled_to_bits(&self, bits: u32, adc: bool) -> ConverterSpec {
         let db = bits as i32 - self.bits as i32;
-        let factor = if adc {
-            4f64.powi(db)
-        } else {
-            2f64.powi(db)
-        };
+        let factor = if adc { 4f64.powi(db) } else { 2f64.powi(db) };
         ConverterSpec {
             bits,
             power_w: self.power_w * factor,

@@ -101,12 +101,8 @@ pub fn unit_cycle_energy_with_reuse(
     let rows = cfg.rows as f64;
     let g = cfg.g as f64;
 
-    let laser_w = photonic_power::rns_mmvmu_laser_wall_power_w(
-        &cfg.photonics,
-        moduli,
-        cfg.g,
-        cfg.rows,
-    );
+    let laser_w =
+        photonic_power::rns_mmvmu_laser_wall_power_w(&cfg.photonics, moduli, cfg.g, cfg.rows);
     let laser_pj = laser_w * cycle_s * 1e12;
 
     // MRR tuning: 2·⌈log2 m⌉ rings per MMU, rows·g MMUs per modulus.
@@ -190,7 +186,10 @@ mod tests {
         // accumulation are small — Fig. 9's key qualitative claim.
         assert!(e.tia_pj > e.adc_pj, "TIA should dwarf the low-bit ADCs");
         assert!(e.laser_pj > e.adc_pj);
-        assert!(e.adc_pj + e.dac_pj < 0.1 * e.total_pj(), "converters must be minor");
+        assert!(
+            e.adc_pj + e.dac_pj < 0.1 * e.total_pj(),
+            "converters must be minor"
+        );
         assert!(e.rns_conv_pj < 0.25 * e.total_pj());
         assert!(e.mrr_tuning_pj < 1e-3, "MRR tuning is ~pW-scale");
     }

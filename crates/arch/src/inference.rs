@@ -32,48 +32,88 @@ pub struct InferenceBaseline {
 pub const TABLE3_BASELINES: [InferenceBaseline; 9] = [
     InferenceBaseline {
         name: "ADEPT",
-        resnet50: Some(InferenceEntry { ips: 35_698.0, ips_per_w: 1_587.99, ips_per_mm2: Some(50.57) }),
-        alexnet: Some(InferenceEntry { ips: 217_201.0, ips_per_w: 7_476.78, ips_per_mm2: Some(307.64) }),
+        resnet50: Some(InferenceEntry {
+            ips: 35_698.0,
+            ips_per_w: 1_587.99,
+            ips_per_mm2: Some(50.57),
+        }),
+        alexnet: Some(InferenceEntry {
+            ips: 217_201.0,
+            ips_per_w: 7_476.78,
+            ips_per_mm2: Some(307.64),
+        }),
     },
     InferenceBaseline {
         name: "Albireo-C",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 7_692.0, ips_per_w: 344.17, ips_per_mm2: Some(61.46) }),
+        alexnet: Some(InferenceEntry {
+            ips: 7_692.0,
+            ips_per_w: 344.17,
+            ips_per_mm2: Some(61.46),
+        }),
     },
     InferenceBaseline {
         name: "DNNARA",
-        resnet50: Some(InferenceEntry { ips: 9_345.0, ips_per_w: 100.0, ips_per_mm2: Some(42.05) }),
+        resnet50: Some(InferenceEntry {
+            ips: 9_345.0,
+            ips_per_w: 100.0,
+            ips_per_mm2: Some(42.05),
+        }),
         alexnet: None,
     },
     InferenceBaseline {
         name: "HolyLight",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 50_000.0, ips_per_w: 900.0, ips_per_mm2: Some(2_226.11) }),
+        alexnet: Some(InferenceEntry {
+            ips: 50_000.0,
+            ips_per_w: 900.0,
+            ips_per_mm2: Some(2_226.11),
+        }),
     },
     InferenceBaseline {
         name: "Eyeriss",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 35.0, ips_per_w: 124.80, ips_per_mm2: Some(2.85) }),
+        alexnet: Some(InferenceEntry {
+            ips: 35.0,
+            ips_per_w: 124.80,
+            ips_per_mm2: Some(2.85),
+        }),
     },
     InferenceBaseline {
         name: "Eyeriss v2",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 102.0, ips_per_w: 174.80, ips_per_mm2: None }),
+        alexnet: Some(InferenceEntry {
+            ips: 102.0,
+            ips_per_w: 174.80,
+            ips_per_mm2: None,
+        }),
     },
     InferenceBaseline {
         name: "TPU v3",
-        resnet50: Some(InferenceEntry { ips: 32_716.0, ips_per_w: 18.18, ips_per_mm2: Some(18.00) }),
+        resnet50: Some(InferenceEntry {
+            ips: 32_716.0,
+            ips_per_w: 18.18,
+            ips_per_mm2: Some(18.00),
+        }),
         alexnet: None,
     },
     InferenceBaseline {
         name: "UNPU",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 346.0, ips_per_w: 1_097.50, ips_per_mm2: Some(21.62) }),
+        alexnet: Some(InferenceEntry {
+            ips: 346.0,
+            ips_per_w: 1_097.50,
+            ips_per_mm2: Some(21.62),
+        }),
     },
     InferenceBaseline {
         name: "Res-DNN",
         resnet50: None,
-        alexnet: Some(InferenceEntry { ips: 386.11, ips_per_w: 427.78, ips_per_mm2: None }),
+        alexnet: Some(InferenceEntry {
+            ips: 386.11,
+            ips_per_w: 427.78,
+            ips_per_mm2: None,
+        }),
     },
 ];
 
@@ -139,7 +179,10 @@ mod tests {
         assert_eq!(adept.name, "ADEPT");
         assert!(adept.resnet50.unwrap().ips > 30_000.0);
         // Eyeriss v2 has no area figure, as in the paper.
-        let ev2 = TABLE3_BASELINES.iter().find(|b| b.name == "Eyeriss v2").unwrap();
+        let ev2 = TABLE3_BASELINES
+            .iter()
+            .find(|b| b.name == "Eyeriss v2")
+            .unwrap();
         assert!(ev2.alexnet.unwrap().ips_per_mm2.is_none());
     }
 }

@@ -164,12 +164,9 @@ pub fn mirage_layer_latencies(
     workload: &Workload,
     policy: DataflowPolicy,
 ) -> Vec<LayerLatency> {
-    schedule(
-        &workload.layers,
-        &Dataflow::MIRAGE,
-        policy,
-        &|shape, df| mirage_gemm_latency_s(cfg, shape, df),
-    )
+    schedule(&workload.layers, &Dataflow::MIRAGE, policy, &|shape, df| {
+        mirage_gemm_latency_s(cfg, shape, df)
+    })
 }
 
 /// Total training-step latency on Mirage.
@@ -272,7 +269,10 @@ mod tests {
         let shape_r = GemmShape::new(32, 16, 10_000);
         let r1 = mirage_gemm_latency_s(&cfg(), shape_r, Dataflow::Df1);
         let r2 = mirage_gemm_latency_s(&cfg(), shape_r, Dataflow::Df2);
-        assert!(r1 > r2, "unit-level parallelism should win: r1 = {r1}, r2 = {r2}");
+        assert!(
+            r1 > r2,
+            "unit-level parallelism should win: r1 = {r1}, r2 = {r2}"
+        );
     }
 
     #[test]
@@ -280,7 +280,11 @@ mod tests {
         let w = Workload::new(
             "t",
             1,
-            vec![layer(96, 363, 3025), layer(256, 1200, 729), layer(10, 4096, 256)],
+            vec![
+                layer(96, 363, 3025),
+                layer(256, 1200, 729),
+                layer(10, 4096, 256),
+            ],
         );
         let c = cfg();
         let t_opt2 = mirage_step_latency_s(&c, &w, DataflowPolicy::Opt2);

@@ -12,8 +12,7 @@ pub fn gemm_utilization(cfg: &MirageConfig, grid: &TileGrid) -> f64 {
         return 0.0;
     }
     let rounds = grid.tiles.div_ceil(cfg.num_units);
-    let provisioned =
-        (rounds * cfg.num_units * cfg.rows * cfg.g) as f64 * grid.streamed as f64;
+    let provisioned = (rounds * cfg.num_units * cfg.rows * cfg.g) as f64 * grid.streamed as f64;
     let busy = grid.stationary_elems as f64 * grid.streamed as f64;
     busy / provisioned
 }
@@ -63,11 +62,7 @@ pub fn sweep_rows(base: &MirageConfig, workload: &Workload, rows: &[usize]) -> V
 }
 
 /// Sweeps utilization versus the number of RNS-MMVMUs (Fig. 6(b)).
-pub fn sweep_units(
-    base: &MirageConfig,
-    workload: &Workload,
-    units: &[usize],
-) -> Vec<(usize, f64)> {
+pub fn sweep_units(base: &MirageConfig, workload: &Workload, units: &[usize]) -> Vec<(usize, f64)> {
     units
         .iter()
         .map(|&u| {

@@ -162,16 +162,28 @@ mod tests {
     #[test]
     fn training_gemm_shapes() {
         let layer = WorkloadLayer::new("conv1", 64, 147, 12544);
-        assert_eq!(layer.gemm(TrainingGemm::Forward), GemmShape::new(64, 147, 12544));
-        assert_eq!(layer.gemm(TrainingGemm::InputGrad), GemmShape::new(147, 64, 12544));
-        assert_eq!(layer.gemm(TrainingGemm::WeightGrad), GemmShape::new(64, 12544, 147));
+        assert_eq!(
+            layer.gemm(TrainingGemm::Forward),
+            GemmShape::new(64, 147, 12544)
+        );
+        assert_eq!(
+            layer.gemm(TrainingGemm::InputGrad),
+            GemmShape::new(147, 64, 12544)
+        );
+        assert_eq!(
+            layer.gemm(TrainingGemm::WeightGrad),
+            GemmShape::new(64, 12544, 147)
+        );
     }
 
     #[test]
     fn all_three_gemms_have_equal_mac_counts() {
         // m·k·n is invariant under the role permutation.
         let layer = WorkloadLayer::new("l", 10, 20, 30);
-        let macs: Vec<u64> = TrainingGemm::ALL.iter().map(|&k| layer.gemm(k).macs()).collect();
+        let macs: Vec<u64> = TrainingGemm::ALL
+            .iter()
+            .map(|&k| layer.gemm(k).macs())
+            .collect();
         assert_eq!(macs, vec![6000, 6000, 6000]);
         assert_eq!(layer.training_macs(), 18000);
     }

@@ -25,7 +25,12 @@ fn main() {
         .map(|w| {
             let fast = mirage_step_latency_s(&cfg, &w, DataflowPolicy::Opt2);
             let slow_t = mirage_step_latency_s(&slow, &w, DataflowPolicy::Opt2);
-            vec![w.name.clone(), format!("{:.3e}", fast), format!("{:.3e}", slow_t), format!("{:.1}x", slow_t / fast)]
+            vec![
+                w.name.clone(),
+                format!("{:.3e}", fast),
+                format!("{:.3e}", slow_t),
+                format!("{:.1}x", slow_t / fast),
+            ]
         })
         .collect();
     print_table(
@@ -47,7 +52,10 @@ fn main() {
     let base = ModuliSet::special_set(5).expect("valid");
     let rrns = RedundantRns::new(&[31, 32, 33], &[37, 41]).expect("valid");
     let extra = rrns.full_set().len() as f64 / base.len() as f64;
-    println!("\nAblation 3 — RRNS with 2 redundant moduli: {:.2}x component count", extra);
+    println!(
+        "\nAblation 3 — RRNS with 2 redundant moduli: {:.2}x component count",
+        extra
+    );
     println!("(power/area scale ~linearly with moduli count; throughput is");
     println!("unchanged) in exchange for single-residue error correction.");
 

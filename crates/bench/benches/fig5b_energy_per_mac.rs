@@ -14,7 +14,8 @@ fn main() {
             vec![
                 bm.to_string(),
                 g.to_string(),
-                e.map(|v| format!("{v:.3e}")).unwrap_or_else(|| "infeasible".into()),
+                e.map(|v| format!("{v:.3e}"))
+                    .unwrap_or_else(|| "infeasible".into()),
             ]
         })
         .collect();

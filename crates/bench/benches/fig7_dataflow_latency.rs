@@ -58,8 +58,8 @@ fn main() {
     print_table(
         "Fig. 7(b) — step latency normalized to DF1",
         &[
-            "model", "M:DF1", "M:DF2", "M:OPT1", "M:OPT2", "SA:DF1", "SA:DF2", "SA:DF3",
-            "SA:OPT1", "SA:OPT2",
+            "model", "M:DF1", "M:DF2", "M:OPT1", "M:OPT2", "SA:DF1", "SA:DF2", "SA:DF3", "SA:OPT1",
+            "SA:OPT2",
         ],
         &rows7b,
     );

@@ -13,7 +13,10 @@ fn report(scenario: IsoScenario, label: &str) {
     let rows = fig8_comparison(256, scenario);
     let mut table = Vec::new();
     for (model, results) in &rows {
-        let mirage = results.iter().find(|r| r.platform == "Mirage").expect("present");
+        let mirage = results
+            .iter()
+            .find(|r| r.platform == "Mirage")
+            .expect("present");
         for r in results {
             table.push(vec![
                 model.clone(),
@@ -29,7 +32,16 @@ fn report(scenario: IsoScenario, label: &str) {
     }
     print_table(
         &format!("Fig. 8 ({label}) — per-model platform comparison (batch 256)"),
-        &["model", "platform", "MACs", "runtime (s)", "rt/Mirage", "EDP", "EDP/Mirage", "power (W)"],
+        &[
+            "model",
+            "platform",
+            "MACs",
+            "runtime (s)",
+            "rt/Mirage",
+            "EDP",
+            "EDP/Mirage",
+            "power (W)",
+        ],
         &table,
     );
 
@@ -58,7 +70,14 @@ fn main() {
     let cfg = MirageConfig::default();
     let w = zoo::resnet50(256);
     c.bench_function("fig8/compare_resnet50_iso_energy", |b| {
-        b.iter(|| compare(black_box(&cfg), black_box(&w), &macunit::BASELINES, IsoScenario::Energy))
+        b.iter(|| {
+            compare(
+                black_box(&cfg),
+                black_box(&w),
+                &macunit::BASELINES,
+                IsoScenario::Energy,
+            )
+        })
     });
     c.final_summary();
 }

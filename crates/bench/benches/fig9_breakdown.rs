@@ -15,11 +15,18 @@ fn main() {
         .rows()
         .into_iter()
         .map(|(name, w, share)| {
-            vec![name.to_string(), format!("{w:.2}"), format!("{:.1}", share * 100.0)]
+            vec![
+                name.to_string(),
+                format!("{w:.2}"),
+                format!("{:.1}", share * 100.0),
+            ]
         })
         .collect();
     print_table(
-        &format!("Fig. 9 (left) — peak power, total {:.2} W (paper: 19.95 W)", power.total_w()),
+        &format!(
+            "Fig. 9 (left) — peak power, total {:.2} W (paper: 19.95 W)",
+            power.total_w()
+        ),
         &["component", "W", "share (%)"],
         &power_rows,
     );
@@ -28,7 +35,11 @@ fn main() {
         .rows()
         .into_iter()
         .map(|(name, mm2, share)| {
-            vec![name.to_string(), format!("{mm2:.1}"), format!("{:.1}", share * 100.0)]
+            vec![
+                name.to_string(),
+                format!("{mm2:.1}"),
+                format!("{:.1}", share * 100.0),
+            ]
         })
         .collect();
     print_table(

@@ -40,7 +40,11 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
     let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
     let w: Vec<Vec<i64>> = (0..8)
-        .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+        .map(|r| {
+            (0..16)
+                .map(|j| ((r * 7 + j * 3) % 31) as i64 - 15)
+                .collect()
+        })
         .collect();
     let ideal = unit.mvm_signed_ideal(&x, &w).expect("valid operands");
     let noise_rows: Vec<Vec<String>> = [1.0, 0.3, 0.1, 0.03, 0.01]
@@ -49,12 +53,17 @@ fn main() {
             let trials = 100;
             let mut wrong = 0usize;
             for _ in 0..trials {
-                let noisy = unit.mvm_signed_noisy(&x, &w, scale, &mut rng).expect("valid");
+                let noisy = unit
+                    .mvm_signed_noisy(&x, &w, scale, &mut rng)
+                    .expect("valid");
                 wrong += noisy.iter().zip(&ideal).filter(|(a, b)| a != b).count();
             }
             vec![
                 format!("{scale}"),
-                format!("{:.2}", wrong as f64 / (trials * ideal.len()) as f64 * 100.0),
+                format!(
+                    "{:.2}",
+                    wrong as f64 / (trials * ideal.len()) as f64 * 100.0
+                ),
             ]
         })
         .collect();

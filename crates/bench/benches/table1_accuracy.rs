@@ -15,7 +15,11 @@ use std::hint::black_box;
 fn main() {
     let epochs = 120;
     let accs = table1_accuracies(epochs);
-    let fp32 = accs.iter().find(|r| r.0 == "FP32").map(|r| r.1).unwrap_or(0.0);
+    let fp32 = accs
+        .iter()
+        .find(|r| r.0 == "FP32")
+        .map(|r| r.1)
+        .unwrap_or(0.0);
     let rows: Vec<Vec<String>> = accs
         .iter()
         .map(|&(name, acc)| {

@@ -32,16 +32,40 @@ fn main() {
     let mut rows = vec![{
         let r = entry_cells(Some(mirage_r));
         let a = entry_cells(Some(mirage_a));
-        vec!["Mirage (ours)".to_string(), r[0].clone(), r[1].clone(), r[2].clone(), a[0].clone(), a[1].clone(), a[2].clone()]
+        vec![
+            "Mirage (ours)".to_string(),
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            a[0].clone(),
+            a[1].clone(),
+            a[2].clone(),
+        ]
     }];
     for b in TABLE3_BASELINES {
         let r = entry_cells(b.resnet50);
         let a = entry_cells(b.alexnet);
-        rows.push(vec![b.name.to_string(), r[0].clone(), r[1].clone(), r[2].clone(), a[0].clone(), a[1].clone(), a[2].clone()]);
+        rows.push(vec![
+            b.name.to_string(),
+            r[0].clone(),
+            r[1].clone(),
+            r[2].clone(),
+            a[0].clone(),
+            a[1].clone(),
+            a[2].clone(),
+        ]);
     }
     print_table(
         "Table III — inference comparison (left: ResNet50, right: AlexNet)",
-        &["accelerator", "IPS", "IPS/W", "IPS/mm2", "IPS", "IPS/W", "IPS/mm2"],
+        &[
+            "accelerator",
+            "IPS",
+            "IPS/W",
+            "IPS/mm2",
+            "IPS",
+            "IPS/W",
+            "IPS/mm2",
+        ],
         &rows,
     );
     println!("\nPaper values for Mirage: ResNet50 10,474 IPS / 1,540.6 IPS/W /");

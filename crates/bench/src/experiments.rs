@@ -15,8 +15,7 @@ use mirage_nn::optim::Sgd;
 use mirage_nn::train::{evaluate, train_epoch, Batch};
 use mirage_nn::Engines;
 use mirage_tensor::engines::{
-    AnalogFxpEngine, Bf16Engine, BfpEngine, ExactEngine, Hfp8Engine, IntEngine,
-    StochasticBfpEngine,
+    AnalogFxpEngine, Bf16Engine, BfpEngine, ExactEngine, Hfp8Engine, IntEngine, StochasticBfpEngine,
 };
 use mirage_tensor::quant::{FP8_E4M3, FP8_E5M2};
 use rand::SeedableRng;
@@ -109,11 +108,17 @@ pub fn table1_accuracies(epochs: usize) -> Vec<(&'static str, f32)> {
             "HFP8",
             Engines::split(Hfp8Engine::new(FP8_E4M3), Hfp8Engine::new(FP8_E5M2)),
         ),
-        ("FMAC", Engines::uniform(StochasticBfpEngine::new(mirage_cfg, 7))),
+        (
+            "FMAC",
+            Engines::uniform(StochasticBfpEngine::new(mirage_cfg, 7)),
+        ),
         // Extra row beyond the paper's table: the conventional analog
         // core of §II-C (8-bit converters, h = 64 tiles, lossy ADC
         // read-out) — the failure mode Mirage exists to fix.
-        ("Analog-8b", Engines::uniform(AnalogFxpEngine::new(8, 8, 64))),
+        (
+            "Analog-8b",
+            Engines::uniform(AnalogFxpEngine::new(8, 8, 64)),
+        ),
     ];
     engines
         .into_iter()
@@ -152,7 +157,13 @@ pub fn fig6_sweeps(batch: usize) -> UtilizationSweeps {
 /// systolic array, per fixed dataflow. Returns
 /// `(layer names, per-dataflow Mirage rows, per-dataflow SA rows)`.
 #[allow(clippy::type_complexity)]
-pub fn fig7a_alexnet(batch: usize) -> (Vec<String>, Vec<(Dataflow, Vec<f64>)>, Vec<(Dataflow, Vec<f64>)>) {
+pub fn fig7a_alexnet(
+    batch: usize,
+) -> (
+    Vec<String>,
+    Vec<(Dataflow, Vec<f64>)>,
+    Vec<(Dataflow, Vec<f64>)>,
+) {
     let w = zoo::alexnet(batch);
     let cfg = MirageConfig::default();
     let sa = SystolicConfig {

@@ -128,7 +128,9 @@ mod tests {
         // Values spanning a huge range survive because each group gets its
         // own exponent — the reason BFP beats plain fixed point (§II-B).
         let cfg = BfpConfig::new(4, 4).unwrap();
-        let xs = [1e10f32, 1.5e10, 0.9e10, 1.1e10, 1e-10, 1.5e-10, 0.9e-10, 1.1e-10];
+        let xs = [
+            1e10f32, 1.5e10, 0.9e10, 1.1e10, 1e-10, 1.5e-10, 0.9e-10, 1.1e-10,
+        ];
         let v = BfpVector::quantize(&xs, cfg);
         let back = v.dequantize();
         for (a, b) in xs.iter().zip(&back) {

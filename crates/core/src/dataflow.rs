@@ -138,8 +138,7 @@ impl TiledMvm {
                 // ⑧ + ⑨ Exponent recombination and accumulation.
                 for (r, &integer) in outs.iter().enumerate() {
                     let scale_exp = w_blocks[r].scale_exp() + xg.scale_exp();
-                    y.data_mut()[row0 + r] +=
-                        (integer as f64 * (scale_exp as f64).exp2()) as f32;
+                    y.data_mut()[row0 + r] += (integer as f64 * (scale_exp as f64).exp2()) as f32;
                     trace.accumulations += 1;
                 }
             }
@@ -163,7 +162,9 @@ mod tests {
         let x = Tensor::randn(&[40], 1.0, &mut rng);
         let (y, _) = mvm.execute(&w, &x).unwrap();
         let xm = x.reshape(&[40, 1]).unwrap();
-        let want = BfpEngine::new(BfpConfig::mirage_default()).gemm(&w, &xm).unwrap();
+        let want = BfpEngine::new(BfpConfig::mirage_default())
+            .gemm(&w, &xm)
+            .unwrap();
         assert_eq!(y.data(), want.data());
     }
 
@@ -198,14 +199,18 @@ mod tests {
         assert_eq!(y.len(), 33);
         assert_eq!(t.tiles, 2 * 2);
         let xm = x.reshape(&[17, 1]).unwrap();
-        let want = BfpEngine::new(BfpConfig::mirage_default()).gemm(&w, &xm).unwrap();
+        let want = BfpEngine::new(BfpConfig::mirage_default())
+            .gemm(&w, &xm)
+            .unwrap();
         assert_eq!(y.data(), want.data());
     }
 
     #[test]
     fn shape_errors() {
         let mvm = TiledMvm::new(&MirageConfig::default());
-        assert!(mvm.execute(&Tensor::zeros(&[4]), &Tensor::zeros(&[4])).is_err());
+        assert!(mvm
+            .execute(&Tensor::zeros(&[4]), &Tensor::zeros(&[4]))
+            .is_err());
         assert!(mvm
             .execute(&Tensor::zeros(&[4, 4]), &Tensor::zeros(&[5]))
             .is_err());

@@ -76,8 +76,7 @@ impl GemmEngine for PhotonicGemmEngine {
                         .map_err(|e| TensorError::InvalidGeometry(e.to_string()))?;
                     // Exponent recombination + FP32 accumulation (8-9).
                     for (r, &integer) in outputs.iter().enumerate() {
-                        let scale_exp =
-                            a_rows[row_tile + r][gi].scale_exp() + xg.scale_exp();
+                        let scale_exp = a_rows[row_tile + r][gi].scale_exp() + xg.scale_exp();
                         out[(row_tile + r) * n + j] +=
                             (integer as f64 * (scale_exp as f64).exp2()) as f32;
                     }
@@ -133,7 +132,9 @@ mod tests {
         assert!(engine
             .gemm(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 5]))
             .is_err());
-        assert!(engine.gemm(&Tensor::zeros(&[2]), &Tensor::zeros(&[2, 2])).is_err());
+        assert!(engine
+            .gemm(&Tensor::zeros(&[2]), &Tensor::zeros(&[2, 2]))
+            .is_err());
     }
 
     #[test]

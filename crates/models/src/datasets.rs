@@ -211,8 +211,7 @@ pub fn synthetic_sequences(
             for s in 0..seq {
                 for d in 0..dim {
                     let t = s as f32 / seq as f32;
-                    let carrier =
-                        (t * freq * std::f32::consts::TAU + phase + d as f32 * 0.3).sin();
+                    let carrier = (t * freq * std::f32::consts::TAU + phase + d as f32 * 0.3).sin();
                     x.push(carrier);
                 }
             }
@@ -238,8 +237,7 @@ pub fn synthetic_sequences(
                 labels.push(*y);
             }
             SeqBatch {
-                inputs: Tensor::from_vec(data, &[chunk.len() * seq, dim])
-                    .expect("sized correctly"),
+                inputs: Tensor::from_vec(data, &[chunk.len() * seq, dim]).expect("sized correctly"),
                 labels,
                 seq,
             }

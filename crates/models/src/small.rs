@@ -6,7 +6,12 @@ use mirage_tensor::conv::Conv2dGeometry;
 use rand::RngExt;
 
 /// A 2-hidden-layer MLP for 2-D toy tasks (blobs, spirals).
-pub fn small_mlp(in_dim: usize, hidden: usize, classes: usize, rng: &mut impl RngExt) -> Sequential {
+pub fn small_mlp(
+    in_dim: usize,
+    hidden: usize,
+    classes: usize,
+    rng: &mut impl RngExt,
+) -> Sequential {
     let mut net = Sequential::new();
     net.push(Dense::new(in_dim, hidden, rng));
     net.push(Relu::new());

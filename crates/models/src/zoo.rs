@@ -9,7 +9,14 @@
 
 use mirage_arch::{Workload, WorkloadLayer};
 
-fn conv(name: String, out_ch: usize, in_ch: usize, k: usize, out_hw: usize, batch: usize) -> WorkloadLayer {
+fn conv(
+    name: String,
+    out_ch: usize,
+    in_ch: usize,
+    k: usize,
+    out_hw: usize,
+    batch: usize,
+) -> WorkloadLayer {
     WorkloadLayer::new(name, out_ch, in_ch * k * k, batch * out_hw * out_hw)
 }
 
@@ -47,15 +54,34 @@ pub fn resnet18(batch: usize) -> Workload {
     let mut layers = Vec::new();
     resnet_stem(&mut layers, b);
     // (channels, spatial, blocks); first block of stages 2-4 downsamples.
-    let stages = [(64usize, 56usize, 2usize), (128, 28, 2), (256, 14, 2), (512, 7, 2)];
+    let stages = [
+        (64usize, 56usize, 2usize),
+        (128, 28, 2),
+        (256, 14, 2),
+        (512, 7, 2),
+    ];
     let mut in_ch = 64;
     for (si, &(ch, hw, blocks)) in stages.iter().enumerate() {
         for blk in 0..blocks {
             let first_in = if blk == 0 { in_ch } else { ch };
-            layers.push(conv(format!("s{}b{}c1", si + 2, blk), ch, first_in, 3, hw, b));
+            layers.push(conv(
+                format!("s{}b{}c1", si + 2, blk),
+                ch,
+                first_in,
+                3,
+                hw,
+                b,
+            ));
             layers.push(conv(format!("s{}b{}c2", si + 2, blk), ch, ch, 3, hw, b));
             if blk == 0 && first_in != ch {
-                layers.push(conv(format!("s{}b{}ds", si + 2, blk), ch, first_in, 1, hw, b));
+                layers.push(conv(
+                    format!("s{}b{}ds", si + 2, blk),
+                    ch,
+                    first_in,
+                    1,
+                    hw,
+                    b,
+                ));
             }
         }
         in_ch = ch;
@@ -70,17 +96,36 @@ pub fn resnet50(batch: usize) -> Workload {
     let mut layers = Vec::new();
     resnet_stem(&mut layers, b);
     // (mid channels, spatial, blocks) per stage; out = 4*mid.
-    let stages = [(64usize, 56usize, 3usize), (128, 28, 4), (256, 14, 6), (512, 7, 3)];
+    let stages = [
+        (64usize, 56usize, 3usize),
+        (128, 28, 4),
+        (256, 14, 6),
+        (512, 7, 3),
+    ];
     let mut in_ch = 64;
     for (si, &(mid, hw, blocks)) in stages.iter().enumerate() {
         let out = 4 * mid;
         for blk in 0..blocks {
             let first_in = if blk == 0 { in_ch } else { out };
-            layers.push(conv(format!("s{}b{}r", si + 2, blk), mid, first_in, 1, hw, b));
+            layers.push(conv(
+                format!("s{}b{}r", si + 2, blk),
+                mid,
+                first_in,
+                1,
+                hw,
+                b,
+            ));
             layers.push(conv(format!("s{}b{}c", si + 2, blk), mid, mid, 3, hw, b));
             layers.push(conv(format!("s{}b{}e", si + 2, blk), out, mid, 1, hw, b));
             if blk == 0 {
-                layers.push(conv(format!("s{}b{}ds", si + 2, blk), out, first_in, 1, hw, b));
+                layers.push(conv(
+                    format!("s{}b{}ds", si + 2, blk),
+                    out,
+                    first_in,
+                    1,
+                    hw,
+                    b,
+                ));
             }
         }
         in_ch = out;
@@ -150,7 +195,14 @@ pub fn mobilenet_v2(batch: usize) -> Workload {
                 9,
                 b * out_hw * out_hw,
             ));
-            layers.push(conv(format!("b{bi}.{r}.project"), out, hidden, 1, out_hw, b));
+            layers.push(conv(
+                format!("b{bi}.{r}.project"),
+                out,
+                hidden,
+                1,
+                out_hw,
+                b,
+            ));
             in_ch = out;
             hw = out_hw;
         }
@@ -229,8 +281,18 @@ pub fn transformer(batch: usize) -> Workload {
             b * heads * head_dim,
         ));
         // Feed-forward 768 -> 3072 -> 768.
-        layers.push(WorkloadLayer::new(format!("l{l}.ff1"), 4 * hidden, hidden, b * seq));
-        layers.push(WorkloadLayer::new(format!("l{l}.ff2"), hidden, 4 * hidden, b * seq));
+        layers.push(WorkloadLayer::new(
+            format!("l{l}.ff1"),
+            4 * hidden,
+            hidden,
+            b * seq,
+        ));
+        layers.push(WorkloadLayer::new(
+            format!("l{l}.ff2"),
+            hidden,
+            4 * hidden,
+            b * seq,
+        ));
     }
     layers.push(WorkloadLayer::new("lm_head", vocab, hidden, b * seq));
     Workload::new("Transformer", batch, layers)
@@ -321,7 +383,15 @@ mod tests {
         let names: Vec<&str> = all.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["AlexNet", "ResNet18", "ResNet50", "VGG16", "MobileNet v2", "YOLO v2", "Transformer"]
+            vec![
+                "AlexNet",
+                "ResNet18",
+                "ResNet50",
+                "VGG16",
+                "MobileNet v2",
+                "YOLO v2",
+                "Transformer"
+            ]
         );
         for w in &all {
             assert!(!w.layers.is_empty());
@@ -332,7 +402,11 @@ mod tests {
     #[test]
     fn depthwise_layers_have_narrow_reduction() {
         let w = mobilenet_v2(1);
-        let dw: Vec<_> = w.layers.iter().filter(|l| l.name.ends_with(".dw")).collect();
+        let dw: Vec<_> = w
+            .layers
+            .iter()
+            .filter(|l| l.name.ends_with(".dw"))
+            .collect();
         assert_eq!(dw.len(), 17);
         for l in dw {
             assert_eq!(l.forward.k, 9);

@@ -418,8 +418,8 @@ mod pool_tests {
     #[test]
     fn pool_averages_blocks() {
         let mut p = SeqMeanPool::new(2);
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[4, 2])
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[4, 2]).unwrap();
         let e = Engines::uniform(ExactEngine);
         let y = p.forward(&x, &e).unwrap();
         assert_eq!(y.shape(), &[2, 2]);

@@ -28,10 +28,7 @@ impl Engines {
 
     /// Uses distinct forward/backward engines (e.g. HFP8's 1-4-3 forward
     /// and 1-5-2 backward formats).
-    pub fn split(
-        forward: impl GemmEngine + 'static,
-        backward: impl GemmEngine + 'static,
-    ) -> Self {
+    pub fn split(forward: impl GemmEngine + 'static, backward: impl GemmEngine + 'static) -> Self {
         Engines {
             forward: Arc::new(forward),
             backward: Arc::new(backward),

@@ -363,9 +363,7 @@ mod tests {
         let x = Tensor::from_vec(vec![-1.0, 2.0, 0.0, 3.0], &[2, 2]).unwrap();
         let y = relu.forward(&x, &engines()).unwrap();
         assert_eq!(y.data(), &[0.0, 2.0, 0.0, 3.0]);
-        let d = relu
-            .backward(&Tensor::ones(&[2, 2]), &engines())
-            .unwrap();
+        let d = relu.backward(&Tensor::ones(&[2, 2]), &engines()).unwrap();
         assert_eq!(d.data(), &[0.0, 1.0, 0.0, 1.0]);
     }
 
@@ -453,7 +451,9 @@ impl Layer for GlobalAvgPool2d {
             .cached_shape
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward)?;
-        Ok(mirage_tensor::conv::global_avgpool2d_backward(d_out, shape)?)
+        Ok(mirage_tensor::conv::global_avgpool2d_backward(
+            d_out, shape,
+        )?)
     }
 }
 
@@ -510,7 +510,13 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..x.len())
-            .map(|_| if self.next_uniform() < self.p { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if self.next_uniform() < self.p {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
         let data = x.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
         self.mask = Some(mask);
@@ -521,7 +527,12 @@ impl Layer for Dropout {
         match &self.mask {
             None => Ok(d_out.clone()),
             Some(mask) => {
-                let data = d_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                let data = d_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
                 Ok(Tensor::from_vec(data, d_out.shape())?)
             }
         }

@@ -128,7 +128,10 @@ mod tests {
         ));
         assert!(matches!(
             softmax_cross_entropy(&logits, &[0, 3]),
-            Err(NnError::InvalidLabel { label: 3, classes: 3 })
+            Err(NnError::InvalidLabel {
+                label: 3,
+                classes: 3
+            })
         ));
     }
 
@@ -150,8 +153,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits =
-            Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
+        let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4], &[3, 2]).unwrap();
         assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(accuracy(&Tensor::zeros(&[0, 2]), &[]), 0.0);
     }

@@ -164,6 +164,9 @@ mod tests {
     #[test]
     fn debug_lists_layers() {
         let n = net();
-        assert_eq!(format!("{n:?}"), "Sequential[\"dense\", \"relu\", \"dense\"]");
+        assert_eq!(
+            format!("{n:?}"),
+            "Sequential[\"dense\", \"relu\", \"dense\"]"
+        );
     }
 }

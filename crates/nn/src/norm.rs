@@ -148,8 +148,7 @@ impl Layer for BatchNorm2d {
                         let idx = (bi * c + ci) * h * w + i;
                         let dy = d_out.data()[idx];
                         let xh = cache.x_hat.data()[idx];
-                        dx.data_mut()[idx] =
-                            g * istd * (dy - sum_dy / n - xh * sum_dy_xhat / n);
+                        dx.data_mut()[idx] = g * istd * (dy - sum_dy / n - xh * sum_dy_xhat / n);
                     }
                 }
             } else {

@@ -71,7 +71,11 @@ pub fn evaluate(net: &mut Sequential, batches: &[Batch], engines: &Engines) -> R
         total += accuracy(&logits, &batch.labels) * batch.labels.len() as f32;
         count += batch.labels.len();
     }
-    Ok(if count == 0 { 0.0 } else { total / count as f32 })
+    Ok(if count == 0 {
+        0.0
+    } else {
+        total / count as f32
+    })
 }
 
 #[cfg(test)]

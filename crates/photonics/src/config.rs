@@ -166,10 +166,14 @@ impl Default for PhotonicConfig {
 }
 
 impl PhotonicConfig {
-    /// Detection bandwidth, set by the photonic clock (one symbol per
-    /// cycle).
+    /// Receiver noise-equivalent bandwidth in Hz.
+    ///
+    /// The read-out integrates the photocurrent over one symbol period
+    /// `T = 1/clock` (integrate-and-dump); the noise-equivalent bandwidth
+    /// of that matched filter is `1/(2T) = clock/2`, the Nyquist
+    /// bandwidth of the symbol rate.
     pub fn bandwidth_hz(&self) -> f64 {
-        self.clock_hz
+        self.clock_hz / 2.0
     }
 }
 

@@ -64,6 +64,8 @@ mod tests {
     fn display_and_source() {
         let e = PhotonicsError::from(mirage_rns::RnsError::EmptySet);
         assert!(e.source().is_some());
-        assert!(PhotonicsError::InvalidParameter("x".into()).source().is_none());
+        assert!(PhotonicsError::InvalidParameter("x".into())
+            .source()
+            .is_none());
     }
 }

@@ -42,8 +42,8 @@ mod mdpu;
 mod mmu;
 mod mmvmu;
 pub mod noise;
-pub mod protected;
 pub mod power;
+pub mod protected;
 pub mod variation;
 
 pub use config::{Laser, MrrSwitch, PhaseShifter, Photodetector, PhotonicConfig, Tia};

@@ -59,7 +59,9 @@ impl Mmu {
     /// Total phase-shifter length in mm (Eq. 11, summed over both arms'
     /// binary-weighted banks).
     pub fn total_shifter_length_mm(&self) -> f64 {
-        self.config.phase_shifter.required_length_mm(self.delta_phi_max())
+        self.config
+            .phase_shifter
+            .required_length_mm(self.delta_phi_max())
     }
 
     /// Number of MRR switches: two per digit (route-in and route-out,
@@ -77,7 +79,10 @@ impl Mmu {
     /// MRR loss applies only on bypass routes, which are never the loss
     /// maximum.
     pub fn worst_case_loss_db(&self) -> f64 {
-        let ps = self.config.phase_shifter.loss_db(self.total_shifter_length_mm());
+        let ps = self
+            .config
+            .phase_shifter
+            .loss_db(self.total_shifter_length_mm());
         let mrr = f64::from(self.mrr_count()) * self.config.mrr.through_loss_db;
         let bends = f64::from(self.bits.saturating_sub(1)) * self.config.bend_loss_db;
         ps + mrr + bends
@@ -101,7 +106,10 @@ impl Mmu {
         let m = self.modulus.value();
         for v in [x, w] {
             if v >= m {
-                return Err(PhotonicsError::UnreducedOperand { value: v, modulus: m });
+                return Err(PhotonicsError::UnreducedOperand {
+                    value: v,
+                    modulus: m,
+                });
             }
         }
         // Each set digit d of x routes light through the 2^d·L shifter
@@ -164,7 +172,10 @@ mod tests {
         let u = mmu(31);
         assert!(matches!(
             u.multiply(31, 0),
-            Err(PhotonicsError::UnreducedOperand { value: 31, modulus: 31 })
+            Err(PhotonicsError::UnreducedOperand {
+                value: 31,
+                modulus: 31
+            })
         ));
         assert!(u.multiply(30, 30).is_ok());
     }
@@ -174,7 +185,11 @@ mod tests {
         // §V-B1: total shifter length 0.57 mm, full MMU ≈ 0.8 mm.
         let u = mmu(33);
         assert!((u.total_shifter_length_mm() - 0.57).abs() < 0.02);
-        assert!((u.length_mm() - 0.81).abs() < 0.05, "len = {}", u.length_mm());
+        assert!(
+            (u.length_mm() - 0.81).abs() < 0.05,
+            "len = {}",
+            u.length_mm()
+        );
         assert_eq!(u.bits(), 6);
         assert_eq!(u.mrr_count(), 12);
     }

@@ -168,7 +168,11 @@ impl RnsMmvmu {
             let xr: Vec<u64> = x.iter().map(|&v| modulus.reduce_i128(v as i128)).collect();
             let wr: Vec<Vec<u64>> = weight_tile
                 .iter()
-                .map(|row| row.iter().map(|&v| modulus.reduce_i128(v as i128)).collect())
+                .map(|row| {
+                    row.iter()
+                        .map(|&v| modulus.reduce_i128(v as i128))
+                        .collect()
+                })
                 .collect();
             per_modulus.push(unit.mvm_ideal(&xr, &wr)?);
         }
@@ -202,7 +206,11 @@ impl RnsMmvmu {
             let xr: Vec<u64> = x.iter().map(|&v| modulus.reduce_i128(v as i128)).collect();
             let wr: Vec<Vec<u64>> = weight_tile
                 .iter()
-                .map(|row| row.iter().map(|&v| modulus.reduce_i128(v as i128)).collect())
+                .map(|row| {
+                    row.iter()
+                        .map(|&v| modulus.reduce_i128(v as i128))
+                        .collect()
+                })
                 .collect();
             per_modulus.push(unit.mvm_noisy(&xr, &wr, &detector, rng)?);
         }

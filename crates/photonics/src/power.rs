@@ -12,13 +12,24 @@ use crate::mdpu::Mdpu;
 use crate::noise::{thermal_noise_std, ELEMENTARY_CHARGE};
 use mirage_rns::Modulus;
 
-/// Amplitude SNR required to separate `m` phase levels: `SNR >= m`.
+/// Number of phase-noise standard deviations of guard band between a
+/// level and its decision boundary. At 4.5σ the per-read-out
+/// misclassification probability is below 1e-5, i.e. effectively
+/// error-free operation as the paper's "no accuracy loss" claim
+/// requires.
+pub const PHASE_GUARD_SIGMA: f64 = 4.5;
+
+/// Amplitude SNR required to separate `m` phase levels: `SNR > m`
+/// (paper §V-B1, strict inequality).
 ///
-/// At SNR = m the phase read-out noise is `σ_Φ ≈ 1/m` rad while the
-/// level spacing is `2π/m` — about 3σ of guard band to the nearest
-/// neighbouring level on either side.
+/// The read-out phase noise is `σ_Φ ≈ 1/SNR` rad while the decision
+/// boundary sits `π/m` rad from each level, so error-free discrimination
+/// needs `SNR >= k·m/π` with `k` sigmas of guard band. At `SNR = m`
+/// exactly (the naive reading of the paper's inequality) the guard band
+/// is only ~3.1σ and read-out errors occur at the per-mille level, which
+/// would break the paper's exactness claim.
 pub fn required_snr(modulus: Modulus) -> f64 {
-    modulus.value() as f64
+    PHASE_GUARD_SIGMA * modulus.value() as f64 / std::f64::consts::PI
 }
 
 /// Photocurrent needed at the detector so that

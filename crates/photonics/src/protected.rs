@@ -193,7 +193,11 @@ mod tests {
     fn operands() -> (Vec<i64>, Vec<Vec<i64>>) {
         let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
         let w: Vec<Vec<i64>> = (0..8)
-            .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+            .map(|r| {
+                (0..16)
+                    .map(|j| ((r * 7 + j * 3) % 31) as i64 - 15)
+                    .collect()
+            })
             .collect();
         (x, w)
     }

@@ -317,7 +317,10 @@ impl ReverseConverter for SpecialSetConverter {
         let (x1, x2, x3) = (residues[0], residues[1], residues[2]);
         // Mixed-radix digits: X = v1 + m1*(v2 + m2*v3).
         let v1 = x1;
-        let v2 = m2.mul(m2.sub(x2, m2.reduce_u128(u128::from(v1))), self.inv_m1_mod_m2);
+        let v2 = m2.mul(
+            m2.sub(x2, m2.reduce_u128(u128::from(v1))),
+            self.inv_m1_mod_m2,
+        );
         let t = m3.sub(x3, m3.reduce_u128(u128::from(v1)));
         let t = m3.mul(t, self.inv_m1_mod_m3);
         let t = m3.sub(t, m3.reduce_u128(u128::from(v2)));
@@ -335,7 +338,9 @@ mod tests {
     fn special_forward_matches_generic() {
         let conv = SpecialSetConverter::new(5).unwrap();
         let generic = CrtConverter::new(conv.set());
-        for v in [-16367i128, -1000, -33, -32, -31, -1, 0, 1, 31, 32, 33, 16367] {
+        for v in [
+            -16367i128, -1000, -33, -32, -31, -1, 0, 1, 31, 32, 33, 16367,
+        ] {
             assert_eq!(conv.to_residues(v), generic.to_residues(v), "v = {v}");
         }
     }

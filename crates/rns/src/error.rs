@@ -61,7 +61,10 @@ impl fmt::Display for RnsError {
                 write!(f, "residue {value} is not reduced modulo {modulus}")
             }
             RnsError::InvalidK(k) => {
-                write!(f, "special-set parameter k = {k} outside supported range 2..=20")
+                write!(
+                    f,
+                    "special-set parameter k = {k} outside supported range 2..=20"
+                )
             }
             RnsError::Uncorrectable => {
                 write!(f, "redundant RNS decoding found no consistent majority")
@@ -87,7 +90,11 @@ mod tests {
             RnsError::EmptySet.to_string(),
             RnsError::OutOfRange { value: 99, psi: 10 }.to_string(),
             RnsError::SetMismatch.to_string(),
-            RnsError::UnreducedResidue { value: 9, modulus: 3 }.to_string(),
+            RnsError::UnreducedResidue {
+                value: 9,
+                modulus: 3,
+            }
+            .to_string(),
             RnsError::InvalidK(40).to_string(),
             RnsError::Uncorrectable.to_string(),
             RnsError::LengthMismatch { left: 1, right: 2 }.to_string(),

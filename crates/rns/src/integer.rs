@@ -46,11 +46,7 @@ impl RnsInteger {
     ///
     /// Useful for tests that deliberately overflow the RNS range.
     pub fn encode_wrapping(value: i128, set: &ModuliSet) -> Self {
-        let residues = set
-            .moduli()
-            .iter()
-            .map(|m| m.reduce_i128(value))
-            .collect();
+        let residues = set.moduli().iter().map(|m| m.reduce_i128(value)).collect();
         RnsInteger {
             residues,
             set: set.clone(),
@@ -321,10 +317,7 @@ mod tests {
 
     #[test]
     fn dot_empty_is_error() {
-        assert_eq!(
-            RnsInteger::dot(&[], &[]).unwrap_err(),
-            RnsError::EmptySet
-        );
+        assert_eq!(RnsInteger::dot(&[], &[]).unwrap_err(), RnsError::EmptySet);
     }
 
     #[test]

@@ -244,6 +244,7 @@ mod tests {
     #[test]
     fn supports_dot_product_boundary() {
         let s = ModuliSet::special_set(5).unwrap(); // M = 32736, psi = 16367
+
         // bm = 4: operands up to 16 in magnitude, g * 256 <= 16367 -> g <= 63.
         assert!(s.supports_dot_product(4, 63));
         assert!(!s.supports_dot_product(4, 64));

@@ -189,7 +189,16 @@ mod tests {
 
     #[test]
     fn bits_matches_ceil_log2() {
-        let cases = [(2, 1), (3, 2), (4, 2), (5, 3), (31, 5), (32, 5), (33, 6), (1024, 10)];
+        let cases = [
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (31, 5),
+            (32, 5),
+            (33, 6),
+            (1024, 10),
+        ];
         for (m, b) in cases {
             assert_eq!(Modulus::new(m).unwrap().bits(), b, "m = {m}");
         }

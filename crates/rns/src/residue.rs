@@ -232,12 +232,7 @@ mod tests {
         let modulus = m(33);
         let xs: Vec<u64> = (0..16).map(|i| (i * 7) % 33).collect();
         let ws: Vec<u64> = (0..16).map(|i| (i * 11 + 3) % 33).collect();
-        let expected: u64 = xs
-            .iter()
-            .zip(&ws)
-            .map(|(&x, &w)| x * w)
-            .sum::<u64>()
-            % 33;
+        let expected: u64 = xs.iter().zip(&ws).map(|(&x, &w)| x * w).sum::<u64>() % 33;
         assert_eq!(dot_product(&xs, &ws, modulus).unwrap(), expected);
     }
 

@@ -40,7 +40,10 @@ impl Conv2dGeometry {
                 self.kernel, self.kernel, self.stride, h, w, self.padding
             )));
         }
-        Ok(((ph - self.kernel) / self.stride + 1, (pw - self.kernel) / self.stride + 1))
+        Ok((
+            (ph - self.kernel) / self.stride + 1,
+            (pw - self.kernel) / self.stride + 1,
+        ))
     }
 
     /// The GEMM reduction length: `in_channels * kernel^2`.
@@ -91,8 +94,8 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
                             let ix = (ox * geo.stride + kx) as isize - pad;
                             let dst = row + (ci * k + ky) * k + kx;
                             if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
-                                out[dst] = data
-                                    [((bi * c + ci) * h + iy as usize) * w + ix as usize];
+                                out[dst] =
+                                    data[((bi * c + ci) * h + iy as usize) * w + ix as usize];
                             }
                         }
                     }
@@ -109,13 +112,7 @@ pub fn im2col(input: &Tensor, geo: &Conv2dGeometry) -> Result<Tensor> {
 /// # Errors
 ///
 /// Returns shape/geometry errors analogous to [`im2col`].
-pub fn col2im(
-    cols: &Tensor,
-    geo: &Conv2dGeometry,
-    b: usize,
-    h: usize,
-    w: usize,
-) -> Result<Tensor> {
+pub fn col2im(cols: &Tensor, geo: &Conv2dGeometry, b: usize, h: usize, w: usize) -> Result<Tensor> {
     let (oh, ow) = geo.output_size(h, w)?;
     let c = geo.in_channels;
     let k = geo.kernel;
@@ -168,6 +165,7 @@ pub fn conv2d_forward(
     let cols = im2col(input, geo)?; // (b*oh*ow, ckk)
     let wmat = weight.reshape(&[geo.out_channels, geo.patch_len()])?;
     let out = engine.gemm(&cols, &wmat.transpose2d()?)?; // (b*oh*ow, oc)
+
     // Permute (b, oh, ow, oc) -> (b, oc, oh, ow).
     let mut perm = vec![0.0f32; b * geo.out_channels * oh * ow];
     let od = out.data();
@@ -274,8 +272,7 @@ pub fn maxpool2d_forward(
                     let dst = ((bi * c + ci) * oh + oy) * ow + ox;
                     for ky in 0..kernel {
                         for kx in 0..kernel {
-                            let src =
-                                ((bi * c + ci) * h + oy * stride + ky) * w + ox * stride + kx;
+                            let src = ((bi * c + ci) * h + oy * stride + ky) * w + ox * stride + kx;
                             if data[src] > out[dst] {
                                 out[dst] = data[src];
                                 arg[dst] = src;
@@ -350,10 +347,7 @@ mod tests {
                                 for kx in 0..g.kernel {
                                     let iy = (oy * g.stride + ky) as isize - g.padding as isize;
                                     let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                                    if iy >= 0
-                                        && (iy as usize) < h
-                                        && ix >= 0
-                                        && (ix as usize) < w
+                                    if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w
                                     {
                                         acc += input.at(&[bi, ci, iy as usize, ix as usize])
                                             * weight.at(&[oc, ci, ky, kx]);
@@ -508,15 +502,18 @@ pub fn global_avgpool2d(input: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when shapes disagree.
 pub fn global_avgpool2d_backward(d_out: &Tensor, input_shape: &[usize]) -> Result<Tensor> {
-    if input_shape.len() != 4
-        || d_out.shape() != [input_shape[0], input_shape[1]]
-    {
+    if input_shape.len() != 4 || d_out.shape() != [input_shape[0], input_shape[1]] {
         return Err(TensorError::ShapeMismatch {
             left: d_out.shape().to_vec(),
             right: input_shape.to_vec(),
         });
     }
-    let [b, c, h, w] = [input_shape[0], input_shape[1], input_shape[2], input_shape[3]];
+    let [b, c, h, w] = [
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    ];
     let area = (h * w).max(1) as f32;
     let mut dx = vec![0.0f32; b * c * h * w];
     for bi in 0..b {

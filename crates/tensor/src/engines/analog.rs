@@ -77,8 +77,16 @@ impl GemmEngine for AnalogFxpEngine {
         // as done digitally before a layer — §II-C).
         let a_scale = int_scale(a.max_abs(), self.b_dac);
         let b_scale = int_scale(b.max_abs(), self.b_dac);
-        let qa: Vec<i32> = a.data().iter().map(|&v| quantize_int(v, a_scale, self.b_dac)).collect();
-        let qb: Vec<i32> = b.data().iter().map(|&v| quantize_int(v, b_scale, self.b_dac)).collect();
+        let qa: Vec<i32> = a
+            .data()
+            .iter()
+            .map(|&v| quantize_int(v, a_scale, self.b_dac))
+            .collect();
+        let qb: Vec<i32> = b
+            .data()
+            .iter()
+            .map(|&v| quantize_int(v, b_scale, self.b_dac))
+            .collect();
 
         // The ADC's fixed full scale covers the worst-case tile output;
         // with only b_adc levels across that range, each partial output is

@@ -160,6 +160,8 @@ mod tests {
     #[test]
     fn shape_errors_propagate() {
         let e = BfpEngine::new(BfpConfig::mirage_default());
-        assert!(e.gemm(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2])).is_err());
+        assert!(e
+            .gemm(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]))
+            .is_err());
     }
 }

@@ -187,7 +187,12 @@ mod tests {
     fn hfp8_coarser_than_bf16() {
         let (a, b) = random_pair(32, 8, 64, 8);
         let exact = ExactEngine.gemm(&a, &b).unwrap();
-        let e_bf16 = Bf16Engine.gemm(&a, &b).unwrap().sub(&exact).unwrap().max_abs();
+        let e_bf16 = Bf16Engine
+            .gemm(&a, &b)
+            .unwrap()
+            .sub(&exact)
+            .unwrap()
+            .max_abs();
         let e_fp8 = Hfp8Engine::default()
             .gemm(&a, &b)
             .unwrap()
@@ -209,8 +214,18 @@ mod tests {
     fn int12_more_accurate_than_int8() {
         let (a, b) = random_pair(34, 8, 64, 8);
         let exact = ExactEngine.gemm(&a, &b).unwrap();
-        let e8 = IntEngine::int8().gemm(&a, &b).unwrap().sub(&exact).unwrap().max_abs();
-        let e12 = IntEngine::int12().gemm(&a, &b).unwrap().sub(&exact).unwrap().max_abs();
+        let e8 = IntEngine::int8()
+            .gemm(&a, &b)
+            .unwrap()
+            .sub(&exact)
+            .unwrap()
+            .max_abs();
+        let e12 = IntEngine::int12()
+            .gemm(&a, &b)
+            .unwrap()
+            .sub(&exact)
+            .unwrap()
+            .max_abs();
         assert!(e12 < e8, "e12 = {e12}, e8 = {e8}");
     }
 

@@ -64,14 +64,15 @@ impl RnsBfpEngine {
     /// Returns [`TensorError::InvalidGeometry`] when no `k <= 20`
     /// suffices.
     pub fn with_min_special_set(config: BfpConfig) -> Result<Self> {
-        let k = ModuliSet::min_special_k(config.mantissa_bits(), config.group_size())
-            .ok_or_else(|| {
+        let k = ModuliSet::min_special_k(config.mantissa_bits(), config.group_size()).ok_or_else(
+            || {
                 TensorError::InvalidGeometry(format!(
                     "no special moduli set supports bm={}, g={}",
                     config.mantissa_bits(),
                     config.group_size()
                 ))
-            })?;
+            },
+        )?;
         let moduli = ModuliSet::special_set(k).map_err(TensorError::Rns)?;
         Self::new(config, moduli)
     }

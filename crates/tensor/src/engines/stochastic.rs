@@ -162,7 +162,9 @@ mod tests {
     #[test]
     fn zero_input_stays_zero() {
         let e = StochasticBfpEngine::new(BfpConfig::mirage_default(), 5);
-        let c = e.gemm(&Tensor::zeros(&[3, 16]), &Tensor::zeros(&[16, 3])).unwrap();
+        let c = e
+            .gemm(&Tensor::zeros(&[3, 16]), &Tensor::zeros(&[16, 3]))
+            .unwrap();
         assert_eq!(c.max_abs(), 0.0);
     }
 }

@@ -160,7 +160,10 @@ impl Tensor {
         assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for dim {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for dim {i} (size {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -323,7 +326,12 @@ impl Tensor {
 impl fmt::Display for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?} (", self.shape)?;
-        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        let preview: Vec<String> = self
+            .data
+            .iter()
+            .take(8)
+            .map(|v| format!("{v:.4}"))
+            .collect();
         write!(f, "{}", preview.join(", "))?;
         if self.data.len() > 8 {
             write!(f, ", …")?;
@@ -354,7 +362,10 @@ mod tests {
         assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
         assert!(matches!(
             Tensor::from_vec(vec![1.0; 5], &[2, 3]),
-            Err(TensorError::ShapeDataMismatch { expected: 6, actual: 5 })
+            Err(TensorError::ShapeDataMismatch {
+                expected: 6,
+                actual: 5
+            })
         ));
     }
 

@@ -35,7 +35,10 @@ fn accuracy_for(bm: u32, g: usize) -> f32 {
 
 fn main() {
     println!("BFP sensitivity sweep (3-class spirals, small MLP)\n");
-    println!("{:<6} {:<6} {:>10} {:>12} {:>12}", "bm", "g", "acc (%)", "pJ/MAC", "k_min");
+    println!(
+        "{:<6} {:<6} {:>10} {:>12} {:>12}",
+        "bm", "g", "acc (%)", "pJ/MAC", "k_min"
+    );
     for bm in [3u32, 4, 5] {
         for g in [4usize, 16, 64] {
             let acc = accuracy_for(bm, g) * 100.0;

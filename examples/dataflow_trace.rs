@@ -20,13 +20,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (y, t) = mvm.execute(&w, &x)?;
 
     println!("y = W(100x70) . x(70) on the Mirage dataflow (Fig. 2):\n");
-    println!("  1. tiling                : {} stationary tiles (32x16)", t.tiles);
-    println!("  2. FP -> BFP             : {} group quantizations", t.bfp_conversions);
-    println!("  3. forward conversion    : {} values -> 3 residues each", t.forward_conversions);
-    println!("  4. weight programming    : {} phase-shifter loads (5 ns each)", t.weight_programmings);
-    println!("  5-6. analog modular MVMs : {} (one per modulus channel)", t.modular_mvms);
-    println!("  7. reverse conversion    : {} output residue triples", t.reverse_conversions);
-    println!("  8-9. accumulate in FP32  : {} read-accumulate-writes", t.accumulations);
+    println!(
+        "  1. tiling                : {} stationary tiles (32x16)",
+        t.tiles
+    );
+    println!(
+        "  2. FP -> BFP             : {} group quantizations",
+        t.bfp_conversions
+    );
+    println!(
+        "  3. forward conversion    : {} values -> 3 residues each",
+        t.forward_conversions
+    );
+    println!(
+        "  4. weight programming    : {} phase-shifter loads (5 ns each)",
+        t.weight_programmings
+    );
+    println!(
+        "  5-6. analog modular MVMs : {} (one per modulus channel)",
+        t.modular_mvms
+    );
+    println!(
+        "  7. reverse conversion    : {} output residue triples",
+        t.reverse_conversions
+    );
+    println!(
+        "  8-9. accumulate in FP32  : {} read-accumulate-writes",
+        t.accumulations
+    );
 
     // Compare against the plain FP32 product.
     let exact: Vec<f32> = (0..100)
@@ -39,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     let scale = exact.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    println!("\nmax |error| vs FP32: {max_err:.4} ({:.2} % of output scale)", max_err / scale * 100.0);
+    println!(
+        "\nmax |error| vs FP32: {max_err:.4} ({:.2} % of output scale)",
+        max_err / scale * 100.0
+    );
     println!("every bit of that error is BFP quantization — the RNS/photonic");
     println!("path itself is lossless (enforced by the test suite).");
     Ok(())

@@ -41,10 +41,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let err = |t: &Tensor| t.sub(&exact).unwrap().max_abs() / exact.max_abs();
     println!("  fp32 reference : max|err| = 0");
     println!("  BFP (bm=4,g=16): rel err = {:.4}", err(&bfp));
-    println!("  BFP + RNS      : rel err = {:.4}  (bit-identical to BFP: {})",
-        err(&rns), rns.data() == bfp.data());
-    println!("  photonic sim   : rel err = {:.4}  (bit-identical to BFP: {})",
-        err(&photonic), photonic.data() == bfp.data());
+    println!(
+        "  BFP + RNS      : rel err = {:.4}  (bit-identical to BFP: {})",
+        err(&rns),
+        rns.data() == bfp.data()
+    );
+    println!(
+        "  photonic sim   : rel err = {:.4}  (bit-identical to BFP: {})",
+        err(&photonic),
+        photonic.data() == bfp.data()
+    );
 
     // Performance snapshot on ResNet18.
     let workload = mirage::models::zoo::resnet18(256);

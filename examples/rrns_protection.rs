@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let x: Vec<i64> = (0..16).map(|i| ((i * 5) % 31) - 15).collect();
     let w: Vec<Vec<i64>> = (0..8)
-        .map(|r| (0..16).map(|j| ((r * 7 + j * 3) % 31) as i64 - 15).collect())
+        .map(|r| {
+            (0..16)
+                .map(|j| ((r * 7 + j * 3) % 31) as i64 - 15)
+                .collect()
+        })
         .collect();
     let ideal = plain.mvm_signed_ideal(&x, &w)?;
     let mut rng = rand::rngs::StdRng::seed_from_u64(4242);

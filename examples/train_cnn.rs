@@ -24,8 +24,11 @@ fn run(engines: &Engines, label: &str) -> Result<f32, Box<dyn std::error::Error>
     for epoch in 0..12 {
         let stats = train_epoch(&mut net, &train, &mut opt, engines)?;
         if epoch % 4 == 3 {
-            println!("  [{label}] epoch {epoch:>2}: loss = {:.3}, train acc = {:.1} %",
-                stats.loss, stats.accuracy * 100.0);
+            println!(
+                "  [{label}] epoch {epoch:>2}: loss = {:.3}, train acc = {:.1} %",
+                stats.loss,
+                stats.accuracy * 100.0
+            );
         }
     }
     let acc = evaluate(&mut net, &test, engines)?;
@@ -44,11 +47,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bfp = run(&mirage.training_engines(), "mirage")?;
 
     println!("FP32  : {:.1} %", fp32 * 100.0);
-    println!("Mirage: {:.1} %  (paper claim: comparable to FP32)", bfp * 100.0);
+    println!(
+        "Mirage: {:.1} %  (paper claim: comparable to FP32)",
+        bfp * 100.0
+    );
     if (fp32 - bfp).abs() < 0.08 {
         println!("-> accuracies are comparable, as the paper reports.");
     } else {
-        println!("-> accuracy gap {:.1} pp on this run.", (fp32 - bfp) * 100.0);
+        println!(
+            "-> accuracy gap {:.1} pp on this run.",
+            (fp32 - bfp) * 100.0
+        );
     }
     Ok(())
 }

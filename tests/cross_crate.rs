@@ -29,18 +29,37 @@ fn one_dot_product_through_every_layer_of_the_stack() {
     let conv = SpecialSetConverter::new(5).expect("k = 5");
     let mut residues = Vec::new();
     for &m in set.moduli() {
-        let xr: Vec<u64> = bx.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
-        let wr: Vec<u64> = bw.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        let xr: Vec<u64> = bx
+            .mantissas()
+            .iter()
+            .map(|&v| m.reduce_i128(v.into()))
+            .collect();
+        let wr: Vec<u64> = bw
+            .mantissas()
+            .iter()
+            .map(|&v| m.reduce_i128(v.into()))
+            .collect();
         residues.push(residue::dot_product(&xr, &wr, m).expect("lengths match"));
     }
-    assert_eq!(conv.to_signed(&residues).expect("reduced"), i128::from(integer));
+    assert_eq!(
+        conv.to_signed(&residues).expect("reduced"),
+        i128::from(integer)
+    );
 
     // 3) Photonic MDPU phase accumulation per modulus.
     let pcfg = PhotonicConfig::default();
     for (i, &m) in set.moduli().iter().enumerate() {
         let mdpu = Mdpu::new(m, 16, &pcfg);
-        let xr: Vec<u64> = bx.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
-        let wr: Vec<u64> = bw.mantissas().iter().map(|&v| m.reduce_i128(v.into())).collect();
+        let xr: Vec<u64> = bx
+            .mantissas()
+            .iter()
+            .map(|&v| m.reduce_i128(v.into()))
+            .collect();
+        let wr: Vec<u64> = bw
+            .mantissas()
+            .iter()
+            .map(|&v| m.reduce_i128(v.into()))
+            .collect();
         assert_eq!(mdpu.dot_ideal(&xr, &wr).expect("fits"), residues[i]);
     }
 

@@ -95,8 +95,7 @@ fn attention_classifier_trains_with_mirage_arithmetic() {
     let test = mirage::models::datasets::synthetic_sequences(3, 24, 6, 4, 0.1, 16, 71);
 
     let run = |engines: &Engines, rng: &mut rand::rngs::StdRng| -> f32 {
-        let mut net =
-            mirage::models::small::tiny_attention_classifier(6, 4, 8, 2, 3, rng);
+        let mut net = mirage::models::small::tiny_attention_classifier(6, 4, 8, 2, 3, rng);
         let mut opt = Sgd::with_momentum(0.05, 0.9);
         for epoch in 0..60 {
             if epoch == 40 {

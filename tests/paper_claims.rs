@@ -103,8 +103,7 @@ fn claim_mirage_much_faster_than_one_equal_sized_systolic_array() {
         ..SystolicConfig::single(1e9)
     };
     for w in [zoo::alexnet(256), zoo::vgg16(256)] {
-        let tm =
-            mirage::arch::latency::mirage_step_latency_s(&cfg, &w, DataflowPolicy::Opt2);
+        let tm = mirage::arch::latency::mirage_step_latency_s(&cfg, &w, DataflowPolicy::Opt2);
         let ts = systolic_step_latency_s(&sa, &w, DataflowPolicy::Opt2);
         let ratio = ts / tm;
         assert!(ratio > 5.0, "{}: ratio = {ratio}", w.name);

@@ -1,0 +1,33 @@
+//! Workspace smoke test: the facade's default accelerator must be wired
+//! all the way through to a working, paper-accurate GEMM engine.
+
+use mirage::tensor::engines::ExactEngine;
+use mirage::tensor::{GemmEngine, Tensor};
+use mirage::Mirage;
+use rand::SeedableRng;
+
+#[test]
+fn paper_default_gemm_engine_tracks_exact_engine() {
+    // The paper's operating point (BFP bm = 4, g = 16 routed through the
+    // {31, 32, 33} RNS) loses only quantization error relative to FP32:
+    // the §V-A accuracy methodology relies on the relative error of each
+    // output staying within the BFP budget, ~2^-(bm-1) per element
+    // accumulated over k-element dot products.
+    let mirage = Mirage::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    for (m, k, n) in [(4, 16, 4), (8, 48, 8), (17, 96, 5)] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let got = mirage.gemm_engine().gemm(&a, &b).expect("mirage gemm");
+        let exact = ExactEngine.gemm(&a, &b).expect("exact gemm");
+        assert_eq!(got.shape(), exact.shape());
+        let err = got.sub(&exact).expect("same shape").max_abs();
+        let scale = exact.max_abs().max(1.0);
+        let tol = 0.5 * scale * (k as f32).sqrt();
+        assert!(
+            err <= tol,
+            "{m}x{k}x{n}: err = {err}, tol = {tol}, scale = {scale}"
+        );
+        assert!(got.data().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,173 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The evaluation environment has no network access to crates.io, so the
+//! bench harness vendors the API subset it uses: [`Criterion`] with
+//! `sample_size` / `configure_from_args` / `bench_function` /
+//! `final_summary`, the [`Bencher`] with `iter`, and [`black_box`].
+//!
+//! Timing is wall-clock ([`std::time::Instant`]) with a short warm-up;
+//! each sample times a batch sized to at least ~200 µs so fast kernels
+//! still measure above timer resolution. Reported statistics are
+//! min / median / mean over the samples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a value or the computation that
+/// produced it. Re-exported for API parity with the real crate.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    ran: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            filter: None,
+            ran: 0,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Applies command-line configuration. Recognises an optional
+    /// positional filter (substring match on benchmark ids) and ignores
+    /// harness flags such as `--bench` that cargo passes to
+    /// `harness = false` binaries.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            if !arg.starts_with('-') {
+                self.filter = Some(arg);
+            }
+        }
+        self
+    }
+
+    /// Benchmarks `routine`, printing one summary line.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(f) = &self.filter {
+            if !id.contains(f.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        routine(&mut bencher);
+        self.ran += 1;
+        report(id, &mut bencher.samples);
+        self
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} run", self.ran);
+    }
+}
+
+/// Times the routine under benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up and batch sizing: grow the batch until one batch takes
+        // at least ~200 µs (or a cap, for slow routines).
+        let mut batch = 1u32;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(200) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / batch);
+        }
+    }
+}
+
+fn report(id: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{id:<40} min {:>10} | median {:>10} | mean {:>10} ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(2u64 + 2)
+            })
+        });
+        assert_eq!(c.ran, 1);
+        assert!(calls > 0);
+        c.final_summary();
+    }
+}

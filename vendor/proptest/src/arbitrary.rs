@@ -1,0 +1,66 @@
+//! `any::<T>()` — full-range generation for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value. Integer types mix uniform draws with
+    /// occasional boundary values (0, ±1, MIN, MAX) so edge cases are
+    /// exercised even without shrinking.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// Returns the canonical strategy for `T`, mirroring
+/// `proptest::arbitrary::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                // One draw in sixteen lands on a boundary value.
+                if rng.below(16) == 0 {
+                    const SPECIALS: [$t; 5] =
+                        [0, 1, <$t>::MAX, <$t>::MIN, <$t>::MAX.wrapping_add(2)];
+                    SPECIALS[rng.below(SPECIALS.len() as u128) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        crate::num::f32::sample_normal(rng)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        crate::num::f64::sample_normal(rng)
+    }
+}

@@ -1,0 +1,184 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The evaluation environment has no network access to crates.io, so the
+//! workspace vendors the API subset its property tests actually use:
+//!
+//! - the [`proptest!`] macro (multiple `#[test]` fns, `pat in strategy`
+//!   argument lists);
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`], [`prop_oneof!`];
+//! - [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, [`strategy::Just`] and [`strategy::Union`];
+//! - [`arbitrary::any`] for primitive types;
+//! - [`collection::vec`] and [`num::f32::NORMAL`].
+//!
+//! Unlike real proptest there is **no shrinking**: a failing case reports
+//! the case number and the assertion message only. Case count defaults to
+//! 64 and can be overridden with the `PROPTEST_CASES` environment
+//! variable. Generation is deterministic per test (seeded from the test's
+//! module path), so failures reproduce exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Namespaced access to strategy modules, mirroring
+    /// `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests.
+///
+/// In a test module each declared fn carries `#[test]` as usual; the
+/// attribute is passed through to the expansion.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::case_count();
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < cases {
+                    if rejected > 1024 + cases * 32 {
+                        panic!(
+                            "proptest '{}': too many rejected cases ({} accepted, {} rejected)",
+                            stringify!($name), accepted, rejected
+                        );
+                    }
+                    $(let $pat = $crate::strategy::Strategy::new_value(&($strat), &mut rng);)*
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => accepted += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {
+                            rejected += 1;
+                        }
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed on case #{}: {}",
+                                stringify!($name), accepted + 1, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current test case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}\n{}",
+            stringify!($left), stringify!($right), l, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current test case (it is re-drawn, not counted) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Picks uniformly between several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Union::boxed($strat)),+
+        ])
+    };
+}

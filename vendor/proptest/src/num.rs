@@ -1,0 +1,58 @@
+//! Numeric strategies (`prop::num::f32::NORMAL`, `prop::num::f64::NORMAL`).
+
+/// `f32` strategies.
+pub mod f32 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates normal (non-zero, non-subnormal, finite) `f32` values of
+    /// either sign, uniform over the bit patterns of normal floats.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalStrategy;
+
+    /// The strategy constant mirroring `proptest::num::f32::NORMAL`.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    pub(crate) fn sample_normal(rng: &mut TestRng) -> f32 {
+        // Exponent field 1..=254 keeps the value normal and finite.
+        let exp = 1 + rng.below(254) as u32;
+        let mantissa = rng.next_u64() as u32 & 0x007F_FFFF;
+        let sign = (rng.next_u64() & 1) as u32;
+        f32::from_bits((sign << 31) | (exp << 23) | mantissa)
+    }
+
+    impl Strategy for NormalStrategy {
+        type Value = f32;
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            sample_normal(rng)
+        }
+    }
+}
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Generates normal (non-zero, non-subnormal, finite) `f64` values of
+    /// either sign, uniform over the bit patterns of normal floats.
+    #[derive(Clone, Copy, Debug)]
+    pub struct NormalStrategy;
+
+    /// The strategy constant mirroring `proptest::num::f64::NORMAL`.
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    pub(crate) fn sample_normal(rng: &mut TestRng) -> f64 {
+        let exp = 1 + rng.below(2046);
+        let mantissa = rng.next_u64() & 0x000F_FFFF_FFFF_FFFF;
+        let sign = rng.next_u64() & 1;
+        f64::from_bits((sign << 63) | ((exp as u64) << 52) | mantissa)
+    }
+
+    impl Strategy for NormalStrategy {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            sample_normal(rng)
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Test-runner plumbing: the deterministic RNG and case-outcome type.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Outcome of a single generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition; it is
+    /// re-drawn without counting against the case budget.
+    Reject(&'static str),
+    /// An assertion failed; the message is reported via `panic!`.
+    Fail(String),
+}
+
+/// Number of accepted cases each property must pass. Defaults to 64;
+/// override with the `PROPTEST_CASES` environment variable.
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(64)
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Builds a generator seeded from `name` (typically the test's module
+    /// path), so every test draws an independent, reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)` for `bound > 0`, via rejection
+    /// sampling (no modulo bias).
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        if bound == 1 {
+            return 0;
+        }
+        // Smallest power-of-two mask covering bound - 1.
+        let mask = u128::MAX >> (bound - 1).leading_zeros();
+        loop {
+            let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+            let candidate = wide & mask;
+            if candidate < bound {
+                return candidate;
+            }
+        }
+    }
+}
