@@ -8,7 +8,8 @@ use mirage_arch::{MirageConfig, Workload};
 use mirage_bfp::BfpConfig;
 use mirage_nn::Engines;
 use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
-use mirage_tensor::Result as TensorResult;
+use mirage_tensor::parallel::{ParallelGemm, TileConfig};
+use mirage_tensor::{Result as TensorResult, Tensor};
 
 /// The Mirage RNS-based photonic DNN training accelerator.
 ///
@@ -44,9 +45,40 @@ impl Mirage {
     }
 
     /// The fast functional GEMM engine (BFP arithmetic; bit-identical
-    /// to the RNS path when Eq. 13 holds — enforced in tests).
+    /// to the RNS path when Eq. 13 holds — enforced in tests). Serial;
+    /// see [`Mirage::parallel_gemm_engine`] for the threaded driver.
     pub fn gemm_engine(&self) -> BfpEngine {
         BfpEngine::new(self.bfp_config())
+    }
+
+    /// The fast functional GEMM engine lifted onto the tiled
+    /// multi-threaded execution layer (auto tile/thread heuristic;
+    /// `MIRAGE_THREADS` overrides the worker count). Bit-identical to
+    /// [`Mirage::gemm_engine`] — BFP quantization is per-row/per-column,
+    /// so output tiling cannot perturb it.
+    pub fn parallel_gemm_engine(&self) -> ParallelGemm<BfpEngine> {
+        ParallelGemm::auto(self.gemm_engine())
+    }
+
+    /// Like [`Mirage::parallel_gemm_engine`] with an explicit
+    /// [`TileConfig`] (pin thread counts in benchmarks, force serial in
+    /// bit-exactness baselines).
+    pub fn parallel_gemm_engine_with(&self, config: TileConfig) -> ParallelGemm<BfpEngine> {
+        ParallelGemm::new(self.gemm_engine(), config)
+    }
+
+    /// Batched inference through the Mirage arithmetic: computes
+    /// `inputs[i] · weight` for the whole batch inside one thread scope,
+    /// amortizing shape validation and worker spawn across the batch —
+    /// the paper's batched workload model (Table III runs inference at
+    /// batch size 1–128). Results are bit-identical to issuing the
+    /// GEMMs one by one on [`Mirage::gemm_engine`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-validation and engine errors for any item.
+    pub fn infer_batch(&self, inputs: &[Tensor], weight: &Tensor) -> TensorResult<Vec<Tensor>> {
+        self.parallel_gemm_engine().gemm_batch(inputs, weight)
     }
 
     /// The RNS-faithful GEMM engine (routes every group dot product
@@ -67,8 +99,18 @@ impl Mirage {
     }
 
     /// Training engines for `mirage-nn` (same Mirage arithmetic in
-    /// forward and backward passes, per §V-A).
+    /// forward and backward passes, per §V-A), running on the tiled
+    /// multi-threaded execution layer by default. Bit-identical to the
+    /// serial engines, so accuracy experiments are unaffected; use
+    /// [`Mirage::serial_training_engines`] to pin single-threaded
+    /// execution explicitly.
     pub fn training_engines(&self) -> Engines {
+        Engines::uniform(self.parallel_gemm_engine())
+    }
+
+    /// Single-threaded training engines — the deterministic-baseline
+    /// path the parallel default is validated against.
+    pub fn serial_training_engines(&self) -> Engines {
         Engines::uniform(self.gemm_engine())
     }
 
@@ -133,6 +175,42 @@ mod tests {
         let mirage = Mirage::paper_default();
         assert!(mirage.power_breakdown().total_w() > 1.0);
         assert!(mirage.area_breakdown().total_mm2() > 100.0);
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        let mirage = Mirage::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(124);
+        let a = Tensor::randn(&[48, 48], 1.0, &mut rng);
+        let b = Tensor::randn(&[48, 48], 1.0, &mut rng);
+        let serial = mirage.gemm_engine().gemm(&a, &b).unwrap();
+        let parallel = mirage
+            .parallel_gemm_engine_with(TileConfig::auto().with_threads(4))
+            .gemm(&a, &b)
+            .unwrap();
+        assert_eq!(parallel.data(), serial.data());
+        // Training engines default to the parallel path with the same name.
+        assert_eq!(mirage.training_engines().forward().name(), "mirage-bfp");
+    }
+
+    #[test]
+    fn infer_batch_matches_per_item_gemms() {
+        let mirage = Mirage::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(125);
+        let weight = Tensor::randn(&[32, 10], 1.0, &mut rng);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::randn(&[8, 32], 1.0, &mut rng))
+            .collect();
+        let batch = mirage.infer_batch(&inputs, &weight).unwrap();
+        assert_eq!(batch.len(), inputs.len());
+        let serial = mirage.gemm_engine();
+        for (input, got) in inputs.iter().zip(&batch) {
+            assert_eq!(got.data(), serial.gemm(input, &weight).unwrap().data());
+        }
+        // Shape errors surface for the whole batch.
+        assert!(mirage
+            .infer_batch(&[Tensor::zeros(&[2, 3])], &weight)
+            .is_err());
     }
 
     #[test]

@@ -15,6 +15,13 @@ use mirage_tensor::{Result, Tensor, TensorError};
 /// study lives in `mirage_photonics::RnsMmvmu::mvm_signed_noisy` and
 /// the `fige_variation` bench. Bit-identical to
 /// [`BfpEngine`] — an equivalence the test suite enforces.
+///
+/// Tile-invariant: each photonic output row depends only on its own
+/// stationary weight row and the streamed activation column, so wrapping
+/// this engine in `mirage_tensor::parallel::ParallelGemm` fans the
+/// simulated MMVMU tiles across host threads bit-identically — the
+/// multi-threaded analogue of the eight hardware MMVMUs computing in
+/// parallel.
 #[derive(Debug, Clone)]
 pub struct PhotonicGemmEngine {
     bfp: BfpConfig,
@@ -41,6 +48,14 @@ impl PhotonicGemmEngine {
 impl GemmEngine for PhotonicGemmEngine {
     fn name(&self) -> &'static str {
         "mirage-photonic"
+    }
+
+    /// `true`: each simulated output row depends only on its own
+    /// stationary weight row and the streamed activation column (the
+    /// `tiles_larger_than_array_height` test pins this against the BFP
+    /// reference for arbitrary row-tile membership).
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
@@ -135,6 +150,27 @@ mod tests {
         assert!(engine
             .gemm(&Tensor::zeros(&[2]), &Tensor::zeros(&[2, 2]))
             .is_err());
+    }
+
+    #[test]
+    fn parallel_driver_is_bit_identical_on_the_device_path() {
+        use mirage_tensor::parallel::TileConfig;
+        let engine = PhotonicGemmEngine::new(&MirageConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let a = Tensor::randn(&[48, 32], 1.0, &mut rng);
+        let b = Tensor::randn(&[32, 24], 1.0, &mut rng);
+        let serial = engine.gemm(&a, &b).unwrap();
+        let parallel = engine
+            .clone()
+            .parallel_with(TileConfig {
+                tile_m: 16,
+                tile_n: 8,
+                tile_k: 0,
+                threads: 4,
+            })
+            .gemm(&a, &b)
+            .unwrap();
+        assert_eq!(parallel.data(), serial.data());
     }
 
     #[test]

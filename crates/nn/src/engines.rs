@@ -1,5 +1,6 @@
 //! Engine selection for forward and backward GEMMs.
 
+use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::GemmEngine;
 use std::sync::Arc;
 
@@ -32,6 +33,29 @@ impl Engines {
         Engines {
             forward: Arc::new(forward),
             backward: Arc::new(backward),
+        }
+    }
+
+    /// Uses the same engine for both directions, lifted onto the tiled
+    /// multi-threaded execution layer with the auto heuristic — every
+    /// layer's forward and gradient GEMMs then fan out across worker
+    /// threads, bit-identically to [`Engines::uniform`] for
+    /// tile-invariant engines.
+    pub fn uniform_parallel(engine: impl GemmEngine + 'static) -> Self {
+        Engines::uniform(ParallelGemm::auto(engine))
+    }
+
+    /// Re-wraps both directions' engines in the tiled multi-threaded
+    /// driver with an explicit [`TileConfig`] (e.g. to pin the worker
+    /// count for a benchmark). Safe to apply to already-parallel
+    /// engines: a nested driver detects it is running inside a worker
+    /// and stays serial, so thread counts never multiply — though to
+    /// *retune* an existing parallel engine, prefer rebuilding it with
+    /// the new config over wrapping it again.
+    pub fn parallelized(self, config: TileConfig) -> Self {
+        Engines {
+            forward: Arc::new(ParallelGemm::new(self.forward, config)),
+            backward: Arc::new(ParallelGemm::new(self.backward, config)),
         }
     }
 
@@ -78,5 +102,33 @@ mod tests {
     fn debug_shows_names() {
         let e = Engines::uniform(ExactEngine);
         assert!(format!("{e:?}").contains("fp32"));
+    }
+
+    #[test]
+    fn parallel_engines_match_serial_training_gemms() {
+        use mirage_tensor::Tensor;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+        let a = Tensor::randn(&[40, 40], 1.0, &mut rng);
+        let b = Tensor::randn(&[40, 40], 1.0, &mut rng);
+        let serial = Engines::uniform(ExactEngine);
+        let parallel =
+            Engines::uniform(ExactEngine).parallelized(TileConfig::auto().with_threads(4));
+        assert_eq!(parallel.forward().name(), "fp32");
+        assert_eq!(
+            parallel.forward().gemm(&a, &b).unwrap().data(),
+            serial.forward().gemm(&a, &b).unwrap().data()
+        );
+        assert_eq!(
+            parallel.backward().gemm(&b, &a).unwrap().data(),
+            serial.backward().gemm(&b, &a).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn uniform_parallel_constructs() {
+        let e = Engines::uniform_parallel(ExactEngine);
+        assert_eq!(e.forward().name(), "fp32");
+        assert_eq!(e.backward().name(), "fp32");
     }
 }

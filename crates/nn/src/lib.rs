@@ -9,7 +9,11 @@
 //! - weights are kept as FP32 master copies and updated in FP32
 //!   (Eq. 4), exactly as Mirage stores weights in FP32 SRAM;
 //! - swapping the engine (FP32 / BFP / bf16 / HFP8 / INT8 / …) changes
-//!   only the arithmetic, enabling the Table I comparison.
+//!   only the arithmetic, enabling the Table I comparison;
+//! - [`Engines::uniform_parallel`] (or [`Engines::parallelized`]) lifts
+//!   any engine onto the tiled multi-threaded execution layer, so every
+//!   forward and gradient GEMM fans out across worker threads without
+//!   changing a single bit of the result for deterministic engines.
 //!
 //! ```
 //! use mirage_nn::{Sequential, layers::{Dense, Relu}, Engines};

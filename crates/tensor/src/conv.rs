@@ -5,6 +5,12 @@
 //! the same: conv2d is lowered via im2col so the configured
 //! [`GemmEngine`] sees every convolution as a GEMM, in both the forward
 //! and backward pass.
+//!
+//! Because the engine is pluggable, the lowering picks up the tiled
+//! multi-threaded execution layer for free: pass a
+//! [`crate::parallel::ParallelGemm`]-wrapped engine and the im2col GEMM
+//! — whose `b·oh·ow` patch rows dwarf the other dimensions — fans out
+//! across worker threads bit-identically for tile-invariant engines.
 
 use crate::engines::GemmEngine;
 use crate::{Result, Tensor, TensorError};
@@ -455,6 +461,30 @@ mod tests {
         assert_eq!(dx.at(&[0, 0, 2, 0]), 3.0); // 7.0 position
         assert_eq!(dx.at(&[0, 0, 3, 3]), 4.0); // 6.0 position
         assert_eq!(dx.sum(), 10.0);
+    }
+
+    #[test]
+    fn conv_through_parallel_engine_is_bit_identical() {
+        use crate::parallel::TileConfig;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(63);
+        let g = geo(3, 8, 3, 1, 1);
+        let x = Tensor::randn(&[2, 3, 12, 12], 1.0, &mut rng);
+        let wt = Tensor::randn(&[8, 3, 3, 3], 0.5, &mut rng);
+        let serial = conv2d_forward(&x, &wt, &g, &ExactEngine).unwrap();
+        let tiled = ExactEngine.parallel_with(TileConfig {
+            tile_m: 32,
+            tile_n: 4,
+            tile_k: 0,
+            threads: 4,
+        });
+        let parallel = conv2d_forward(&x, &wt, &g, &tiled).unwrap();
+        assert_eq!(parallel.data(), serial.data());
+
+        let d_out = Tensor::ones(serial.shape());
+        let (dx_s, dw_s) = conv2d_backward(&x, &wt, &d_out, &g, &ExactEngine).unwrap();
+        let (dx_p, dw_p) = conv2d_backward(&x, &wt, &d_out, &g, &tiled).unwrap();
+        assert_eq!(dx_p.data(), dx_s.data());
+        assert_eq!(dw_p.data(), dw_s.data());
     }
 
     #[test]

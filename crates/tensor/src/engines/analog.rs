@@ -70,6 +70,14 @@ impl GemmEngine for AnalogFxpEngine {
         "analog-fxp"
     }
 
+    /// `false`: the DAC scales are derived from the **whole-matrix**
+    /// `max_abs`, so slicing the operands into row/column tiles would
+    /// change the quantization grid. [`crate::parallel::ParallelGemm`]
+    /// therefore runs this engine on its serial path.
+    fn tile_invariant(&self) -> bool {
+        false
+    }
+
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (m, k, n) = gemm_dims(a, b)?;
 

@@ -15,6 +15,11 @@ use mirage_bfp::{BfpBlock, BfpConfig};
 /// long as Eq. 13 holds, so this engine omits the residue round trip —
 /// [`super::RnsBfpEngine`] keeps it and is verified bit-identical.
 ///
+/// Tile-invariant: quantization groups run along the reduction dimension
+/// of individual rows (of `A`) and columns (of `B`), so
+/// [`crate::parallel::ParallelGemm`] reproduces this engine bit-exactly
+/// under row/column tiling — the determinism regression tests enforce it.
+///
 /// ```
 /// use mirage_tensor::{Tensor, GemmEngine, engines::{BfpEngine, ExactEngine}};
 /// use mirage_bfp::BfpConfig;
@@ -64,6 +69,13 @@ impl BfpEngine {
 impl GemmEngine for BfpEngine {
     fn name(&self) -> &'static str {
         "mirage-bfp"
+    }
+
+    /// `true`: BFP groups run along the reduction dimension of single
+    /// rows (`A`) / columns (`B`), so tile membership cannot change any
+    /// shared exponent.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

@@ -6,6 +6,10 @@ use crate::{Result, Tensor};
 /// Full-precision FP32 GEMM — the accuracy reference all quantized
 /// engines are compared against (the paper's "FP32 training" baseline).
 ///
+/// Tile-invariant: each output row's accumulation chain is independent,
+/// so [`crate::parallel::ParallelGemm`] reproduces it bit-exactly while
+/// fanning row bands across threads.
+///
 /// ```
 /// use mirage_tensor::{Tensor, GemmEngine, engines::ExactEngine};
 ///
@@ -20,6 +24,12 @@ pub struct ExactEngine;
 impl GemmEngine for ExactEngine {
     fn name(&self) -> &'static str {
         "fp32"
+    }
+
+    /// `true`: no quantization state at all; each output element is one
+    /// independent FP32 accumulation chain over its row/column.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

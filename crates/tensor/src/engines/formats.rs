@@ -1,4 +1,9 @@
 //! Baseline data-format engines: bfloat16, HFP8 and symmetric integers.
+//!
+//! All three are tile-invariant — bf16/HFP8 quantize element-wise and
+//! [`IntEngine`] scales per-row (`A`) / per-column (`B`) — so
+//! [`crate::parallel::ParallelGemm`] reproduces them bit-exactly while
+//! partitioning the output across worker threads.
 
 use super::{gemm_dims, GemmEngine};
 use crate::quant::{int_scale, quantize_int, to_bf16, to_fp8, Fp8Format, FP8_E4M3};
@@ -21,6 +26,11 @@ pub struct Bf16Engine;
 impl GemmEngine for Bf16Engine {
     fn name(&self) -> &'static str {
         "bfloat16"
+    }
+
+    /// `true`: element-wise rounding has no cross-element state.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
@@ -59,6 +69,11 @@ impl Default for Hfp8Engine {
 impl GemmEngine for Hfp8Engine {
     fn name(&self) -> &'static str {
         "hfp8"
+    }
+
+    /// `true`: element-wise rounding has no cross-element state.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
@@ -114,6 +129,12 @@ impl GemmEngine for IntEngine {
             12 => "int12",
             _ => "int",
         }
+    }
+
+    /// `true`: dynamic scales are derived per-row of `A` and per-column
+    /// of `B`, never across them.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

@@ -20,12 +20,27 @@ pub use formats::{Bf16Engine, Hfp8Engine, IntEngine};
 pub use rns_bfp::RnsBfpEngine;
 pub use stochastic::StochasticBfpEngine;
 
+use crate::parallel::{ParallelGemm, TileConfig};
 use crate::{Result, Tensor, TensorError};
 
 /// A matrix-multiplication backend.
 ///
 /// Implementors are `Send + Sync` so training loops can share them across
-/// threads.
+/// threads, and any engine can be lifted onto the tiled multi-threaded
+/// execution layer with [`GemmEngine::parallel`]:
+///
+/// ```
+/// use mirage_tensor::{Tensor, GemmEngine, engines::ExactEngine};
+///
+/// let a = Tensor::full(&[64, 48], 0.25);
+/// let b = Tensor::full(&[48, 64], -2.0);
+/// let tiled = ExactEngine.parallel(); // auto tile + thread heuristic
+/// assert_eq!(
+///     tiled.gemm(&a, &b)?.data(),
+///     ExactEngine.gemm(&a, &b)?.data(), // bit-identical to serial
+/// );
+/// # Ok::<(), mirage_tensor::TensorError>(())
+/// ```
 pub trait GemmEngine: Send + Sync {
     /// Short human-readable name (used in experiment tables).
     fn name(&self) -> &'static str;
@@ -38,6 +53,68 @@ pub trait GemmEngine: Send + Sync {
     /// rank-2, and [`TensorError::DimMismatch`] when inner dimensions
     /// differ. Engines may propagate their own arithmetic errors.
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor>;
+
+    /// Whether each output element depends only on its own row of `A`
+    /// and column of `B`, so that partitioning the output over row bands
+    /// and column tiles reproduces the serial result **bit-exactly**.
+    ///
+    /// Defaults to `false` — the conservative choice: a new engine is
+    /// never tiled until its author audits the quantization state and
+    /// opts in, so [`ParallelGemm`] can at worst lose parallelism, never
+    /// silently change results. Override to `true` only when all
+    /// quantization state is per-row (`A`) / per-column (`B`) /
+    /// per-element; whole-matrix state (analog ADC full-scale) or
+    /// absolute-position state (stochastic rounding seeds) must stay
+    /// `false`.
+    fn tile_invariant(&self) -> bool {
+        false
+    }
+
+    /// Lifts the engine onto the tiled multi-threaded driver with the
+    /// automatic tile/thread heuristic ([`TileConfig::auto`]).
+    fn parallel(self) -> ParallelGemm<Self>
+    where
+        Self: Sized,
+    {
+        ParallelGemm::auto(self)
+    }
+
+    /// Lifts the engine onto the tiled multi-threaded driver with an
+    /// explicit [`TileConfig`].
+    fn parallel_with(self, config: TileConfig) -> ParallelGemm<Self>
+    where
+        Self: Sized,
+    {
+        ParallelGemm::new(self, config)
+    }
+}
+
+impl<E: GemmEngine + ?Sized> GemmEngine for std::sync::Arc<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).gemm(a, b)
+    }
+
+    fn tile_invariant(&self) -> bool {
+        (**self).tile_invariant()
+    }
+}
+
+impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        (**self).gemm(a, b)
+    }
+
+    fn tile_invariant(&self) -> bool {
+        (**self).tile_invariant()
+    }
 }
 
 /// Validates GEMM operand shapes, returning `(m, k, n)`.
@@ -85,5 +162,25 @@ mod tests {
             e.name()
         }
         assert_eq!(boxed(Box::new(ExactEngine)), "fp32");
+    }
+
+    #[test]
+    fn tile_invariance_defaults_to_false() {
+        // New engines must audit their quantization state and opt in;
+        // the driver never tiles an engine that hasn't.
+        struct Unaudited;
+        impl GemmEngine for Unaudited {
+            fn name(&self) -> &'static str {
+                "unaudited"
+            }
+            fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+                ExactEngine.gemm(a, b)
+            }
+        }
+        assert!(!Unaudited.tile_invariant());
+        // Audited engines opt in, and smart pointers delegate.
+        assert!(ExactEngine.tile_invariant());
+        assert!(Box::new(ExactEngine).tile_invariant());
+        assert!(std::sync::Arc::new(ExactEngine).tile_invariant());
     }
 }

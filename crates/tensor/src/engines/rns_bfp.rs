@@ -17,6 +17,10 @@ use mirage_rns::{residue, ModuliSet};
 /// bm and g and is independent of the exact values of the moduli",
 /// §IV-B). The equivalence is enforced by tests.
 ///
+/// Tile-invariant like [`BfpEngine`]: the residue round trip is exact
+/// integer arithmetic per group, so [`crate::parallel::ParallelGemm`]
+/// fans this engine across threads bit-identically.
+///
 /// ```
 /// use mirage_tensor::{Tensor, GemmEngine, engines::RnsBfpEngine};
 /// use mirage_bfp::BfpConfig;
@@ -91,6 +95,12 @@ impl RnsBfpEngine {
 impl GemmEngine for RnsBfpEngine {
     fn name(&self) -> &'static str {
         "mirage-rns-bfp"
+    }
+
+    /// `true`: same per-row/per-column BFP grouping as [`BfpEngine`];
+    /// the residue round trip is exact integer arithmetic per group.
+    fn tile_invariant(&self) -> bool {
+        true
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

@@ -70,6 +70,16 @@ impl GemmEngine for StochasticBfpEngine {
         "fmac"
     }
 
+    /// `false`: rounding randomness is keyed on each element's **absolute
+    /// row/chunk position**, so the same value quantizes differently
+    /// inside a sliced operand. [`crate::parallel::ParallelGemm`]
+    /// therefore runs this engine on its serial path (its `gemm_batch`
+    /// still parallelizes across batch items, which preserves per-item
+    /// positions exactly).
+    fn tile_invariant(&self) -> bool {
+        false
+    }
+
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (m, k, n) = gemm_dims(a, b)?;
         let g = self.config.group_size();

@@ -17,6 +17,11 @@
 //!   bounded-precision ADCs, reproducing the information loss that
 //!   motivates Mirage (paper §II-C).
 //!
+//! Any engine can be lifted onto the tiled multi-threaded execution
+//! layer ([`parallel::ParallelGemm`]) with [`GemmEngine::parallel`]; the
+//! driver partitions the output over scoped worker threads and is
+//! bit-identical to the serial path for tile-invariant engines.
+//!
 //! ```
 //! use mirage_tensor::{Tensor, engines::{ExactEngine, BfpEngine}, GemmEngine};
 //! use mirage_bfp::BfpConfig;
@@ -35,11 +40,13 @@
 pub mod conv;
 pub mod engines;
 mod error;
+pub mod parallel;
 pub mod quant;
 mod tensor;
 
 pub use engines::GemmEngine;
 pub use error::TensorError;
+pub use parallel::{ParallelGemm, TileConfig};
 pub use tensor::Tensor;
 
 /// Result alias for fallible tensor operations.

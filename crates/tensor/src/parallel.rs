@@ -1,0 +1,559 @@
+//! Tiled, multi-threaded GEMM execution.
+//!
+//! The hardware this workspace models derives its throughput from
+//! massively parallel photonic MAC arrays, yet a naive software
+//! reproduction runs every GEMM serially. [`ParallelGemm`] closes that
+//! gap: it wraps any [`GemmEngine`], partitions the output matrix into
+//! cache-friendly `tile_m × tile_n` blocks, and fans the blocks out over
+//! [`std::thread::scope`] workers — no extra dependencies, no `unsafe`.
+//!
+//! # Bit-identity contract
+//!
+//! The driver only ever partitions the **output** (`m` and `n`); the
+//! reduction dimension `k` is never split across threads. Engines whose
+//! per-element results depend only on the element's own row of `A` and
+//! column of `B` (see [`GemmEngine::tile_invariant`]) therefore produce
+//! **bit-identical** results under any tiling and any thread count — the
+//! property the determinism regression tests enforce for the exact, BFP
+//! and RNS-BFP engines. Engines that quantize with whole-matrix state
+//! (analog ADC scales, position-seeded stochastic rounding) report
+//! `tile_invariant() == false` and transparently fall back to their
+//! serial path.
+//!
+//! Setting [`TileConfig::tile_k`] to a nonzero value additionally blocks
+//! the reduction *within* a worker for cache locality. This is opt-in
+//! and excluded from the bit-identity guarantee: it reorders
+//! floating-point accumulation, and for block-quantized engines (BFP
+//! family) a `tile_k` that is not a multiple of the group size also
+//! moves quantization group boundaries — an accuracy change, not just
+//! a rounding one.
+//!
+//! Nested drivers are safe: a `ParallelGemm` invoked from inside another
+//! `ParallelGemm` worker detects the nesting through a thread-local flag
+//! and runs its serial path, so wrapping twice (or re-wrapping the
+//! already-parallel default engines) never multiplies the thread count.
+//!
+//! # Thread-count knob
+//!
+//! `threads == 0` resolves at call time: the `MIRAGE_THREADS` environment
+//! variable if set, else [`std::thread::available_parallelism`].
+
+use crate::engines::{gemm_dims, GemmEngine};
+use crate::{Result, Tensor};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable overriding the auto-detected worker count.
+pub const THREADS_ENV: &str = "MIRAGE_THREADS";
+
+/// Below this `m·k·n` product the parallel driver runs serially: thread
+/// spawn and operand staging would cost more than the GEMM itself.
+pub const MIN_PARALLEL_WORK: usize = 32 * 32 * 32;
+
+/// Tiling geometry and worker count for [`ParallelGemm`].
+///
+/// A value of `0` in any field means "choose automatically":
+/// `tile_m = 0` derives a row-band height giving each worker one equal
+/// band (amortizing per-band operand staging),
+/// `tile_n = 0` keeps the full output width in one column tile,
+/// `tile_k = 0` never splits the reduction (required for bit-identity),
+/// and `threads = 0` resolves via [`THREADS_ENV`] /
+/// [`std::thread::available_parallelism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileConfig {
+    /// Output row-band height per task (`0` = auto).
+    pub tile_m: usize,
+    /// Output column-tile width per task (`0` = full width).
+    pub tile_n: usize,
+    /// Reduction block length (`0` = never split `k`). Nonzero values
+    /// trade the bit-identity guarantee for cache locality: FP32
+    /// accumulation is reordered, and block-quantized engines re-derive
+    /// quantization groups per block unless `tile_k` is a multiple of
+    /// the group size.
+    pub tile_k: usize,
+    /// Worker count (`0` = auto).
+    pub threads: usize,
+}
+
+impl TileConfig {
+    /// Fully automatic configuration (the default).
+    pub fn auto() -> Self {
+        TileConfig {
+            tile_m: 0,
+            tile_n: 0,
+            tile_k: 0,
+            threads: 0,
+        }
+    }
+
+    /// Single-threaded configuration: the wrapped engine runs serially,
+    /// which deterministic tests use as the reference path.
+    pub fn serial() -> Self {
+        TileConfig {
+            tile_m: 0,
+            tile_n: 0,
+            tile_k: 0,
+            threads: 1,
+        }
+    }
+
+    /// Returns `self` with an explicit worker count (`0` = auto).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The worker count this configuration resolves to right now:
+    /// the explicit `threads` field if nonzero, else [`THREADS_ENV`],
+    /// else [`std::thread::available_parallelism`].
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            return self.threads;
+        }
+        if let Ok(v) = std::env::var(THREADS_ENV) {
+            if let Ok(t) = v.trim().parse::<usize>() {
+                if t > 0 {
+                    return t;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+impl Default for TileConfig {
+    fn default() -> Self {
+        TileConfig::auto()
+    }
+}
+
+/// A tiled, multi-threaded driver around any [`GemmEngine`].
+///
+/// `ParallelGemm` is itself a [`GemmEngine`], so it composes with every
+/// consumer in the workspace — training [`gemm`](GemmEngine::gemm) calls
+/// in `mirage-nn`, conv lowering in [`crate::conv`], and the accelerator
+/// engines in `mirage-core` — without any of them changing.
+///
+/// ```
+/// use mirage_tensor::{Tensor, GemmEngine, engines::ExactEngine};
+/// use mirage_tensor::parallel::{ParallelGemm, TileConfig};
+///
+/// let a = Tensor::full(&[48, 32], 0.5);
+/// let b = Tensor::full(&[32, 40], 2.0);
+/// let tiled = ParallelGemm::new(
+///     ExactEngine,
+///     TileConfig { tile_m: 8, tile_n: 16, tile_k: 0, threads: 4 },
+/// );
+/// let parallel = tiled.gemm(&a, &b)?;
+/// let serial = ExactEngine.gemm(&a, &b)?;
+/// assert_eq!(parallel.data(), serial.data()); // bit-identical
+/// # Ok::<(), mirage_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelGemm<E> {
+    inner: E,
+    config: TileConfig,
+}
+
+impl<E: GemmEngine> ParallelGemm<E> {
+    /// Wraps `inner` with an explicit tiling configuration.
+    pub fn new(inner: E, config: TileConfig) -> Self {
+        ParallelGemm { inner, config }
+    }
+
+    /// Wraps `inner` with [`TileConfig::auto`].
+    pub fn auto(inner: E) -> Self {
+        ParallelGemm::new(inner, TileConfig::auto())
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The tiling configuration.
+    pub fn config(&self) -> TileConfig {
+        self.config
+    }
+
+    /// Batched GEMM against a shared right-hand side: computes
+    /// `inputs[i] · b` for every batch item, fanning items out across the
+    /// worker threads of a **single** thread scope.
+    ///
+    /// This is the batched-inference entry point: shape validation, the
+    /// thread-pool spawn and the shared-operand staging are paid once per
+    /// batch instead of once per call. Results are bit-identical to
+    /// `inputs.iter().map(|a| engine.gemm(a, b))` for **all** engines:
+    /// non-tile-invariant engines always run their own serial path per
+    /// item, and tile-invariant ones carry the driver's bit-identity
+    /// guarantee (batches smaller than the worker count are routed
+    /// through the tiled per-item path so they still parallelize).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-validation and engine errors; the whole batch
+    /// fails if any item does.
+    pub fn gemm_batch(&self, inputs: &[Tensor], b: &Tensor) -> Result<Vec<Tensor>> {
+        for a in inputs {
+            gemm_dims(a, b)?;
+        }
+        let threads = self.config.effective_threads();
+        // Batches too small to occupy every worker with one item each:
+        // tile-invariant engines get their parallelism from the tiled
+        // per-item path instead (bit-identical either way), so a batch
+        // of 1 on an 8-core host still uses 8 workers.
+        if threads > inputs.len() && self.inner.tile_invariant() {
+            return inputs.iter().map(|a| self.gemm(a, b)).collect();
+        }
+        let threads = threads.min(inputs.len());
+        if threads <= 1 {
+            return inputs.iter().map(|a| self.inner.gemm(a, b)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<ResultSlot> = inputs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    as_parallel_worker(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= inputs.len() {
+                            break;
+                        }
+                        let result = self.inner.gemm(&inputs[i], b);
+                        *slots[i].lock().expect("batch slot poisoned") = Some(result);
+                    })
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("batch slot poisoned")
+                    .expect("every batch index was claimed by a worker")
+            })
+            .collect()
+    }
+
+    /// One `(row band × column tile)` block, optionally k-blocked.
+    fn compute_block(&self, a_band: &Tensor, col_tile: &Tensor, k: usize) -> Result<Tensor> {
+        let tk = self.config.tile_k;
+        if tk == 0 || tk >= k {
+            return self.inner.gemm(a_band, col_tile);
+        }
+        let rows = a_band.shape()[0];
+        let cols = col_tile.shape()[1];
+        let mut acc = Tensor::zeros(&[rows, cols]);
+        for k0 in (0..k).step_by(tk) {
+            let k1 = (k0 + tk).min(k);
+            let mut a_data = Vec::with_capacity(rows * (k1 - k0));
+            for row in a_band.data().chunks(k) {
+                a_data.extend_from_slice(&row[k0..k1]);
+            }
+            let a_slice = Tensor::from_vec(a_data, &[rows, k1 - k0])?;
+            let b_slice = Tensor::from_vec(
+                col_tile.data()[k0 * cols..k1 * cols].to_vec(),
+                &[k1 - k0, cols],
+            )?;
+            let partial = self.inner.gemm(&a_slice, &b_slice)?;
+            acc = acc.add(&partial)?;
+        }
+        Ok(acc)
+    }
+
+    /// Computes every column tile of one output row band (starting at
+    /// output row `r0`), writing into the band's slice of the output
+    /// buffer.
+    fn process_band(
+        &self,
+        a: &Tensor,
+        col_tiles: &[(usize, Tensor)],
+        r0: usize,
+        k: usize,
+        n: usize,
+        band: &mut [f32],
+    ) -> Result<()> {
+        let rows = band.len() / n;
+        let a_band = Tensor::from_vec(a.data()[r0 * k..(r0 + rows) * k].to_vec(), &[rows, k])?;
+        for (c0, col_tile) in col_tiles {
+            let width = col_tile.shape()[1];
+            let block = self.compute_block(&a_band, col_tile, k)?;
+            for (out_row, block_row) in band.chunks_mut(n).zip(block.data().chunks(width)) {
+                out_row[*c0..c0 + width].copy_from_slice(block_row);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One finished batch item, filled in by whichever worker claimed it.
+type ResultSlot = Mutex<Option<Result<Tensor>>>;
+
+std::thread_local! {
+    /// Set while executing inside a [`ParallelGemm`] worker thread, so a
+    /// nested driver (double-wrapped engines, parallel conv inside a
+    /// parallel batch, …) degrades to its serial path instead of
+    /// multiplying the thread count.
+    static IN_PARALLEL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Runs `f` with the nested-driver flag set for this (worker) thread.
+fn as_parallel_worker<T>(f: impl FnOnce() -> T) -> T {
+    IN_PARALLEL_WORKER.with(|flag| flag.set(true));
+    // Worker threads are per-scope and never reused, so no reset needed.
+    f()
+}
+
+impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
+    /// Reports the wrapped engine's name so experiment tables stay
+    /// comparable whether or not the parallel driver is in the loop.
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn tile_invariant(&self) -> bool {
+        self.inner.tile_invariant()
+    }
+
+    fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = gemm_dims(a, b)?;
+        // Free bail-outs first; the env/`available_parallelism` lookup in
+        // `effective_threads` only runs for GEMMs big enough to matter.
+        if !self.inner.tile_invariant()
+            || m * k.max(1) * n < MIN_PARALLEL_WORK
+            || IN_PARALLEL_WORKER.with(|flag| flag.get())
+        {
+            return self.inner.gemm(a, b);
+        }
+        let threads = self.config.effective_threads();
+        if threads <= 1 {
+            return self.inner.gemm(a, b);
+        }
+
+        // Row-band height: explicit tile_m, or one equal band per worker.
+        // Each band re-runs the engine's own B-side quantization, so
+        // fewer, larger bands amortize that redundant work best; equal
+        // heights keep the workers balanced.
+        let band_height = if self.config.tile_m > 0 {
+            self.config.tile_m.min(m)
+        } else {
+            m.div_ceil(threads).max(1)
+        };
+        let band_count = m.div_ceil(band_height);
+        let threads = threads.min(band_count);
+
+        // Column tiles of B are staged once and shared by every band.
+        let tile_n = if self.config.tile_n > 0 {
+            self.config.tile_n.min(n)
+        } else {
+            n
+        };
+        let col_tiles: Vec<(usize, Tensor)> = if tile_n >= n {
+            vec![(0, b.clone())]
+        } else {
+            (0..n)
+                .step_by(tile_n)
+                .map(|c0| {
+                    let width = tile_n.min(n - c0);
+                    let mut data = Vec::with_capacity(k * width);
+                    for row in b.data().chunks(n) {
+                        data.extend_from_slice(&row[c0..c0 + width]);
+                    }
+                    Ok((c0, Tensor::from_vec(data, &[k, width])?))
+                })
+                .collect::<Result<_>>()?
+        };
+
+        let mut out = vec![0.0f32; m * n];
+        let mut per_worker: Vec<Vec<(usize, &mut [f32])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (index, chunk) in out.chunks_mut(band_height * n).enumerate() {
+            per_worker[index % threads].push((index, chunk));
+        }
+
+        let col_tiles = &col_tiles;
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(per_worker.len());
+            for bands in per_worker {
+                handles.push(scope.spawn(move || -> Result<()> {
+                    as_parallel_worker(|| {
+                        for (index, band) in bands {
+                            self.process_band(a, col_tiles, index * band_height, k, n, band)?;
+                        }
+                        Ok(())
+                    })
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("GEMM worker panicked")?;
+            }
+            Ok(())
+        })?;
+        Tensor::from_vec(out, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{AnalogFxpEngine, BfpEngine, ExactEngine, StochasticBfpEngine};
+    use mirage_bfp::BfpConfig;
+    use rand::SeedableRng;
+
+    fn pair(seed: u64, m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            Tensor::randn(&[m, k], 1.0, &mut rng),
+            Tensor::randn(&[k, n], 1.0, &mut rng),
+        )
+    }
+
+    fn four_threads(tile_m: usize, tile_n: usize) -> TileConfig {
+        TileConfig {
+            tile_m,
+            tile_n,
+            tile_k: 0,
+            threads: 4,
+        }
+    }
+
+    #[test]
+    fn config_resolves_threads() {
+        assert_eq!(TileConfig::serial().effective_threads(), 1);
+        assert_eq!(TileConfig::auto().with_threads(3).effective_threads(), 3);
+        assert!(TileConfig::auto().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn parallel_exact_is_bit_identical() {
+        // Ragged shapes: bands and column tiles both have tails.
+        for (m, k, n) in [(40, 33, 40), (65, 40, 37), (128, 16, 50)] {
+            let (a, b) = pair(90, m, k, n);
+            let serial = ExactEngine.gemm(&a, &b).unwrap();
+            for config in [four_threads(7, 0), four_threads(16, 9), four_threads(0, 0)] {
+                let parallel = ParallelGemm::new(ExactEngine, config).gemm(&a, &b).unwrap();
+                assert_eq!(parallel.data(), serial.data(), "{m}x{k}x{n} {config:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_bfp_is_bit_identical() {
+        let engine = BfpEngine::new(BfpConfig::mirage_default());
+        let (a, b) = pair(91, 48, 50, 48);
+        let serial = engine.gemm(&a, &b).unwrap();
+        let parallel = ParallelGemm::new(engine, four_threads(8, 16))
+            .gemm(&a, &b)
+            .unwrap();
+        assert_eq!(parallel.data(), serial.data());
+    }
+
+    #[test]
+    fn non_tile_invariant_engines_fall_back_to_serial() {
+        let (a, b) = pair(92, 40, 64, 40);
+        let stochastic = StochasticBfpEngine::new(BfpConfig::mirage_default(), 3);
+        let analog = AnalogFxpEngine::new(8, 8, 16);
+        assert_eq!(
+            ParallelGemm::new(stochastic, four_threads(8, 0))
+                .gemm(&a, &b)
+                .unwrap()
+                .data(),
+            stochastic.gemm(&a, &b).unwrap().data()
+        );
+        assert_eq!(
+            ParallelGemm::new(analog, four_threads(8, 0))
+                .gemm(&a, &b)
+                .unwrap()
+                .data(),
+            analog.gemm(&a, &b).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn small_gemms_take_the_serial_path() {
+        let (a, b) = pair(93, 4, 4, 4);
+        let parallel = ParallelGemm::new(ExactEngine, four_threads(1, 1));
+        assert_eq!(
+            parallel.gemm(&a, &b).unwrap().data(),
+            ExactEngine.gemm(&a, &b).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn tile_k_blocking_stays_close_to_serial() {
+        // k-blocking reorders FP accumulation: close, not bit-identical.
+        let (a, b) = pair(94, 40, 96, 40);
+        let config = TileConfig {
+            tile_m: 8,
+            tile_n: 0,
+            tile_k: 32,
+            threads: 4,
+        };
+        let blocked = ParallelGemm::new(ExactEngine, config).gemm(&a, &b).unwrap();
+        let serial = ExactEngine.gemm(&a, &b).unwrap();
+        assert!(blocked.allclose(&serial, 1e-4));
+    }
+
+    #[test]
+    fn shape_errors_propagate() {
+        let parallel = ParallelGemm::auto(ExactEngine);
+        assert!(parallel
+            .gemm(&Tensor::zeros(&[4, 4]), &Tensor::zeros(&[5, 4]))
+            .is_err());
+        assert!(parallel
+            .gemm_batch(
+                &[Tensor::zeros(&[4, 4]), Tensor::zeros(&[4, 5])],
+                &Tensor::zeros(&[5, 4])
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn gemm_batch_matches_per_item_serial() {
+        let engine = StochasticBfpEngine::new(BfpConfig::mirage_default(), 11);
+        let parallel = ParallelGemm::new(engine, TileConfig::auto().with_threads(4));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(95);
+        let b = Tensor::randn(&[32, 8], 1.0, &mut rng);
+        let inputs: Vec<Tensor> = (0..6)
+            .map(|_| Tensor::randn(&[5, 32], 1.0, &mut rng))
+            .collect();
+        let batched = parallel.gemm_batch(&inputs, &b).unwrap();
+        for (input, got) in inputs.iter().zip(&batched) {
+            assert_eq!(got.data(), engine.gemm(input, &b).unwrap().data());
+        }
+    }
+
+    #[test]
+    fn name_reports_inner_engine() {
+        assert_eq!(ParallelGemm::auto(ExactEngine).name(), "fp32");
+    }
+
+    #[test]
+    fn nested_drivers_stay_bit_identical() {
+        // A driver inside another driver's worker detects the nesting,
+        // runs serially, and the whole stack remains bit-identical.
+        let (a, b) = pair(96, 64, 64, 64);
+        let nested = ParallelGemm::new(
+            ParallelGemm::new(ExactEngine, four_threads(8, 0)),
+            four_threads(16, 0),
+        );
+        assert_eq!(
+            nested.gemm(&a, &b).unwrap().data(),
+            ExactEngine.gemm(&a, &b).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn small_batches_route_through_the_tiled_path() {
+        // A batch of 1 must not serialize a tile-invariant engine: it is
+        // routed through the tiled per-item path, bit-identically.
+        let engine = BfpEngine::new(BfpConfig::mirage_default());
+        let parallel = ParallelGemm::new(engine, TileConfig::auto().with_threads(4));
+        let (a, b) = pair(97, 64, 64, 64);
+        let batch = parallel.gemm_batch(std::slice::from_ref(&a), &b).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].data(), engine.gemm(&a, &b).unwrap().data());
+    }
+}

@@ -1,0 +1,110 @@
+//! Determinism regression: the tiled multi-threaded GEMM driver must be
+//! **bit-identical** to serial execution for the deterministic engines
+//! (exact FP32, BFP, RNS-BFP), across ragged shapes, tile geometries and
+//! thread counts. This is the contract that lets training and the figure
+//! benches run on the parallel path by default without perturbing any
+//! paper-accuracy number.
+
+use mirage_bfp::BfpConfig;
+use mirage_tensor::engines::{BfpEngine, ExactEngine, RnsBfpEngine};
+use mirage_tensor::parallel::{ParallelGemm, TileConfig};
+use mirage_tensor::{GemmEngine, Tensor};
+use rand::SeedableRng;
+
+fn pair(seed: u64, m: usize, k: usize, n: usize) -> (Tensor, Tensor) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (
+        Tensor::randn(&[m, k], 1.0, &mut rng),
+        Tensor::randn(&[k, n], 1.0, &mut rng),
+    )
+}
+
+/// Shapes with ragged band/tile tails, all above the serial-fallback
+/// threshold so the threaded path really executes.
+const SHAPES: [(usize, usize, usize); 4] =
+    [(48, 48, 48), (65, 33, 37), (40, 100, 23), (128, 17, 64)];
+
+/// Tile geometries exercising row bands only, row+column tiles, and the
+/// auto heuristic, at 2 and 4 workers.
+fn configs() -> Vec<TileConfig> {
+    let mut configs = Vec::new();
+    for threads in [2, 4] {
+        configs.push(TileConfig {
+            tile_m: 8,
+            tile_n: 0,
+            tile_k: 0,
+            threads,
+        });
+        configs.push(TileConfig {
+            tile_m: 7,
+            tile_n: 13,
+            tile_k: 0,
+            threads,
+        });
+        configs.push(TileConfig::auto().with_threads(threads));
+    }
+    configs
+}
+
+fn assert_parallel_matches_serial<E: GemmEngine + Clone>(engine: E, seed: u64) {
+    for (m, k, n) in SHAPES {
+        let (a, b) = pair(seed ^ (m as u64) << 8 ^ n as u64, m, k, n);
+        let serial = engine.gemm(&a, &b).unwrap();
+        for config in configs() {
+            let parallel = ParallelGemm::new(engine.clone(), config)
+                .gemm(&a, &b)
+                .unwrap();
+            assert_eq!(
+                parallel.data(),
+                serial.data(),
+                "{} diverged on {m}x{k}x{n} with {config:?}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_engine_parallel_is_bit_identical() {
+    assert_parallel_matches_serial(ExactEngine, 1);
+}
+
+#[test]
+fn bfp_engine_parallel_is_bit_identical() {
+    assert_parallel_matches_serial(BfpEngine::new(BfpConfig::mirage_default()), 2);
+}
+
+#[test]
+fn rns_bfp_engine_parallel_is_bit_identical() {
+    let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+    assert_parallel_matches_serial(engine, 3);
+}
+
+#[test]
+fn parallel_runs_are_reproducible_across_invocations() {
+    // Same inputs, same config, two independent scoped-thread fan-outs:
+    // scheduling must not leak into results.
+    let (a, b) = pair(4, 64, 64, 64);
+    let engine = ParallelGemm::new(
+        BfpEngine::new(BfpConfig::mirage_default()),
+        TileConfig::auto().with_threads(4),
+    );
+    let first = engine.gemm(&a, &b).unwrap();
+    let second = engine.gemm(&a, &b).unwrap();
+    assert_eq!(first.data(), second.data());
+}
+
+#[test]
+fn batched_path_is_bit_identical_per_item() {
+    let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+    let parallel = ParallelGemm::new(engine.clone(), TileConfig::auto().with_threads(4));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let b = Tensor::randn(&[48, 16], 1.0, &mut rng);
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::randn(&[12, 48], 1.0, &mut rng))
+        .collect();
+    let batch = parallel.gemm_batch(&inputs, &b).unwrap();
+    for (input, got) in inputs.iter().zip(&batch) {
+        assert_eq!(got.data(), engine.gemm(input, &b).unwrap().data());
+    }
+}
