@@ -1,5 +1,5 @@
-//! Serial vs tiled-parallel GEMM: the perf-trajectory bench for the
-//! multi-threaded execution layer.
+//! Serial vs tiled-parallel GEMM — and unprepared vs prepared weights:
+//! the perf-trajectory bench for the multi-threaded execution layer.
 //!
 //! Runs a 256×256×256 GEMM (and a batched-inference workload) through
 //! the exact FP32 and Mirage BFP engines, serially and on
@@ -10,13 +10,20 @@
 //! expect ≥ 2×, on fewer cores the pinned oversubscription can report
 //! < 1×.
 //!
+//! The second table measures **weight preparation**: `prepare` +
+//! repeated `gemm_prepared` (and `InferenceSession` batched serving)
+//! against re-quantizing B on every call. Prepared results are asserted
+//! bit-identical to the unprepared path for the BFP, RNS-BFP and exact
+//! engines; the speedup shows that weight quantization no longer scales
+//! with call count, band count, or batch size.
+//!
 //! `MIRAGE_THREADS` overrides the worker count.
 
 use criterion::Criterion;
 use mirage_bench::print_table;
 use mirage_bfp::BfpConfig;
 use mirage_core::Mirage;
-use mirage_tensor::engines::{BfpEngine, ExactEngine};
+use mirage_tensor::engines::{BfpEngine, ExactEngine, RnsBfpEngine};
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::{GemmEngine, Tensor};
 use rand::SeedableRng;
@@ -157,8 +164,152 @@ fn main() {
         std::thread::available_parallelism()
     );
 
+    // ── Prepared weights: quantize B once, reuse everywhere ──────────
+    //
+    // Serving loops issue many GEMMs against the same static weight.
+    // Unprepared, every call (and under the tiled driver, every row
+    // band) re-quantizes B; prepared, only the activations touch the
+    // quantizer. `CALLS` models repeated requests against one layer.
+    const CALLS: usize = 8;
+    let mut prep_rows = Vec::new();
+
+    /// Times `CALLS` repeated unprepared vs prepared GEMMs for one
+    /// engine, asserting bit-identity, and pushes a table row.
+    fn prepared_row<E: GemmEngine>(
+        rows: &mut Vec<Vec<String>>,
+        label: &str,
+        engine: &E,
+        a: &Tensor,
+        b: &Tensor,
+        reps: usize,
+    ) {
+        let prepared = engine.prepare(b).unwrap();
+        let unprepared_out = engine.gemm(a, b).unwrap();
+        let prepared_out = engine.gemm_prepared(a, &prepared).unwrap();
+        assert_eq!(
+            unprepared_out.data(),
+            prepared_out.data(),
+            "{label}: prepared path diverged from unprepared"
+        );
+        let t_unprepared = best_of(reps, || {
+            for _ in 0..CALLS {
+                black_box(engine.gemm(black_box(a), black_box(b)).unwrap());
+            }
+        });
+        let t_prepared = best_of(reps, || {
+            let p = engine.prepare(black_box(b)).unwrap(); // one-time cost
+            for _ in 0..CALLS {
+                black_box(engine.gemm_prepared(black_box(a), &p).unwrap());
+            }
+        });
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        rows.push(vec![
+            label.into(),
+            format!("{CALLS}x {m}x{k}x{n}"),
+            format!("{:.2}", ms(t_unprepared)),
+            format!("{:.2}", ms(t_prepared)),
+            format!(
+                "{:.2}x",
+                t_unprepared.as_secs_f64() / t_prepared.as_secs_f64()
+            ),
+            "yes".into(),
+        ]);
+    }
+
+    // Serving-shaped activations: a handful of request rows against a
+    // big static weight, the regime where B-side quantization dominates
+    // the unprepared cost (paper Table III: inference at batch 1–128).
+    let a_serve = Tensor::randn(&[8, K], 1.0, &mut rng);
+    prepared_row(&mut prep_rows, "fp32", &ExactEngine, &a_serve, &b, 3);
+    prepared_row(&mut prep_rows, "mirage-bfp", &serial_bfp, &a_serve, &b, 3);
+    prepared_row(
+        &mut prep_rows,
+        "mirage-bfp (tiled)",
+        &ParallelGemm::new(serial_bfp, config),
+        &a_serve,
+        &b,
+        3,
+    );
+    {
+        // The RNS path also pre-converts weight residues; it is slower
+        // per MAC, so measure a smaller shape.
+        let rns = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+        let a_small = Tensor::randn(&[8, 64], 1.0, &mut rng);
+        let b_small = Tensor::randn(&[64, 64], 1.0, &mut rng);
+        prepared_row(
+            &mut prep_rows,
+            "mirage-rns-bfp",
+            &rns,
+            &a_small,
+            &b_small,
+            2,
+        );
+    }
+    // Batched serving through the per-layer cache: InferenceSession
+    // prepares the weight once for ALL batches, while Mirage::infer_batch
+    // re-prepares per call (already amortized across the batch's items
+    // and bands).
+    {
+        let serve_batch: Vec<Tensor> = (0..16)
+            .map(|_| Tensor::randn(&[8, K], 1.0, &mut rng))
+            .collect();
+        let session = mirage.inference_session();
+        session.load("layer0", &weight).unwrap();
+        let per_call = mirage.infer_batch(&serve_batch, &weight).unwrap();
+        let cached = session.infer_batch("layer0", &serve_batch).unwrap();
+        for (s, p) in per_call.iter().zip(&cached) {
+            assert_eq!(s.data(), p.data(), "session inference diverged");
+        }
+        let t_per_call = best_of(3, || {
+            for _ in 0..CALLS {
+                black_box(
+                    mirage
+                        .infer_batch(black_box(&serve_batch), &weight)
+                        .unwrap(),
+                );
+            }
+        });
+        let t_cached = best_of(3, || {
+            for _ in 0..CALLS {
+                black_box(
+                    session
+                        .infer_batch("layer0", black_box(&serve_batch))
+                        .unwrap(),
+                );
+            }
+        });
+        prep_rows.push(vec![
+            "session (batch 16)".into(),
+            format!("{CALLS}x 16x 8x{K}x{N}"),
+            format!("{:.2}", ms(t_per_call)),
+            format!("{:.2}", ms(t_cached)),
+            format!("{:.2}x", t_per_call.as_secs_f64() / t_cached.as_secs_f64()),
+            "yes".into(),
+        ]);
+    }
+
+    print_table(
+        &format!("Prepared-weight speedup — {CALLS} calls per measurement"),
+        &[
+            "engine",
+            "workload",
+            "unprepared (ms)",
+            "prepared (ms)",
+            "speedup",
+            "bit-identical",
+        ],
+        &prep_rows,
+    );
+    println!("\nPrepared results are asserted bit-identical; the gain is the");
+    println!("B-side quantization (and RNS forward conversion) moving out of");
+    println!("the per-call / per-band / per-item path into a one-time prepare.");
+
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     let parallel_bfp = ParallelGemm::new(serial_bfp, config);
+    let prepared_b = serial_bfp.prepare(&b).unwrap();
+    let session = mirage.inference_session();
+    session.load("bench", &weight).unwrap();
     c.bench_function("parallel/serial_bfp_256", |bch| {
         bch.iter(|| serial_bfp.gemm(black_box(&a), black_box(&b)).unwrap())
     });
@@ -167,6 +318,23 @@ fn main() {
     });
     c.bench_function("parallel/infer_batch_16", |bch| {
         bch.iter(|| mirage.infer_batch(black_box(&batch), &weight).unwrap())
+    });
+    c.bench_function("prepared/serial_bfp_256", |bch| {
+        bch.iter(|| {
+            serial_bfp
+                .gemm_prepared(black_box(&a), black_box(&prepared_b))
+                .unwrap()
+        })
+    });
+    c.bench_function("prepared/tiled_bfp_256", |bch| {
+        bch.iter(|| {
+            parallel_bfp
+                .gemm_prepared(black_box(&a), black_box(&prepared_b))
+                .unwrap()
+        })
+    });
+    c.bench_function("prepared/session_infer_batch_16", |bch| {
+        bch.iter(|| session.infer_batch("bench", black_box(&batch)).unwrap())
     });
     c.final_summary();
 }

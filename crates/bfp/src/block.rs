@@ -162,6 +162,13 @@ impl BfpBlock {
         &self.mantissas
     }
 
+    /// The mantissae widened to `i64` — the operand format the RNS
+    /// forward converter and the photonic device simulator consume, so
+    /// prepared-weight paths widen once instead of per use.
+    pub fn mantissas_i64(&self) -> Vec<i64> {
+        self.mantissas.iter().map(|&m| i64::from(m)).collect()
+    }
+
     /// The configuration this block was quantized with.
     pub fn config(&self) -> BfpConfig {
         self.config
@@ -320,6 +327,19 @@ mod tests {
             .map(|(a, b): (&f64, &f64)| a * b)
             .sum();
         assert!((d.to_f64() - float_dot).abs() < 0.1);
+    }
+
+    #[test]
+    fn mantissas_widen_losslessly() {
+        let block = BfpBlock::quantize(&[1.0, -0.5, 0.0], cfg(4, 3));
+        assert_eq!(
+            block.mantissas_i64(),
+            block
+                .mantissas()
+                .iter()
+                .map(|&m| i64::from(m))
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::photonic_gemm::PhotonicGemmEngine;
 use crate::report::PerformanceReport;
+use crate::session::InferenceSession;
 use mirage_arch::breakdown::{area_breakdown, power_breakdown, AreaBreakdown, PowerBreakdown};
 use mirage_arch::energy::DigitalEnergy;
 use mirage_arch::{MirageConfig, Workload};
@@ -9,7 +10,7 @@ use mirage_bfp::BfpConfig;
 use mirage_nn::Engines;
 use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
-use mirage_tensor::{Result as TensorResult, Tensor};
+use mirage_tensor::{GemmEngine, Result as TensorResult, Tensor};
 
 /// The Mirage RNS-based photonic DNN training accelerator.
 ///
@@ -63,22 +64,68 @@ impl Mirage {
     /// Like [`Mirage::parallel_gemm_engine`] with an explicit
     /// [`TileConfig`] (pin thread counts in benchmarks, force serial in
     /// bit-exactness baselines).
-    pub fn parallel_gemm_engine_with(&self, config: TileConfig) -> ParallelGemm<BfpEngine> {
-        ParallelGemm::new(self.gemm_engine(), config)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::InvalidGeometry`] when the
+    /// tiling is invalid for this accelerator's BFP operating point: a
+    /// nonzero `tile_k` that is not a multiple of the group size `g`
+    /// would move quantization group boundaries — a silent accuracy
+    /// change — so it is rejected here (see [`TileConfig::validate`]).
+    pub fn parallel_gemm_engine_with(
+        &self,
+        config: TileConfig,
+    ) -> TensorResult<ParallelGemm<BfpEngine>> {
+        config.validate(&self.bfp_config())?;
+        Ok(ParallelGemm::new(self.gemm_engine(), config))
     }
 
     /// Batched inference through the Mirage arithmetic: computes
     /// `inputs[i] · weight` for the whole batch inside one thread scope,
-    /// amortizing shape validation and worker spawn across the batch —
-    /// the paper's batched workload model (Table III runs inference at
-    /// batch size 1–128). Results are bit-identical to issuing the
-    /// GEMMs one by one on [`Mirage::gemm_engine`].
+    /// amortizing shape validation, worker spawn **and the weight-side
+    /// BFP quantization** across the batch — the paper's batched
+    /// workload model (Table III runs inference at batch size 1–128).
+    /// Results are bit-identical to issuing the GEMMs one by one on
+    /// [`Mirage::gemm_engine`]. An empty batch returns an empty `Vec`.
+    ///
+    /// Each call still prepares the weight once; to amortize across
+    /// calls as well (millions of requests against static weights), use
+    /// [`Mirage::inference_session`].
     ///
     /// # Errors
     ///
     /// Propagates shape-validation and engine errors for any item.
     pub fn infer_batch(&self, inputs: &[Tensor], weight: &Tensor) -> TensorResult<Vec<Tensor>> {
         self.parallel_gemm_engine().gemm_batch(inputs, weight)
+    }
+
+    /// Prepares (quantizes) a weight matrix once for repeated inference
+    /// via `gemm_prepared`/`gemm_batch_prepared` on
+    /// [`Mirage::parallel_gemm_engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::RankMismatch`] unless the
+    /// weight is rank-2.
+    pub fn prepare_weight(&self, weight: &Tensor) -> TensorResult<mirage_tensor::PreparedRhs> {
+        self.gemm_engine().prepare(weight)
+    }
+
+    /// An [`InferenceSession`] over this accelerator: caches prepared
+    /// weights per layer so repeated inference never re-quantizes them.
+    pub fn inference_session(&self) -> InferenceSession {
+        InferenceSession::new(self)
+    }
+
+    /// Like [`Mirage::inference_session`] with an explicit
+    /// [`TileConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::InvalidGeometry`] when the
+    /// tiling is invalid for this accelerator's BFP operating point.
+    pub fn inference_session_with(&self, config: TileConfig) -> TensorResult<InferenceSession> {
+        InferenceSession::with_tile_config(self, config)
     }
 
     /// The RNS-faithful GEMM engine (routes every group dot product
@@ -186,6 +233,7 @@ mod tests {
         let serial = mirage.gemm_engine().gemm(&a, &b).unwrap();
         let parallel = mirage
             .parallel_gemm_engine_with(TileConfig::auto().with_threads(4))
+            .unwrap()
             .gemm(&a, &b)
             .unwrap();
         assert_eq!(parallel.data(), serial.data());
@@ -211,6 +259,41 @@ mod tests {
         assert!(mirage
             .infer_batch(&[Tensor::zeros(&[2, 3])], &weight)
             .is_err());
+        // Empty batches and zero-row items are well-formed, not panics.
+        assert!(mirage.infer_batch(&[], &weight).unwrap().is_empty());
+        let empty_item = mirage
+            .infer_batch(&[Tensor::zeros(&[0, 32])], &weight)
+            .unwrap();
+        assert_eq!(empty_item[0].shape(), &[0, 10]);
+    }
+
+    #[test]
+    fn prepared_weight_reused_across_calls_bit_identically() {
+        let mirage = Mirage::paper_default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(126);
+        let weight = Tensor::randn(&[40, 12], 1.0, &mut rng);
+        let prepared = mirage.prepare_weight(&weight).unwrap();
+        let engine = mirage.parallel_gemm_engine();
+        for _ in 0..3 {
+            let x = Tensor::randn(&[8, 40], 1.0, &mut rng);
+            assert_eq!(
+                engine.gemm_prepared(&x, &prepared).unwrap().data(),
+                mirage.gemm_engine().gemm(&x, &weight).unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn misaligned_tile_k_is_rejected_by_constructors() {
+        let mirage = Mirage::paper_default();
+        let mut config = TileConfig::auto();
+        config.tile_k = 24; // g = 16: would move group boundaries
+        assert!(mirage.parallel_gemm_engine_with(config).is_err());
+        assert!(mirage.inference_session_with(config).is_err());
+        config.tile_k = 32; // multiple of g: allowed
+        assert!(mirage.parallel_gemm_engine_with(config).is_ok());
+        config.tile_k = 0; // never split: allowed
+        assert!(mirage.parallel_gemm_engine_with(config).is_ok());
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   the *device-level* photonic simulator (phase accumulation, phase
 //!   detection, reverse conversion), bit-identical to the fast BFP
 //!   engine when noise is off.
+//! - [`InferenceSession`] — serving-oriented inference with prepared
+//!   weights cached per layer, so repeated requests against static
+//!   weights never re-run the quantizer.
 //! - [`report`] — evaluation summaries used by the benchmark harness.
 //!
 //! GEMMs run on the tiled multi-threaded execution layer by default:
@@ -39,7 +42,9 @@ mod accelerator;
 pub mod dataflow;
 mod photonic_gemm;
 pub mod report;
+mod session;
 
 pub use accelerator::Mirage;
 pub use dataflow::{StepTrace, TiledMvm};
 pub use photonic_gemm::PhotonicGemmEngine;
+pub use session::InferenceSession;

@@ -1,10 +1,46 @@
 //! GEMM executed on the device-level photonic simulator.
 
 use mirage_arch::MirageConfig;
-use mirage_bfp::{BfpBlock, BfpConfig};
+use mirage_bfp::BfpConfig;
 use mirage_photonics::RnsMmvmu;
-use mirage_tensor::engines::{BfpEngine, GemmEngine};
+use mirage_tensor::engines::{BfpEngine, GemmEngine, PreparedRhs};
 use mirage_tensor::{Result, Tensor, TensorError};
+use std::sync::Arc;
+
+/// One streamed activation group, ready for the simulated MMVMUs: the
+/// shared scale exponent plus mantissae widened to the `i64` the device
+/// interface takes.
+#[derive(Debug)]
+struct StreamedGroup {
+    scale_exp: i32,
+    mantissas: Vec<i64>,
+}
+
+/// Prepared B-side state: every column of `B` quantized and widened
+/// once, tagged with the BFP operating point that produced it (the only
+/// configuration the streamed-side preparation depends on).
+#[derive(Debug)]
+struct PreparedPhotonicCols {
+    bfp: BfpConfig,
+    /// `n × ceil(k/g)` groups: one streamed chain per output column.
+    cols: Vec<Vec<StreamedGroup>>,
+}
+
+/// Quantizes and widens the columns of `B` for streaming.
+fn stream_cols(b: &Tensor, bfp: BfpConfig) -> Result<Vec<Vec<StreamedGroup>>> {
+    Ok(BfpEngine::quantize_cols(b, bfp)?
+        .iter()
+        .map(|groups| {
+            groups
+                .iter()
+                .map(|block| StreamedGroup {
+                    scale_exp: block.scale_exp(),
+                    mantissas: block.mantissas_i64(),
+                })
+                .collect()
+        })
+        .collect())
+}
 
 /// A [`GemmEngine`] that runs every tile through the photonic
 /// RNS-MMVMU simulator — phase accumulation in cascaded MMUs, I/Q
@@ -43,6 +79,48 @@ impl PhotonicGemmEngine {
     pub fn bfp_config(&self) -> BfpConfig {
         self.bfp
     }
+
+    /// The shared GEMM kernel: programs stationary tiles from the rows
+    /// of `A` and streams already-quantized columns of `B` through the
+    /// simulated MMVMUs.
+    fn gemm_with_cols(
+        &self,
+        a: &Tensor,
+        b_cols: &[Vec<StreamedGroup>],
+        n: usize,
+    ) -> Result<Tensor> {
+        let m = a.shape()[0];
+        let a_rows = BfpEngine::quantize_rows(a, self.bfp);
+        let groups_per_row = a_rows.first().map(Vec::len).unwrap_or(0);
+
+        let mut out = vec![0.0f32; m * n];
+        // Stationary tiles: `rows` rows of A x one k-group; stream the
+        // columns of B through each tile (DF1 / weight-stationary).
+        for row_tile in (0..m).step_by(self.rows) {
+            let tile_rows = (row_tile + self.rows).min(m) - row_tile;
+            for gi in 0..groups_per_row {
+                // Program the phase shifters with this tile's mantissae.
+                let weight_tile: Vec<Vec<i64>> = (0..tile_rows)
+                    .map(|r| a_rows[row_tile + r][gi].mantissas_i64())
+                    .collect();
+                for (j, bcol) in b_cols.iter().enumerate() {
+                    let xg = &bcol[gi];
+                    // One photonic modular MVM (Fig. 2 step 5-7).
+                    let outputs = self
+                        .unit
+                        .mvm_signed_ideal(&xg.mantissas, &weight_tile)
+                        .map_err(|e| TensorError::InvalidGeometry(e.to_string()))?;
+                    // Exponent recombination + FP32 accumulation (8-9).
+                    for (r, &integer) in outputs.iter().enumerate() {
+                        let scale_exp = a_rows[row_tile + r][gi].scale_exp() + xg.scale_exp;
+                        out[(row_tile + r) * n + j] +=
+                            (integer as f64 * (scale_exp as f64).exp2()) as f32;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
 }
 
 impl GemmEngine for PhotonicGemmEngine {
@@ -59,46 +137,31 @@ impl GemmEngine for PhotonicGemmEngine {
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-        let (m, _k, n) = dims(a, b)?;
-        let a_rows = BfpEngine::quantize_rows(a, self.bfp);
-        let bt = b.transpose2d()?;
-        let b_cols = BfpEngine::quantize_rows(&bt, self.bfp);
-        let groups_per_row = a_rows.first().map(Vec::len).unwrap_or(0);
+        let (_m, _k, n) = dims(a, b)?;
+        let b_cols = stream_cols(b, self.bfp)?;
+        self.gemm_with_cols(a, &b_cols, n)
+    }
 
-        let mut out = vec![0.0f32; m * n];
-        // Stationary tiles: `rows` rows of A x one k-group; stream the
-        // columns of B through each tile (DF1 / weight-stationary).
-        for row_tile in (0..m).step_by(self.rows) {
-            let tile_rows = (row_tile + self.rows).min(m) - row_tile;
-            for gi in 0..groups_per_row {
-                // Program the phase shifters with this tile's mantissae.
-                let weight_tile: Vec<Vec<i64>> = (0..tile_rows)
-                    .map(|r| {
-                        a_rows[row_tile + r][gi]
-                            .mantissas()
-                            .iter()
-                            .map(|&v| i64::from(v))
-                            .collect()
-                    })
-                    .collect();
-                for (j, bcol) in b_cols.iter().enumerate() {
-                    let xg: &BfpBlock = &bcol[gi];
-                    let x: Vec<i64> = xg.mantissas().iter().map(|&v| i64::from(v)).collect();
-                    // One photonic modular MVM (Fig. 2 step 5-7).
-                    let outputs = self
-                        .unit
-                        .mvm_signed_ideal(&x, &weight_tile)
-                        .map_err(|e| TensorError::InvalidGeometry(e.to_string()))?;
-                    // Exponent recombination + FP32 accumulation (8-9).
-                    for (r, &integer) in outputs.iter().enumerate() {
-                        let scale_exp = a_rows[row_tile + r][gi].scale_exp() + xg.scale_exp();
-                        out[(row_tile + r) * n + j] +=
-                            (integer as f64 * (scale_exp as f64).exp2()) as f32;
-                    }
-                }
-            }
+    /// Quantizes and widens the streamed operand once; repeated calls
+    /// only quantize the stationary side.
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        let prepared = PreparedRhs::from_raw(self.name(), b)?;
+        let cols = stream_cols(b, self.bfp)?;
+        Ok(prepared.with_state(Arc::new(PreparedPhotonicCols {
+            bfp: self.bfp,
+            cols,
+        })))
+    }
+
+    /// Reuses the pre-quantized streamed columns; falls back to
+    /// [`PhotonicGemmEngine::gemm`] on preparations from other engines
+    /// or other BFP operating points.
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        let (_m, _k, n) = dims(a, b.raw())?;
+        match b.state_for::<PreparedPhotonicCols>(self.name()) {
+            Some(state) if state.bfp == self.bfp => self.gemm_with_cols(a, &state.cols, n),
+            _ => self.gemm(a, b.raw()),
         }
-        Tensor::from_vec(out, &[m, n])
     }
 }
 
@@ -142,6 +205,20 @@ mod tests {
     }
 
     #[test]
+    fn zero_dimension_gemms_are_well_formed() {
+        let engine = PhotonicGemmEngine::new(&MirageConfig::default());
+        for (m, k, n) in [(0, 16, 2), (3, 0, 2), (3, 16, 0), (0, 0, 0)] {
+            let a = Tensor::zeros(&[m, k]);
+            let b = Tensor::zeros(&[k, n]);
+            let c = engine.gemm(&a, &b).unwrap();
+            assert_eq!(c.shape(), &[m, n], "{m}x{k}x{n}");
+            assert!(c.data().iter().all(|&v| v == 0.0));
+            let p = engine.prepare(&b).unwrap();
+            assert_eq!(engine.gemm_prepared(&a, &p).unwrap().data(), c.data());
+        }
+    }
+
+    #[test]
     fn rejects_bad_shapes() {
         let engine = PhotonicGemmEngine::new(&MirageConfig::default());
         assert!(engine
@@ -171,6 +248,30 @@ mod tests {
             .gemm(&a, &b)
             .unwrap();
         assert_eq!(parallel.data(), serial.data());
+    }
+
+    #[test]
+    fn prepared_device_path_is_bit_identical() {
+        let engine = PhotonicGemmEngine::new(&MirageConfig::default());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(80);
+        let b = Tensor::randn(&[33, 6], 1.0, &mut rng);
+        let prepared = engine.prepare(&b).unwrap();
+        for _ in 0..2 {
+            let a = Tensor::randn(&[40, 33], 1.0, &mut rng);
+            assert_eq!(
+                engine.gemm_prepared(&a, &prepared).unwrap().data(),
+                engine.gemm(&a, &b).unwrap().data()
+            );
+        }
+        // A foreign preparation falls back to the raw matrix.
+        let foreign = BfpEngine::new(BfpConfig::new(8, 16).unwrap())
+            .prepare(&b)
+            .unwrap();
+        let a = Tensor::randn(&[5, 33], 1.0, &mut rng);
+        assert_eq!(
+            engine.gemm_prepared(&a, &foreign).unwrap().data(),
+            engine.gemm(&a, &b).unwrap().data()
+        );
     }
 
     #[test]

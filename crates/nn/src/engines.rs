@@ -1,7 +1,7 @@
 //! Engine selection for forward and backward GEMMs.
 
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
-use mirage_tensor::GemmEngine;
+use mirage_tensor::{GemmEngine, PreparedRhs, Tensor};
 use std::sync::Arc;
 
 /// The GEMM engines used by a training run.
@@ -68,6 +68,38 @@ impl Engines {
     pub fn backward(&self) -> &dyn GemmEngine {
         self.backward.as_ref()
     }
+
+    /// Prepares a weight matrix once for repeated forward GEMMs
+    /// ([`GemmEngine::prepare`] on the forward engine) — the
+    /// inference-serving path, where the same layer weight multiplies
+    /// millions of activation batches. Consume the result with
+    /// `engines.forward().gemm_prepared(x, &prepared)`, bit-identical to
+    /// `engines.forward().gemm(x, weight)`.
+    ///
+    /// The engines are type-erased (`Arc<dyn GemmEngine>`), and the
+    /// preparation survives that erasure: the smart-pointer
+    /// `GemmEngine` impls forward `prepare`/`gemm_prepared` to the
+    /// concrete engine, so a BFP stack still skips its weight-side
+    /// quantization here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::RankMismatch`] unless the
+    /// weight is rank-2.
+    pub fn prepare_forward(&self, weight: &Tensor) -> mirage_tensor::Result<PreparedRhs> {
+        self.forward.prepare(weight)
+    }
+
+    /// Like [`Engines::prepare_forward`] for the backward engine (e.g.
+    /// the re-used activations of a weight-gradient GEMM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::RankMismatch`] unless the
+    /// operand is rank-2.
+    pub fn prepare_backward(&self, operand: &Tensor) -> mirage_tensor::Result<PreparedRhs> {
+        self.backward.prepare(operand)
+    }
 }
 
 impl std::fmt::Debug for Engines {
@@ -130,5 +162,31 @@ mod tests {
         let e = Engines::uniform_parallel(ExactEngine);
         assert_eq!(e.forward().name(), "fp32");
         assert_eq!(e.backward().name(), "fp32");
+    }
+
+    #[test]
+    fn prepared_weights_survive_type_erasure() {
+        use mirage_bfp::BfpConfig;
+        use mirage_tensor::engines::BfpEngine;
+        use mirage_tensor::Tensor;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(81);
+        let weight = Tensor::randn(&[32, 8], 1.0, &mut rng);
+        let x = Tensor::randn(&[4, 32], 1.0, &mut rng);
+        let bfp = BfpEngine::new(BfpConfig::mirage_default());
+        // Through Arc<dyn GemmEngine> and a parallel re-wrap, the
+        // preparation still reaches the concrete BFP engine.
+        let engines = Engines::uniform(bfp).parallelized(TileConfig::auto().with_threads(2));
+        let prepared = engines.prepare_forward(&weight).unwrap();
+        assert_eq!(prepared.engine(), "mirage-bfp");
+        assert_eq!(
+            engines
+                .forward()
+                .gemm_prepared(&x, &prepared)
+                .unwrap()
+                .data(),
+            bfp.gemm(&x, &weight).unwrap().data()
+        );
+        assert!(engines.prepare_backward(&weight).is_ok());
     }
 }

@@ -144,6 +144,25 @@ impl std::ops::Neg for Residue {
     }
 }
 
+/// Forward-converts a slice of signed integers into residues modulo
+/// `modulus` — the vectorized Fig. 2 step-2 conversion (shift-based in
+/// hardware, §IV-B) that GEMM engines use to stage operands, and
+/// prepared-weight paths run exactly once per weight.
+///
+/// ```
+/// use mirage_rns::{residue, Modulus};
+///
+/// let m = Modulus::new(31)?;
+/// assert_eq!(residue::reduce_signed(&[3, -1, 62], m), vec![3, 30, 0]);
+/// # Ok::<(), mirage_rns::RnsError>(())
+/// ```
+pub fn reduce_signed(values: &[i64], modulus: Modulus) -> Vec<u64> {
+    values
+        .iter()
+        .map(|&v| modulus.reduce_i128(i128::from(v)))
+        .collect()
+}
+
 /// Modular dot product of two residue slices over one modulus.
 ///
 /// This is the mathematical operation a Mirage MDPU performs optically
@@ -182,6 +201,17 @@ mod tests {
 
     fn m(v: u64) -> Modulus {
         Modulus::new(v).unwrap()
+    }
+
+    #[test]
+    fn reduce_signed_matches_scalar_reduction() {
+        let modulus = m(31);
+        let values = [0i64, 1, -1, 30, 31, -31, 1000, -1000];
+        let reduced = reduce_signed(&values, modulus);
+        for (&v, &r) in values.iter().zip(&reduced) {
+            assert_eq!(r, modulus.reduce_i128(i128::from(v)), "v = {v}");
+            assert!(r < modulus.value());
+        }
     }
 
     #[test]

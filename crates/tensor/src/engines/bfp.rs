@@ -1,8 +1,19 @@
 //! Mirage's BFP-quantized GEMM engine.
 
-use super::{gemm_dims, GemmEngine};
+use super::{gemm_dims, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor};
 use mirage_bfp::{BfpBlock, BfpConfig};
+use std::sync::Arc;
+
+/// Prepared B-side state: the columns of `B` quantized into BFP groups,
+/// tagged with the configuration that produced them so a
+/// differently-configured engine instance never reuses them.
+#[derive(Debug)]
+pub(crate) struct PreparedBfpCols {
+    pub(crate) config: BfpConfig,
+    /// `n × ceil(k/g)` blocks: one group chain per output column.
+    pub(crate) cols: Vec<Vec<BfpBlock>>,
+}
 
 /// BFP GEMM: operands are quantized group-by-group along the reduction
 /// dimension; each group dot product is exact integer arithmetic with a
@@ -64,6 +75,37 @@ impl BfpEngine {
             })
             .collect()
     }
+
+    /// Quantizes the columns of `B` (groups along the reduction
+    /// dimension) — the B-side half of [`BfpEngine::gemm`], shared by
+    /// [`GemmEngine::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn quantize_cols(b: &Tensor, config: BfpConfig) -> Result<Vec<Vec<BfpBlock>>> {
+        Ok(Self::quantize_rows(&b.transpose2d()?, config))
+    }
+
+    /// The shared GEMM kernel: quantizes the rows of `A` and dots them
+    /// against already-quantized columns of `B`.
+    fn gemm_with_cols(&self, a: &Tensor, b_cols: &[Vec<BfpBlock>], n: usize) -> Result<Tensor> {
+        let m = a.shape()[0];
+        let a_rows = Self::quantize_rows(a, self.config);
+        let mut out = vec![0.0f32; m * n];
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (ga, gb) in arow.iter().zip(bcol) {
+                    // Exact integer group dot with shared-exponent scale,
+                    // accumulated in FP32 like the accelerator does.
+                    acc += ga.dot(gb)?.to_f32();
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
 }
 
 impl GemmEngine for BfpEngine {
@@ -79,25 +121,31 @@ impl GemmEngine for BfpEngine {
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-        let (m, _k, n) = gemm_dims(a, b)?;
+        let (_m, _k, n) = gemm_dims(a, b)?;
         // Group along k: rows of A and rows of B^T (columns of B).
-        let a_rows = Self::quantize_rows(a, self.config);
-        let bt = b.transpose2d()?;
-        let b_cols = Self::quantize_rows(&bt, self.config);
+        let b_cols = Self::quantize_cols(b, self.config)?;
+        self.gemm_with_cols(a, &b_cols, n)
+    }
 
-        let mut out = vec![0.0f32; m * n];
-        for (i, arow) in a_rows.iter().enumerate() {
-            for (j, bcol) in b_cols.iter().enumerate() {
-                let mut acc = 0.0f32;
-                for (ga, gb) in arow.iter().zip(bcol) {
-                    // Exact integer group dot with shared-exponent scale,
-                    // accumulated in FP32 like the accelerator does.
-                    acc += ga.dot(gb)?.to_f32();
-                }
-                out[i * n + j] = acc;
-            }
+    /// Quantizes the columns of `B` into BFP groups exactly once.
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        let prepared = PreparedRhs::from_raw(self.name(), b)?;
+        let cols = Self::quantize_cols(b, self.config)?;
+        Ok(prepared.with_state(Arc::new(PreparedBfpCols {
+            config: self.config,
+            cols,
+        })))
+    }
+
+    /// Reuses the pre-quantized columns; only the rows of `A` touch the
+    /// quantizer. Falls back to [`BfpEngine::gemm`] on preparations from
+    /// other engines or other BFP operating points.
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        let (_m, _k, n) = gemm_dims(a, b.raw())?;
+        match b.state_for::<PreparedBfpCols>(self.name()) {
+            Some(state) if state.config == self.config => self.gemm_with_cols(a, &state.cols, n),
+            _ => self.gemm(a, b.raw()),
         }
-        Tensor::from_vec(out, &[m, n])
     }
 }
 
@@ -175,5 +223,45 @@ mod tests {
         assert!(e
             .gemm(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]))
             .is_err());
+        let p = e.prepare(&Tensor::zeros(&[4, 2])).unwrap();
+        assert!(e.gemm_prepared(&Tensor::zeros(&[2, 3]), &p).is_err());
+    }
+
+    #[test]
+    fn prepared_is_bit_identical_and_reusable() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let e = BfpEngine::new(BfpConfig::mirage_default());
+        let b = Tensor::randn(&[50, 12], 1.0, &mut rng);
+        let prepared = e.prepare(&b).unwrap();
+        for _ in 0..3 {
+            let a = Tensor::randn(&[7, 50], 1.0, &mut rng);
+            assert_eq!(
+                e.gemm_prepared(&a, &prepared).unwrap().data(),
+                e.gemm(&a, &b).unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_preparation_falls_back_to_raw() {
+        // A weight prepared at one operating point, consumed by an
+        // engine at another: results must match the consumer's own
+        // gemm, not the preparer's.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let a = Tensor::randn(&[4, 32], 1.0, &mut rng);
+        let b = Tensor::randn(&[32, 4], 1.0, &mut rng);
+        let coarse = BfpEngine::new(BfpConfig::new(3, 16).unwrap());
+        let fine = BfpEngine::new(BfpConfig::new(8, 16).unwrap());
+        let prepared_coarse = coarse.prepare(&b).unwrap();
+        assert_eq!(
+            fine.gemm_prepared(&a, &prepared_coarse).unwrap().data(),
+            fine.gemm(&a, &b).unwrap().data()
+        );
+        // And a preparation from a different engine entirely.
+        let exact_prep = crate::engines::ExactEngine.prepare(&b).unwrap();
+        assert_eq!(
+            fine.gemm_prepared(&a, &exact_prep).unwrap().data(),
+            fine.gemm(&a, &b).unwrap().data()
+        );
     }
 }

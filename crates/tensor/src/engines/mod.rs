@@ -10,6 +10,7 @@ mod analog;
 mod bfp;
 mod exact;
 mod formats;
+mod prepared;
 mod rns_bfp;
 mod stochastic;
 
@@ -17,6 +18,7 @@ pub use analog::AnalogFxpEngine;
 pub use bfp::BfpEngine;
 pub use exact::ExactEngine;
 pub use formats::{Bf16Engine, Hfp8Engine, IntEngine};
+pub use prepared::PreparedRhs;
 pub use rns_bfp::RnsBfpEngine;
 pub use stochastic::StochasticBfpEngine;
 
@@ -70,6 +72,63 @@ pub trait GemmEngine: Send + Sync {
         false
     }
 
+    /// Prepares a right-hand side matrix for repeated use with
+    /// [`GemmEngine::gemm_prepared`] — the one-time weight-preparation
+    /// step of every production GEMM library.
+    ///
+    /// Quantizing engines override this to do their B-side work
+    /// (quantize BFP groups, pre-convert RNS residues) exactly once; the
+    /// default implementation just validates and wraps the raw matrix,
+    /// so every engine supports the prepared API out of the box.
+    ///
+    /// **Contract:** for any engine, `gemm_prepared(a, &prepare(b)?)`
+    /// must be **bit-identical** to `gemm(a, b)` — preparation is a
+    /// caching transformation, never a numerical one. The determinism
+    /// regression tests enforce this for the exact, BFP and RNS-BFP
+    /// engines.
+    ///
+    /// ```
+    /// use mirage_tensor::{Tensor, GemmEngine, engines::BfpEngine};
+    /// use mirage_bfp::BfpConfig;
+    ///
+    /// let engine = BfpEngine::new(BfpConfig::mirage_default());
+    /// let weight = Tensor::full(&[32, 8], 0.75);
+    /// let prepared = engine.prepare(&weight)?; // quantize B once…
+    /// for step in 0..3 {
+    ///     let x = Tensor::full(&[4, 32], step as f32 * 0.5);
+    ///     // …and reuse it: bit-identical to engine.gemm(&x, &weight).
+    ///     let y = engine.gemm_prepared(&x, &prepared)?;
+    ///     assert_eq!(y.data(), engine.gemm(&x, &weight)?.data());
+    /// }
+    /// # Ok::<(), mirage_tensor::TensorError>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `b` is rank-2;
+    /// engines may propagate their own preparation errors.
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        PreparedRhs::from_raw(self.name(), b)
+    }
+
+    /// Computes `A · B` against a [`PreparedRhs`], reusing its cached
+    /// B-side state instead of re-deriving it.
+    ///
+    /// Bit-identical to [`GemmEngine::gemm`] on the matrix the value was
+    /// prepared from (see the contract on [`GemmEngine::prepare`]). An
+    /// engine handed a preparation it does not recognize — produced by a
+    /// different engine or a differently-configured instance — falls
+    /// back to `gemm(a, b.raw())`, so results never depend on *which*
+    /// engine prepared the weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same shape-validation errors as [`GemmEngine::gemm`];
+    /// engines may propagate their own arithmetic errors.
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        self.gemm(a, b.raw())
+    }
+
     /// Lifts the engine onto the tiled multi-threaded driver with the
     /// automatic tile/thread heuristic ([`TileConfig::auto`]).
     fn parallel(self) -> ParallelGemm<Self>
@@ -101,6 +160,14 @@ impl<E: GemmEngine + ?Sized> GemmEngine for std::sync::Arc<E> {
     fn tile_invariant(&self) -> bool {
         (**self).tile_invariant()
     }
+
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        (**self).prepare(b)
+    }
+
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        (**self).gemm_prepared(a, b)
+    }
 }
 
 impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
@@ -114,6 +181,14 @@ impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
 
     fn tile_invariant(&self) -> bool {
         (**self).tile_invariant()
+    }
+
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        (**self).prepare(b)
+    }
+
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        (**self).gemm_prepared(a, b)
     }
 }
 

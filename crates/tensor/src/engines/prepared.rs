@@ -1,0 +1,164 @@
+//! Type-erased prepared right-hand sides for [`GemmEngine`]s.
+//!
+//! Serving-scale inference multiplies millions of activation matrices
+//! against the *same* static weight matrix. Engines that quantize their
+//! operands (BFP, RNS-BFP, the photonic device path) used to redo the
+//! B-side quantization on every call — and, under the tiled parallel
+//! driver, once per row band on top of that. [`PreparedRhs`] makes
+//! weight preparation a one-time cost: [`GemmEngine::prepare`] quantizes
+//! (and, for RNS engines, residue-converts) the weight once, and
+//! [`GemmEngine::gemm_prepared`] reuses that state on every subsequent
+//! call, bit-identically to the unprepared path.
+
+#[cfg(doc)]
+use crate::engines::GemmEngine;
+use crate::{Result, Tensor, TensorError};
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// A right-hand side matrix prepared once by [`GemmEngine::prepare`]
+/// for repeated use with [`GemmEngine::gemm_prepared`].
+///
+/// The value is type-erased so `dyn GemmEngine` consumers (training
+/// `Engines`, boxed engine stacks) can carry prepared weights without
+/// knowing which engine produced them. It always retains the raw `f32`
+/// matrix, so *any* engine can consume *any* `PreparedRhs`: an engine
+/// that does not recognize the attached state (different engine,
+/// different quantization config) transparently falls back to its plain
+/// [`GemmEngine::gemm`] on the raw matrix — worst case the preparation
+/// speedup is lost, never correctness.
+///
+/// Cloning is cheap for the engine-specific state (shared via [`Arc`])
+/// but clones the raw matrix; share a `PreparedRhs` by reference (or
+/// wrap it in an `Arc`, as `mirage-core`'s `InferenceSession` does)
+/// rather than cloning per call.
+#[derive(Clone)]
+pub struct PreparedRhs {
+    raw: Tensor,
+    engine: &'static str,
+    state: Option<Arc<dyn Any + Send + Sync>>,
+}
+
+impl PreparedRhs {
+    /// Wraps a raw rank-2 matrix with no engine-specific state — the
+    /// default preparation, which [`GemmEngine::gemm_prepared`]'s default
+    /// implementation feeds straight back to [`GemmEngine::gemm`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn from_raw(engine: &'static str, b: &Tensor) -> Result<Self> {
+        if b.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: b.rank(),
+            });
+        }
+        Ok(PreparedRhs {
+            raw: b.clone(),
+            engine,
+            state: None,
+        })
+    }
+
+    /// Attaches engine-specific prepared state (pre-quantized groups,
+    /// pre-converted residues, …).
+    #[must_use]
+    pub fn with_state(mut self, state: Arc<dyn Any + Send + Sync>) -> Self {
+        self.state = Some(state);
+        self
+    }
+
+    /// The raw `f32` matrix — the universal fallback representation.
+    pub fn raw(&self) -> &Tensor {
+        &self.raw
+    }
+
+    /// Reduction length `k` (rows of the prepared matrix).
+    pub fn k(&self) -> usize {
+        self.raw.shape()[0]
+    }
+
+    /// Output width `n` (columns of the prepared matrix).
+    pub fn n(&self) -> usize {
+        self.raw.shape()[1]
+    }
+
+    /// Name of the engine that prepared this value.
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// Downcasts the attached state to `S` **iff** this value was
+    /// prepared by an engine named `engine`. Engines use this to
+    /// recognize their own preparations and fall back to the raw matrix
+    /// otherwise (callers still verify config equality themselves —
+    /// two instances of one engine type can differ in quantization
+    /// parameters).
+    pub fn state_for<S: Any + Send + Sync>(&self, engine: &str) -> Option<&S> {
+        if self.engine != engine {
+            return None;
+        }
+        self.state.as_deref().and_then(|s| s.downcast_ref::<S>())
+    }
+}
+
+impl fmt::Debug for PreparedRhs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedRhs")
+            .field("engine", &self.engine)
+            .field("k", &self.k())
+            .field("n", &self.n())
+            .field("has_state", &self.state.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engines::{BfpEngine, ExactEngine, GemmEngine};
+    use mirage_bfp::BfpConfig;
+
+    #[test]
+    fn from_raw_validates_rank() {
+        assert!(PreparedRhs::from_raw("fp32", &Tensor::zeros(&[2, 2, 2])).is_err());
+        let p = PreparedRhs::from_raw("fp32", &Tensor::zeros(&[3, 4])).unwrap();
+        assert_eq!((p.k(), p.n()), (3, 4));
+        assert_eq!(p.engine(), "fp32");
+    }
+
+    #[test]
+    fn state_for_checks_engine_name_and_type() {
+        let p = PreparedRhs::from_raw("fp32", &Tensor::zeros(&[2, 2]))
+            .unwrap()
+            .with_state(Arc::new(42usize));
+        assert_eq!(p.state_for::<usize>("fp32"), Some(&42));
+        assert_eq!(p.state_for::<usize>("mirage-bfp"), None);
+        assert_eq!(p.state_for::<i32>("fp32"), None);
+    }
+
+    #[test]
+    fn default_prepare_round_trips_through_gemm() {
+        let a = Tensor::full(&[4, 3], 0.5);
+        let b = Tensor::full(&[3, 5], 2.0);
+        let p = ExactEngine.prepare(&b).unwrap();
+        assert_eq!(
+            ExactEngine.gemm_prepared(&a, &p).unwrap().data(),
+            ExactEngine.gemm(&a, &b).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn debug_is_informative() {
+        let p = BfpEngine::new(BfpConfig::mirage_default())
+            .prepare(&Tensor::zeros(&[4, 4]))
+            .unwrap();
+        let s = format!("{p:?}");
+        assert!(
+            s.contains("mirage-bfp") && s.contains("has_state: true"),
+            "{s}"
+        );
+    }
+}

@@ -1,11 +1,60 @@
 //! BFP GEMM routed bit-exactly through RNS residues.
 
 use super::bfp::BfpEngine;
-use super::{gemm_dims, GemmEngine};
+use super::{gemm_dims, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor, TensorError};
-use mirage_bfp::BfpConfig;
+use mirage_bfp::{BfpBlock, BfpConfig};
 use mirage_rns::convert::{CrtConverter, ReverseConverter};
-use mirage_rns::{residue, ModuliSet};
+use mirage_rns::{residue, ModuliSet, Modulus};
+use std::sync::Arc;
+
+/// One BFP group forward-converted into the RNS domain: the shared
+/// scale exponent plus one residue vector per modulus channel — exactly
+/// what a hardware MMVMU holds for a stationary weight group.
+#[derive(Debug)]
+struct RnsGroup {
+    scale_exp: i32,
+    /// `residues[channel][element]`, reduced modulo `moduli[channel]`.
+    residues: Vec<Vec<u64>>,
+}
+
+impl RnsGroup {
+    /// Forward conversion (Fig. 2 step 2): signed mantissae → residues,
+    /// one vector per modulus channel.
+    fn from_block(block: &BfpBlock, moduli: &[Modulus]) -> Self {
+        let wide = block.mantissas_i64();
+        RnsGroup {
+            scale_exp: block.scale_exp(),
+            residues: moduli
+                .iter()
+                .map(|&modulus| residue::reduce_signed(&wide, modulus))
+                .collect(),
+        }
+    }
+}
+
+/// Forward-converts every group of every row into the RNS domain.
+fn convert_rows(rows: &[Vec<BfpBlock>], moduli: &[Modulus]) -> Vec<Vec<RnsGroup>> {
+    rows.iter()
+        .map(|groups| {
+            groups
+                .iter()
+                .map(|block| RnsGroup::from_block(block, moduli))
+                .collect()
+        })
+        .collect()
+}
+
+/// Prepared B-side state: pre-quantized BFP groups already pushed
+/// through forward conversion, tagged with the operating point and
+/// moduli set that produced them.
+#[derive(Debug)]
+struct PreparedRnsCols {
+    config: BfpConfig,
+    moduli: ModuliSet,
+    /// `n × ceil(k/g)` converted groups: one chain per output column.
+    cols: Vec<Vec<RnsGroup>>,
+}
 
 /// The full Mirage numerical path: BFP mantissae → forward conversion →
 /// per-modulus modular dot products → reverse conversion → FP32
@@ -90,6 +139,45 @@ impl RnsBfpEngine {
     pub fn moduli(&self) -> &ModuliSet {
         &self.moduli
     }
+
+    /// The shared GEMM kernel: quantizes and forward-converts the rows
+    /// of `A`, then dots them against already-converted columns of `B`.
+    /// Every step below the quantizer is exact integer arithmetic, so
+    /// pre-converting either side cannot change a single bit.
+    fn gemm_with_cols(&self, a: &Tensor, b_cols: &[Vec<RnsGroup>], n: usize) -> Result<Tensor> {
+        let m = a.shape()[0];
+        let moduli = self.moduli.moduli();
+        // Forward-convert each activation group once, not once per
+        // output column as the pre-prepared implementation did.
+        let a_rows = convert_rows(&BfpEngine::quantize_rows(a, self.config), moduli);
+
+        let mut out = vec![0.0f32; m * n];
+        let mut residues_out = Vec::with_capacity(moduli.len());
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (ga, gb) in arow.iter().zip(bcol) {
+                    // The modular dot products the MMVMUs compute
+                    // (Fig. 2 steps 5-6), one per modulus channel.
+                    residues_out.clear();
+                    for (channel, &modulus) in moduli.iter().enumerate() {
+                        residues_out.push(residue::dot_product(
+                            &ga.residues[channel],
+                            &gb.residues[channel],
+                            modulus,
+                        )?);
+                    }
+                    // Reverse conversion (Fig. 2 step 7) and exponent
+                    // recombination (step 8).
+                    let integer = self.converter.to_signed(&residues_out)? as f64;
+                    let scale_exp = ga.scale_exp + gb.scale_exp;
+                    acc += (integer * (scale_exp as f64).exp2()) as f32;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
 }
 
 impl GemmEngine for RnsBfpEngine {
@@ -104,44 +192,43 @@ impl GemmEngine for RnsBfpEngine {
     }
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
-        let (m, _k, n) = gemm_dims(a, b)?;
-        let a_rows = BfpEngine::quantize_rows(a, self.config);
-        let bt = b.transpose2d()?;
-        let b_cols = BfpEngine::quantize_rows(&bt, self.config);
-        let moduli = self.moduli.moduli();
+        let (_m, _k, n) = gemm_dims(a, b)?;
+        // Forward conversion of the B side (in hardware: shift-based,
+        // per §IV-B); the A side converts inside the shared kernel.
+        let b_cols = convert_rows(
+            &BfpEngine::quantize_cols(b, self.config)?,
+            self.moduli.moduli(),
+        );
+        self.gemm_with_cols(a, &b_cols, n)
+    }
 
-        let mut out = vec![0.0f32; m * n];
-        for (i, arow) in a_rows.iter().enumerate() {
-            for (j, bcol) in b_cols.iter().enumerate() {
-                let mut acc = 0.0f32;
-                for (ga, gb) in arow.iter().zip(bcol) {
-                    // Forward conversion: signed mantissae -> residues.
-                    // (In hardware: shift-based, per §IV-B.)
-                    let mut residues_out = Vec::with_capacity(moduli.len());
-                    for &modulus in moduli {
-                        let xr: Vec<u64> = ga
-                            .mantissas()
-                            .iter()
-                            .map(|&v| modulus.reduce_i128(i128::from(v)))
-                            .collect();
-                        let wr: Vec<u64> = gb
-                            .mantissas()
-                            .iter()
-                            .map(|&v| modulus.reduce_i128(i128::from(v)))
-                            .collect();
-                        // The modular dot product one MMVMU computes.
-                        residues_out.push(residue::dot_product(&xr, &wr, modulus)?);
-                    }
-                    // Reverse conversion (Fig. 2 step 7) and exponent
-                    // recombination (step 8).
-                    let integer = self.converter.to_signed(&residues_out)? as f64;
-                    let scale_exp = ga.scale_exp() + gb.scale_exp();
-                    acc += (integer * (scale_exp as f64).exp2()) as f32;
-                }
-                out[i * n + j] = acc;
+    /// Quantizes **and** forward-converts the columns of `B` once: the
+    /// prepared state holds residue vectors, so repeated inference pays
+    /// neither the quantizer nor the forward converter for the weights.
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        let prepared = PreparedRhs::from_raw(self.name(), b)?;
+        let cols = convert_rows(
+            &BfpEngine::quantize_cols(b, self.config)?,
+            self.moduli.moduli(),
+        );
+        Ok(prepared.with_state(Arc::new(PreparedRnsCols {
+            config: self.config,
+            moduli: self.moduli.clone(),
+            cols,
+        })))
+    }
+
+    /// Reuses pre-converted weight residues. Falls back to
+    /// [`RnsBfpEngine::gemm`] on preparations from other engines, other
+    /// operating points, or other moduli sets.
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        let (_m, _k, n) = gemm_dims(a, b.raw())?;
+        match b.state_for::<PreparedRnsCols>(self.name()) {
+            Some(state) if state.config == self.config && state.moduli == self.moduli => {
+                self.gemm_with_cols(a, &state.cols, n)
             }
+            _ => self.gemm(a, b.raw()),
         }
-        Tensor::from_vec(out, &[m, n])
     }
 }
 
@@ -188,6 +275,39 @@ mod tests {
             let e = RnsBfpEngine::with_min_special_set(cfg).unwrap();
             assert_eq!(e.moduli().special_k(), Some(expected_k), "bm = {bm}");
         }
+    }
+
+    #[test]
+    fn prepared_residues_are_bit_identical() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let cfg = BfpConfig::mirage_default();
+        let rns = RnsBfpEngine::with_min_special_set(cfg).unwrap();
+        let b = Tensor::randn(&[40, 6], 1.0, &mut rng);
+        let prepared = rns.prepare(&b).unwrap();
+        for _ in 0..2 {
+            let a = Tensor::randn(&[5, 40], 1.0, &mut rng);
+            assert_eq!(
+                rns.gemm_prepared(&a, &prepared).unwrap().data(),
+                rns.gemm(&a, &b).unwrap().data()
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_from_different_moduli_falls_back() {
+        // Same BFP point, different moduli sets: the consumer must not
+        // interpret residues reduced by the wrong moduli.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(24);
+        let cfg = BfpConfig::new(4, 16).unwrap();
+        let special = RnsBfpEngine::with_min_special_set(cfg).unwrap();
+        let coprime = RnsBfpEngine::new(cfg, ModuliSet::new(&[11, 13, 16, 9]).unwrap()).unwrap();
+        let a = Tensor::randn(&[4, 32], 1.0, &mut rng);
+        let b = Tensor::randn(&[32, 4], 1.0, &mut rng);
+        let foreign = coprime.prepare(&b).unwrap();
+        assert_eq!(
+            special.gemm_prepared(&a, &foreign).unwrap().data(),
+            special.gemm(&a, &b).unwrap().data()
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod parallel;
 pub mod quant;
 mod tensor;
 
-pub use engines::GemmEngine;
+pub use engines::{GemmEngine, PreparedRhs};
 pub use error::TensorError;
 pub use parallel::{ParallelGemm, TileConfig};
 pub use tensor::Tensor;

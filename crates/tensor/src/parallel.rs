@@ -33,15 +33,27 @@
 //! and runs its serial path, so wrapping twice (or re-wrapping the
 //! already-parallel default engines) never multiplies the thread count.
 //!
+//! # Weight preparation
+//!
+//! The driver prepares the right-hand side **once per call** via
+//! [`GemmEngine::prepare`] and hands every row band the same
+//! [`PreparedRhs`] (or, with column tiling, one prepared value per
+//! column tile) — quantizing engines no longer re-run their B-side
+//! quantization per band. [`ParallelGemm::gemm_prepared`] goes further
+//! and reuses a caller-supplied preparation across *calls*, and
+//! [`ParallelGemm::gemm_batch`] prepares once per batch.
+//!
 //! # Thread-count knob
 //!
 //! `threads == 0` resolves at call time: the `MIRAGE_THREADS` environment
-//! variable if set, else [`std::thread::available_parallelism`].
+//! variable if set (parsed **once per process**), else
+//! [`std::thread::available_parallelism`].
 
-use crate::engines::{gemm_dims, GemmEngine};
-use crate::{Result, Tensor};
+use crate::engines::{gemm_dims, GemmEngine, PreparedRhs};
+use crate::{Result, Tensor, TensorError};
+use mirage_bfp::BfpConfig;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Environment variable overriding the auto-detected worker count.
 pub const THREADS_ENV: &str = "MIRAGE_THREADS";
@@ -106,21 +118,89 @@ impl TileConfig {
     /// The worker count this configuration resolves to right now:
     /// the explicit `threads` field if nonzero, else [`THREADS_ENV`],
     /// else [`std::thread::available_parallelism`].
+    ///
+    /// The environment variable is read and parsed **once per process**
+    /// (it used to be re-read on every sufficiently large GEMM); an
+    /// unparsable value logs a warning once — and panics under
+    /// `debug_assertions` — instead of being silently ignored.
     pub fn effective_threads(&self) -> usize {
         if self.threads > 0 {
             return self.threads;
         }
-        if let Ok(v) = std::env::var(THREADS_ENV) {
-            if let Ok(t) = v.trim().parse::<usize>() {
-                if t > 0 {
-                    return t;
-                }
-            }
+        if let Some(t) = env_thread_override() {
+            return t;
         }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
     }
+
+    /// Validates the tiling against a BFP operating point: a nonzero
+    /// [`TileConfig::tile_k`] that is not a multiple of the group size
+    /// `g` moves quantization group boundaries — a silent accuracy
+    /// change, not just an FP-reordering one — so it is rejected here
+    /// and by the engine constructors in `mirage-core`.
+    ///
+    /// ```
+    /// use mirage_tensor::parallel::TileConfig;
+    /// use mirage_bfp::BfpConfig;
+    ///
+    /// let bfp = BfpConfig::mirage_default(); // g = 16
+    /// let mut config = TileConfig::auto();
+    /// assert!(config.validate(&bfp).is_ok()); // tile_k = 0: never split
+    /// config.tile_k = 32;
+    /// assert!(config.validate(&bfp).is_ok()); // multiple of g
+    /// config.tile_k = 24;
+    /// assert!(config.validate(&bfp).is_err()); // would re-group mid-block
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when `tile_k` is nonzero
+    /// and not a multiple of `bfp.group_size()`.
+    pub fn validate(&self, bfp: &BfpConfig) -> Result<()> {
+        self.validate_group_size(bfp.group_size())
+    }
+
+    /// Like [`TileConfig::validate`] for an explicit group size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when `tile_k` is nonzero
+    /// and not a multiple of `g`.
+    pub fn validate_group_size(&self, g: usize) -> Result<()> {
+        if self.tile_k > 0 && g > 0 && !self.tile_k.is_multiple_of(g) {
+            return Err(TensorError::InvalidGeometry(format!(
+                "tile_k = {} is not a multiple of the BFP group size g = {g}: \
+                 k-blocking would move quantization group boundaries and \
+                 silently change results",
+                self.tile_k
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The [`THREADS_ENV`] override, resolved once for the whole process.
+fn env_thread_override() -> Option<usize> {
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV_THREADS.get_or_init(|| {
+        let raw = std::env::var(THREADS_ENV).ok()?;
+        match raw.trim().parse::<usize>() {
+            Ok(t) if t > 0 => Some(t),
+            _ => {
+                eprintln!(
+                    "warning: ignoring {THREADS_ENV}={raw:?} (expected a positive \
+                     integer); falling back to available_parallelism"
+                );
+                debug_assert!(
+                    false,
+                    "unparsable {THREADS_ENV}={raw:?}: expected a positive integer"
+                );
+                None
+            }
+        }
+    })
 }
 
 impl Default for TileConfig {
@@ -183,21 +263,51 @@ impl<E: GemmEngine> ParallelGemm<E> {
     /// worker threads of a **single** thread scope.
     ///
     /// This is the batched-inference entry point: shape validation, the
-    /// thread-pool spawn and the shared-operand staging are paid once per
-    /// batch instead of once per call. Results are bit-identical to
+    /// thread-pool spawn, the shared-operand staging **and the engine's
+    /// B-side preparation** ([`GemmEngine::prepare`]) are paid once per
+    /// batch instead of once per item. Results are bit-identical to
     /// `inputs.iter().map(|a| engine.gemm(a, b))` for **all** engines:
     /// non-tile-invariant engines always run their own serial path per
     /// item, and tile-invariant ones carry the driver's bit-identity
     /// guarantee (batches smaller than the worker count are routed
     /// through the tiled per-item path so they still parallelize).
     ///
+    /// An empty batch returns an empty `Vec` without touching the
+    /// engine. To amortize preparation across *batches* as well, prepare
+    /// the weight yourself and call [`ParallelGemm::gemm_batch_prepared`]
+    /// (or use `mirage_core`'s `InferenceSession`, which caches the
+    /// preparation per layer).
+    ///
     /// # Errors
     ///
     /// Propagates shape-validation and engine errors; the whole batch
     /// fails if any item does.
     pub fn gemm_batch(&self, inputs: &[Tensor], b: &Tensor) -> Result<Vec<Tensor>> {
+        // Fail fast on shape errors before paying for the preparation.
         for a in inputs {
             gemm_dims(a, b)?;
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let prepared = self.inner.prepare(b)?;
+        self.gemm_batch_prepared(inputs, &prepared)
+    }
+
+    /// [`ParallelGemm::gemm_batch`] against an already-prepared weight:
+    /// repeated batches against the same `PreparedRhs` never re-run the
+    /// engine's B-side quantization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-validation and engine errors; the whole batch
+    /// fails if any item does.
+    pub fn gemm_batch_prepared(&self, inputs: &[Tensor], b: &PreparedRhs) -> Result<Vec<Tensor>> {
+        for a in inputs {
+            gemm_dims(a, b.raw())?;
+        }
+        if inputs.is_empty() {
+            return Ok(Vec::new());
         }
         let threads = self.config.effective_threads();
         // Batches too small to occupy every worker with one item each:
@@ -205,11 +315,14 @@ impl<E: GemmEngine> ParallelGemm<E> {
         // per-item path instead (bit-identical either way), so a batch
         // of 1 on an 8-core host still uses 8 workers.
         if threads > inputs.len() && self.inner.tile_invariant() {
-            return inputs.iter().map(|a| self.gemm(a, b)).collect();
+            return inputs.iter().map(|a| self.gemm_prepared(a, b)).collect();
         }
         let threads = threads.min(inputs.len());
         if threads <= 1 {
-            return inputs.iter().map(|a| self.inner.gemm(a, b)).collect();
+            return inputs
+                .iter()
+                .map(|a| self.inner.gemm_prepared(a, b))
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<ResultSlot> = inputs.iter().map(|_| Mutex::new(None)).collect();
@@ -221,7 +334,7 @@ impl<E: GemmEngine> ParallelGemm<E> {
                         if i >= inputs.len() {
                             break;
                         }
-                        let result = self.inner.gemm(&inputs[i], b);
+                        let result = self.inner.gemm_prepared(&inputs[i], b);
                         *slots[i].lock().expect("batch slot poisoned") = Some(result);
                     })
                 });
@@ -238,11 +351,15 @@ impl<E: GemmEngine> ParallelGemm<E> {
     }
 
     /// One `(row band × column tile)` block, optionally k-blocked.
-    fn compute_block(&self, a_band: &Tensor, col_tile: &Tensor, k: usize) -> Result<Tensor> {
+    fn compute_block(&self, a_band: &Tensor, tile: &PreparedRhs, k: usize) -> Result<Tensor> {
         let tk = self.config.tile_k;
         if tk == 0 || tk >= k {
-            return self.inner.gemm(a_band, col_tile);
+            return self.inner.gemm_prepared(a_band, tile);
         }
+        // k-blocking slices the reduction, so the whole-tile preparation
+        // cannot be reused — consistent with tile_k's documented status
+        // outside the bit-identity (and preparation) guarantees.
+        let col_tile = tile.raw();
         let rows = a_band.shape()[0];
         let cols = col_tile.shape()[1];
         let mut acc = Tensor::zeros(&[rows, cols]);
@@ -269,7 +386,7 @@ impl<E: GemmEngine> ParallelGemm<E> {
     fn process_band(
         &self,
         a: &Tensor,
-        col_tiles: &[(usize, Tensor)],
+        col_tiles: &[(usize, &PreparedRhs)],
         r0: usize,
         k: usize,
         n: usize,
@@ -277,14 +394,129 @@ impl<E: GemmEngine> ParallelGemm<E> {
     ) -> Result<()> {
         let rows = band.len() / n;
         let a_band = Tensor::from_vec(a.data()[r0 * k..(r0 + rows) * k].to_vec(), &[rows, k])?;
-        for (c0, col_tile) in col_tiles {
-            let width = col_tile.shape()[1];
-            let block = self.compute_block(&a_band, col_tile, k)?;
+        for (c0, tile) in col_tiles {
+            let width = tile.n();
+            let block = self.compute_block(&a_band, tile, k)?;
             for (out_row, block_row) in band.chunks_mut(n).zip(block.data().chunks(width)) {
                 out_row[*c0..c0 + width].copy_from_slice(block_row);
             }
         }
         Ok(())
+    }
+
+    /// The threaded fan-out shared by [`ParallelGemm::gemm`] and
+    /// [`ParallelGemm::gemm_prepared`]: row bands × column tiles over a
+    /// thread scope, every band consuming the **same** prepared B-side
+    /// state. `b_prepared` is the caller's whole-matrix preparation if
+    /// it already has one; it is only consulted when the output is not
+    /// column-tiled (column tiles are sliced from `b_raw` and prepared
+    /// once each, shared by all bands).
+    fn fan_out(
+        &self,
+        a: &Tensor,
+        b_raw: &Tensor,
+        b_prepared: Option<&PreparedRhs>,
+        (m, k, n): (usize, usize, usize),
+        threads: usize,
+    ) -> Result<Tensor> {
+        // Row-band height: explicit tile_m, or one equal band per worker.
+        // Equal heights keep the workers balanced; the shared prepared B
+        // means band count no longer multiplies quantization work.
+        let band_height = if self.config.tile_m > 0 {
+            self.config.tile_m.min(m)
+        } else {
+            m.div_ceil(threads).max(1)
+        };
+        let band_count = m.div_ceil(band_height);
+        let threads = threads.min(band_count);
+
+        let tile_n = if self.config.tile_n > 0 {
+            self.config.tile_n.min(n)
+        } else {
+            n
+        };
+        // With k-blocking active, compute_block works from raw k-slices
+        // and never consumes prepared state, so preparing here would be
+        // pure waste — stage raw wrappers instead.
+        let k_blocked = self.config.tile_k > 0 && self.config.tile_k < k;
+        let stage = |tile: &Tensor| -> Result<PreparedRhs> {
+            if k_blocked {
+                PreparedRhs::from_raw(self.inner.name(), tile)
+            } else {
+                self.inner.prepare(tile)
+            }
+        };
+        // Column tiles of B are staged and prepared once, then shared by
+        // every band; with no column tiling the caller's preparation (or
+        // one fresh whole-matrix preparation) is shared directly.
+        let whole: Option<PreparedRhs> = if tile_n >= n && b_prepared.is_none() {
+            Some(stage(b_raw)?)
+        } else {
+            None
+        };
+        let owned_tiles: Vec<(usize, PreparedRhs)> = if tile_n >= n {
+            Vec::new()
+        } else {
+            (0..n)
+                .step_by(tile_n)
+                .map(|c0| {
+                    let width = tile_n.min(n - c0);
+                    let mut data = Vec::with_capacity(k * width);
+                    for row in b_raw.data().chunks(n) {
+                        data.extend_from_slice(&row[c0..c0 + width]);
+                    }
+                    let tile = Tensor::from_vec(data, &[k, width])?;
+                    Ok((c0, stage(&tile)?))
+                })
+                .collect::<Result<_>>()?
+        };
+        let col_tiles: Vec<(usize, &PreparedRhs)> = if tile_n >= n {
+            vec![(
+                0,
+                b_prepared.unwrap_or_else(|| whole.as_ref().expect("prepared above")),
+            )]
+        } else {
+            owned_tiles.iter().map(|(c0, tile)| (*c0, tile)).collect()
+        };
+
+        let mut out = vec![0.0f32; m * n];
+        let mut per_worker: Vec<Vec<(usize, &mut [f32])>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (index, chunk) in out.chunks_mut(band_height * n).enumerate() {
+            per_worker[index % threads].push((index, chunk));
+        }
+
+        let col_tiles = &col_tiles;
+        std::thread::scope(|scope| -> Result<()> {
+            let mut handles = Vec::with_capacity(per_worker.len());
+            for bands in per_worker {
+                handles.push(scope.spawn(move || -> Result<()> {
+                    as_parallel_worker(|| {
+                        for (index, band) in bands {
+                            self.process_band(a, col_tiles, index * band_height, k, n, band)?;
+                        }
+                        Ok(())
+                    })
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("GEMM worker panicked")?;
+            }
+            Ok(())
+        })?;
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Whether this `(m, k, n)` problem should skip the threaded path.
+    fn serial_fallback(&self, m: usize, k: usize, n: usize) -> bool {
+        // Free bail-outs first; the env/`available_parallelism` lookup in
+        // `effective_threads` only runs for GEMMs big enough to matter.
+        // Degenerate shapes (`m == 0` or `n == 0` zero the product; `k ==
+        // 0` is clamped) fall through to the engine's serial path, which
+        // must return well-formed empty/zero results.
+        !self.inner.tile_invariant()
+            || m * k.max(1) * n < MIN_PARALLEL_WORK
+            || IN_PARALLEL_WORKER.with(|flag| flag.get())
     }
 }
 
@@ -319,79 +551,37 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (m, k, n) = gemm_dims(a, b)?;
-        // Free bail-outs first; the env/`available_parallelism` lookup in
-        // `effective_threads` only runs for GEMMs big enough to matter.
-        if !self.inner.tile_invariant()
-            || m * k.max(1) * n < MIN_PARALLEL_WORK
-            || IN_PARALLEL_WORKER.with(|flag| flag.get())
-        {
+        if self.serial_fallback(m, k, n) {
             return self.inner.gemm(a, b);
         }
         let threads = self.config.effective_threads();
         if threads <= 1 {
             return self.inner.gemm(a, b);
         }
+        self.fan_out(a, b, None, (m, k, n), threads)
+    }
 
-        // Row-band height: explicit tile_m, or one equal band per worker.
-        // Each band re-runs the engine's own B-side quantization, so
-        // fewer, larger bands amortize that redundant work best; equal
-        // heights keep the workers balanced.
-        let band_height = if self.config.tile_m > 0 {
-            self.config.tile_m.min(m)
-        } else {
-            m.div_ceil(threads).max(1)
-        };
-        let band_count = m.div_ceil(band_height);
-        let threads = threads.min(band_count);
+    /// Delegates to the wrapped engine: the prepared state belongs to
+    /// the arithmetic, not to the driver, so one preparation serves the
+    /// serial path, every band of the threaded path, and any other
+    /// driver wrapping the same engine.
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        self.inner.prepare(b)
+    }
 
-        // Column tiles of B are staged once and shared by every band.
-        let tile_n = if self.config.tile_n > 0 {
-            self.config.tile_n.min(n)
-        } else {
-            n
-        };
-        let col_tiles: Vec<(usize, Tensor)> = if tile_n >= n {
-            vec![(0, b.clone())]
-        } else {
-            (0..n)
-                .step_by(tile_n)
-                .map(|c0| {
-                    let width = tile_n.min(n - c0);
-                    let mut data = Vec::with_capacity(k * width);
-                    for row in b.data().chunks(n) {
-                        data.extend_from_slice(&row[c0..c0 + width]);
-                    }
-                    Ok((c0, Tensor::from_vec(data, &[k, width])?))
-                })
-                .collect::<Result<_>>()?
-        };
-
-        let mut out = vec![0.0f32; m * n];
-        let mut per_worker: Vec<Vec<(usize, &mut [f32])>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (index, chunk) in out.chunks_mut(band_height * n).enumerate() {
-            per_worker[index % threads].push((index, chunk));
+    /// The threaded driver against an already-prepared weight: every row
+    /// band shares the caller's preparation, so repeated calls never
+    /// re-run the engine's B-side quantization — per band *or* per call.
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        let (m, k, n) = gemm_dims(a, b.raw())?;
+        if self.serial_fallback(m, k, n) {
+            return self.inner.gemm_prepared(a, b);
         }
-
-        let col_tiles = &col_tiles;
-        std::thread::scope(|scope| -> Result<()> {
-            let mut handles = Vec::with_capacity(per_worker.len());
-            for bands in per_worker {
-                handles.push(scope.spawn(move || -> Result<()> {
-                    as_parallel_worker(|| {
-                        for (index, band) in bands {
-                            self.process_band(a, col_tiles, index * band_height, k, n, band)?;
-                        }
-                        Ok(())
-                    })
-                }));
-            }
-            for handle in handles {
-                handle.join().expect("GEMM worker panicked")?;
-            }
-            Ok(())
-        })?;
-        Tensor::from_vec(out, &[m, n])
+        let threads = self.config.effective_threads();
+        if threads <= 1 {
+            return self.inner.gemm_prepared(a, b);
+        }
+        self.fan_out(a, b.raw(), Some(b), (m, k, n), threads)
     }
 }
 
@@ -424,6 +614,26 @@ mod tests {
         assert_eq!(TileConfig::serial().effective_threads(), 1);
         assert_eq!(TileConfig::auto().with_threads(3).effective_threads(), 3);
         assert!(TileConfig::auto().effective_threads() >= 1);
+        // The env override is resolved once per process and cached, so
+        // repeated resolution is consistent.
+        assert_eq!(
+            TileConfig::auto().effective_threads(),
+            TileConfig::auto().effective_threads()
+        );
+    }
+
+    #[test]
+    fn validate_rejects_group_misaligned_tile_k() {
+        let bfp = BfpConfig::mirage_default(); // g = 16
+        let mut config = TileConfig::auto();
+        assert!(config.validate(&bfp).is_ok()); // tile_k = 0
+        config.tile_k = 48;
+        assert!(config.validate(&bfp).is_ok()); // 3 g
+        config.tile_k = 24;
+        let err = config.validate(&bfp).unwrap_err();
+        assert!(err.to_string().contains("tile_k"), "{err}");
+        assert!(config.validate_group_size(24).is_ok());
+        assert!(config.validate_group_size(16).is_err());
     }
 
     #[test]

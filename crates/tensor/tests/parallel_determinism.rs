@@ -4,6 +4,11 @@
 //! thread counts. This is the contract that lets training and the figure
 //! benches run on the parallel path by default without perturbing any
 //! paper-accuracy number.
+//!
+//! The prepared-weight path carries the same contract: `prepare` +
+//! `gemm_prepared` must be bit-identical to plain `gemm` — serially and
+//! under every tiling — and degenerate (zero-dimension) shapes must
+//! produce well-formed empty/zero results through every path.
 
 use mirage_bfp::BfpConfig;
 use mirage_tensor::engines::{BfpEngine, ExactEngine, RnsBfpEngine};
@@ -92,6 +97,146 @@ fn parallel_runs_are_reproducible_across_invocations() {
     let first = engine.gemm(&a, &b).unwrap();
     let second = engine.gemm(&a, &b).unwrap();
     assert_eq!(first.data(), second.data());
+}
+
+/// The prepared-path analogue of `assert_parallel_matches_serial`: one
+/// preparation reused across every tile geometry and thread count must
+/// reproduce the serial unprepared result bit-exactly — serially, under
+/// the threaded driver, and through the driver-level `prepare`.
+fn assert_prepared_matches_unprepared<E: GemmEngine + Clone>(engine: E, seed: u64) {
+    for (m, k, n) in SHAPES {
+        let (a, b) = pair(seed ^ (m as u64) << 8 ^ n as u64, m, k, n);
+        let serial = engine.gemm(&a, &b).unwrap();
+        let prepared = engine.prepare(&b).unwrap();
+        assert_eq!(
+            engine.gemm_prepared(&a, &prepared).unwrap().data(),
+            serial.data(),
+            "{} serial prepared path diverged on {m}x{k}x{n}",
+            engine.name()
+        );
+        for config in configs() {
+            let driver = ParallelGemm::new(engine.clone(), config);
+            assert_eq!(
+                driver.gemm_prepared(&a, &prepared).unwrap().data(),
+                serial.data(),
+                "{} prepared diverged on {m}x{k}x{n} with {config:?}",
+                engine.name()
+            );
+            // The driver's own prepare delegates to the engine's.
+            let driver_prepared = driver.prepare(&b).unwrap();
+            assert_eq!(
+                driver.gemm_prepared(&a, &driver_prepared).unwrap().data(),
+                serial.data(),
+                "{} driver-prepared diverged on {m}x{k}x{n} with {config:?}",
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_engine_prepared_is_bit_identical() {
+    assert_prepared_matches_unprepared(ExactEngine, 11);
+}
+
+#[test]
+fn bfp_engine_prepared_is_bit_identical() {
+    assert_prepared_matches_unprepared(BfpEngine::new(BfpConfig::mirage_default()), 12);
+}
+
+#[test]
+fn rns_bfp_engine_prepared_is_bit_identical() {
+    let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+    assert_prepared_matches_unprepared(engine, 13);
+}
+
+/// Zero-dimension GEMMs must return well-formed empty (or all-zero)
+/// results through the serial engines, the threaded driver, and the
+/// prepared paths — never panic on empty bands or tiles.
+fn assert_empty_shapes_are_well_formed<E: GemmEngine + Clone>(engine: E) {
+    // (200, 0, 200) clears MIN_PARALLEL_WORK (k is clamped to 1 in the
+    // work estimate), so the threaded fan-out itself sees k = 0.
+    for (m, k, n) in [(0, 8, 4), (4, 0, 8), (8, 4, 0), (0, 0, 0), (200, 0, 200)] {
+        let a = Tensor::zeros(&[m, k]);
+        let b = Tensor::zeros(&[k, n]);
+        let serial = engine.gemm(&a, &b).unwrap();
+        assert_eq!(serial.shape(), &[m, n], "{} {m}x{k}x{n}", engine.name());
+        assert!(
+            serial.data().iter().all(|&v| v == 0.0),
+            "{} {m}x{k}x{n} produced non-zero output from zero inputs",
+            engine.name()
+        );
+        let prepared = engine.prepare(&b).unwrap();
+        assert_eq!(
+            engine.gemm_prepared(&a, &prepared).unwrap().data(),
+            serial.data()
+        );
+        for config in [
+            TileConfig::auto().with_threads(4),
+            TileConfig {
+                tile_m: 3,
+                tile_n: 5,
+                tile_k: 0,
+                threads: 4,
+            },
+        ] {
+            let driver = ParallelGemm::new(engine.clone(), config);
+            assert_eq!(
+                driver.gemm(&a, &b).unwrap().data(),
+                serial.data(),
+                "{} {m}x{k}x{n} {config:?}",
+                engine.name()
+            );
+            assert_eq!(
+                driver.gemm_prepared(&a, &prepared).unwrap().data(),
+                serial.data()
+            );
+            // Batched: empty batch, and a batch of empty items.
+            assert!(driver.gemm_batch(&[], &b).unwrap().is_empty());
+            let batch = driver.gemm_batch(std::slice::from_ref(&a), &b).unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].shape(), &[m, n]);
+        }
+    }
+}
+
+#[test]
+fn exact_engine_handles_empty_shapes() {
+    assert_empty_shapes_are_well_formed(ExactEngine);
+}
+
+#[test]
+fn bfp_engine_handles_empty_shapes() {
+    assert_empty_shapes_are_well_formed(BfpEngine::new(BfpConfig::mirage_default()));
+}
+
+#[test]
+fn rns_bfp_engine_handles_empty_shapes() {
+    let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+    assert_empty_shapes_are_well_formed(engine);
+}
+
+#[test]
+fn batched_prepared_path_is_bit_identical_per_item() {
+    let engine = BfpEngine::new(BfpConfig::mirage_default());
+    let parallel = ParallelGemm::new(engine, TileConfig::auto().with_threads(4));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let b = Tensor::randn(&[48, 16], 1.0, &mut rng);
+    let prepared = engine.prepare(&b).unwrap();
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|_| Tensor::randn(&[12, 48], 1.0, &mut rng))
+        .collect();
+    // Two batches against one preparation: the cross-call reuse pattern.
+    for _ in 0..2 {
+        let batch = parallel.gemm_batch_prepared(&inputs, &prepared).unwrap();
+        for (input, got) in inputs.iter().zip(&batch) {
+            assert_eq!(got.data(), engine.gemm(input, &b).unwrap().data());
+        }
+    }
+    assert!(parallel
+        .gemm_batch_prepared(&[], &prepared)
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
