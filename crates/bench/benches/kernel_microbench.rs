@@ -1,0 +1,329 @@
+//! Packed vs legacy kernel microbenchmarks — the perf-trajectory bench
+//! for the flat quantized GEMM layer.
+//!
+//! Measures, on one thread (this container has 1 CPU; the acceptance
+//! numbers are single-thread by design):
+//!
+//! - **quantize**: the PR 3 row quantizer (one `Vec<i32>` + one
+//!   `sanitized` staging `Vec<f32>` per group) vs
+//!   `PackedBfpMatrix::quantize_rows_into` (flat buffers, reused
+//!   scratch — with a pointer-stability spot-check proving the
+//!   steady-state path performs no heap allocation);
+//! - **group-dot**: chained `BfpBlock::dot` + `exp2` recombination vs
+//!   `PackedBfpMatrix::dot_rows` (slice integer dot + bit-twiddled
+//!   `pow2`);
+//! - **BFP GEMM** and **RNS-BFP GEMM** on the 64×256×256 serving shape:
+//!   the packed engines vs faithful reimplementations of the legacy
+//!   per-group-heap-object kernels (kept here as the oracle).
+//!
+//! Every comparison asserts **bit-identity** before timing anything, so
+//! running this bench in `--test` (smoke) mode is a correctness check.
+//! Full runs write `BENCH_kernels.json` for the perf trajectory.
+
+use mirage_bench::{print_table, write_summary, JsonField};
+use mirage_bfp::{BfpBlock, BfpConfig, PackedBfpMatrix};
+use mirage_rns::convert::{CrtConverter, ReverseConverter};
+use mirage_rns::residue;
+use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
+use mirage_tensor::{GemmEngine, Tensor};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The serving shape the acceptance criteria are measured on.
+const M: usize = 64;
+const K: usize = 256;
+const N: usize = 256;
+
+/// Best-of-`reps` wall clock for one invocation of `f`.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// PR 3's `BfpBlock::quantize`, replicated verbatim: the unconditional
+/// `sanitized` staging copy per group (this PR's library version takes
+/// an allocation-free fast path on all-finite input, so measuring
+/// through it would flatter the legacy path).
+fn pr3_quantize(values: &[f32], config: BfpConfig) -> BfpBlock {
+    let sanitized: Vec<f32> = values
+        .iter()
+        .map(|&v| {
+            if v.is_nan() {
+                0.0
+            } else if v.is_infinite() {
+                f32::MAX.copysign(v)
+            } else {
+                v
+            }
+        })
+        .collect();
+    BfpBlock::quantize(&sanitized, config)
+}
+
+/// PR 3's row quantizer: `rows × ceil(k/g)` heap blocks.
+fn pr3_quantize_rows(t: &Tensor, config: BfpConfig) -> Vec<Vec<BfpBlock>> {
+    let cols = t.shape()[1];
+    let g = config.group_size();
+    (0..t.shape()[0])
+        .map(|r| {
+            let row = &t.data()[r * cols..(r + 1) * cols];
+            row.chunks(g)
+                .map(|chunk| pr3_quantize(chunk, config))
+                .collect()
+        })
+        .collect()
+}
+
+fn pr3_quantize_cols(b: &Tensor, config: BfpConfig) -> Vec<Vec<BfpBlock>> {
+    pr3_quantize_rows(&b.transpose2d().unwrap(), config)
+}
+
+/// The legacy block-path BFP GEMM (the PR 3 implementation): one
+/// `BfpBlock` heap object per group, `Result`-checked dots, `exp2`
+/// recombination. The oracle for the packed kernels.
+fn legacy_bfp_gemm(a: &Tensor, b: &Tensor, config: BfpConfig) -> Tensor {
+    let (m, n) = (a.shape()[0], b.shape()[1]);
+    let a_rows = pr3_quantize_rows(a, config);
+    let b_cols = pr3_quantize_cols(b, config);
+    let mut out = vec![0.0f32; m * n];
+    for (i, arow) in a_rows.iter().enumerate() {
+        for (j, bcol) in b_cols.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (ga, gb) in arow.iter().zip(bcol) {
+                // The PR 3 recombination, `exp2` call included (the
+                // library's `to_f32` has since switched to the
+                // bit-identical `pow2` helper).
+                let d = ga.dot(gb).unwrap();
+                acc += (d.integer as f64 * (d.scale_exp as f64).exp2()) as f32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// The legacy per-group RNS GEMM (pre-packed implementation): per-group
+/// `Vec<Vec<u64>>` residues, validated CRT reverse conversion with a
+/// per-group scratch vector, `exp2` recombination.
+fn legacy_rns_gemm(a: &Tensor, b: &Tensor, engine: &RnsBfpEngine) -> Tensor {
+    let (m, n) = (a.shape()[0], b.shape()[1]);
+    let moduli = engine.moduli().moduli();
+    let converter = CrtConverter::new(engine.moduli());
+    type Converted = Vec<Vec<(i32, Vec<Vec<u64>>)>>;
+    let convert = |blocks: Vec<Vec<BfpBlock>>| -> Converted {
+        blocks
+            .iter()
+            .map(|groups| {
+                groups
+                    .iter()
+                    .map(|block| {
+                        let wide = block.mantissas_i64();
+                        (
+                            block.scale_exp(),
+                            moduli
+                                .iter()
+                                .map(|&md| residue::reduce_signed(&wide, md))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let a_rows = convert(pr3_quantize_rows(a, engine.config()));
+    let b_cols = convert(pr3_quantize_cols(b, engine.config()));
+    let mut out = vec![0.0f32; m * n];
+    for (i, arow) in a_rows.iter().enumerate() {
+        for (j, bcol) in b_cols.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for ((ea, ga), (eb, gb)) in arow.iter().zip(bcol) {
+                let residues: Vec<u64> = moduli
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &md)| residue::dot_product(&ga[c], &gb[c], md).unwrap())
+                    .collect();
+                let integer = converter.to_signed(&residues).unwrap() as f64;
+                acc += (integer * ((ea + eb) as f64).exp2()) as f32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = |n: usize| if smoke { 1 } else { n };
+    let config = BfpConfig::mirage_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4096);
+    let a = Tensor::randn(&[M, K], 1.0, &mut rng);
+    let b = Tensor::randn(&[K, N], 1.0, &mut rng);
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let mut record = |kernel: &str, workload: String, legacy: Duration, packed: Duration| {
+        let speedup = legacy.as_secs_f64() / packed.as_secs_f64();
+        rows.push(vec![
+            kernel.to_string(),
+            workload.clone(),
+            format!("{:.3}", ms(legacy)),
+            format!("{:.3}", ms(packed)),
+            format!("{speedup:.2}x"),
+            "yes".into(),
+        ]);
+        json.push(vec![
+            JsonField::Str("kernel", kernel.to_string()),
+            JsonField::Str("workload", workload),
+            JsonField::Num("legacy_ms", ms(legacy)),
+            JsonField::Num("packed_ms", ms(packed)),
+            JsonField::Num("speedup", speedup),
+            JsonField::Num("threads", 1.0),
+        ]);
+    };
+
+    // ── Quantize: legacy Vec<Vec<BfpBlock>> vs packed flat buffers ───
+    {
+        // Bit-identity first (group by group), then the no-alloc
+        // spot-check: at steady state the packed scratch never moves.
+        let legacy = pr3_quantize_rows(&a, config);
+        let mut scratch = PackedBfpMatrix::empty(config);
+        scratch.quantize_rows_into(a.data(), M, K).unwrap();
+        for (r, groups) in legacy.iter().enumerate() {
+            for (gi, block) in groups.iter().enumerate() {
+                assert_eq!(
+                    &scratch.group_mantissas(r, gi)[..block.len()],
+                    block.mantissas(),
+                    "packed quantizer diverged at ({r}, {gi})"
+                );
+                assert_eq!(scratch.group_scale_exp(r, gi), block.scale_exp());
+            }
+        }
+        let mantissa_ptr = scratch.mantissas().as_ptr();
+        scratch.quantize_rows_into(a.data(), M, K).unwrap();
+        assert_eq!(
+            scratch.mantissas().as_ptr(),
+            mantissa_ptr,
+            "steady-state packed quantization reallocated its scratch"
+        );
+        let t_legacy = best_of(reps(20), || {
+            black_box(pr3_quantize_rows(black_box(&a), config));
+        });
+        let t_packed = best_of(reps(20), || {
+            scratch
+                .quantize_rows_into(black_box(a.data()), M, K)
+                .unwrap();
+            black_box(scratch.mantissas().len());
+        });
+        record("quantize", format!("{M}x{K} rows"), t_legacy, t_packed);
+    }
+
+    // ── Group-dot: BfpBlock::dot chains vs flat slice dots ───────────
+    {
+        let xa = BfpEngine::quantize_rows(&a, config);
+        let xb = BfpEngine::quantize_cols(&b, config).expect("rank-2");
+        let pa = BfpEngine::pack_rows(&a, config);
+        let pb = BfpEngine::pack_cols(&b, config).unwrap();
+        // One full row×col sweep of group dots per rep.
+        let t_legacy = best_of(reps(5), || {
+            let mut acc = 0.0f32;
+            for arow in &xa {
+                for bcol in &xb {
+                    for (ga, gb) in arow.iter().zip(bcol) {
+                        let d = ga.dot(gb).unwrap();
+                        acc += (d.integer as f64 * (d.scale_exp as f64).exp2()) as f32;
+                    }
+                }
+            }
+            black_box(acc);
+        });
+        let t_packed = best_of(reps(5), || {
+            let mut acc = 0.0f32;
+            for i in 0..M {
+                for j in 0..N {
+                    acc += pa.dot_rows(i, &pb, j);
+                }
+            }
+            black_box(acc);
+        });
+        record(
+            "group-dot sweep",
+            format!("{M}x{N} dots of k={K}"),
+            t_legacy,
+            t_packed,
+        );
+    }
+
+    // ── BFP GEMM: packed engine vs legacy block path ─────────────────
+    {
+        let engine = BfpEngine::new(config);
+        let packed_out = engine.gemm(&a, &b).unwrap();
+        let legacy_out = legacy_bfp_gemm(&a, &b, config);
+        assert_eq!(
+            packed_out.data(),
+            legacy_out.data(),
+            "packed BFP GEMM diverged from the legacy block path"
+        );
+        let t_legacy = best_of(reps(5), || {
+            black_box(legacy_bfp_gemm(black_box(&a), black_box(&b), config));
+        });
+        let t_packed = best_of(reps(5), || {
+            black_box(engine.gemm(black_box(&a), black_box(&b)).unwrap());
+        });
+        record("bfp gemm", format!("{M}x{K}x{N}"), t_legacy, t_packed);
+    }
+
+    // ── RNS-BFP GEMM: packed residue planes vs legacy groups ─────────
+    {
+        let engine = RnsBfpEngine::with_min_special_set(config).unwrap();
+        let packed_out = engine.gemm(&a, &b).unwrap();
+        let legacy_out = legacy_rns_gemm(&a, &b, &engine);
+        assert_eq!(
+            packed_out.data(),
+            legacy_out.data(),
+            "packed RNS-BFP GEMM diverged from the legacy group path"
+        );
+        let t_legacy = best_of(reps(3), || {
+            black_box(legacy_rns_gemm(black_box(&a), black_box(&b), &engine));
+        });
+        let t_packed = best_of(reps(3), || {
+            black_box(engine.gemm(black_box(&a), black_box(&b)).unwrap());
+        });
+        record("rns-bfp gemm", format!("{M}x{K}x{N}"), t_legacy, t_packed);
+    }
+
+    print_table(
+        "Packed vs legacy kernels — single thread",
+        &[
+            "kernel",
+            "workload",
+            "legacy (ms)",
+            "packed (ms)",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows,
+    );
+    println!("\nAll packed results are asserted bit-identical to the legacy");
+    println!("block-path kernels before timing. Acceptance floors (single");
+    println!("thread, 64x256x256): >= 3x for BFP GEMM, >= 2x for RNS-BFP GEMM.");
+
+    if smoke {
+        println!("\n--test smoke mode: timings above are single-shot; JSON skipped.");
+        return;
+    }
+    write_summary(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json"),
+        "kernel_microbench",
+        &json,
+    );
+}

@@ -20,7 +20,7 @@
 //! `MIRAGE_THREADS` overrides the worker count.
 
 use criterion::Criterion;
-use mirage_bench::print_table;
+use mirage_bench::{print_table, write_summary, JsonField};
 use mirage_bfp::BfpConfig;
 use mirage_core::Mirage;
 use mirage_tensor::engines::{BfpEngine, ExactEngine, RnsBfpEngine};
@@ -49,7 +49,33 @@ fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
+/// Converts a printed table's rows into JSON fields for the
+/// machine-readable summary (columns: engine, workload, baseline ms,
+/// new ms, speedup, bit-identical).
+fn rows_to_json(table: &str, rows: &[Vec<String>]) -> Vec<Vec<JsonField>> {
+    rows.iter()
+        .map(|row| {
+            vec![
+                JsonField::Str("table", table.to_string()),
+                JsonField::Str("engine", row[0].clone()),
+                JsonField::Str("workload", row[1].clone()),
+                JsonField::Num("baseline_ms", row[2].parse().unwrap_or(f64::NAN)),
+                JsonField::Num("new_ms", row[3].parse().unwrap_or(f64::NAN)),
+                JsonField::Num(
+                    "speedup",
+                    row[4].trim_end_matches('x').parse().unwrap_or(f64::NAN),
+                ),
+            ]
+        })
+        .collect()
+}
+
 fn main() {
+    // `--test` runs the smoke mode CI uses: every bit-identity assert
+    // still executes, timing loops collapse to one rep, and neither the
+    // JSON summary nor the criterion pass runs.
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = |n: usize| if smoke { 1 } else { n };
     let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
     let a = Tensor::randn(&[M, K], 1.0, &mut rng);
     let b = Tensor::randn(&[K, N], 1.0, &mut rng);
@@ -67,10 +93,10 @@ fn main() {
         let c_serial = serial.gemm(&a, &b).unwrap();
         let c_parallel = parallel.gemm(&a, &b).unwrap();
         assert_eq!(c_serial.data(), c_parallel.data(), "fp32 outputs diverged");
-        let t_serial = best_of(5, || {
+        let t_serial = best_of(reps(5), || {
             black_box(serial.gemm(black_box(&a), black_box(&b)).unwrap());
         });
-        let t_parallel = best_of(5, || {
+        let t_parallel = best_of(reps(5), || {
             black_box(parallel.gemm(black_box(&a), black_box(&b)).unwrap());
         });
         rows.push(vec![
@@ -94,10 +120,10 @@ fn main() {
             c_parallel.data(),
             "mirage-bfp outputs diverged"
         );
-        let t_serial = best_of(3, || {
+        let t_serial = best_of(reps(3), || {
             black_box(serial.gemm(black_box(&a), black_box(&b)).unwrap());
         });
-        let t_parallel = best_of(3, || {
+        let t_parallel = best_of(reps(3), || {
             black_box(parallel.gemm(black_box(&a), black_box(&b)).unwrap());
         });
         rows.push(vec![
@@ -127,12 +153,12 @@ fn main() {
         for (s, p) in serial_batch.iter().zip(&batched) {
             assert_eq!(s.data(), p.data(), "batched inference diverged");
         }
-        let t_serial = best_of(3, || {
+        let t_serial = best_of(reps(3), || {
             for x in &batch {
                 black_box(serial_engine.gemm(black_box(x), &weight).unwrap());
             }
         });
-        let t_batched = best_of(3, || {
+        let t_batched = best_of(reps(3), || {
             black_box(mirage.infer_batch(black_box(&batch), &weight).unwrap());
         });
         rows.push(vec![
@@ -221,15 +247,22 @@ fn main() {
     // big static weight, the regime where B-side quantization dominates
     // the unprepared cost (paper Table III: inference at batch 1–128).
     let a_serve = Tensor::randn(&[8, K], 1.0, &mut rng);
-    prepared_row(&mut prep_rows, "fp32", &ExactEngine, &a_serve, &b, 3);
-    prepared_row(&mut prep_rows, "mirage-bfp", &serial_bfp, &a_serve, &b, 3);
+    prepared_row(&mut prep_rows, "fp32", &ExactEngine, &a_serve, &b, reps(3));
+    prepared_row(
+        &mut prep_rows,
+        "mirage-bfp",
+        &serial_bfp,
+        &a_serve,
+        &b,
+        reps(3),
+    );
     prepared_row(
         &mut prep_rows,
         "mirage-bfp (tiled)",
         &ParallelGemm::new(serial_bfp, config),
         &a_serve,
         &b,
-        3,
+        reps(3),
     );
     {
         // The RNS path also pre-converts weight residues; it is slower
@@ -243,7 +276,7 @@ fn main() {
             &rns,
             &a_small,
             &b_small,
-            2,
+            reps(2),
         );
     }
     // Batched serving through the per-layer cache: InferenceSession
@@ -261,7 +294,7 @@ fn main() {
         for (s, p) in per_call.iter().zip(&cached) {
             assert_eq!(s.data(), p.data(), "session inference diverged");
         }
-        let t_per_call = best_of(3, || {
+        let t_per_call = best_of(reps(3), || {
             for _ in 0..CALLS {
                 black_box(
                     mirage
@@ -270,7 +303,7 @@ fn main() {
                 );
             }
         });
-        let t_cached = best_of(3, || {
+        let t_cached = best_of(reps(3), || {
             for _ in 0..CALLS {
                 black_box(
                     session
@@ -304,6 +337,18 @@ fn main() {
     println!("\nPrepared results are asserted bit-identical; the gain is the");
     println!("B-side quantization (and RNS forward conversion) moving out of");
     println!("the per-call / per-band / per-item path into a one-time prepare.");
+
+    if smoke {
+        println!("\n--test smoke mode: all bit-identity asserts ran; timing/JSON skipped.");
+        return;
+    }
+    let mut json = rows_to_json("parallel", &rows);
+    json.extend(rows_to_json("prepared", &prep_rows));
+    write_summary(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json"),
+        "parallel_speedup",
+        &json,
+    );
 
     let mut c = Criterion::default().sample_size(10).configure_from_args();
     let parallel_bfp = ParallelGemm::new(serial_bfp, config);

@@ -1,0 +1,104 @@
+//! Minimal machine-readable benchmark summaries.
+//!
+//! Perf-trajectory benches (`kernel_microbench`, `parallel_speedup`)
+//! emit a `BENCH_*.json` next to their human-readable tables so CI and
+//! future sessions can diff numbers across PRs without scraping stdout.
+//! The format is deliberately flat — one object with a `bench` name and
+//! a `rows` array of string/number fields — and the writer is
+//! dependency-free (no serde in this offline workspace).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One field of a summary row: a label plus a string or numeric value.
+#[derive(Debug, Clone)]
+pub enum JsonField {
+    /// A string-valued field.
+    Str(&'static str, String),
+    /// A numeric field (non-finite values are serialized as `null`).
+    Num(&'static str, f64),
+}
+
+/// Serializes `rows` as `{"bench": name, "rows": [{...}, ...]}`.
+pub fn to_json(bench: &str, rows: &[Vec<JsonField>]) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"{}\",\n  \"rows\": [",
+        escape(bench)
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(out, "{}\n    {{", if i == 0 { "" } else { "," });
+        for (j, field) in row.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            match field {
+                JsonField::Str(key, value) => {
+                    let _ = write!(out, "{sep}\"{}\": \"{}\"", escape(key), escape(value));
+                }
+                JsonField::Num(key, value) if value.is_finite() => {
+                    let _ = write!(out, "{sep}\"{}\": {value}", escape(key));
+                }
+                JsonField::Num(key, _) => {
+                    let _ = write!(out, "{sep}\"{}\": null", escape(key));
+                }
+            }
+        }
+        let _ = write!(out, "}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Writes [`to_json`] output to `path`, logging instead of panicking on
+/// I/O failure (benches should still print their tables on read-only
+/// filesystems).
+pub fn write_summary(path: impl AsRef<Path>, bench: &str, rows: &[Vec<JsonField>]) {
+    let path = path.as_ref();
+    match std::fs::write(path, to_json(bench, rows)) {
+        Ok(()) => println!("\nwrote machine-readable summary to {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_flat_rows() {
+        let rows = vec![
+            vec![
+                JsonField::Str("name", "bfp".into()),
+                JsonField::Num("speedup", 3.5),
+            ],
+            vec![
+                JsonField::Str("name", "rns".into()),
+                JsonField::Num("speedup", f64::NAN),
+            ],
+        ];
+        let json = to_json("kernels", &rows);
+        assert!(json.contains("\"bench\": \"kernels\""));
+        assert!(json.contains("\"speedup\": 3.5"));
+        assert!(json.contains("\"speedup\": null"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let rows = vec![vec![JsonField::Str("name", "a\"b\\c\nd".into())]];
+        let json = to_json("x", &rows);
+        assert!(json.contains("a\\\"b\\\\c\\nd"));
+    }
+}

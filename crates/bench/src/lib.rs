@@ -19,11 +19,15 @@
 //! | Table III | `table3_inference` |
 //! | §VI-E study | `fige_variation` |
 //! | Design-choice ablations | `ablations` |
+//! | Parallel/prepared perf trajectory | `parallel_speedup` (`BENCH_parallel.json`) |
+//! | Packed-kernel perf trajectory | `kernel_microbench` (`BENCH_kernels.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod table;
 
+pub use json::{write_summary, JsonField};
 pub use table::print_table;

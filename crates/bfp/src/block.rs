@@ -43,7 +43,7 @@ pub struct BfpDotProduct {
 impl BfpDotProduct {
     /// The dot product as an `f64`.
     pub fn to_f64(self) -> f64 {
-        self.integer as f64 * (self.scale_exp as f64).exp2()
+        self.integer as f64 * crate::math::pow2(self.scale_exp)
     }
 
     /// The dot product as an `f32` (the accelerator's output format).
@@ -52,9 +52,24 @@ impl BfpDotProduct {
     }
 }
 
+/// The non-finite-input mapping shared by [`BfpBlock::quantize`] and the
+/// packed quantizer ([`crate::PackedBfpMatrix`]): `NaN` → `0.0`,
+/// `±inf` → `±f32::MAX` — saturating hardware behaviour. Finite values
+/// pass through unchanged.
+#[inline]
+pub(crate) fn sanitize(v: f32) -> f32 {
+    if v.is_nan() {
+        0.0
+    } else if v.is_infinite() {
+        f32::MAX.copysign(v)
+    } else {
+        v
+    }
+}
+
 /// Unbiased exponent of a finite, non-zero f32 (subnormals get their
 /// effective exponent).
-fn exponent_of(v: f32) -> i32 {
+pub(crate) fn exponent_of(v: f32) -> i32 {
     debug_assert!(v.is_finite() && v != 0.0);
     let bits = v.to_bits();
     let raw = ((bits >> 23) & 0xff) as i32;
@@ -78,18 +93,13 @@ impl BfpBlock {
     /// mirroring saturating hardware. Use [`BfpBlock::try_quantize`] to
     /// reject them instead.
     pub fn quantize(values: &[f32], config: BfpConfig) -> Self {
-        let sanitized: Vec<f32> = values
-            .iter()
-            .map(|&v| {
-                if v.is_nan() {
-                    0.0
-                } else if v.is_infinite() {
-                    f32::MAX.copysign(v)
-                } else {
-                    v
-                }
-            })
-            .collect();
+        // Fast path: one branch-free pre-scan instead of an unconditional
+        // `sanitized` copy — all-finite input (the overwhelmingly common
+        // case) never touches the heap beyond the mantissa buffer.
+        if values.iter().all(|v| v.is_finite()) {
+            return Self::quantize_finite(values, config);
+        }
+        let sanitized: Vec<f32> = values.iter().map(|&v| sanitize(v)).collect();
         Self::quantize_finite(&sanitized, config)
     }
 
@@ -123,7 +133,7 @@ impl BfpBlock {
         // value = m * 2^(e_shared - bm + 1); the largest element maps to
         // magnitude in [2^(bm-1), 2^bm).
         let scale_exp = e_shared - bm as i32 + 1;
-        let scale = (-(scale_exp as f64)).exp2();
+        let scale = crate::math::pow2(-scale_exp);
         let limit = config.max_mantissa() as f64;
         let mantissas = values
             .iter()
@@ -186,7 +196,7 @@ impl BfpBlock {
 
     /// Reconstructs the quantized `f32` values.
     pub fn dequantize(&self) -> Vec<f32> {
-        let scale = (self.scale_exp as f64).exp2();
+        let scale = crate::math::pow2(self.scale_exp);
         self.mantissas
             .iter()
             .map(|&m| (f64::from(m) * scale) as f32)

@@ -31,12 +31,16 @@
 mod block;
 mod config;
 mod error;
+mod math;
+mod packed;
 mod stats;
 mod vector;
 
 pub use block::{BfpBlock, BfpDotProduct};
 pub use config::{BfpConfig, RoundingMode};
 pub use error::BfpError;
+pub use math::pow2;
+pub use packed::{group_dot, group_dot_i16, group_dot_i32, PackedBfpMatrix};
 pub use stats::QuantizationStats;
 pub use vector::BfpVector;
 

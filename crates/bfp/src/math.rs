@@ -1,0 +1,102 @@
+//! Bit-manipulation helpers for exponent recombination.
+
+/// `2^e` as an `f64`, computed by assembling the IEEE-754 bit pattern
+/// directly instead of calling the `exp2` libm routine.
+///
+/// Exponent recombination (paper Fig. 2, step 8) runs once per BFP group
+/// per output element — the hottest scalar operation in every quantized
+/// GEMM kernel — and a transcendental-function call there costs more
+/// than the integer group dot it scales. This helper is **bit-identical
+/// to `(e as f64).exp2()` for every `i32`**, including the subnormal
+/// range (`-1074..=-1023`), underflow to `0.0` below `-1074` (where
+/// `2^e` lies strictly below half the smallest subnormal, so
+/// round-to-nearest-even returns zero), and overflow to `f64::INFINITY`
+/// at `1024` and above. The equivalence is pinned by unit tests over the
+/// boundary regions and the `i32` extremes.
+///
+/// ```
+/// use mirage_bfp::pow2;
+///
+/// assert_eq!(pow2(0), 1.0);
+/// assert_eq!(pow2(-3), 0.125);
+/// assert_eq!(pow2(1024), f64::INFINITY);
+/// assert_eq!(pow2(-1074), f64::from_bits(1)); // smallest subnormal
+/// assert_eq!(pow2(-1075), 0.0);
+/// ```
+#[inline]
+pub fn pow2(e: i32) -> f64 {
+    if e >= 1024 {
+        f64::INFINITY
+    } else if e >= -1022 {
+        // Normal range: biased exponent field, zero mantissa.
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else if e >= -1074 {
+        // Subnormal range: a single mantissa bit at the right position.
+        f64::from_bits(1u64 << (e + 1074))
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Bit-identity with `exp2` across every interesting region: the
+    /// whole finite span, both boundary neighbourhoods, and the `i32`
+    /// extremes. This is the contract that lets the GEMM kernels swap
+    /// `exp2` for `pow2` without perturbing a single output bit.
+    #[test]
+    fn bit_identical_to_exp2_everywhere_it_matters() {
+        let check = |e: i32| {
+            let libm = (e as f64).exp2();
+            let ours = pow2(e);
+            assert_eq!(
+                ours.to_bits(),
+                libm.to_bits(),
+                "e = {e}: pow2 = {ours:e}, exp2 = {libm:e}"
+            );
+        };
+        // The full finite range plus generous margins on both sides
+        // covers the normal span, every subnormal step, underflow to
+        // zero and overflow to infinity.
+        for e in -1200..=1200 {
+            check(e);
+        }
+        for e in [
+            i32::MIN,
+            i32::MIN + 1,
+            -1_000_000,
+            1_000_000,
+            i32::MAX - 1,
+            i32::MAX,
+        ] {
+            check(e);
+        }
+    }
+
+    #[test]
+    fn subnormal_edges() {
+        assert_eq!(pow2(-1022), f64::MIN_POSITIVE);
+        assert_eq!(pow2(-1023), f64::MIN_POSITIVE / 2.0);
+        assert_eq!(pow2(-1074), f64::from_bits(1));
+        assert_eq!(pow2(-1075), 0.0);
+        assert!(pow2(-1074) > 0.0 && !pow2(-1074).is_normal());
+    }
+
+    #[test]
+    fn overflow_edges() {
+        assert!(pow2(1023).is_finite());
+        assert_eq!(pow2(1023) * 2.0, f64::INFINITY); // 2^1024 overflows
+        assert_eq!(pow2(1024), f64::INFINITY);
+        assert_eq!(pow2(i32::MAX), f64::INFINITY);
+    }
+
+    #[test]
+    fn typical_bfp_exponents_are_exact() {
+        // The exponents that actually occur in bm<=23 GEMMs.
+        for e in -300..=300 {
+            assert_eq!(pow2(e), 2.0f64.powi(e));
+        }
+    }
+}

@@ -1,6 +1,6 @@
 //! Property-based tests for BFP invariants.
 
-use mirage_bfp::{BfpBlock, BfpConfig, BfpVector, RoundingMode};
+use mirage_bfp::{BfpBlock, BfpConfig, BfpVector, PackedBfpMatrix, RoundingMode};
 use proptest::prelude::*;
 
 fn finite_f32() -> impl Strategy<Value = f32> {
@@ -83,6 +83,74 @@ proptest! {
             .map(|(a, b)| f64::from(*a) * f64::from(*b))
             .sum();
         prop_assert!((d - exact).abs() <= 1e-6 * exact.abs().max(1.0), "{d} vs {exact}");
+    }
+
+    /// The packed quantizer is bit-identical to the legacy block path:
+    /// same mantissae on every unpadded lane, exact zeros on the
+    /// padding, same shared exponent — across ragged tails, arbitrary
+    /// `(bm, g)` and occasional non-finite inputs.
+    #[test]
+    fn packed_quantizer_matches_block_path(
+        rows in 1usize..=5,
+        k in 1usize..=40,
+        g in 1usize..=20,
+        bm in 2u32..=12,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BfpConfig::new(bm, g).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            match state % 23 {
+                0 => f32::NAN,
+                1 => f32::INFINITY,
+                2 => f32::NEG_INFINITY,
+                3 => 0.0,
+                _ => (((state >> 40) as f32 / 8388608.0) - 1.0) * 1e4,
+            }
+        };
+        let data: Vec<f32> = (0..rows * k).map(|_| next()).collect();
+        let packed = PackedBfpMatrix::quantize_rows(&data, rows, k, cfg).unwrap();
+        prop_assert_eq!(packed.groups_per_row(), k.div_ceil(g));
+        for r in 0..rows {
+            for (gi, chunk) in data[r * k..(r + 1) * k].chunks(g).enumerate() {
+                let block = BfpBlock::quantize(chunk, cfg);
+                let lanes = packed.group_mantissas(r, gi);
+                prop_assert_eq!(&lanes[..chunk.len()], block.mantissas());
+                prop_assert!(lanes[chunk.len()..].iter().all(|&m| m == 0));
+                prop_assert_eq!(packed.group_scale_exp(r, gi), block.scale_exp());
+            }
+        }
+    }
+
+    /// Packed row dots are bit-identical to chaining `BfpBlock::dot`
+    /// over the groups: zero padding contributes `0 · w` to the exact
+    /// integer accumulation, so ragged tails cannot diverge.
+    #[test]
+    fn packed_dot_matches_block_dot_chain(
+        k in 1usize..=50,
+        g in 1usize..=20,
+        bm in 2u32..=10,
+        seed in any::<u64>(),
+    ) {
+        let cfg = BfpConfig::new(bm, g).unwrap();
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 8388608.0) - 1.0
+        };
+        let xs: Vec<f32> = (0..k).map(|_| next()).collect();
+        let ws: Vec<f32> = (0..k).map(|_| next()).collect();
+        let px = PackedBfpMatrix::quantize_rows(&xs, 1, k, cfg).unwrap();
+        let pw = PackedBfpMatrix::quantize_rows(&ws, 1, k, cfg).unwrap();
+        let mut want = 0.0f32;
+        for (cx, cw) in xs.chunks(g).zip(ws.chunks(g)) {
+            want += BfpBlock::quantize(cx, cfg)
+                .dot(&BfpBlock::quantize(cw, cfg))
+                .unwrap()
+                .to_f32();
+        }
+        prop_assert_eq!(px.dot_rows(0, &pw, 0).to_bits(), want.to_bits());
     }
 
     /// Vector dot never loses more than the worst-case group bound.

@@ -138,7 +138,7 @@ impl TiledMvm {
                 // ⑧ + ⑨ Exponent recombination and accumulation.
                 for (r, &integer) in outs.iter().enumerate() {
                     let scale_exp = w_blocks[r].scale_exp() + xg.scale_exp();
-                    y.data_mut()[row0 + r] += (integer as f64 * (scale_exp as f64).exp2()) as f32;
+                    y.data_mut()[row0 + r] += (integer as f64 * mirage_bfp::pow2(scale_exp)) as f32;
                     trace.accumulations += 1;
                 }
             }

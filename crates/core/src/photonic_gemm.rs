@@ -1,45 +1,72 @@
 //! GEMM executed on the device-level photonic simulator.
 
 use mirage_arch::MirageConfig;
-use mirage_bfp::BfpConfig;
+use mirage_bfp::{pow2, BfpConfig, PackedBfpMatrix};
 use mirage_photonics::RnsMmvmu;
 use mirage_tensor::engines::{BfpEngine, GemmEngine, PreparedRhs};
 use mirage_tensor::{Result, Tensor, TensorError};
 use std::sync::Arc;
 
-/// One streamed activation group, ready for the simulated MMVMUs: the
-/// shared scale exponent plus mantissae widened to the `i64` the device
-/// interface takes.
+/// The streamed operand, packed: every column of `B` quantized once and
+/// widened once into a single contiguous `i64` buffer (the element type
+/// the device interface takes), in the same padded `rows × padded_k`
+/// geometry as [`PackedBfpMatrix`]. Group slices are carved out by
+/// offset — no per-group heap objects on the streaming path.
 #[derive(Debug)]
-struct StreamedGroup {
-    scale_exp: i32,
+struct PackedStreamedCols {
+    /// Streamed rows (= columns of `B`).
+    rows: usize,
+    k: usize,
+    groups_per_row: usize,
+    g: usize,
+    /// `rows * groups_per_row * g` widened mantissae, tail zero-padded.
     mantissas: Vec<i64>,
+    /// `rows * groups_per_row` shared scale exponents.
+    scale_exps: Vec<i32>,
 }
 
-/// Prepared B-side state: every column of `B` quantized and widened
-/// once, tagged with the BFP operating point that produced it (the only
-/// configuration the streamed-side preparation depends on).
+impl PackedStreamedCols {
+    fn from_packed(packed: &PackedBfpMatrix) -> Self {
+        PackedStreamedCols {
+            rows: packed.rows(),
+            k: packed.k(),
+            groups_per_row: packed.groups_per_row(),
+            g: packed.config().group_size(),
+            mantissas: packed.mantissas().iter().map(|&m| i64::from(m)).collect(),
+            scale_exps: packed.scale_exps().to_vec(),
+        }
+    }
+
+    /// The **unpadded** mantissa lanes of group `gi` of streamed row
+    /// `row` — the exact slice the legacy block path handed the device,
+    /// so ragged tail groups drive the simulated MMVMUs identically.
+    fn group(&self, row: usize, gi: usize) -> &[i64] {
+        let base = (row * self.groups_per_row + gi) * self.g;
+        let len = (self.k - gi * self.g).min(self.g);
+        &self.mantissas[base..base + len]
+    }
+
+    fn scale_exp(&self, row: usize, gi: usize) -> i32 {
+        self.scale_exps[row * self.groups_per_row + gi]
+    }
+}
+
+/// Prepared B-side state: the packed streamed operand plus a column
+/// range, so the tiled parallel driver can hand workers views of one
+/// shared buffer (see `mirage_tensor::engines::GemmEngine::prepare_tile`).
 #[derive(Debug)]
 struct PreparedPhotonicCols {
     bfp: BfpConfig,
-    /// `n × ceil(k/g)` groups: one streamed chain per output column.
-    cols: Vec<Vec<StreamedGroup>>,
+    packed: Arc<PackedStreamedCols>,
+    col_start: usize,
+    col_count: usize,
 }
 
-/// Quantizes and widens the columns of `B` for streaming.
-fn stream_cols(b: &Tensor, bfp: BfpConfig) -> Result<Vec<Vec<StreamedGroup>>> {
-    Ok(BfpEngine::quantize_cols(b, bfp)?
-        .iter()
-        .map(|groups| {
-            groups
-                .iter()
-                .map(|block| StreamedGroup {
-                    scale_exp: block.scale_exp(),
-                    mantissas: block.mantissas_i64(),
-                })
-                .collect()
-        })
-        .collect())
+/// Quantizes, packs and widens the columns of `B` for streaming.
+fn stream_cols(b: &Tensor, bfp: BfpConfig) -> Result<PackedStreamedCols> {
+    Ok(PackedStreamedCols::from_packed(&BfpEngine::pack_cols_wide(
+        b, bfp,
+    )?))
 }
 
 /// A [`GemmEngine`] that runs every tile through the photonic
@@ -80,41 +107,62 @@ impl PhotonicGemmEngine {
         self.bfp
     }
 
-    /// The shared GEMM kernel: programs stationary tiles from the rows
-    /// of `A` and streams already-quantized columns of `B` through the
-    /// simulated MMVMUs.
-    fn gemm_with_cols(
+    /// The shared GEMM kernel: programs stationary tiles from the
+    /// packed rows of `A` and streams an already-packed column range of
+    /// `B` through the simulated MMVMUs. The per-tile weight staging
+    /// buffer is reused across every tile and group — the only
+    /// steady-state cost is the `i32 → i64` widening the device
+    /// interface requires.
+    fn gemm_with_packed(
         &self,
         a: &Tensor,
-        b_cols: &[Vec<StreamedGroup>],
+        cols: &PackedStreamedCols,
+        col_start: usize,
         n: usize,
     ) -> Result<Tensor> {
-        let m = a.shape()[0];
-        let a_rows = BfpEngine::quantize_rows(a, self.bfp);
-        let groups_per_row = a_rows.first().map(Vec::len).unwrap_or(0);
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        if cols.k != k {
+            return Err(TensorError::DimMismatch {
+                left: k,
+                right: cols.k,
+            });
+        }
+        debug_assert!(col_start + n <= cols.rows, "column range out of bounds");
+        let a_packed = BfpEngine::pack_rows_wide(a, self.bfp);
+        let groups_per_row = a_packed.groups_per_row();
+        let g = self.bfp.group_size();
 
         let mut out = vec![0.0f32; m * n];
+        // Reused weight-staging scratch: one `Vec<i64>` per MDPU row,
+        // refilled in place (clear + extend within capacity) per tile.
+        let mut weight_tile: Vec<Vec<i64>> = vec![Vec::with_capacity(g); self.rows];
         // Stationary tiles: `rows` rows of A x one k-group; stream the
         // columns of B through each tile (DF1 / weight-stationary).
         for row_tile in (0..m).step_by(self.rows) {
             let tile_rows = (row_tile + self.rows).min(m) - row_tile;
             for gi in 0..groups_per_row {
+                let len = a_packed.group_len(gi);
                 // Program the phase shifters with this tile's mantissae.
-                let weight_tile: Vec<Vec<i64>> = (0..tile_rows)
-                    .map(|r| a_rows[row_tile + r][gi].mantissas_i64())
-                    .collect();
-                for (j, bcol) in b_cols.iter().enumerate() {
-                    let xg = &bcol[gi];
+                for (r, lanes) in weight_tile.iter_mut().take(tile_rows).enumerate() {
+                    lanes.clear();
+                    lanes.extend(
+                        a_packed.group_mantissas(row_tile + r, gi)[..len]
+                            .iter()
+                            .map(|&v| i64::from(v)),
+                    );
+                }
+                for j in 0..n {
+                    let col = col_start + j;
                     // One photonic modular MVM (Fig. 2 step 5-7).
                     let outputs = self
                         .unit
-                        .mvm_signed_ideal(&xg.mantissas, &weight_tile)
+                        .mvm_signed_ideal(cols.group(col, gi), &weight_tile[..tile_rows])
                         .map_err(|e| TensorError::InvalidGeometry(e.to_string()))?;
                     // Exponent recombination + FP32 accumulation (8-9).
                     for (r, &integer) in outputs.iter().enumerate() {
-                        let scale_exp = a_rows[row_tile + r][gi].scale_exp() + xg.scale_exp;
-                        out[(row_tile + r) * n + j] +=
-                            (integer as f64 * (scale_exp as f64).exp2()) as f32;
+                        let scale_exp =
+                            a_packed.group_scale_exp(row_tile + r, gi) + cols.scale_exp(col, gi);
+                        out[(row_tile + r) * n + j] += (integer as f64 * pow2(scale_exp)) as f32;
                     }
                 }
             }
@@ -138,28 +186,59 @@ impl GemmEngine for PhotonicGemmEngine {
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (_m, _k, n) = dims(a, b)?;
-        let b_cols = stream_cols(b, self.bfp)?;
-        self.gemm_with_cols(a, &b_cols, n)
+        let cols = stream_cols(b, self.bfp)?;
+        self.gemm_with_packed(a, &cols, 0, n)
     }
 
-    /// Quantizes and widens the streamed operand once; repeated calls
-    /// only quantize the stationary side.
+    /// Quantizes, packs and widens the streamed operand once; repeated
+    /// calls only quantize the stationary side.
     fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
         let prepared = PreparedRhs::from_raw(self.name(), b)?;
+        let n = prepared.n();
         let cols = stream_cols(b, self.bfp)?;
         Ok(prepared.with_state(Arc::new(PreparedPhotonicCols {
             bfp: self.bfp,
-            cols,
+            packed: Arc::new(cols),
+            col_start: 0,
+            col_count: n,
         })))
     }
 
-    /// Reuses the pre-quantized streamed columns; falls back to
+    /// Slices a column tile out of an existing preparation: the tile
+    /// shares the packed streamed buffer through the `Arc`, so the
+    /// tiled parallel driver never re-quantizes B per column tile.
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        let Some(state) = whole.state_for::<PreparedPhotonicCols>(self.name()) else {
+            return Ok(None);
+        };
+        if state.bfp != self.bfp || c0 + width > state.col_count {
+            return Ok(None);
+        }
+        let raw = whole.slice_raw_cols(c0, width)?;
+        Ok(Some(PreparedRhs::from_raw(self.name(), &raw)?.with_state(
+            Arc::new(PreparedPhotonicCols {
+                bfp: state.bfp,
+                packed: Arc::clone(&state.packed),
+                col_start: state.col_start + c0,
+                col_count: width,
+            }),
+        )))
+    }
+
+    /// Reuses the pre-packed streamed columns; falls back to
     /// [`PhotonicGemmEngine::gemm`] on preparations from other engines
     /// or other BFP operating points.
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         let (_m, _k, n) = dims(a, b.raw())?;
         match b.state_for::<PreparedPhotonicCols>(self.name()) {
-            Some(state) if state.bfp == self.bfp => self.gemm_with_cols(a, &state.cols, n),
+            Some(state) if state.bfp == self.bfp && state.col_count == n => {
+                self.gemm_with_packed(a, &state.packed, state.col_start, n)
+            }
             _ => self.gemm(a, b.raw()),
         }
     }

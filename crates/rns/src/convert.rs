@@ -60,6 +60,23 @@ pub trait ReverseConverter {
             v as i128
         })
     }
+
+    /// [`Self::to_signed`] without per-call validation: the no-alloc
+    /// hot-path entry for GEMM kernels that assemble the residue vector
+    /// themselves (one [`crate::residue::dot_product`] per channel), so
+    /// the operands are reduced and correctly sized by construction.
+    /// Converters with precomputed constants override this with a path
+    /// that skips validation entirely; results are always identical to
+    /// [`Self::to_signed`] on valid input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the residues would be rejected by [`Self::to_signed`]
+    /// (wrong count or unreduced values) — a caller bug by contract.
+    fn to_signed_trusted(&self, residues: &[u64]) -> i128 {
+        self.to_signed(residues)
+            .expect("to_signed_trusted caller guarantees reduced residues")
+    }
 }
 
 fn validate(residues: &[u64], set: &ModuliSet) -> Result<()> {
@@ -102,6 +119,33 @@ pub struct CrtConverter {
     big_mi: Vec<u128>,
     /// Per-modulus `T_i = M_i^{-1} mod m_i`.
     ti: Vec<u64>,
+    /// `u64` specialization when the whole dynamic range fits 31 bits —
+    /// every Mirage-sized moduli set does — so the per-group reverse
+    /// conversion in GEMM kernels runs without any `u128` arithmetic.
+    small: Option<SmallCrt>,
+}
+
+/// Precomputed `u64` constants for small dynamic ranges (`M < 2^31`):
+/// residues and the fused weights `w_i = |T_i · M_i|_M` both fit 31
+/// bits, so `x_i · w_i` fits a `u64` with room for the channel sum.
+#[derive(Debug, Clone)]
+struct SmallCrt {
+    m: Modulus,
+    psi: u64,
+    wi: Vec<u64>,
+}
+
+/// The fused small-range CRT constants (see [`CrtConverter::small_constants`]):
+/// reconstruction is `v = | Σ_i x_i · wi[i] |_M` with every term in `u64`,
+/// then `v - M` when `v > psi` for the signed value.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallCrtConstants<'a> {
+    /// The dynamic range `M`, as a modulus (for divide-free reduction).
+    pub m: Modulus,
+    /// The positive half-range `ψ`.
+    pub psi: u64,
+    /// Per-channel fused weights `|T_i · M_i|_M`.
+    pub wi: &'a [u64],
 }
 
 impl CrtConverter {
@@ -113,7 +157,20 @@ impl CrtConverter {
         &self.set
     }
 
-    /// Builds a converter for `set`, precomputing `M_i` and `T_i`.
+    /// The fused `u64` constants when the dynamic range fits 31 bits —
+    /// specialized GEMM kernels inline the whole reverse conversion
+    /// from these instead of calling [`ReverseConverter::to_signed_trusted`]
+    /// per group (identical arithmetic, hoisted loads).
+    pub fn small_constants(&self) -> Option<SmallCrtConstants<'_>> {
+        self.small.as_ref().map(|s| SmallCrtConstants {
+            m: s.m,
+            psi: s.psi,
+            wi: &s.wi,
+        })
+    }
+
+    /// Builds a converter for `set`, precomputing `M_i`, `T_i` and (for
+    /// small dynamic ranges) the fused `u64` weights `|T_i · M_i|_M`.
     pub fn new(set: &ModuliSet) -> Self {
         let big_m = set.dynamic_range();
         let mut big_mi = Vec::with_capacity(set.len());
@@ -127,11 +184,52 @@ impl CrtConverter {
             big_mi.push(mi);
             ti.push(t);
         }
+        let small = if big_m < (1 << 31) {
+            Some(SmallCrt {
+                m: Modulus::new(big_m as u64).expect("dynamic range >= 2"),
+                psi: set.psi() as u64,
+                wi: big_mi
+                    .iter()
+                    .zip(&ti)
+                    .map(|(&mi, &t)| (u128::from(t) * mi % big_m) as u64)
+                    .collect(),
+            })
+        } else {
+            None
+        };
         CrtConverter {
             set: set.clone(),
             big_mi,
             ti,
+            small,
         }
+    }
+
+    /// The CRT reconstruction sum on pre-validated residues, choosing
+    /// the fused `u64` specialization when the range permits. Both paths
+    /// compute the same `| Σ_i x_i · T_i · M_i |_M` exactly.
+    fn reconstruct(&self, residues: &[u64]) -> u128 {
+        if let Some(small) = &self.small {
+            // Every term is < 2^62 (residue < m_i <= M < 2^31 and
+            // w_i < M < 2^31) and reduced below 2^31 before summing, so
+            // the channel sum cannot overflow a u64.
+            let mut acc: u64 = 0;
+            for (&r, &w) in residues.iter().zip(&small.wi) {
+                acc += small.m.fast_rem(r * w);
+            }
+            return u128::from(small.m.fast_rem(acc));
+        }
+        let big_m = self.set.dynamic_range();
+        let mut acc: u128 = 0;
+        for ((&r, m), (&mi, &t)) in residues
+            .iter()
+            .zip(self.set.moduli())
+            .zip(self.big_mi.iter().zip(&self.ti))
+        {
+            let term = u128::from(m.mul(r, t)) * mi % big_m;
+            acc = (acc + term) % big_m;
+        }
+        acc
     }
 }
 
@@ -152,17 +250,34 @@ impl ReverseConverter for CrtConverter {
 
     fn to_unsigned(&self, residues: &[u64]) -> Result<u128> {
         validate(residues, &self.set)?;
-        let big_m = self.set.dynamic_range();
-        let mut acc: u128 = 0;
-        for ((&r, m), (&mi, &t)) in residues
-            .iter()
-            .zip(self.set.moduli())
-            .zip(self.big_mi.iter().zip(&self.ti))
-        {
-            let term = u128::from(m.mul(r, t)) * mi % big_m;
-            acc = (acc + term) % big_m;
+        Ok(self.reconstruct(residues))
+    }
+
+    /// The per-group GEMM hot path: no validation (debug-asserted), no
+    /// allocation, and the fused `u64` reconstruction when the dynamic
+    /// range allows — identical results to [`ReverseConverter::to_signed`]
+    /// on valid input.
+    fn to_signed_trusted(&self, residues: &[u64]) -> i128 {
+        debug_assert!(validate(residues, &self.set).is_ok());
+        if let Some(small) = &self.small {
+            let mut acc: u64 = 0;
+            for (&r, &w) in residues.iter().zip(&small.wi) {
+                acc += small.m.fast_rem(r * w);
+            }
+            let v = small.m.fast_rem(acc);
+            if v > small.psi {
+                i128::from(v) - i128::from(small.m.value())
+            } else {
+                i128::from(v)
+            }
+        } else {
+            let v = self.reconstruct(residues);
+            if v > self.set.psi() {
+                v as i128 - self.set.dynamic_range() as i128
+            } else {
+                v as i128
+            }
         }
-        Ok(acc)
     }
 }
 
@@ -405,6 +520,35 @@ mod tests {
             conv.to_unsigned(&[31, 0, 0]),
             Err(RnsError::UnreducedResidue { .. })
         ));
+    }
+
+    #[test]
+    fn trusted_signed_matches_validated_small_range() {
+        // Special sets are far below 2^31: the fused u64 path runs.
+        let conv = SpecialSetConverter::new(5).unwrap();
+        let crt = CrtConverter::new(conv.set());
+        let psi = conv.set().psi() as i128;
+        for v in (-psi..=psi).step_by(173) {
+            let r = conv.to_residues(v);
+            assert_eq!(crt.to_signed_trusted(&r), crt.to_signed(&r).unwrap());
+            assert_eq!(crt.to_signed_trusted(&r), v);
+        }
+        // The default trait implementation (SpecialSetConverter) agrees.
+        let r = conv.to_residues(-4321);
+        assert_eq!(conv.to_signed_trusted(&r), -4321);
+    }
+
+    #[test]
+    fn trusted_signed_matches_validated_large_range() {
+        // M = (2^31 - 1) * 65537 >= 2^31: the u128 path runs.
+        let set = ModuliSet::new(&[2_147_483_647, 65_537]).unwrap();
+        let crt = CrtConverter::new(&set);
+        assert!(set.dynamic_range() >= 1 << 31);
+        for v in [0i128, 1, -1, 123_456_789_012, -987_654_321_098] {
+            let r = crt.to_residues(v);
+            assert_eq!(crt.to_signed_trusted(&r), crt.to_signed(&r).unwrap());
+            assert_eq!(crt.to_signed_trusted(&r), v);
+        }
     }
 
     #[test]

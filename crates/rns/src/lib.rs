@@ -45,6 +45,7 @@ pub mod convert;
 pub mod integer;
 pub mod moduli_set;
 pub mod modulus;
+pub mod planes;
 pub mod residue;
 pub mod rrns;
 
@@ -55,6 +56,7 @@ pub use error::RnsError;
 pub use integer::RnsInteger;
 pub use moduli_set::ModuliSet;
 pub use modulus::Modulus;
+pub use planes::ResiduePlane;
 pub use residue::Residue;
 pub use rrns::RedundantRns;
 

@@ -19,7 +19,13 @@ use std::fmt;
 /// # Ok::<(), mirage_rns::RnsError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Modulus(u64);
+pub struct Modulus {
+    value: u64,
+    /// `⌊2^64 / value⌋`, precomputed once so hot-path reductions replace
+    /// the hardware divide with a multiply-high and one conditional
+    /// subtraction ([`Modulus::fast_rem`]).
+    magic: u64,
+}
 
 impl Modulus {
     /// Creates a modulus.
@@ -31,13 +37,34 @@ impl Modulus {
         if m < 2 {
             return Err(RnsError::InvalidModulus(m));
         }
-        Ok(Modulus(m))
+        Ok(Modulus {
+            value: m,
+            magic: (((u128::from(u64::MAX)) + 1) / u128::from(m)) as u64,
+        })
     }
 
     /// The raw modulus value.
     #[inline]
     pub fn value(self) -> u64 {
-        self.0
+        self.value
+    }
+
+    /// `x mod m` by reciprocal multiplication — exact for **every**
+    /// `u64` input, no divide instruction.
+    ///
+    /// With `magic = ⌊2^64 / m⌋`, the estimate `q = ⌊x·magic / 2^64⌋`
+    /// satisfies `⌊x/m⌋ - 1 <= q <= ⌊x/m⌋` (the deficit is
+    /// `x·(2^64 mod m) / (m·2^64) < 1`), so `x - q·m < 2m` and a single
+    /// conditional subtraction finishes the reduction.
+    #[inline]
+    pub fn fast_rem(self, x: u64) -> u64 {
+        let q = ((u128::from(x) * u128::from(self.magic)) >> 64) as u64;
+        let r = x - q * self.value;
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
     }
 
     /// Number of bits needed to represent a residue: `⌈log2 m⌉`.
@@ -47,19 +74,28 @@ impl Modulus {
     #[inline]
     pub fn bits(self) -> u32 {
         // ceil(log2(m)) == number of bits of (m - 1) for m >= 2.
-        64 - (self.0 - 1).leading_zeros()
+        64 - (self.value - 1).leading_zeros()
     }
 
     /// Reduces an unsigned 128-bit value modulo this modulus.
     #[inline]
     pub fn reduce_u128(self, v: u128) -> u64 {
-        (v % u128::from(self.0)) as u64
+        match u64::try_from(v) {
+            Ok(x) => self.fast_rem(x),
+            Err(_) => (v % u128::from(self.value)) as u64,
+        }
     }
 
     /// Reduces a signed 128-bit value into `[0, m)` (mathematical modulo).
     #[inline]
     pub fn reduce_i128(self, v: i128) -> u64 {
-        let m = i128::from(self.0);
+        // Forward conversion reduces every mantissa of every operand, so
+        // the common magnitude-fits-u64 case takes the divide-free path.
+        if let Ok(x) = u64::try_from(v.unsigned_abs()) {
+            let r = self.fast_rem(x);
+            return if v >= 0 { r } else { self.neg(r) };
+        }
+        let m = i128::from(self.value);
         let r = v.rem_euclid(m);
         r as u64
     }
@@ -67,10 +103,10 @@ impl Modulus {
     /// Modular addition of two already-reduced residues.
     #[inline]
     pub fn add(self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.0 && b < self.0);
+        debug_assert!(a < self.value && b < self.value);
         let s = a + b;
-        if s >= self.0 {
-            s - self.0
+        if s >= self.value {
+            s - self.value
         } else {
             s
         }
@@ -79,29 +115,33 @@ impl Modulus {
     /// Modular subtraction of two already-reduced residues.
     #[inline]
     pub fn sub(self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.0 && b < self.0);
+        debug_assert!(a < self.value && b < self.value);
         if a >= b {
             a - b
         } else {
-            a + self.0 - b
+            a + self.value - b
         }
     }
 
     /// Modular multiplication of two already-reduced residues.
     #[inline]
     pub fn mul(self, a: u64, b: u64) -> u64 {
-        debug_assert!(a < self.0 && b < self.0);
-        (u128::from(a) * u128::from(b) % u128::from(self.0)) as u64
+        debug_assert!(a < self.value && b < self.value);
+        // Residues below 2^32 multiply within u64 and reduce divide-free.
+        if self.value <= 1 << 32 {
+            return self.fast_rem(a * b);
+        }
+        (u128::from(a) * u128::from(b) % u128::from(self.value)) as u64
     }
 
     /// Modular negation of an already-reduced residue.
     #[inline]
     pub fn neg(self, a: u64) -> u64 {
-        debug_assert!(a < self.0);
+        debug_assert!(a < self.value);
         if a == 0 {
             0
         } else {
-            self.0 - a
+            self.value - a
         }
     }
 
@@ -110,10 +150,10 @@ impl Modulus {
     /// zero (paper §IV-A1).
     #[inline]
     pub fn to_signed(self, a: u64) -> i64 {
-        debug_assert!(a < self.0);
+        debug_assert!(a < self.value);
         // Positives occupy [0, ⌈(m-1)/2⌉]; anything above wraps negative.
-        if a > self.0 / 2 {
-            -((self.0 - a) as i64)
+        if a > self.value / 2 {
+            -((self.value - a) as i64)
         } else {
             a as i64
         }
@@ -123,7 +163,7 @@ impl Modulus {
     ///
     /// Returns `None` when `gcd(a, m) != 1`.
     pub fn inverse(self, a: u64) -> Option<u64> {
-        let (g, x, _) = extended_gcd(i128::from(a), i128::from(self.0));
+        let (g, x, _) = extended_gcd(i128::from(a), i128::from(self.value));
         if g != 1 {
             return None;
         }
@@ -132,19 +172,19 @@ impl Modulus {
 
     /// Whether this modulus is co-prime with another.
     pub fn is_coprime_with(self, other: Modulus) -> bool {
-        gcd(self.0, other.0) == 1
+        gcd(self.value, other.value) == 1
     }
 }
 
 impl fmt::Display for Modulus {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.value)
     }
 }
 
 impl From<Modulus> for u64 {
     fn from(m: Modulus) -> u64 {
-        m.0
+        m.value
     }
 }
 
@@ -201,6 +241,38 @@ mod tests {
         ];
         for (m, b) in cases {
             assert_eq!(Modulus::new(m).unwrap().bits(), b, "m = {m}");
+        }
+    }
+
+    #[test]
+    fn fast_rem_is_exact_everywhere() {
+        // Exhaustive boundary sweeps: small x, x around multiples of m,
+        // and the u64 extremes, for moduli of every flavour.
+        for m in [
+            2u64,
+            3,
+            7,
+            31,
+            32,
+            33,
+            255,
+            1 << 20,
+            (1 << 31) - 1,
+            u64::MAX,
+        ] {
+            let modulus = Modulus::new(m).unwrap();
+            let mut probes: Vec<u64> = (0..200).collect();
+            for q in [1u64, 2, 1000, u64::MAX / m] {
+                let base = m.saturating_mul(q);
+                for d in 0..3 {
+                    probes.push(base.saturating_sub(d));
+                    probes.push(base.saturating_add(d));
+                }
+            }
+            probes.extend([u64::MAX, u64::MAX - 1, u64::MAX / 2]);
+            for x in probes {
+                assert_eq!(modulus.fast_rem(x), x % m, "m = {m}, x = {x}");
+            }
         }
     }
 

@@ -1,0 +1,295 @@
+//! Packed residue planes: flat per-channel operand layouts.
+//!
+//! A GEMM engine routing BFP groups through the RNS used to hold one
+//! `Vec<u64>` per group per channel — thousands of small heap objects
+//! walked in the innermost loop. A [`ResiduePlane`] stores a whole
+//! matrix's residues for **one modulus channel** in a single contiguous
+//! buffer (mirroring the flat mantissa layout it was converted from),
+//! and picks the narrowest lane width the modulus permits:
+//!
+//! - `U16` when residues fit `u16` and a whole group dot fits `u32` —
+//!   the paper's special sets up to `k = 7` at `g = 16`; SIMD-friendly.
+//! - `U32` when residues fit `u32` and a group dot fits `u64` — every
+//!   special set the workspace supports (`k <= 20`).
+//! - `U64` otherwise — the fully general fallback, dotted by
+//!   [`crate::residue::dot_product_trusted`].
+//!
+//! All widths compute the same exact `|Σ x_j · w_j|_m`; the tier choice
+//! is a function of `(modulus, group_len)` only, so two planes built
+//! for the same channel always share a width.
+
+use crate::modulus::Modulus;
+use crate::residue;
+
+/// One modulus channel's residues for a whole packed matrix, in the
+/// narrowest exact lane width (see module docs).
+#[derive(Debug, Clone)]
+pub enum ResiduePlane {
+    /// Residues < 2^16 with `u32`-safe group dots.
+    U16(Vec<u16>),
+    /// Residues < 2^32 with `u64`-safe group dots.
+    U32(Vec<u32>),
+    /// The general fallback.
+    U64(Vec<u64>),
+}
+
+impl ResiduePlane {
+    /// Forward-converts a flat signed-mantissa buffer (Fig. 2 step 2)
+    /// into this channel's residue plane, choosing the lane width from
+    /// `modulus` and the group length the dots will run over.
+    pub fn convert_i32(values: &[i32], modulus: Modulus, group_len: usize) -> Self {
+        let m = modulus.value();
+        let worst = u128::from(m - 1) * u128::from(m - 1) * group_len.max(1) as u128;
+        let reduce = |v: i32| modulus.reduce_i128(i128::from(v));
+        if m <= 1 << 16 && worst <= u128::from(u32::MAX) {
+            ResiduePlane::U16(values.iter().map(|&v| reduce(v) as u16).collect())
+        } else if m <= 1 << 32 && worst <= u128::from(u64::MAX) {
+            ResiduePlane::U32(values.iter().map(|&v| reduce(v) as u32).collect())
+        } else {
+            ResiduePlane::U64(values.iter().map(|&v| reduce(v)).collect())
+        }
+    }
+
+    /// Number of residues in the plane.
+    pub fn len(&self) -> usize {
+        match self {
+            ResiduePlane::U16(v) => v.len(),
+            ResiduePlane::U32(v) => v.len(),
+            ResiduePlane::U64(v) => v.len(),
+        }
+    }
+
+    /// Whether the plane is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The raw `u16` lanes, when this plane took the narrowest tier.
+    /// GEMM kernels that specialize the whole loop nest (fixed channel
+    /// count, fixed group size) extract the slices once instead of
+    /// dispatching on the tier per group dot.
+    pub fn as_u16(&self) -> Option<&[u16]> {
+        match self {
+            ResiduePlane::U16(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `u32` lanes, when this plane took the middle tier.
+    pub fn as_u32(&self) -> Option<&[u32]> {
+        match self {
+            ResiduePlane::U32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The raw `u64` lanes, when this plane took the general tier.
+    pub fn as_u64(&self) -> Option<&[u64]> {
+        match self {
+            ResiduePlane::U64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The residue at `index`, widened (for tests and cross-checks).
+    pub fn get(&self, index: usize) -> u64 {
+        match self {
+            ResiduePlane::U16(v) => u64::from(v[index]),
+            ResiduePlane::U32(v) => u64::from(v[index]),
+            ResiduePlane::U64(v) => v[index],
+        }
+    }
+
+    /// The modular dot product of `len` residues starting at `a_off` in
+    /// `self` with `len` residues starting at `b_off` in `other` — one
+    /// MDPU group dot (paper Eq. 12) over two plane slices, with no
+    /// per-element residue objects. Equivalent to
+    /// [`crate::residue::dot_product`] on the widened slices (the `U64`
+    /// tier literally is that call).
+    ///
+    /// `len` must not exceed the `group_len` the planes were converted
+    /// with: the lane width was chosen so a `group_len`-long dot cannot
+    /// overflow its accumulator, and a longer sweep would wrap silently
+    /// on the narrow tiers. Debug builds assert the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the planes have different widths — planes dotted
+    /// against each other must come from [`ResiduePlane::convert_i32`]
+    /// with the same `(modulus, group_len)`, which fixes the tier.
+    #[inline]
+    pub fn group_dot(
+        &self,
+        a_off: usize,
+        other: &ResiduePlane,
+        b_off: usize,
+        len: usize,
+        modulus: Modulus,
+    ) -> u64 {
+        self.dot_impl(a_off, other, b_off, len, modulus)
+    }
+
+    /// [`ResiduePlane::group_dot`] with the group length fixed at
+    /// compile time: the inner multiply-accumulate gets a constant trip
+    /// count, which is worth >2x on short groups (GEMM kernels dispatch
+    /// the common `g` values here).
+    #[inline]
+    pub fn group_dot_fixed<const LEN: usize>(
+        &self,
+        a_off: usize,
+        other: &ResiduePlane,
+        b_off: usize,
+        modulus: Modulus,
+    ) -> u64 {
+        self.dot_impl(a_off, other, b_off, LEN, modulus)
+    }
+
+    #[inline(always)]
+    fn dot_impl(
+        &self,
+        a_off: usize,
+        other: &ResiduePlane,
+        b_off: usize,
+        len: usize,
+        modulus: Modulus,
+    ) -> u64 {
+        // The tier invariant the caller owes us: a `len`-long dot of
+        // residues below `m` fits this tier's accumulator.
+        debug_assert!(
+            {
+                let worst = u128::from(modulus.value() - 1).pow(2) * u128::from(len.max(1) as u64);
+                match self {
+                    ResiduePlane::U16(_) => worst <= u128::from(u32::MAX),
+                    ResiduePlane::U32(_) => worst <= u128::from(u64::MAX),
+                    ResiduePlane::U64(_) => true,
+                }
+            },
+            "group dot of len {len} would overflow this plane's accumulator tier"
+        );
+        match (self, other) {
+            (ResiduePlane::U16(a), ResiduePlane::U16(b)) => {
+                let mut acc = 0u32;
+                for (&x, &w) in a[a_off..a_off + len].iter().zip(&b[b_off..b_off + len]) {
+                    acc += u32::from(x) * u32::from(w);
+                }
+                modulus.fast_rem(u64::from(acc))
+            }
+            (ResiduePlane::U32(a), ResiduePlane::U32(b)) => {
+                let mut acc = 0u64;
+                for (&x, &w) in a[a_off..a_off + len].iter().zip(&b[b_off..b_off + len]) {
+                    acc += u64::from(x) * u64::from(w);
+                }
+                modulus.fast_rem(acc)
+            }
+            (ResiduePlane::U64(a), ResiduePlane::U64(b)) => residue::dot_product_trusted(
+                &a[a_off..a_off + len],
+                &b[b_off..b_off + len],
+                modulus,
+            ),
+            _ => panic!("residue planes of mismatched widths dotted together"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModuliSet;
+
+    fn mantissas(n: usize, seed: i32) -> Vec<i32> {
+        (0..n as i32).map(|i| (i * 7 + seed) % 31 - 15).collect()
+    }
+
+    #[test]
+    fn width_tiers_follow_modulus_and_group() {
+        let vals = mantissas(32, 1);
+        let m33 = Modulus::new(33).unwrap();
+        assert!(matches!(
+            ResiduePlane::convert_i32(&vals, m33, 16),
+            ResiduePlane::U16(_)
+        ));
+        // 65² · 16 > u32::MAX is false… but 2^20 moduli overflow u32 dots.
+        let big = Modulus::new((1 << 20) + 1).unwrap();
+        assert!(matches!(
+            ResiduePlane::convert_i32(&vals, big, 16),
+            ResiduePlane::U32(_)
+        ));
+        let huge = Modulus::new(1 << 40).unwrap();
+        assert!(matches!(
+            ResiduePlane::convert_i32(&vals, huge, 1 << 20),
+            ResiduePlane::U64(_)
+        ));
+    }
+
+    #[test]
+    fn conversion_matches_reduce_signed() {
+        let vals = mantissas(48, 5);
+        for m in [31u64, 33, (1 << 13) - 1, (1 << 20) + 1, 1 << 40] {
+            let modulus = Modulus::new(m).unwrap();
+            let plane = ResiduePlane::convert_i32(&vals, modulus, 16);
+            let wide: Vec<i64> = vals.iter().map(|&v| i64::from(v)).collect();
+            let want = residue::reduce_signed(&wide, modulus);
+            assert_eq!(plane.len(), vals.len());
+            for (i, &w) in want.iter().enumerate() {
+                assert_eq!(plane.get(i), w, "m = {m}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_dots_match_generic_dot_product_across_tiers() {
+        let xs = mantissas(64, 3);
+        let ws = mantissas(64, 11);
+        for m in [31u64, 33, 4099, (1 << 20) + 1, 1 << 40] {
+            let modulus = Modulus::new(m).unwrap();
+            for g in [1usize, 5, 16, 64] {
+                let px = ResiduePlane::convert_i32(&xs, modulus, g);
+                let pw = ResiduePlane::convert_i32(&ws, modulus, g);
+                for off in (0..=(64 - g)).step_by(g.max(7)) {
+                    let wx: Vec<u64> = (off..off + g).map(|i| px.get(i)).collect();
+                    let ww: Vec<u64> = (off..off + g).map(|i| pw.get(i)).collect();
+                    let want = residue::dot_product(&wx, &ww, modulus).unwrap();
+                    assert_eq!(
+                        px.group_dot(off, &pw, off, g, modulus),
+                        want,
+                        "m = {m}, g = {g}, off = {off}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_rns_round_trip_through_planes() {
+        // Planes plus the CRT: a bm=4, g=16 dot survives losslessly.
+        use crate::convert::{CrtConverter, ReverseConverter};
+        let set = ModuliSet::special_set(5).unwrap();
+        let conv = CrtConverter::new(&set);
+        let xs = mantissas(16, 2);
+        let ws = mantissas(16, 9);
+        let expected: i64 = xs.iter().zip(&ws).map(|(&a, &b)| i64::from(a * b)).sum();
+        let residues: Vec<u64> = set
+            .moduli()
+            .iter()
+            .map(|&m| {
+                ResiduePlane::convert_i32(&xs, m, 16).group_dot(
+                    0,
+                    &ResiduePlane::convert_i32(&ws, m, 16),
+                    0,
+                    16,
+                    m,
+                )
+            })
+            .collect();
+        assert_eq!(conv.to_signed_trusted(&residues), i128::from(expected));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched widths")]
+    fn mismatched_widths_panic() {
+        let vals = mantissas(16, 0);
+        let a = ResiduePlane::convert_i32(&vals, Modulus::new(33).unwrap(), 16);
+        let b = ResiduePlane::convert_i32(&vals, Modulus::new(1 << 40).unwrap(), 16);
+        a.group_dot(0, &b, 0, 16, Modulus::new(33).unwrap());
+    }
+}

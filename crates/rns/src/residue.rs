@@ -157,10 +157,18 @@ impl std::ops::Neg for Residue {
 /// # Ok::<(), mirage_rns::RnsError>(())
 /// ```
 pub fn reduce_signed(values: &[i64], modulus: Modulus) -> Vec<u64> {
-    values
-        .iter()
-        .map(|&v| modulus.reduce_i128(i128::from(v)))
-        .collect()
+    let mut out = Vec::new();
+    reduce_signed_into(values, modulus, &mut out);
+    out
+}
+
+/// [`reduce_signed`] into a caller-owned buffer: the packed residue-plane
+/// builders convert whole mantissa matrices channel by channel and reuse
+/// one buffer per channel, so the forward conversion never allocates at
+/// steady state. The buffer is cleared first; results are appended.
+pub fn reduce_signed_into(values: &[i64], modulus: Modulus, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(values.iter().map(|&v| modulus.reduce_i128(i128::from(v))));
 }
 
 /// Modular dot product of two residue slices over one modulus.
@@ -182,17 +190,46 @@ pub fn dot_product(xs: &[u64], ws: &[u64], modulus: Modulus) -> Result<u64> {
             right: ws.len(),
         });
     }
-    let m = u128::from(modulus.value());
+    Ok(dot_product_trusted(xs, ws, modulus))
+}
+
+/// [`dot_product`] without the per-call length check — the hot-path entry
+/// for GEMM kernels that carve both slices out of one packed residue
+/// plane, where equal lengths hold by construction. Mismatched lengths
+/// are debug-asserted; in release the shorter length wins (a `zip`).
+///
+/// Mirage-sized moduli (`(m-1)² · len` fits in a `u64`) take a plain
+/// `u64` multiply-accumulate with a single final reduction — the form
+/// the autovectorizer handles — and only oversized operands fall back to
+/// the lazily-reduced `u128` path. Both paths compute the same exact
+/// `|Σ x_j · w_j|_m`.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if the lengths differ or any residue is
+/// unreduced.
+pub fn dot_product_trusted(xs: &[u64], ws: &[u64], modulus: Modulus) -> u64 {
+    debug_assert_eq!(xs.len(), ws.len(), "residue plane slices differ");
+    let m = modulus.value();
+    debug_assert!(xs.iter().chain(ws).all(|&v| v < m), "unreduced residue");
+    let worst = u128::from(m - 1) * u128::from(m - 1) * xs.len().max(1) as u128;
+    if worst <= u128::from(u64::MAX) {
+        let mut acc: u64 = 0;
+        for (&x, &w) in xs.iter().zip(ws) {
+            acc += x * w;
+        }
+        return modulus.fast_rem(acc);
+    }
+    let m = u128::from(m);
     let mut acc: u128 = 0;
     for (&x, &w) in xs.iter().zip(ws) {
-        debug_assert!(x < modulus.value() && w < modulus.value());
         acc += u128::from(x) * u128::from(w);
         // Lazy reduction: keep the accumulator bounded well below overflow.
         if acc >= m << 64 {
             acc %= m;
         }
     }
-    Ok((acc % m) as u64)
+    (acc % m) as u64
 }
 
 #[cfg(test)]
@@ -255,6 +292,38 @@ mod tests {
         // Non-invertible case.
         let b = Residue::new(4, m(32)).unwrap();
         assert!(b.inverse().is_none());
+    }
+
+    #[test]
+    fn reduce_signed_into_reuses_buffer() {
+        let modulus = m(31);
+        let mut buf = Vec::new();
+        reduce_signed_into(&[3, -1, 62], modulus, &mut buf);
+        assert_eq!(buf, vec![3, 30, 0]);
+        let ptr = buf.as_ptr();
+        reduce_signed_into(&[-5, 5, 36], modulus, &mut buf);
+        assert_eq!(buf, vec![26, 5, 5]);
+        assert_eq!(buf.as_ptr(), ptr, "steady-state reuse reallocated");
+    }
+
+    #[test]
+    fn trusted_dot_matches_checked_on_both_paths() {
+        // Small modulus: the u64 fast path.
+        let small = m(33);
+        let xs: Vec<u64> = (0..64).map(|i| (i * 7) % 33).collect();
+        let ws: Vec<u64> = (0..64).map(|i| (i * 11 + 3) % 33).collect();
+        assert_eq!(
+            dot_product_trusted(&xs, &ws, small),
+            dot_product(&xs, &ws, small).unwrap()
+        );
+        // Huge modulus: (m-1)^2 * len overflows u64, the u128 path runs.
+        let huge = m(1 << 62);
+        let xs: Vec<u64> = (0..16).map(|i| (1u64 << 61) + i).collect();
+        let ws: Vec<u64> = (0..16).map(|i| (1u64 << 60) + 3 * i).collect();
+        assert_eq!(
+            dot_product_trusted(&xs, &ws, huge),
+            dot_product(&xs, &ws, huge).unwrap()
+        );
     }
 
     #[test]

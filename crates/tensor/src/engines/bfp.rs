@@ -1,18 +1,181 @@
 //! Mirage's BFP-quantized GEMM engine.
 
 use super::{gemm_dims, GemmEngine, PreparedRhs};
-use crate::{Result, Tensor};
-use mirage_bfp::{BfpBlock, BfpConfig};
+use crate::{Result, Tensor, TensorError};
+use mirage_bfp::{
+    group_dot, group_dot_i16, group_dot_i32, pow2, BfpBlock, BfpConfig, PackedBfpMatrix,
+};
 use std::sync::Arc;
 
-/// Prepared B-side state: the columns of `B` quantized into BFP groups,
-/// tagged with the configuration that produced them so a
-/// differently-configured engine instance never reuses them.
+/// Output columns per j-block in the flat kernel. Each `(row, group)`
+/// pair scales `J_BLOCK` independent FP32 accumulators, so the
+/// convert-multiply-add chains of neighbouring output columns overlap
+/// instead of serializing on one accumulator; the block of packed B
+/// columns also stays hot in cache across every row of `A`.
+const J_BLOCK: usize = 16;
+
+/// The flat GEMM loop nest, generic over the mantissa lane type so one
+/// body serves the `i16` (SIMD dot idiom), `i32` and widening-`i64`
+/// integer paths. Per `(row band of 1, j-block)`:
+///
+/// 1. every group's integer dots for the block's columns (a pure
+///    vectorizable sweep into `ints`), then
+/// 2. the power-of-two scales into per-column accumulators.
+///
+/// Per output element the groups accumulate in ascending order, so the
+/// result is bit-identical to [`PackedBfpMatrix::dot_rows`] and to the
+/// legacy `BfpBlock::dot` chain — only instruction scheduling changes.
+/// The group scale `2^(ae + be)` is applied as `pow2(ae) * pow2(be)`,
+/// hoisting the `be` factors out of the row loop; both factors and the
+/// product are powers of two within the normal `f64` range (quantizer
+/// scale exponents are bounded by the `f32` exponent span, |e| <= 172),
+/// so the product is the same exact `f64` as `pow2(ae + be)`.
+#[allow(clippy::too_many_arguments)]
+fn flat_gemm<T: Copy>(
+    a_packed: &PackedBfpMatrix,
+    cols: &PackedBfpMatrix,
+    a_m: &[T],
+    b_m: &[T],
+    dot: impl Fn(&[T], &[T]) -> i64 + Copy,
+    col_start: usize,
+    m: usize,
+    n: usize,
+) -> Vec<f32> {
+    let groups = a_packed.groups_per_row();
+    let mut out = vec![0.0f32; m * n];
+    // Per-block B-side scale factors, shared by every row of A.
+    let mut bexp2 = vec![0.0f64; groups * J_BLOCK];
+    for j0 in (0..n).step_by(J_BLOCK) {
+        let jw = (n - j0).min(J_BLOCK);
+        for gi in 0..groups {
+            for jj in 0..jw {
+                let be = cols.row_scale_exps(col_start + j0 + jj)[gi];
+                debug_assert!((-1022..=1023).contains(&be), "scale exp out of range");
+                bexp2[gi * J_BLOCK + jj] = pow2(be);
+            }
+        }
+        // Full blocks take the constant-width body; the common group
+        // sizes are also monomorphized so the inner integer dot has a
+        // compile-time trip count (the difference between a fully
+        // unrolled SIMD dot and a generic loop is >2x). Only the final
+        // ragged block and exotic group sizes pay for dynamic extents.
+        let g = a_packed.config().group_size();
+        match (jw == J_BLOCK, g) {
+            (true, 8) => flat_block::<T, J_BLOCK, 8>(
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+            ),
+            (true, 16) => flat_block::<T, J_BLOCK, 16>(
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+            ),
+            (true, 32) => flat_block::<T, J_BLOCK, 32>(
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+            ),
+            (true, 64) => flat_block::<T, J_BLOCK, 64>(
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+            ),
+            _ => flat_block_dyn(
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, jw, m, n, &mut out,
+            ),
+        }
+    }
+    out
+}
+
+/// One full-width column block of [`flat_gemm`], `JW` **and** the group
+/// size `G` known at compile time so both the `jj` sweeps and the inner
+/// integer dots have constant trip counts.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn flat_block<T: Copy, const JW: usize, const G: usize>(
+    a_packed: &PackedBfpMatrix,
+    a_m: &[T],
+    b_m: &[T],
+    dot: impl Fn(&[T], &[T]) -> i64,
+    bexp2: &[f64],
+    col_start: usize,
+    j0: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a_packed.config().group_size(), G);
+    let groups = a_packed.groups_per_row();
+    let padded = a_packed.padded_k();
+    let mut acc = [0.0f32; JW];
+    let mut ints = [0i64; JW];
+    for i in 0..m {
+        acc.fill(0.0);
+        let a_row = &a_m[i * padded..(i + 1) * padded];
+        let a_exps = a_packed.row_scale_exps(i);
+        for gi in 0..groups {
+            let base = gi * G;
+            let a_g = &a_row[base..base + G];
+            for (jj, slot) in ints.iter_mut().enumerate() {
+                let b_base = (col_start + j0 + jj) * padded + base;
+                *slot = dot(a_g, &b_m[b_base..b_base + G]);
+            }
+            let pa2 = pow2(a_exps[gi]);
+            for (jj, slot) in acc.iter_mut().enumerate() {
+                *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
+            }
+        }
+        out[i * n + j0..i * n + j0 + JW].copy_from_slice(&acc);
+    }
+}
+
+/// The ragged final column block of [`flat_gemm`]: same body with a
+/// runtime width.
+#[allow(clippy::too_many_arguments)]
+fn flat_block_dyn<T: Copy>(
+    a_packed: &PackedBfpMatrix,
+    a_m: &[T],
+    b_m: &[T],
+    dot: impl Fn(&[T], &[T]) -> i64,
+    bexp2: &[f64],
+    col_start: usize,
+    j0: usize,
+    jw: usize,
+    m: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    let g = a_packed.config().group_size();
+    let groups = a_packed.groups_per_row();
+    let padded = a_packed.padded_k();
+    let mut acc = [0.0f32; J_BLOCK];
+    let mut ints = [0i64; J_BLOCK];
+    for i in 0..m {
+        acc[..jw].fill(0.0);
+        let a_row = &a_m[i * padded..(i + 1) * padded];
+        let a_exps = a_packed.row_scale_exps(i);
+        for gi in 0..groups {
+            let base = gi * g;
+            let a_g = &a_row[base..base + g];
+            for (jj, slot) in ints[..jw].iter_mut().enumerate() {
+                let b_base = (col_start + j0 + jj) * padded + base;
+                *slot = dot(a_g, &b_m[b_base..b_base + g]);
+            }
+            let pa2 = pow2(a_exps[gi]);
+            for (jj, slot) in acc[..jw].iter_mut().enumerate() {
+                *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
+            }
+        }
+        out[i * n + j0..i * n + j0 + jw].copy_from_slice(&acc[..jw]);
+    }
+}
+
+/// Prepared B-side state: the columns of `B` quantized into one packed,
+/// contiguous buffer ([`PackedBfpMatrix`] rows = columns of `B`), tagged
+/// with the configuration that produced it so a differently-configured
+/// engine instance never reuses it. `col_start`/`col_count` select a
+/// column range of the shared buffer, letting the tiled parallel driver
+/// hand workers *views* of one preparation instead of per-tile copies.
 #[derive(Debug)]
 pub(crate) struct PreparedBfpCols {
     pub(crate) config: BfpConfig,
-    /// `n × ceil(k/g)` blocks: one group chain per output column.
-    pub(crate) cols: Vec<Vec<BfpBlock>>,
+    pub(crate) packed: Arc<PackedBfpMatrix>,
+    pub(crate) col_start: usize,
+    pub(crate) col_count: usize,
 }
 
 /// BFP GEMM: operands are quantized group-by-group along the reduction
@@ -58,11 +221,56 @@ impl BfpEngine {
         self.config
     }
 
+    /// Quantizes the rows of a matrix into one packed, contiguous
+    /// buffer — the hot-path layout every flat kernel consumes. Groups
+    /// run along the reduction (column) dimension exactly like
+    /// [`BfpEngine::quantize_rows`]; the packed form is bit-identical
+    /// group by group (see [`PackedBfpMatrix`]).
+    pub fn pack_rows(t: &Tensor, config: BfpConfig) -> PackedBfpMatrix {
+        let (rows, k) = (t.shape()[0], t.shape()[1]);
+        PackedBfpMatrix::quantize_rows(t.data(), rows, k, config)
+            .expect("tensor data length matches its shape")
+    }
+
+    /// [`BfpEngine::pack_rows`] without the `i16` mantissa shadow, for
+    /// consumers that only read the canonical `i32` buffer (the RNS
+    /// forward conversion, the photonic `i64` widening).
+    pub fn pack_rows_wide(t: &Tensor, config: BfpConfig) -> PackedBfpMatrix {
+        let (rows, k) = (t.shape()[0], t.shape()[1]);
+        let mut packed = PackedBfpMatrix::empty(config).without_narrow_shadow();
+        packed
+            .quantize_rows_into(t.data(), rows, k)
+            .expect("tensor data length matches its shape");
+        packed
+    }
+
+    /// Packs the columns of `B` (groups along the reduction dimension):
+    /// the B-side half of [`BfpEngine::gemm`], shared by
+    /// [`GemmEngine::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn pack_cols(b: &Tensor, config: BfpConfig) -> Result<PackedBfpMatrix> {
+        Ok(Self::pack_rows(&b.transpose2d()?, config))
+    }
+
+    /// [`BfpEngine::pack_cols`] without the `i16` shadow (see
+    /// [`BfpEngine::pack_rows_wide`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn pack_cols_wide(b: &Tensor, config: BfpConfig) -> Result<PackedBfpMatrix> {
+        Ok(Self::pack_rows_wide(&b.transpose2d()?, config))
+    }
+
     /// Quantizes the rows of a matrix into BFP groups along the reduction
     /// (column) dimension. Returns `rows × ceil(k/g)` blocks, row-major.
     ///
-    /// Public so device-level engines (e.g. the photonic GEMM in
-    /// `mirage-core`) can share the exact same quantization.
+    /// This is the **reference** (legacy) representation: the packed
+    /// kernels are verified bit-identical against it, and device models
+    /// that want one heap object per group still consume it.
     pub fn quantize_rows(t: &Tensor, config: BfpConfig) -> Vec<Vec<BfpBlock>> {
         let cols = t.shape()[1];
         let g = config.group_size();
@@ -87,23 +295,55 @@ impl BfpEngine {
         Ok(Self::quantize_rows(&b.transpose2d()?, config))
     }
 
-    /// The shared GEMM kernel: quantizes the rows of `A` and dots them
-    /// against already-quantized columns of `B`.
-    fn gemm_with_cols(&self, a: &Tensor, b_cols: &[Vec<BfpBlock>], n: usize) -> Result<Tensor> {
-        let m = a.shape()[0];
-        let a_rows = Self::quantize_rows(a, self.config);
-        let mut out = vec![0.0f32; m * n];
-        for (i, arow) in a_rows.iter().enumerate() {
-            for (j, bcol) in b_cols.iter().enumerate() {
-                let mut acc = 0.0f32;
-                for (ga, gb) in arow.iter().zip(bcol) {
-                    // Exact integer group dot with shared-exponent scale,
-                    // accumulated in FP32 like the accelerator does.
-                    acc += ga.dot(gb)?.to_f32();
-                }
-                out[i * n + j] = acc;
-            }
+    /// The shared flat GEMM kernel: packs the rows of `A` and dots them
+    /// against an already-packed column range of `B`. Shapes are
+    /// validated once up front; the inner loop is a pure integer dot
+    /// over two contiguous `&[i32]` slices with a power-of-two scale —
+    /// no `Result`, no transcendental, no per-group heap objects.
+    fn gemm_with_packed(
+        &self,
+        a: &Tensor,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        n: usize,
+    ) -> Result<Tensor> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        if cols.k() != k {
+            return Err(TensorError::DimMismatch {
+                left: k,
+                right: cols.k(),
+            });
         }
+        let a_packed = Self::pack_rows(a, self.config);
+        let fits_i32 = a_packed.dot_fits_i32(cols);
+        // Narrowest exact integer path available: the i16 shadow (SIMD
+        // dot idiom), then i32 accumulation, then widening i64 — all
+        // producing the same exact group integers.
+        let out = match (a_packed.mantissas_i16(), cols.mantissas_i16(), fits_i32) {
+            (Some(a16), Some(b16), true) => {
+                flat_gemm(&a_packed, cols, a16, b16, group_dot_i16, col_start, m, n)
+            }
+            (_, _, true) => flat_gemm(
+                &a_packed,
+                cols,
+                a_packed.mantissas(),
+                cols.mantissas(),
+                group_dot_i32,
+                col_start,
+                m,
+                n,
+            ),
+            _ => flat_gemm(
+                &a_packed,
+                cols,
+                a_packed.mantissas(),
+                cols.mantissas(),
+                group_dot,
+                col_start,
+                m,
+                n,
+            ),
+        };
         Tensor::from_vec(out, &[m, n])
     }
 }
@@ -123,27 +363,59 @@ impl GemmEngine for BfpEngine {
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (_m, _k, n) = gemm_dims(a, b)?;
         // Group along k: rows of A and rows of B^T (columns of B).
-        let b_cols = Self::quantize_cols(b, self.config)?;
-        self.gemm_with_cols(a, &b_cols, n)
+        let cols = Self::pack_cols(b, self.config)?;
+        self.gemm_with_packed(a, &cols, 0, n)
     }
 
-    /// Quantizes the columns of `B` into BFP groups exactly once.
+    /// Packs the columns of `B` into one contiguous quantized buffer
+    /// exactly once.
     fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
         let prepared = PreparedRhs::from_raw(self.name(), b)?;
-        let cols = Self::quantize_cols(b, self.config)?;
+        let n = prepared.n();
+        let packed = Self::pack_cols(b, self.config)?;
         Ok(prepared.with_state(Arc::new(PreparedBfpCols {
             config: self.config,
-            cols,
+            packed: Arc::new(packed),
+            col_start: 0,
+            col_count: n,
         })))
     }
 
-    /// Reuses the pre-quantized columns; only the rows of `A` touch the
+    /// Slices a column tile out of an existing packed preparation: the
+    /// tile shares the quantized buffer through the `Arc`, so the tiled
+    /// parallel driver never re-quantizes B per column tile.
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        let Some(state) = whole.state_for::<PreparedBfpCols>(self.name()) else {
+            return Ok(None);
+        };
+        if state.config != self.config || c0 + width > state.col_count {
+            return Ok(None);
+        }
+        let raw = whole.slice_raw_cols(c0, width)?;
+        Ok(Some(PreparedRhs::from_raw(self.name(), &raw)?.with_state(
+            Arc::new(PreparedBfpCols {
+                config: state.config,
+                packed: Arc::clone(&state.packed),
+                col_start: state.col_start + c0,
+                col_count: width,
+            }),
+        )))
+    }
+
+    /// Reuses the pre-packed columns; only the rows of `A` touch the
     /// quantizer. Falls back to [`BfpEngine::gemm`] on preparations from
     /// other engines or other BFP operating points.
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         let (_m, _k, n) = gemm_dims(a, b.raw())?;
         match b.state_for::<PreparedBfpCols>(self.name()) {
-            Some(state) if state.config == self.config => self.gemm_with_cols(a, &state.cols, n),
+            Some(state) if state.config == self.config && state.col_count == n => {
+                self.gemm_with_packed(a, &state.packed, state.col_start, n)
+            }
             _ => self.gemm(a, b.raw()),
         }
     }
@@ -240,6 +512,73 @@ mod tests {
                 e.gemm(&a, &b).unwrap().data()
             );
         }
+    }
+
+    /// The legacy block-path GEMM, kept in tests as the oracle for the
+    /// flat kernel: `Vec<Vec<BfpBlock>>` chains dotted group by group.
+    /// (A sibling copy in `tests/parallel_determinism.rs` pins the same
+    /// oracle across the parallel × prepared × batch grid — keep them
+    /// in sync; the oracle is frozen legacy semantics.)
+    fn legacy_block_gemm(a: &Tensor, b: &Tensor, config: BfpConfig) -> Tensor {
+        let (m, n) = (a.shape()[0], b.shape()[1]);
+        let a_rows = BfpEngine::quantize_rows(a, config);
+        let b_cols = BfpEngine::quantize_cols(b, config).unwrap();
+        let mut out = vec![0.0f32; m * n];
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for (ga, gb) in arow.iter().zip(bcol) {
+                    acc += ga.dot(gb).unwrap().to_f32();
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    #[test]
+    fn flat_kernel_is_bit_identical_to_legacy_blocks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        for config in [BfpConfig::mirage_default(), BfpConfig::new(8, 4).unwrap()] {
+            let engine = BfpEngine::new(config);
+            for (m, k, n) in [(1, 1, 1), (3, 19, 5), (8, 64, 8), (5, 33, 37), (2, 50, 70)] {
+                let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+                let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+                let flat = engine.gemm(&a, &b).unwrap();
+                let legacy = legacy_block_gemm(&a, &b, config);
+                assert_eq!(flat.data(), legacy.data(), "{m}x{k}x{n} {config}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_tile_slices_share_the_packed_buffer() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let e = BfpEngine::new(BfpConfig::mirage_default());
+        let b = Tensor::randn(&[40, 20], 1.0, &mut rng);
+        let whole = e.prepare(&b).unwrap();
+        let a = Tensor::randn(&[6, 40], 1.0, &mut rng);
+        let full = e.gemm(&a, &b).unwrap();
+        for (c0, width) in [(0, 20), (0, 7), (7, 6), (13, 7)] {
+            let tile = e.prepare_tile(&whole, c0, width).unwrap().unwrap();
+            assert_eq!(tile.n(), width);
+            let got = e.gemm_prepared(&a, &tile).unwrap();
+            for i in 0..6 {
+                for j in 0..width {
+                    assert_eq!(
+                        got.data()[i * width + j].to_bits(),
+                        full.data()[i * 20 + c0 + j].to_bits(),
+                        "tile ({c0}, {width}) at ({i}, {j})"
+                    );
+                }
+            }
+        }
+        // Out-of-range and foreign preparations are declined.
+        assert!(e.prepare_tile(&whole, 15, 6).unwrap().is_none());
+        let foreign = crate::engines::ExactEngine.prepare(&b).unwrap();
+        assert!(e.prepare_tile(&foreign, 0, 4).unwrap().is_none());
+        let other_point = BfpEngine::new(BfpConfig::new(8, 16).unwrap());
+        assert!(other_point.prepare_tile(&whole, 0, 4).unwrap().is_none());
     }
 
     #[test]

@@ -111,6 +111,33 @@ pub trait GemmEngine: Send + Sync {
         PreparedRhs::from_raw(self.name(), b)
     }
 
+    /// Derives a preparation for the column slice `[c0, c0 + width)` of
+    /// an already-prepared weight **by slicing the prepared buffers** —
+    /// no re-quantization. The tiled parallel driver uses this to hand
+    /// each column tile a view into the shared packed operand instead of
+    /// re-preparing every tile from raw floats.
+    ///
+    /// Returns `Ok(None)` when the engine cannot slice this preparation
+    /// (the default; also foreign state or a mismatched operating
+    /// point) — the caller then prepares the raw tile itself, so this
+    /// is purely an optimization hook, never a correctness one. When a
+    /// tile is returned, `gemm_prepared` against it must be
+    /// bit-identical to preparing the raw column slice from scratch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimMismatch`] when the slice exceeds the
+    /// prepared matrix width.
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        let _ = (whole, c0, width);
+        Ok(None)
+    }
+
     /// Computes `A · B` against a [`PreparedRhs`], reusing its cached
     /// B-side state instead of re-deriving it.
     ///
@@ -165,6 +192,15 @@ impl<E: GemmEngine + ?Sized> GemmEngine for std::sync::Arc<E> {
         (**self).prepare(b)
     }
 
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        (**self).prepare_tile(whole, c0, width)
+    }
+
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         (**self).gemm_prepared(a, b)
     }
@@ -185,6 +221,15 @@ impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
 
     fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
         (**self).prepare(b)
+    }
+
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        (**self).prepare_tile(whole, c0, width)
     }
 
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {

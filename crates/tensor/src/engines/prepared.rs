@@ -90,6 +90,29 @@ impl PreparedRhs {
         self.engine
     }
 
+    /// Copies the raw column slice `[c0, c0 + width)` into a fresh
+    /// `k × width` tensor — the raw half of a column-tile preparation
+    /// derived by [`GemmEngine::prepare_tile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimMismatch`] when the slice exceeds the
+    /// matrix width.
+    pub fn slice_raw_cols(&self, c0: usize, width: usize) -> Result<Tensor> {
+        let (k, n) = (self.k(), self.n());
+        if c0 + width > n {
+            return Err(TensorError::DimMismatch {
+                left: c0 + width,
+                right: n,
+            });
+        }
+        let mut data = Vec::with_capacity(k * width);
+        for row in self.raw.data().chunks(n.max(1)) {
+            data.extend_from_slice(&row[c0..c0 + width]);
+        }
+        Tensor::from_vec(data, &[k, width])
+    }
+
     /// Downcasts the attached state to `S` **iff** this value was
     /// prepared by an engine named `engine`. Engines use this to
     /// recognize their own preparations and fall back to the raw matrix

@@ -3,57 +3,74 @@
 use super::bfp::BfpEngine;
 use super::{gemm_dims, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor, TensorError};
-use mirage_bfp::{BfpBlock, BfpConfig};
+use mirage_bfp::{pow2, BfpConfig, PackedBfpMatrix};
 use mirage_rns::convert::{CrtConverter, ReverseConverter};
-use mirage_rns::{residue, ModuliSet, Modulus};
+use mirage_rns::{ModuliSet, ResiduePlane};
 use std::sync::Arc;
 
-/// One BFP group forward-converted into the RNS domain: the shared
-/// scale exponent plus one residue vector per modulus channel — exactly
-/// what a hardware MMVMU holds for a stationary weight group.
+/// A packed matrix forward-converted into the RNS domain: one flat
+/// residue **plane** per modulus channel covering every group of every
+/// row (same `rows × padded_k` geometry as the [`PackedBfpMatrix`] it
+/// came from, padding lanes holding residue 0), plus the flat per-group
+/// scale exponents. A channel's group dot is one
+/// [`ResiduePlane::group_dot`] over two plane slices — no per-element
+/// `Residue` construction, no per-group heap objects, and the narrowest
+/// exact lane width the modulus permits.
 #[derive(Debug)]
-struct RnsGroup {
-    scale_exp: i32,
-    /// `residues[channel][element]`, reduced modulo `moduli[channel]`.
-    residues: Vec<Vec<u64>>,
+struct PackedRnsMatrix {
+    rows: usize,
+    k: usize,
+    groups_per_row: usize,
+    g: usize,
+    /// One [`ResiduePlane`] per modulus channel.
+    planes: Vec<ResiduePlane>,
+    /// `rows * groups_per_row` shared scale exponents.
+    scale_exps: Vec<i32>,
 }
 
-impl RnsGroup {
-    /// Forward conversion (Fig. 2 step 2): signed mantissae → residues,
-    /// one vector per modulus channel.
-    fn from_block(block: &BfpBlock, moduli: &[Modulus]) -> Self {
-        let wide = block.mantissas_i64();
-        RnsGroup {
-            scale_exp: block.scale_exp(),
-            residues: moduli
-                .iter()
-                .map(|&modulus| residue::reduce_signed(&wide, modulus))
-                .collect(),
+impl PackedRnsMatrix {
+    /// Forward conversion (Fig. 2 step 2) of a whole packed matrix:
+    /// each channel reduces the flat mantissa buffer in one pass.
+    fn from_packed(packed: &PackedBfpMatrix, moduli: &ModuliSet) -> Self {
+        let g = packed.config().group_size();
+        let planes = moduli
+            .moduli()
+            .iter()
+            .map(|&modulus| ResiduePlane::convert_i32(packed.mantissas(), modulus, g))
+            .collect();
+        PackedRnsMatrix {
+            rows: packed.rows(),
+            k: packed.k(),
+            groups_per_row: packed.groups_per_row(),
+            g,
+            planes,
+            scale_exps: packed.scale_exps().to_vec(),
         }
+    }
+
+    /// Flat offset of group `gi` of `row` within every channel plane.
+    fn group_offset(&self, row: usize, gi: usize) -> usize {
+        (row * self.groups_per_row + gi) * self.g
+    }
+
+    /// The shared scale exponent of group `gi` of `row`.
+    fn scale_exp(&self, row: usize, gi: usize) -> i32 {
+        self.scale_exps[row * self.groups_per_row + gi]
     }
 }
 
-/// Forward-converts every group of every row into the RNS domain.
-fn convert_rows(rows: &[Vec<BfpBlock>], moduli: &[Modulus]) -> Vec<Vec<RnsGroup>> {
-    rows.iter()
-        .map(|groups| {
-            groups
-                .iter()
-                .map(|block| RnsGroup::from_block(block, moduli))
-                .collect()
-        })
-        .collect()
-}
-
-/// Prepared B-side state: pre-quantized BFP groups already pushed
-/// through forward conversion, tagged with the operating point and
-/// moduli set that produced them.
+/// Prepared B-side state: the columns of `B` quantized and pushed
+/// through forward conversion into packed residue planes, tagged with
+/// the operating point and moduli set that produced them.
+/// `col_start`/`col_count` select a column range of the shared planes
+/// (see [`super::bfp::PreparedBfpCols`] for the tiling story).
 #[derive(Debug)]
 struct PreparedRnsCols {
     config: BfpConfig,
     moduli: ModuliSet,
-    /// `n × ceil(k/g)` converted groups: one chain per output column.
-    cols: Vec<Vec<RnsGroup>>,
+    packed: Arc<PackedRnsMatrix>,
+    col_start: usize,
+    col_count: usize,
 }
 
 /// The full Mirage numerical path: BFP mantissae → forward conversion →
@@ -140,43 +157,211 @@ impl RnsBfpEngine {
         &self.moduli
     }
 
-    /// The shared GEMM kernel: quantizes and forward-converts the rows
-    /// of `A`, then dots them against already-converted columns of `B`.
-    /// Every step below the quantizer is exact integer arithmetic, so
-    /// pre-converting either side cannot change a single bit.
-    fn gemm_with_cols(&self, a: &Tensor, b_cols: &[Vec<RnsGroup>], n: usize) -> Result<Tensor> {
-        let m = a.shape()[0];
+    /// The shared flat GEMM kernel: quantizes and forward-converts the
+    /// rows of `A` into packed residue planes, then dots them against an
+    /// already-converted column range of `B`. Every step below the
+    /// quantizer is exact integer arithmetic, so pre-converting either
+    /// side cannot change a single bit. Shapes are validated once up
+    /// front; the per-group work is one slice dot per modulus channel,
+    /// one trusted CRT reverse conversion into a hoisted scratch vector,
+    /// and one power-of-two scale — nothing in the loop allocates.
+    fn gemm_with_packed(
+        &self,
+        a: &Tensor,
+        cols: &PackedRnsMatrix,
+        col_start: usize,
+        n: usize,
+    ) -> Result<Tensor> {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        if cols.k != k {
+            return Err(TensorError::DimMismatch {
+                left: k,
+                right: cols.k,
+            });
+        }
+        debug_assert!(col_start + n <= cols.rows, "column range out of bounds");
         let moduli = self.moduli.moduli();
-        // Forward-convert each activation group once, not once per
-        // output column as the pre-prepared implementation did.
-        let a_rows = convert_rows(&BfpEngine::quantize_rows(a, self.config), moduli);
+        // Quantize + forward-convert each activation group once, not
+        // once per output column.
+        let a_rns =
+            PackedRnsMatrix::from_packed(&BfpEngine::pack_rows_wide(a, self.config), &self.moduli);
 
         let mut out = vec![0.0f32; m * n];
-        let mut residues_out = Vec::with_capacity(moduli.len());
-        for (i, arow) in a_rows.iter().enumerate() {
-            for (j, bcol) in b_cols.iter().enumerate() {
+        // The paper's 3-modulus special sets get a monomorphized kernel
+        // (fixed channel count, and a constant group length for the
+        // common `g`); everything else takes the generic loop. All
+        // variants accumulate groups in ascending order per output
+        // element, so results are bit-identical across dispatches.
+        match (moduli.len(), a_rns.g) {
+            (3, 16) => self.rns_blocks::<16>(&a_rns, cols, col_start, m, n, &mut out),
+            (3, 32) => self.rns_blocks::<32>(&a_rns, cols, col_start, m, n, &mut out),
+            _ => self.rns_generic(&a_rns, cols, col_start, m, n, &mut out),
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// The blocked 3-channel kernel: `JW` output columns per sweep,
+    /// each with its own dot → CRT → scale chain, so the long per-group
+    /// latency chains of neighbouring columns overlap. When every plane
+    /// took the narrow `u16` tier and the CRT has fused `u64` constants
+    /// (the paper's operating points), the whole group pipeline is
+    /// inlined over raw slices — no per-dot tier dispatch, no per-group
+    /// converter call.
+    fn rns_blocks<const G: usize>(
+        &self,
+        a_rns: &PackedRnsMatrix,
+        cols: &PackedRnsMatrix,
+        col_start: usize,
+        m: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        const JW: usize = 8;
+        let moduli = self.moduli.moduli();
+        let (m0, m1, m2) = (moduli[0], moduli[1], moduli[2]);
+        let (p0, p1, p2) = (&a_rns.planes[0], &a_rns.planes[1], &a_rns.planes[2]);
+        let (q0, q1, q2) = (&cols.planes[0], &cols.planes[1], &cols.planes[2]);
+        if let (Some(a0), Some(a1), Some(a2), Some(b0), Some(b1), Some(b2), Some(crt)) = (
+            p0.as_u16(),
+            p1.as_u16(),
+            p2.as_u16(),
+            q0.as_u16(),
+            q1.as_u16(),
+            q2.as_u16(),
+            self.converter.small_constants(),
+        ) {
+            let (w0, w1, w2) = (crt.wi[0], crt.wi[1], crt.wi[2]);
+            // One `u16` group dot, reduced divide-free.
+            #[inline(always)]
+            fn dot<const G: usize>(a: &[u16], off_a: usize, b: &[u16], off_b: usize) -> u64 {
+                let mut acc = 0u32;
+                for (&x, &w) in a[off_a..off_a + G].iter().zip(&b[off_b..off_b + G]) {
+                    acc += u32::from(x) * u32::from(w);
+                }
+                u64::from(acc)
+            }
+            let mut acc = [0.0f32; JW];
+            for j0 in (0..n).step_by(JW) {
+                let jw = (n - j0).min(JW);
+                for i in 0..m {
+                    acc[..jw].fill(0.0);
+                    for gi in 0..a_rns.groups_per_row {
+                        let a_off = a_rns.group_offset(i, gi);
+                        let pa2 = pow2(a_rns.scale_exp(i, gi));
+                        for (jj, slot) in acc[..jw].iter_mut().enumerate() {
+                            let col = col_start + j0 + jj;
+                            let b_off = cols.group_offset(col, gi);
+                            // Fig. 2 steps 5-6: one modular dot per
+                            // channel…
+                            let r0 = m0.fast_rem(dot::<G>(a0, a_off, b0, b_off));
+                            let r1 = m1.fast_rem(dot::<G>(a1, a_off, b1, b_off));
+                            let r2 = m2.fast_rem(dot::<G>(a2, a_off, b2, b_off));
+                            // …step 7, the fused small-range CRT
+                            // (identical arithmetic to
+                            // `to_signed_trusted`, constants hoisted)…
+                            let s = crt.m.fast_rem(r0 * w0)
+                                + crt.m.fast_rem(r1 * w1)
+                                + crt.m.fast_rem(r2 * w2);
+                            let v = crt.m.fast_rem(s);
+                            let integer = if v > crt.psi {
+                                v as i64 - crt.m.value() as i64
+                            } else {
+                                v as i64
+                            };
+                            // …step 8, exponent recombination.
+                            let pb2 = pow2(cols.scale_exp(col, gi));
+                            *slot += (integer as f64 * (pa2 * pb2)) as f32;
+                        }
+                    }
+                    for (jj, &v) in acc[..jw].iter().enumerate() {
+                        out[i * n + j0 + jj] = v;
+                    }
+                }
+            }
+            return;
+        }
+        let mut acc = [0.0f32; JW];
+        for j0 in (0..n).step_by(JW) {
+            let jw = (n - j0).min(JW);
+            for i in 0..m {
+                acc[..jw].fill(0.0);
+                for gi in 0..a_rns.groups_per_row {
+                    let a_off = a_rns.group_offset(i, gi);
+                    let ae = a_rns.scale_exp(i, gi);
+                    let pa2 = pow2(ae);
+                    for (jj, slot) in acc[..jw].iter_mut().enumerate() {
+                        let col = col_start + j0 + jj;
+                        let b_off = cols.group_offset(col, gi);
+                        // Fig. 2 steps 5-6: one modular dot per channel…
+                        let residues = [
+                            p0.group_dot_fixed::<G>(a_off, q0, b_off, m0),
+                            p1.group_dot_fixed::<G>(a_off, q1, b_off, m1),
+                            p2.group_dot_fixed::<G>(a_off, q2, b_off, m2),
+                        ];
+                        // …step 7 reverse conversion, step 8 exponent
+                        // recombination (pow2(ae)·pow2(be) is the exact
+                        // power of two 2^(ae+be); see the BFP kernel).
+                        let integer = self.converter.to_signed_trusted(&residues) as f64;
+                        let pb2 = pow2(cols.scale_exp(col, gi));
+                        *slot += (integer * (pa2 * pb2)) as f32;
+                    }
+                }
+                for (jj, &v) in acc[..jw].iter().enumerate() {
+                    out[i * n + j0 + jj] = v;
+                }
+            }
+        }
+    }
+
+    /// The fully generic kernel: any channel count, any group size.
+    fn rns_generic(
+        &self,
+        a_rns: &PackedRnsMatrix,
+        cols: &PackedRnsMatrix,
+        col_start: usize,
+        m: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let moduli = self.moduli.moduli();
+        let g = a_rns.g;
+        // Per-group CRT scratch, hoisted out of every loop.
+        let mut residues_out = vec![0u64; moduli.len()];
+        for i in 0..m {
+            for j in 0..n {
+                let col = col_start + j;
                 let mut acc = 0.0f32;
-                for (ga, gb) in arow.iter().zip(bcol) {
+                for gi in 0..a_rns.groups_per_row {
+                    let a_off = a_rns.group_offset(i, gi);
+                    let b_off = cols.group_offset(col, gi);
                     // The modular dot products the MMVMUs compute
                     // (Fig. 2 steps 5-6), one per modulus channel.
-                    residues_out.clear();
                     for (channel, &modulus) in moduli.iter().enumerate() {
-                        residues_out.push(residue::dot_product(
-                            &ga.residues[channel],
-                            &gb.residues[channel],
+                        residues_out[channel] = a_rns.planes[channel].group_dot(
+                            a_off,
+                            &cols.planes[channel],
+                            b_off,
+                            g,
                             modulus,
-                        )?);
+                        );
                     }
                     // Reverse conversion (Fig. 2 step 7) and exponent
                     // recombination (step 8).
-                    let integer = self.converter.to_signed(&residues_out)? as f64;
-                    let scale_exp = ga.scale_exp + gb.scale_exp;
-                    acc += (integer * (scale_exp as f64).exp2()) as f32;
+                    let integer = self.converter.to_signed_trusted(&residues_out) as f64;
+                    let scale_exp = a_rns.scale_exp(i, gi) + cols.scale_exp(col, gi);
+                    acc += (integer * pow2(scale_exp)) as f32;
                 }
                 out[i * n + j] = acc;
             }
         }
-        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Packs and forward-converts the columns of `B`.
+    fn pack_cols(&self, b: &Tensor) -> Result<PackedRnsMatrix> {
+        Ok(PackedRnsMatrix::from_packed(
+            &BfpEngine::pack_cols_wide(b, self.config)?,
+            &self.moduli,
+        ))
     }
 }
 
@@ -195,37 +380,69 @@ impl GemmEngine for RnsBfpEngine {
         let (_m, _k, n) = gemm_dims(a, b)?;
         // Forward conversion of the B side (in hardware: shift-based,
         // per §IV-B); the A side converts inside the shared kernel.
-        let b_cols = convert_rows(
-            &BfpEngine::quantize_cols(b, self.config)?,
-            self.moduli.moduli(),
-        );
-        self.gemm_with_cols(a, &b_cols, n)
+        let cols = self.pack_cols(b)?;
+        self.gemm_with_packed(a, &cols, 0, n)
     }
 
     /// Quantizes **and** forward-converts the columns of `B` once: the
-    /// prepared state holds residue vectors, so repeated inference pays
-    /// neither the quantizer nor the forward converter for the weights.
+    /// prepared state holds packed residue planes, so repeated inference
+    /// pays neither the quantizer nor the forward converter for the
+    /// weights.
     fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
         let prepared = PreparedRhs::from_raw(self.name(), b)?;
-        let cols = convert_rows(
-            &BfpEngine::quantize_cols(b, self.config)?,
-            self.moduli.moduli(),
-        );
+        let n = prepared.n();
+        let packed = self.pack_cols(b)?;
         Ok(prepared.with_state(Arc::new(PreparedRnsCols {
             config: self.config,
             moduli: self.moduli.clone(),
-            cols,
+            packed: Arc::new(packed),
+            col_start: 0,
+            col_count: n,
         })))
     }
 
-    /// Reuses pre-converted weight residues. Falls back to
+    /// Slices a column tile out of an existing preparation: the tile
+    /// shares the residue planes through the `Arc`, so the tiled
+    /// parallel driver never re-converts B per column tile.
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        let Some(state) = whole.state_for::<PreparedRnsCols>(self.name()) else {
+            return Ok(None);
+        };
+        if state.config != self.config
+            || state.moduli != self.moduli
+            || c0 + width > state.col_count
+        {
+            return Ok(None);
+        }
+        let raw = whole.slice_raw_cols(c0, width)?;
+        Ok(Some(PreparedRhs::from_raw(self.name(), &raw)?.with_state(
+            Arc::new(PreparedRnsCols {
+                config: state.config,
+                moduli: state.moduli.clone(),
+                packed: Arc::clone(&state.packed),
+                col_start: state.col_start + c0,
+                col_count: width,
+            }),
+        )))
+    }
+
+    /// Reuses pre-converted weight residue planes. Falls back to
     /// [`RnsBfpEngine::gemm`] on preparations from other engines, other
     /// operating points, or other moduli sets.
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         let (_m, _k, n) = gemm_dims(a, b.raw())?;
         match b.state_for::<PreparedRnsCols>(self.name()) {
-            Some(state) if state.config == self.config && state.moduli == self.moduli => {
-                self.gemm_with_cols(a, &state.cols, n)
+            Some(state)
+                if state.config == self.config
+                    && state.moduli == self.moduli
+                    && state.col_count == n =>
+            {
+                self.gemm_with_packed(a, &state.packed, state.col_start, n)
             }
             _ => self.gemm(a, b.raw()),
         }
@@ -235,7 +452,101 @@ impl GemmEngine for RnsBfpEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mirage_bfp::BfpBlock;
+    use mirage_rns::residue;
     use rand::SeedableRng;
+
+    /// The legacy per-group heap-object RNS GEMM, kept in tests as the
+    /// oracle: `BfpBlock` chains, per-group `Vec<Vec<u64>>` residues,
+    /// validated CRT reverse conversion, `exp2` recombination. (A
+    /// sibling copy in `tests/parallel_determinism.rs` pins the same
+    /// oracle across the parallel × prepared × batch grid — keep them
+    /// in sync; the oracle is frozen legacy semantics.)
+    fn legacy_rns_gemm(a: &Tensor, b: &Tensor, engine: &RnsBfpEngine) -> Tensor {
+        let (m, n) = (a.shape()[0], b.shape()[1]);
+        let moduli = engine.moduli().moduli();
+        let converter = CrtConverter::new(engine.moduli());
+        let convert = |blocks: Vec<Vec<BfpBlock>>| -> Vec<Vec<(i32, Vec<Vec<u64>>)>> {
+            blocks
+                .iter()
+                .map(|groups| {
+                    groups
+                        .iter()
+                        .map(|block| {
+                            let wide = block.mantissas_i64();
+                            (
+                                block.scale_exp(),
+                                moduli
+                                    .iter()
+                                    .map(|&md| residue::reduce_signed(&wide, md))
+                                    .collect(),
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let a_rows = convert(BfpEngine::quantize_rows(a, engine.config()));
+        let b_cols = convert(BfpEngine::quantize_cols(b, engine.config()).unwrap());
+        let mut out = vec![0.0f32; m * n];
+        for (i, arow) in a_rows.iter().enumerate() {
+            for (j, bcol) in b_cols.iter().enumerate() {
+                let mut acc = 0.0f32;
+                for ((ea, ga), (eb, gb)) in arow.iter().zip(bcol) {
+                    let residues: Vec<u64> = moduli
+                        .iter()
+                        .enumerate()
+                        .map(|(c, &md)| residue::dot_product(&ga[c], &gb[c], md).unwrap())
+                        .collect();
+                    let integer = converter.to_signed(&residues).unwrap() as f64;
+                    acc += (integer * ((ea + eb) as f64).exp2()) as f32;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Tensor::from_vec(out, &[m, n]).unwrap()
+    }
+
+    #[test]
+    fn flat_kernel_is_bit_identical_to_legacy_groups() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        let cfg = BfpConfig::mirage_default();
+        for engine in [
+            RnsBfpEngine::with_min_special_set(cfg).unwrap(),
+            RnsBfpEngine::new(cfg, ModuliSet::new(&[11, 13, 16, 9]).unwrap()).unwrap(),
+        ] {
+            for (m, k, n) in [(1, 1, 1), (3, 19, 5), (5, 33, 7), (4, 64, 9)] {
+                let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+                let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+                let flat = engine.gemm(&a, &b).unwrap();
+                let legacy = legacy_rns_gemm(&a, &b, &engine);
+                assert_eq!(flat.data(), legacy.data(), "{m}x{k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_tile_slices_share_the_residue_planes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+        let b = Tensor::randn(&[33, 14], 1.0, &mut rng);
+        let whole = engine.prepare(&b).unwrap();
+        let a = Tensor::randn(&[4, 33], 1.0, &mut rng);
+        let full = engine.gemm(&a, &b).unwrap();
+        for (c0, width) in [(0, 14), (3, 8), (9, 5)] {
+            let tile = engine.prepare_tile(&whole, c0, width).unwrap().unwrap();
+            let got = engine.gemm_prepared(&a, &tile).unwrap();
+            for i in 0..4 {
+                for j in 0..width {
+                    assert_eq!(
+                        got.data()[i * width + j].to_bits(),
+                        full.data()[i * 14 + c0 + j].to_bits()
+                    );
+                }
+            }
+        }
+        assert!(engine.prepare_tile(&whole, 10, 6).unwrap().is_none());
+    }
 
     #[test]
     fn bit_identical_to_plain_bfp() {

@@ -46,7 +46,7 @@ impl StochasticBfpEngine {
         if values.iter().all(|&v| v == 0.0) {
             return base;
         }
-        let scale = (-(scale_exp as f64)).exp2();
+        let scale = mirage_bfp::pow2(-scale_exp);
         let limit = self.config.max_mantissa() as f64;
         let mantissas = values
             .iter()

@@ -408,9 +408,11 @@ impl<E: GemmEngine> ParallelGemm<E> {
     /// [`ParallelGemm::gemm_prepared`]: row bands × column tiles over a
     /// thread scope, every band consuming the **same** prepared B-side
     /// state. `b_prepared` is the caller's whole-matrix preparation if
-    /// it already has one; it is only consulted when the output is not
-    /// column-tiled (column tiles are sliced from `b_raw` and prepared
-    /// once each, shared by all bands).
+    /// it already has one; with no column tiling it is shared by every
+    /// band directly, and with column tiling each tile is derived from
+    /// it via [`GemmEngine::prepare_tile`] — a view into the shared
+    /// packed buffers by column offset — falling back to slicing `b_raw`
+    /// and preparing the tile only for engines without packed state.
     fn fan_out(
         &self,
         a: &Tensor,
@@ -461,6 +463,18 @@ impl<E: GemmEngine> ParallelGemm<E> {
                 .step_by(tile_n)
                 .map(|c0| {
                     let width = tile_n.min(n - c0);
+                    // A caller-supplied whole-matrix preparation is
+                    // *sliced* when the engine supports it: the tile
+                    // shares the packed quantized buffers by offset, so
+                    // column tiling no longer re-quantizes B per tile
+                    // (or, worse, per call on the prepared path).
+                    if !k_blocked {
+                        if let Some(whole) = b_prepared {
+                            if let Some(tile) = self.inner.prepare_tile(whole, c0, width)? {
+                                return Ok((c0, tile));
+                            }
+                        }
+                    }
                     let mut data = Vec::with_capacity(k * width);
                     for row in b_raw.data().chunks(n) {
                         data.extend_from_slice(&row[c0..c0 + width]);

@@ -75,7 +75,7 @@ pub fn to_fp8(v: f32, format: Fp8Format) -> f32 {
     }
     // Quantize the mantissa at the (possibly subnormal) scale.
     let scale_exp = e_clamped.max(min_exp) - format.man_bits as i32;
-    let scale = (scale_exp as f64).exp2();
+    let scale = mirage_bfp::pow2(scale_exp);
     let q = (mag / scale).round();
     let max_q = ((1u32 << (format.man_bits + 1)) - 1) as f64; // with implicit bit
     let q = q.min(if e_clamped == max_exp { max_q } else { q });

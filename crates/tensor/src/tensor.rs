@@ -228,9 +228,18 @@ impl Tensor {
         self.require_rank(2)?;
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        // Tiled traversal: both the reads and the writes of a 32×32
+        // tile stay within a few cache lines, instead of one side
+        // striding through the whole matrix (the B-side packing of
+        // every quantized GEMM transposes, so this is a hot path).
+        const T: usize = 32;
+        for i0 in (0..m).step_by(T) {
+            for j0 in (0..n).step_by(T) {
+                for i in i0..(i0 + T).min(m) {
+                    for j in j0..(j0 + T).min(n) {
+                        out[j * m + i] = self.data[i * n + j];
+                    }
+                }
             }
         }
         Ok(Tensor {

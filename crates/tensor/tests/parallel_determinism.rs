@@ -10,7 +10,9 @@
 //! under every tiling — and degenerate (zero-dimension) shapes must
 //! produce well-formed empty/zero results through every path.
 
-use mirage_bfp::BfpConfig;
+use mirage_bfp::{BfpBlock, BfpConfig};
+use mirage_rns::convert::{CrtConverter, ReverseConverter};
+use mirage_rns::residue;
 use mirage_tensor::engines::{BfpEngine, ExactEngine, RnsBfpEngine};
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::{GemmEngine, Tensor};
@@ -214,6 +216,165 @@ fn bfp_engine_handles_empty_shapes() {
 fn rns_bfp_engine_handles_empty_shapes() {
     let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
     assert_empty_shapes_are_well_formed(engine);
+}
+
+/// The legacy block-path BFP GEMM: the reference implementation the
+/// packed flat kernels must reproduce bit-for-bit.
+fn legacy_bfp_gemm(a: &Tensor, b: &Tensor, config: BfpConfig) -> Tensor {
+    let (m, n) = (a.shape()[0], b.shape()[1]);
+    let a_rows = BfpEngine::quantize_rows(a, config);
+    let b_cols = BfpEngine::quantize_cols(b, config).unwrap();
+    let mut out = vec![0.0f32; m * n];
+    for (i, arow) in a_rows.iter().enumerate() {
+        for (j, bcol) in b_cols.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (ga, gb) in arow.iter().zip(bcol) {
+                acc += ga.dot(gb).unwrap().to_f32();
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// The legacy per-group RNS GEMM: `BfpBlock` chains forward-converted
+/// group by group, validated CRT reverse conversion, `exp2`
+/// recombination — the pre-packed implementation kept as the oracle.
+fn legacy_rns_gemm(a: &Tensor, b: &Tensor, engine: &RnsBfpEngine) -> Tensor {
+    let (m, n) = (a.shape()[0], b.shape()[1]);
+    let moduli = engine.moduli().moduli();
+    let converter = CrtConverter::new(engine.moduli());
+    type Converted = Vec<Vec<(i32, Vec<Vec<u64>>)>>;
+    let convert = |blocks: Vec<Vec<BfpBlock>>| -> Converted {
+        blocks
+            .iter()
+            .map(|groups| {
+                groups
+                    .iter()
+                    .map(|block| {
+                        let wide = block.mantissas_i64();
+                        (
+                            block.scale_exp(),
+                            moduli
+                                .iter()
+                                .map(|&md| residue::reduce_signed(&wide, md))
+                                .collect(),
+                        )
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let a_rows = convert(BfpEngine::quantize_rows(a, engine.config()));
+    let b_cols = convert(BfpEngine::quantize_cols(b, engine.config()).unwrap());
+    let mut out = vec![0.0f32; m * n];
+    for (i, arow) in a_rows.iter().enumerate() {
+        for (j, bcol) in b_cols.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for ((ea, ga), (eb, gb)) in arow.iter().zip(bcol) {
+                let residues: Vec<u64> = moduli
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &md)| residue::dot_product(&ga[c], &gb[c], md).unwrap())
+                    .collect();
+                let integer = converter.to_signed(&residues).unwrap() as f64;
+                acc += (integer * ((ea + eb) as f64).exp2()) as f32;
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[m, n]).unwrap()
+}
+
+/// Packed == legacy across the full serving grid: every combination of
+/// {serial, parallel} × {unprepared, prepared} × {single, batched}
+/// must reproduce the legacy block-path result bit-exactly, on ragged
+/// tails (`k % g != 0`) and zero-dimension shapes alike.
+fn assert_packed_matches_legacy_everywhere<E: GemmEngine + Clone>(
+    engine: E,
+    legacy: impl Fn(&Tensor, &Tensor) -> Tensor,
+    seed: u64,
+) {
+    // SHAPES has ragged band/tile tails; add explicit ragged-k (k % 16
+    // != 0) and zero-dimension cases.
+    let grid = SHAPES
+        .iter()
+        .copied()
+        .chain([(7, 19, 9), (0, 16, 4), (4, 0, 8), (8, 4, 0)]);
+    for (m, k, n) in grid {
+        let (a, b) = pair(
+            seed ^ (m as u64) << 16 ^ (k as u64) << 8 ^ n as u64,
+            m,
+            k,
+            n,
+        );
+        let want = legacy(&a, &b);
+        assert_eq!(
+            engine.gemm(&a, &b).unwrap().data(),
+            want.data(),
+            "{} serial diverged from legacy on {m}x{k}x{n}",
+            engine.name()
+        );
+        let prepared = engine.prepare(&b).unwrap();
+        assert_eq!(
+            engine.gemm_prepared(&a, &prepared).unwrap().data(),
+            want.data(),
+            "{} prepared diverged from legacy on {m}x{k}x{n}",
+            engine.name()
+        );
+        for config in [
+            TileConfig::auto().with_threads(4),
+            TileConfig {
+                tile_m: 7,
+                tile_n: 13,
+                tile_k: 0,
+                threads: 4,
+            },
+        ] {
+            let driver = ParallelGemm::new(engine.clone(), config);
+            assert_eq!(
+                driver.gemm(&a, &b).unwrap().data(),
+                want.data(),
+                "{} parallel diverged from legacy on {m}x{k}x{n} {config:?}",
+                engine.name()
+            );
+            assert_eq!(
+                driver.gemm_prepared(&a, &prepared).unwrap().data(),
+                want.data(),
+                "{} parallel+prepared diverged on {m}x{k}x{n} {config:?}",
+                engine.name()
+            );
+            let batch = driver.gemm_batch(&[a.clone(), a.clone()], &b).unwrap();
+            let batch_prepared = driver
+                .gemm_batch_prepared(&[a.clone(), a.clone()], &prepared)
+                .unwrap();
+            for item in batch.iter().chain(&batch_prepared) {
+                assert_eq!(
+                    item.data(),
+                    want.data(),
+                    "{} batched diverged on {m}x{k}x{n} {config:?}",
+                    engine.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bfp_packed_kernels_match_legacy_blocks_everywhere() {
+    let config = BfpConfig::mirage_default();
+    assert_packed_matches_legacy_everywhere(
+        BfpEngine::new(config),
+        |a, b| legacy_bfp_gemm(a, b, config),
+        21,
+    );
+}
+
+#[test]
+fn rns_bfp_packed_kernels_match_legacy_groups_everywhere() {
+    let engine = RnsBfpEngine::with_min_special_set(BfpConfig::mirage_default()).unwrap();
+    let oracle = engine.clone();
+    assert_packed_matches_legacy_everywhere(engine, |a, b| legacy_rns_gemm(a, b, &oracle), 22);
 }
 
 #[test]
