@@ -1,0 +1,166 @@
+//! Eager vs compiled whole-model inference — the perf-trajectory bench
+//! for the compiled serving layer.
+//!
+//! Serves the Transformer feed-forward proxy (`hidden = 768`, two
+//! blocks + classifier head: the paper's `l*.ff1`/`l*.ff2` serving
+//! shapes) through the Mirage BFP arithmetic two ways, single-threaded:
+//!
+//! - **eager**: `Sequential::forward` — every request re-transposes and
+//!   re-quantizes every GEMM weight, clones activations into backward
+//!   caches;
+//! - **compiled**: `Sequential::compile` once, then
+//!   `CompiledNetwork::run_with` against a reused activation scratch —
+//!   requests run zero weight-side quantization.
+//!
+//! Before timing anything the bench asserts the two paths are
+//! **bit-identical** for every batch size, and proves the
+//! zero-requantization claim by call-count: a `CountingEngine` wraps
+//! the BFP engine, a model is compiled and served repeatedly, and the
+//! `prepare`/raw-`gemm` counters must not move from their post-compile
+//! values (the call-count analogue of `kernel_microbench`'s
+//! scratch-pointer spot-check). Running in `--test` (smoke) mode
+//! executes all of these checks; full runs additionally assert the ≥2x
+//! speedup floor and write `BENCH_serving.json`.
+
+use mirage_bench::{print_table, write_summary, CountingEngine, JsonField};
+use mirage_core::Mirage;
+use mirage_models::serving::transformer_ff_proxy;
+use mirage_nn::{Engines, Sequential};
+use mirage_tensor::{ActivationScratch, Tensor};
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// The zoo serving shape: Transformer hidden width and FF blocks.
+const HIDDEN: usize = 768;
+const BLOCKS: usize = 2;
+const CLASSES: usize = 10;
+
+/// Best-of-`reps` wall clock for one invocation of `f`.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Compile once, serve forever: `prepare` and raw-`gemm` counts must be
+/// frozen at their post-compile values while `gemm_prepared` does all
+/// the serving.
+fn assert_zero_requantization(mirage: &Mirage, net: &Sequential, x: &Tensor, requests: usize) {
+    let (engine, counters) = CountingEngine::new(mirage.gemm_engine());
+    let engines = Engines::uniform(engine);
+    let compiled = net.compile(&engines).expect("proxy model compiles");
+    let after_compile = (counters.prepares(), counters.raw_gemms());
+    assert!(after_compile.0 > 0, "compile should prepare every weight");
+    let mut scratch = ActivationScratch::new();
+    for _ in 0..requests {
+        black_box(compiled.run_with(x, &mut scratch).expect("serves"));
+    }
+    assert_eq!(
+        (counters.prepares(), counters.raw_gemms()),
+        after_compile,
+        "compiled serving ran weight-side quantization after compile"
+    );
+    assert_eq!(
+        counters.prepared_gemms(),
+        requests * (2 * BLOCKS + 1),
+        "every layer GEMM should go through the prepared path"
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let reps = |n: usize| if smoke { 1 } else { n };
+    let mirage = Mirage::paper_default();
+    // Single-thread serial engines: the acceptance numbers isolate the
+    // requantization savings from threading (this container has 1 CPU).
+    let engines = Engines::uniform(mirage.gemm_engine());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8192);
+    let mut net = transformer_ff_proxy(HIDDEN, BLOCKS, CLASSES, &mut rng);
+    let compiled = net.compile(&engines).expect("proxy model compiles");
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    let batches: &[usize] = if smoke { &[1, 8] } else { &[1, 8, 32] };
+    for &batch in batches {
+        let x = Tensor::randn(&[batch, HIDDEN], 1.0, &mut rng);
+        // Bit-identity before timing anything.
+        let eager = net.forward(&x, &engines).expect("eager forward");
+        let served = compiled.run(&x).expect("compiled run");
+        assert_eq!(
+            served.data(),
+            eager.data(),
+            "compiled serving diverged from the eager forward at batch {batch}"
+        );
+
+        let t_eager = best_of(reps(10), || {
+            black_box(net.forward(black_box(&x), &engines).unwrap());
+        });
+        let mut scratch = ActivationScratch::new();
+        let t_compiled = best_of(reps(10), || {
+            black_box(compiled.run_with(black_box(&x), &mut scratch).unwrap());
+        });
+        let speedup = t_eager.as_secs_f64() / t_compiled.as_secs_f64();
+        if !smoke {
+            assert!(
+                speedup >= 2.0,
+                "eager/compiled = {speedup:.2}x at batch {batch}: below the 2x floor"
+            );
+        }
+        rows.push(vec![
+            format!("transformer-ff {HIDDEN}x{BLOCKS}"),
+            format!("{batch}"),
+            format!("{:.3}", ms(t_eager)),
+            format!("{:.3}", ms(t_compiled)),
+            format!("{speedup:.2}x"),
+            "yes".into(),
+        ]);
+        json.push(vec![
+            JsonField::Str("model", format!("transformer-ff-proxy-{HIDDEN}x{BLOCKS}")),
+            JsonField::Num("batch", batch as f64),
+            JsonField::Num("eager_ms", ms(t_eager)),
+            JsonField::Num("compiled_ms", ms(t_compiled)),
+            JsonField::Num("speedup", speedup),
+            JsonField::Num("threads", 1.0),
+        ]);
+    }
+
+    // Zero weight-side quantization after compile, by call count.
+    let probe = Tensor::randn(&[4, HIDDEN], 1.0, &mut rng);
+    assert_zero_requantization(&mirage, &net, &probe, if smoke { 3 } else { 50 });
+
+    print_table(
+        "Eager vs compiled whole-model serving — single thread",
+        &[
+            "model",
+            "batch",
+            "eager (ms)",
+            "compiled (ms)",
+            "speedup",
+            "bit-identical",
+        ],
+        &rows,
+    );
+    println!("\nCompiled plans are asserted bit-identical to the eager forward");
+    println!("pass before timing, and a call-counting engine proves zero");
+    println!("weight-side quantization after compile. Acceptance floor");
+    println!("(single thread, this shape): >= 2x eager/compiled.");
+
+    if smoke {
+        println!("\n--test smoke mode: timings above are single-shot; JSON skipped.");
+        return;
+    }
+    write_summary(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json"),
+        "serving_bench",
+        &json,
+    );
+}

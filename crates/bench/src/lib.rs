@@ -21,13 +21,16 @@
 //! | Design-choice ablations | `ablations` |
 //! | Parallel/prepared perf trajectory | `parallel_speedup` (`BENCH_parallel.json`) |
 //! | Packed-kernel perf trajectory | `kernel_microbench` (`BENCH_kernels.json`) |
+//! | Compiled-model serving trajectory | `serving_bench` (`BENCH_serving.json`) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod counting;
 pub mod experiments;
 pub mod json;
 pub mod table;
 
+pub use counting::{CountingEngine, GemmCounters};
 pub use json::{write_summary, JsonField};
 pub use table::print_table;

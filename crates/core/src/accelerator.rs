@@ -2,12 +2,12 @@
 
 use crate::photonic_gemm::PhotonicGemmEngine;
 use crate::report::PerformanceReport;
-use crate::session::InferenceSession;
+use crate::session::{InferenceSession, ModelSession};
 use mirage_arch::breakdown::{area_breakdown, power_breakdown, AreaBreakdown, PowerBreakdown};
 use mirage_arch::energy::DigitalEnergy;
 use mirage_arch::{MirageConfig, Workload};
 use mirage_bfp::BfpConfig;
-use mirage_nn::Engines;
+use mirage_nn::{CompiledNetwork, Engines, Sequential};
 use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::{GemmEngine, Result as TensorResult, Tensor};
@@ -111,10 +111,63 @@ impl Mirage {
         self.gemm_engine().prepare(weight)
     }
 
+    /// Freezes a whole network into an immutable
+    /// [`CompiledNetwork`] execution plan over this accelerator's
+    /// parallel BFP arithmetic: every layer weight is transposed and
+    /// quantized **exactly once**, and the plan serves `run`/`run_batch`
+    /// from `&self` (share it across request threads), bit-identically
+    /// to the eager `Sequential::forward` on
+    /// [`Mirage::training_engines`]. See `mirage_nn::compile` for the
+    /// plan contract, and [`Mirage::model_session`] for a keyed cache of
+    /// compiled models.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_nn::NnError::NotCompilable`] when a layer has no
+    /// inference form (e.g. an active dropout) — the network is
+    /// rejected, never silently served through the eager path.
+    pub fn compile(&self, net: &Sequential) -> mirage_nn::Result<CompiledNetwork> {
+        net.compile(&self.training_engines())
+    }
+
+    /// Like [`Mirage::compile`] with an explicit [`TileConfig`] for the
+    /// underlying parallel engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::InvalidGeometry`] when the
+    /// tiling is invalid for this accelerator's BFP operating point,
+    /// plus the [`Mirage::compile`] errors.
+    pub fn compile_with(
+        &self,
+        net: &Sequential,
+        config: TileConfig,
+    ) -> mirage_nn::Result<CompiledNetwork> {
+        let engine = self.parallel_gemm_engine_with(config)?;
+        net.compile(&Engines::uniform(engine))
+    }
+
     /// An [`InferenceSession`] over this accelerator: caches prepared
     /// weights per layer so repeated inference never re-quantizes them.
     pub fn inference_session(&self) -> InferenceSession {
         InferenceSession::new(self)
+    }
+
+    /// A [`ModelSession`] over this accelerator: caches **compiled
+    /// whole models** per name so repeated inference never re-runs any
+    /// weight-side quantization.
+    pub fn model_session(&self) -> ModelSession {
+        ModelSession::new(self)
+    }
+
+    /// Like [`Mirage::model_session`] with an explicit [`TileConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_tensor::TensorError::InvalidGeometry`] when the
+    /// tiling is invalid for this accelerator's BFP operating point.
+    pub fn model_session_with(&self, config: TileConfig) -> TensorResult<ModelSession> {
+        ModelSession::with_tile_config(self, config)
     }
 
     /// Like [`Mirage::inference_session`] with an explicit

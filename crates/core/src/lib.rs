@@ -14,6 +14,11 @@
 //! - [`InferenceSession`] — serving-oriented inference with prepared
 //!   weights cached per layer, so repeated requests against static
 //!   weights never re-run the quantizer.
+//! - [`ModelSession`] / [`Mirage::compile`] — the same idea for whole
+//!   networks: a `Sequential` is frozen once into an immutable compiled
+//!   execution plan (`mirage_nn::CompiledNetwork`) and served lock-free
+//!   from any number of threads, bit-identically to the eager forward
+//!   pass, with zero weight-side quantization per request.
 //! - [`report`] — evaluation summaries used by the benchmark harness.
 //!
 //! GEMMs run on the tiled multi-threaded execution layer by default:
@@ -47,4 +52,4 @@ mod session;
 pub use accelerator::Mirage;
 pub use dataflow::{StepTrace, TiledMvm};
 pub use photonic_gemm::PhotonicGemmEngine;
-pub use session::InferenceSession;
+pub use session::{InferenceSession, ModelSession};

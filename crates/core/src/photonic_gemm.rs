@@ -120,6 +120,22 @@ impl PhotonicGemmEngine {
         col_start: usize,
         n: usize,
     ) -> Result<Tensor> {
+        let mut out = Vec::new();
+        let m = self.gemm_with_packed_into(a, cols, col_start, n, &mut out)?;
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`PhotonicGemmEngine::gemm_with_packed`] writing into a caller
+    /// buffer — the allocation-free entry point behind
+    /// [`GemmEngine::gemm_prepared_into`]. Returns `m`.
+    fn gemm_with_packed_into(
+        &self,
+        a: &Tensor,
+        cols: &PackedStreamedCols,
+        col_start: usize,
+        n: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
         let (m, k) = (a.shape()[0], a.shape()[1]);
         if cols.k != k {
             return Err(TensorError::DimMismatch {
@@ -132,7 +148,8 @@ impl PhotonicGemmEngine {
         let groups_per_row = a_packed.groups_per_row();
         let g = self.bfp.group_size();
 
-        let mut out = vec![0.0f32; m * n];
+        out.clear();
+        out.resize(m * n, 0.0);
         // Reused weight-staging scratch: one `Vec<i64>` per MDPU row,
         // refilled in place (clear + extend within capacity) per tile.
         let mut weight_tile: Vec<Vec<i64>> = vec![Vec::with_capacity(g); self.rows];
@@ -167,7 +184,7 @@ impl PhotonicGemmEngine {
                 }
             }
         }
-        Tensor::from_vec(out, &[m, n])
+        Ok(m)
     }
 }
 
@@ -240,6 +257,30 @@ impl GemmEngine for PhotonicGemmEngine {
                 self.gemm_with_packed(a, &state.packed, state.col_start, n)
             }
             _ => self.gemm(a, b.raw()),
+        }
+    }
+
+    /// The simulated device kernel writes straight into the caller's
+    /// buffer — bit-identical to [`PhotonicGemmEngine::gemm_prepared`].
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (_m, _k, n) = dims(a, b.raw())?;
+        match b.state_for::<PreparedPhotonicCols>(self.name()) {
+            Some(state) if state.bfp == self.bfp && state.col_count == n => {
+                let m = self.gemm_with_packed_into(a, &state.packed, state.col_start, n, out)?;
+                Ok((m, n))
+            }
+            _ => {
+                let y = self.gemm(a, b.raw())?;
+                let m = y.shape()[0];
+                out.clear();
+                out.extend_from_slice(y.data());
+                Ok((m, n))
+            }
         }
     }
 }

@@ -1,8 +1,12 @@
-//! Serving-oriented inference sessions with cached prepared weights.
+//! Serving-oriented inference sessions: cached prepared weights
+//! ([`InferenceSession`]) and cached compiled whole models
+//! ([`ModelSession`]).
 
 use crate::accelerator::Mirage;
+use mirage_nn::{CompiledNetwork, Engines, Sequential};
 use mirage_tensor::engines::BfpEngine;
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
+use mirage_tensor::scratch::ActivationScratch;
 use mirage_tensor::{GemmEngine, PreparedRhs, Result, Tensor, TensorError};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -91,19 +95,16 @@ impl InferenceSession {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidGeometry`] naming the layer when
-    /// nothing is loaded under that key.
+    /// Returns [`TensorError::UnknownLayer`] naming the missing key when
+    /// nothing is loaded under it.
     fn cached(&self, layer: &str) -> Result<Arc<PreparedRhs>> {
         self.cache
             .lock()
             .expect("weight cache poisoned")
             .get(layer)
             .cloned()
-            .ok_or_else(|| {
-                TensorError::InvalidGeometry(format!(
-                    "no prepared weight loaded for layer {layer:?}; call \
-                     InferenceSession::load first"
-                ))
+            .ok_or_else(|| TensorError::UnknownLayer {
+                name: layer.to_string(),
             })
     }
 
@@ -113,8 +114,8 @@ impl InferenceSession {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidGeometry`] when `layer` has no
-    /// loaded weight, and the usual shape-validation errors.
+    /// Returns [`TensorError::UnknownLayer`] when `layer` has no loaded
+    /// weight, and the usual shape-validation errors.
     pub fn infer(&self, layer: &str, x: &Tensor) -> Result<Tensor> {
         let prepared = self.cached(layer)?;
         self.engine.gemm_prepared(x, &prepared)
@@ -128,9 +129,9 @@ impl InferenceSession {
     ///
     /// # Errors
     ///
-    /// Returns [`TensorError::InvalidGeometry`] when `layer` has no
-    /// loaded weight; propagates per-item shape errors (the whole batch
-    /// fails if any item does).
+    /// Returns [`TensorError::UnknownLayer`] when `layer` has no loaded
+    /// weight; propagates per-item shape errors (the whole batch fails
+    /// if any item does).
     pub fn infer_batch(&self, layer: &str, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
         let prepared = self.cached(layer)?;
         self.engine.gemm_batch_prepared(inputs, &prepared)
@@ -196,6 +197,197 @@ impl InferenceSession {
     }
 }
 
+/// A serving session for **whole models** over the Mirage arithmetic:
+/// [`ModelSession::load`] compiles a [`Sequential`] network once — every
+/// GEMM weight transposed and quantized exactly once, via
+/// [`Sequential::compile`] — and [`ModelSession::run`] /
+/// [`ModelSession::run_batch`] serve it forever after with zero
+/// weight-side quantization. This is [`InferenceSession`] lifted from
+/// single GEMMs to networks: the serving model behind the paper's
+/// Table III workloads, end to end.
+///
+/// Results are **bit-identical** to the eager
+/// `Sequential::forward` on [`ModelSession::engines`] — compilation is
+/// a caching transformation, never a numerical one.
+///
+/// The session is `Sync`; the mutex guards only the name → model map
+/// (never held during inference), and the compiled models themselves
+/// are immutable and lock-free, so any number of request threads can
+/// serve one session — or clone an [`Arc<CompiledNetwork>`] out via
+/// [`ModelSession::model`] and bypass the map entirely.
+///
+/// ```
+/// use mirage_core::Mirage;
+/// use mirage_nn::{layers::{Dense, Relu}, Sequential};
+/// use mirage_tensor::Tensor;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(32, 16, &mut rng));
+/// net.push(Relu::new());
+/// net.push(Dense::new(16, 4, &mut rng));
+///
+/// let mirage = Mirage::paper_default();
+/// let session = mirage.model_session();
+/// session.load("mlp", &net)?; // quantize every weight once…
+/// let eager = net.forward(&Tensor::ones(&[2, 32]), session.engines())?;
+/// for _ in 0..3 {
+///     let y = session.run("mlp", &Tensor::ones(&[2, 32]))?; // …serve many times
+///     assert_eq!(y.data(), eager.data()); // bit-identical to eager
+/// }
+/// # Ok::<(), mirage_nn::NnError>(())
+/// ```
+#[derive(Debug)]
+pub struct ModelSession {
+    engines: Engines,
+    models: Mutex<HashMap<String, Arc<CompiledNetwork>>>,
+}
+
+impl ModelSession {
+    /// Builds a session over the accelerator's parallel BFP engine with
+    /// the automatic tile/thread heuristic.
+    pub fn new(mirage: &Mirage) -> Self {
+        ModelSession {
+            engines: Engines::uniform(mirage.parallel_gemm_engine()),
+            models: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Builds a session with an explicit [`TileConfig`] (pin thread
+    /// counts in benchmarks, force serial execution in baselines).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidGeometry`] when the tiling is
+    /// invalid for the accelerator's BFP operating point (see
+    /// [`TileConfig::validate`]).
+    pub fn with_tile_config(mirage: &Mirage, config: TileConfig) -> Result<Self> {
+        Ok(ModelSession {
+            engines: Engines::uniform(mirage.parallel_gemm_engine_with(config)?),
+            models: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The engines compiled models run on — the eager reference path
+    /// for bit-identity checks.
+    pub fn engines(&self) -> &Engines {
+        &self.engines
+    }
+
+    /// Compiles `net` and caches it under `name`, replacing any
+    /// previous model for that key. This is the only session operation
+    /// that runs the quantizer on weights; it returns the compiled
+    /// model so callers can also serve it directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mirage_nn::NnError::NotCompilable`] when a layer has no
+    /// inference form (the network is rejected, not served through a
+    /// degraded path); propagates weight-preparation errors.
+    pub fn load(
+        &self,
+        name: impl Into<String>,
+        net: &Sequential,
+    ) -> mirage_nn::Result<Arc<CompiledNetwork>> {
+        let compiled = Arc::new(net.compile(&self.engines)?);
+        self.models
+            .lock()
+            .expect("model cache poisoned")
+            .insert(name.into(), Arc::clone(&compiled));
+        Ok(compiled)
+    }
+
+    /// The compiled model cached under `name`. Serving loops can hold
+    /// the returned `Arc` and skip the map lookup per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnknownLayer`] naming the missing key.
+    pub fn model(&self, name: &str) -> Result<Arc<CompiledNetwork>> {
+        self.models
+            .lock()
+            .expect("model cache poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TensorError::UnknownLayer {
+                name: name.to_string(),
+            })
+    }
+
+    /// One whole-model inference against the compiled model for `name`;
+    /// bit-identical to the eager `Sequential::forward` on
+    /// [`ModelSession::engines`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::UnknownLayer`] (wrapped in
+    /// [`mirage_nn::NnError::Tensor`]) when `name` has no loaded model;
+    /// propagates step errors.
+    pub fn run(&self, name: &str, x: &Tensor) -> mirage_nn::Result<Tensor> {
+        self.model(name)?.run(x)
+    }
+
+    /// [`ModelSession::run`] with a caller-owned scratch arena, so a
+    /// serving thread recycles its activation buffers across requests.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelSession::run`].
+    pub fn run_with(
+        &self,
+        name: &str,
+        x: &Tensor,
+        scratch: &mut ActivationScratch,
+    ) -> mirage_nn::Result<Tensor> {
+        self.model(name)?.run_with(x, scratch)
+    }
+
+    /// Batched whole-model inference, bit-identical to mapping
+    /// [`ModelSession::run`] over the items.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelSession::run`]; the whole batch fails if any item
+    /// does.
+    pub fn run_batch(&self, name: &str, inputs: &[Tensor]) -> mirage_nn::Result<Vec<Tensor>> {
+        self.model(name)?.run_batch(inputs)
+    }
+
+    /// Whether a model is loaded under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.models
+            .lock()
+            .expect("model cache poisoned")
+            .contains_key(name)
+    }
+
+    /// Number of cached models.
+    pub fn len(&self) -> usize {
+        self.models.lock().expect("model cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops the model cached under `name`, returning whether one was
+    /// present (in-flight requests holding the `Arc` finish unharmed).
+    pub fn evict(&self, name: &str) -> bool {
+        self.models
+            .lock()
+            .expect("model cache poisoned")
+            .remove(name)
+            .is_some()
+    }
+
+    /// Drops every cached model.
+    pub fn clear(&self) {
+        self.models.lock().expect("model cache poisoned").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,12 +434,20 @@ mod tests {
     }
 
     #[test]
-    fn missing_layer_is_an_error() {
+    fn missing_layer_is_a_dedicated_error_naming_the_key() {
         let (_mirage, session) = session();
         let err = session
             .infer("absent", &Tensor::zeros(&[2, 2]))
             .unwrap_err();
+        assert!(
+            matches!(&err, TensorError::UnknownLayer { name } if name == "absent"),
+            "{err:?}"
+        );
         assert!(err.to_string().contains("absent"), "{err}");
+        assert!(matches!(
+            session.infer_batch("gone", &[]).unwrap_err(),
+            TensorError::UnknownLayer { .. }
+        ));
     }
 
     #[test]
@@ -310,5 +510,144 @@ mod tests {
                 .shape(),
             &[2, 4]
         );
+    }
+}
+
+#[cfg(test)]
+mod model_session_tests {
+    use super::*;
+    use mirage_nn::layers::{Dense, Dropout, Relu};
+    use rand::SeedableRng;
+
+    fn mlp(seed: u64) -> Sequential {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut net = Sequential::new();
+        net.push(Dense::new(32, 24, &mut rng));
+        net.push(Relu::new());
+        net.push(Dense::new(24, 5, &mut rng));
+        net
+    }
+
+    #[test]
+    fn run_is_bit_identical_to_eager_forward() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        let mut net = mlp(300);
+        session.load("mlp", &net).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(301);
+        for rows in [1, 6] {
+            let x = Tensor::randn(&[rows, 32], 1.0, &mut rng);
+            let eager = net.forward(&x, session.engines()).unwrap();
+            assert_eq!(session.run("mlp", &x).unwrap().data(), eager.data());
+        }
+    }
+
+    #[test]
+    fn run_batch_and_scratch_paths_match_run() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        session.load("mlp", &mlp(302)).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(303);
+        let inputs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn(&[3, 32], 1.0, &mut rng))
+            .collect();
+        let batch = session.run_batch("mlp", &inputs).unwrap();
+        let mut scratch = ActivationScratch::new();
+        for (x, y) in inputs.iter().zip(&batch) {
+            assert_eq!(y.data(), session.run("mlp", x).unwrap().data());
+            assert_eq!(
+                y.data(),
+                session.run_with("mlp", x, &mut scratch).unwrap().data()
+            );
+        }
+        assert!(session.run_batch("mlp", &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_model_is_the_dedicated_unknown_key_error() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        let err = session.run("ghost", &Tensor::zeros(&[1, 4])).unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                mirage_nn::NnError::Tensor(TensorError::UnknownLayer { name }) if name == "ghost"
+            ),
+            "{err:?}"
+        );
+        assert!(err.to_string().contains("ghost"), "{err}");
+    }
+
+    #[test]
+    fn uncompilable_networks_are_rejected_at_load() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(304);
+        let mut net = Sequential::new();
+        net.push(Dense::new(8, 8, &mut rng));
+        net.push(Dropout::new(0.5, 1));
+        let err = session.load("bad", &net).unwrap_err();
+        assert!(
+            matches!(err, mirage_nn::NnError::NotCompilable { .. }),
+            "{err:?}"
+        );
+        assert!(!session.contains("bad"));
+    }
+
+    #[test]
+    fn load_replaces_evict_removes_and_model_hands_out_arcs() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        assert!(session.is_empty());
+        session.load("a", &mlp(305)).unwrap();
+        let first = session.model("a").unwrap();
+        // Reload under the same key: new weights serve, old Arc lives on.
+        let mut replacement = mlp(306);
+        session.load("a", &replacement).unwrap();
+        assert_eq!(session.len(), 1);
+        let x = Tensor::ones(&[2, 32]);
+        let eager = replacement.forward(&x, session.engines()).unwrap();
+        assert_eq!(session.run("a", &x).unwrap().data(), eager.data());
+        assert_eq!(first.run(&x).unwrap().shape(), &[2, 5]); // still serviceable
+        assert!(session.evict("a"));
+        assert!(!session.evict("a"));
+        session.load("b", &mlp(307)).unwrap();
+        session.clear();
+        assert!(session.is_empty());
+    }
+
+    #[test]
+    fn explicit_tile_config_is_validated_and_serial_matches() {
+        let mirage = Mirage::paper_default();
+        let mut bad = TileConfig::auto();
+        bad.tile_k = 24; // not a multiple of g = 16
+        assert!(mirage.model_session_with(bad).is_err());
+        let serial = mirage.model_session_with(TileConfig::serial()).unwrap();
+        let parallel = mirage.model_session();
+        let net = mlp(308);
+        serial.load("m", &net).unwrap();
+        parallel.load("m", &net).unwrap();
+        let x = Tensor::full(&[4, 32], 0.25);
+        assert_eq!(
+            serial.run("m", &x).unwrap().data(),
+            parallel.run("m", &x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn mirage_compile_matches_eager_and_compile_with_validates() {
+        let mirage = Mirage::paper_default();
+        let mut net = mlp(309);
+        let compiled = mirage.compile(&net).unwrap();
+        let x = Tensor::full(&[3, 32], -0.5);
+        let eager = net.forward(&x, &mirage.training_engines()).unwrap();
+        assert_eq!(compiled.run(&x).unwrap().data(), eager.data());
+        let mut bad = TileConfig::auto();
+        bad.tile_k = 24;
+        assert!(mirage.compile_with(&net, bad).is_err());
+        let pinned = mirage
+            .compile_with(&net, TileConfig::auto().with_threads(2))
+            .unwrap();
+        assert_eq!(pinned.run(&x).unwrap().data(), eager.data());
     }
 }

@@ -10,10 +10,13 @@
 //!   the substitution rationale).
 //! - [`small`] — small trainable networks exercising the same
 //!   BFP-quantized GEMM path as the paper's accuracy model.
+//! - [`serving`] — runnable serving-shaped proxies of the zoo networks
+//!   for the compiled-model (eager vs prepared) inference path.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod serving;
 pub mod small;
 pub mod zoo;

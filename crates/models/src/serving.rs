@@ -1,0 +1,88 @@
+//! Runnable serving-shaped networks mirroring the [`crate::zoo`]
+//! workloads.
+//!
+//! The [`crate::zoo`] module describes the paper's seven DNNs as
+//! GEMM-dimension tables for the *performance* model; this module
+//! provides small **runnable** stand-ins with the same layer structure
+//! for the *serving* path: freeze them once with `Sequential::compile`
+//! (or `Mirage::compile` / `ModelSession` in `mirage-core`) and measure
+//! eager-vs-compiled inference on real arithmetic. The
+//! `serving_bench` target serves [`transformer_ff_proxy`] this way.
+
+use mirage_nn::layers::{Dense, Relu};
+use mirage_nn::norm::LayerNorm;
+use mirage_nn::Sequential;
+use rand::RngExt;
+
+/// A runnable proxy for the Transformer zoo workload's feed-forward
+/// stack: `blocks` repetitions of `Dense(hidden -> 4·hidden) -> ReLU ->
+/// Dense(4·hidden -> hidden) -> LayerNorm`, topped with a classifier
+/// head — the `l*.ff1`/`l*.ff2` GEMM shapes of [`crate::zoo::transformer`]
+/// at a configurable width. With the paper's `hidden = 768` this is the
+/// multi-layer serving shape the compiled-model benchmarks measure.
+pub fn transformer_ff_proxy(
+    hidden: usize,
+    blocks: usize,
+    classes: usize,
+    rng: &mut impl RngExt,
+) -> Sequential {
+    let mut net = Sequential::new();
+    for _ in 0..blocks {
+        net.push(Dense::new(hidden, 4 * hidden, rng));
+        net.push(Relu::new());
+        net.push(Dense::new(4 * hidden, hidden, rng));
+        net.push(LayerNorm::new(hidden));
+    }
+    net.push(Dense::new(hidden, classes, rng));
+    net
+}
+
+/// A runnable proxy for a CNN classifier head (the AlexNet/VGG
+/// `fc6 -> fc7 -> fc8` tail of [`crate::zoo::alexnet`], scaled down):
+/// three dense layers with ReLUs between them.
+pub fn cnn_head_proxy(
+    features: usize,
+    width: usize,
+    classes: usize,
+    rng: &mut impl RngExt,
+) -> Sequential {
+    let mut net = Sequential::new();
+    net.push(Dense::new(features, width, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(width, width, rng));
+    net.push(Relu::new());
+    net.push(Dense::new(width, classes, rng));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mirage_nn::Engines;
+    use mirage_tensor::engines::ExactEngine;
+    use mirage_tensor::Tensor;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transformer_proxy_compiles_and_matches_eager() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let mut net = transformer_ff_proxy(16, 2, 3, &mut rng);
+        assert_eq!(net.len(), 2 * 4 + 1);
+        let e = Engines::uniform(ExactEngine);
+        let compiled = net.compile(&e).unwrap();
+        let x = Tensor::randn(&[5, 16], 1.0, &mut rng);
+        assert_eq!(
+            compiled.run(&x).unwrap().data(),
+            net.forward(&x, &e).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn cnn_head_proxy_shapes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let mut net = cnn_head_proxy(64, 32, 10, &mut rng);
+        let e = Engines::uniform(ExactEngine);
+        let y = net.forward(&Tensor::ones(&[2, 64]), &e).unwrap();
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+}

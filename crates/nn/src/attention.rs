@@ -5,6 +5,7 @@
 //! softmax — like every nonlinearity — runs digitally in FP32
 //! (Fig. 2 step 10). This layer reproduces exactly that split.
 
+use crate::compile::{PlanStep, SelfAttentionStep, SeqMeanPoolStep};
 use crate::engines::Engines;
 use crate::layers::Layer;
 use crate::network::Param;
@@ -72,30 +73,49 @@ impl SelfAttention {
     /// Extracts head `h` of batch `b` from `[batch*seq, dim]` as
     /// `[seq, head_dim]`.
     fn head_slice(&self, t: &Tensor, b: usize, h: usize) -> Tensor {
-        let dh = self.head_dim();
-        let mut out = vec![0.0f32; self.seq * dh];
-        for s in 0..self.seq {
-            let row = t.row(b * self.seq + s);
-            out[s * dh..(s + 1) * dh].copy_from_slice(&row[h * dh..(h + 1) * dh]);
-        }
-        Tensor::from_vec(out, &[self.seq, dh]).expect("sized correctly")
+        head_slice(t, b, h, self.seq, self.head_dim())
     }
 
     /// Scatter-adds a `[seq, head_dim]` gradient back into a
     /// `[batch*seq, dim]` buffer.
     fn head_unslice(&self, dst: &mut Tensor, src: &Tensor, b: usize, h: usize) {
-        let dh = self.head_dim();
-        let dim = self.dim;
-        for s in 0..self.seq {
-            let dst_row = (b * self.seq + s) * dim + h * dh;
-            for j in 0..dh {
-                dst.data_mut()[dst_row + j] += src.data()[s * dh + j];
-            }
+        head_unslice(dst, src, b, h, self.seq, self.dim, self.head_dim())
+    }
+}
+
+/// Extracts head `h` of batch `b` from `[batch*seq, dim]` rows as
+/// `[seq, head_dim]` — shared by the eager layer and its compiled plan
+/// step so both paths move bits identically.
+pub(crate) fn head_slice(t: &Tensor, b: usize, h: usize, seq: usize, head_dim: usize) -> Tensor {
+    let dh = head_dim;
+    let mut out = vec![0.0f32; seq * dh];
+    for s in 0..seq {
+        let row = t.row(b * seq + s);
+        out[s * dh..(s + 1) * dh].copy_from_slice(&row[h * dh..(h + 1) * dh]);
+    }
+    Tensor::from_vec(out, &[seq, dh]).expect("sized correctly")
+}
+
+/// Scatter-adds a `[seq, head_dim]` block back into `[batch*seq, dim]`.
+pub(crate) fn head_unslice(
+    dst: &mut Tensor,
+    src: &Tensor,
+    b: usize,
+    h: usize,
+    seq: usize,
+    dim: usize,
+    head_dim: usize,
+) {
+    let dh = head_dim;
+    for s in 0..seq {
+        let dst_row = (b * seq + s) * dim + h * dh;
+        for j in 0..dh {
+            dst.data_mut()[dst_row + j] += src.data()[s * dh + j];
         }
     }
 }
 
-fn softmax_rows(t: &Tensor) -> Tensor {
+pub(crate) fn softmax_rows(t: &Tensor) -> Tensor {
     let (rows, cols) = (t.shape()[0], t.shape()[1]);
     let mut out = vec![0.0f32; rows * cols];
     for r in 0..rows {
@@ -227,6 +247,24 @@ impl Layer for SelfAttention {
         f(&mut self.wk);
         f(&mut self.wv);
         f(&mut self.wo);
+    }
+
+    /// Prepares the four (transposed) projection weights once. The
+    /// per-head score/context products are activation × activation
+    /// GEMMs — there is no static side to prepare, so the step runs
+    /// them exactly as the eager forward does.
+    fn compile(&self, engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        let prep = |w: &Param| engines.prepare_forward(&w.value.transpose2d()?);
+        Ok(Box::new(SelfAttentionStep::new(
+            engines.forward_engine(),
+            self.seq,
+            self.dim,
+            self.heads,
+            prep(&self.wq)?,
+            prep(&self.wk)?,
+            prep(&self.wv)?,
+            prep(&self.wo)?,
+        )))
     }
 }
 
@@ -368,31 +406,43 @@ impl SeqMeanPool {
     }
 }
 
+/// Mean-pools `[batch*seq, dim]` rows into `[batch, dim]` — the
+/// expression sequence shared by the eager layer and its compiled plan
+/// step, so both paths move bits identically by construction.
+///
+/// # Errors
+///
+/// Returns `ShapeMismatch` unless the row count is a multiple of `seq`.
+pub(crate) fn seq_mean_pool(x: &Tensor, seq: usize) -> Result<Tensor> {
+    let rows = x.shape()[0];
+    if !rows.is_multiple_of(seq) {
+        return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
+            left: x.shape().to_vec(),
+            right: vec![seq, x.shape()[1]],
+        }));
+    }
+    let batch = rows / seq;
+    let dim = x.shape()[1];
+    let mut out = Tensor::zeros(&[batch, dim]);
+    for b in 0..batch {
+        for s in 0..seq {
+            let row = x.row(b * seq + s);
+            for d in 0..dim {
+                out.data_mut()[b * dim + d] += row[d] / seq as f32;
+            }
+        }
+    }
+    Ok(out)
+}
+
 impl Layer for SeqMeanPool {
     fn name(&self) -> &'static str {
         "seq-mean-pool"
     }
 
     fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
-        let rows = x.shape()[0];
-        if !rows.is_multiple_of(self.seq) {
-            return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
-                left: x.shape().to_vec(),
-                right: vec![self.seq, x.shape()[1]],
-            }));
-        }
-        let batch = rows / self.seq;
-        let dim = x.shape()[1];
-        let mut out = Tensor::zeros(&[batch, dim]);
-        for b in 0..batch {
-            for s in 0..self.seq {
-                let row = x.row(b * self.seq + s);
-                for d in 0..dim {
-                    out.data_mut()[b * dim + d] += row[d] / self.seq as f32;
-                }
-            }
-        }
-        self.cached_rows = Some(rows);
+        let out = seq_mean_pool(x, self.seq)?;
+        self.cached_rows = Some(x.shape()[0]);
         Ok(out)
     }
 
@@ -407,6 +457,10 @@ impl Layer for SeqMeanPool {
             }
         }
         Ok(dx)
+    }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(SeqMeanPoolStep { seq: self.seq }))
     }
 }
 

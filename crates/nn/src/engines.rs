@@ -64,6 +64,13 @@ impl Engines {
         self.forward.as_ref()
     }
 
+    /// An owned handle to the forward-pass engine — what a compiled
+    /// inference plan step stores so it can keep serving after the
+    /// `Engines` it was compiled from is gone.
+    pub fn forward_engine(&self) -> Arc<dyn GemmEngine> {
+        Arc::clone(&self.forward)
+    }
+
     /// The backward-pass engine.
     pub fn backward(&self) -> &dyn GemmEngine {
         self.backward.as_ref()

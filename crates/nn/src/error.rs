@@ -25,6 +25,15 @@ pub enum NnError {
     },
     /// The loss became NaN or infinite — training diverged.
     Diverged,
+    /// A layer could not be frozen into an inference plan step
+    /// (`Layer::compile`) — e.g. a training-only layer still in
+    /// training mode, or a custom layer without a compiled form.
+    NotCompilable {
+        /// `Layer::name` of the offending layer.
+        layer: String,
+        /// Why the layer cannot be compiled, and what to do about it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -41,6 +50,9 @@ impl fmt::Display for NnError {
                 write!(f, "batch size mismatch: {inputs} inputs vs {labels} labels")
             }
             NnError::Diverged => write!(f, "loss is not finite; training diverged"),
+            NnError::NotCompilable { layer, reason } => {
+                write!(f, "layer {layer:?} cannot be compiled: {reason}")
+            }
         }
     }
 }

@@ -4,6 +4,10 @@
 //! through the configured [`Engines`], in both directions — the paper's
 //! accuracy-model contract (§V-A).
 
+use crate::compile::{
+    Conv2dStep, DenseStep, FlattenStep, GlobalAvgPool2dStep, IdentityStep, MaxPool2dStep, PlanStep,
+    ReluStep,
+};
 use crate::engines::Engines;
 use crate::network::Param;
 use crate::{NnError, Result};
@@ -38,6 +42,48 @@ pub trait Layer: Send {
 
     /// Visits trainable parameters (default: none).
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    /// Freezes the layer into an immutable inference [`PlanStep`]: any
+    /// GEMM weight is transposed and prepared ([`Engines::prepare_forward`])
+    /// exactly once, and the step must be **bit-identical** to this
+    /// layer's [`Layer::forward`] on every engine — compilation is a
+    /// caching transformation, never a numerical one.
+    ///
+    /// The default rejects compilation so an unknown layer can never be
+    /// silently served through a degraded path; custom inference-safe
+    /// layers either build a real step or explicitly wrap their eager
+    /// pass with [`crate::compile::EagerStep`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::NotCompilable`] when the layer has no
+    /// inference form (the default, and training-only behaviour like an
+    /// active `Dropout`); propagates tensor/engine errors from weight
+    /// preparation.
+    fn compile(&self, engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        let _ = engines;
+        Err(NnError::NotCompilable {
+            layer: self.name().to_string(),
+            reason: "this layer has no compiled inference form; implement \
+                     Layer::compile (or wrap the eager path in \
+                     mirage_nn::compile::EagerStep if the layer is \
+                     inference-safe)"
+                .to_string(),
+        })
+    }
+}
+
+/// Adds `bias` to every `bias.len()`-wide row of `out` — the bias loop
+/// shared by the eager [`Dense`] forward and its compiled plan step, so
+/// both paths move bits identically by construction.
+pub(crate) fn add_row_bias(out: &mut [f32], bias: &[f32]) {
+    let out_dim = bias.len();
+    let rows = out.len() / out_dim.max(1);
+    for r in 0..rows {
+        for c in 0..out_dim {
+            out[r * out_dim + c] += bias[c];
+        }
+    }
 }
 
 /// Fully connected layer: `y = x · Wᵀ + b`.
@@ -82,13 +128,7 @@ impl Layer for Dense {
     fn forward(&mut self, x: &Tensor, engines: &Engines) -> Result<Tensor> {
         let wt = self.weight.value.transpose2d()?;
         let mut y = engines.forward().gemm(x, &wt)?;
-        let out_dim = self.bias.value.len();
-        let rows = y.len() / out_dim.max(1);
-        for r in 0..rows {
-            for c in 0..out_dim {
-                y.data_mut()[r * out_dim + c] += self.bias.value.data()[c];
-            }
-        }
+        add_row_bias(y.data_mut(), self.bias.value.data());
         self.cached_input = Some(x.clone());
         Ok(y)
     }
@@ -116,6 +156,18 @@ impl Layer for Dense {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
         f(&mut self.bias);
+    }
+
+    /// Transposes and prepares the weight once; serving requests run
+    /// only activation-side quantization.
+    fn compile(&self, engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        let wt = self.weight.value.transpose2d()?;
+        let prepared = engines.prepare_forward(&wt)?;
+        Ok(Box::new(DenseStep::new(
+            engines.forward_engine(),
+            prepared,
+            self.bias.value.data().to_vec(),
+        )))
     }
 }
 
@@ -186,6 +238,21 @@ impl Layer for Conv2d {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.weight);
     }
+
+    /// Reshapes + transposes the kernel into the im2col weight matrix
+    /// and prepares it once.
+    fn compile(&self, engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        let wmat = self
+            .weight
+            .value
+            .reshape(&[self.geometry.out_channels, self.geometry.patch_len()])?;
+        let prepared = engines.prepare_forward(&wmat.transpose2d()?)?;
+        Ok(Box::new(Conv2dStep::new(
+            engines.forward_engine(),
+            prepared,
+            self.geometry,
+        )))
+    }
 }
 
 /// Rectified linear unit (element-wise, computed digitally in FP32 —
@@ -221,6 +288,10 @@ impl Layer for Relu {
             .map(|(&g, &m)| if m { g } else { 0.0 })
             .collect();
         Ok(Tensor::from_vec(data, d_out.shape())?)
+    }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(ReluStep))
     }
 }
 
@@ -258,6 +329,13 @@ impl Layer for MaxPool2d {
         let (arg, shape) = self.cache.as_ref().ok_or(NnError::BackwardBeforeForward)?;
         Ok(maxpool2d_backward(d_out, arg, shape)?)
     }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(MaxPool2dStep {
+            kernel: self.kernel,
+            stride: self.stride,
+        }))
+    }
 }
 
 /// Flattens `[b, ...]` into `[b, prod(...)]`.
@@ -291,6 +369,10 @@ impl Layer for Flatten {
             .as_ref()
             .ok_or(NnError::BackwardBeforeForward)?;
         Ok(d_out.reshape(shape)?)
+    }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(FlattenStep))
     }
 }
 
@@ -455,6 +537,10 @@ impl Layer for GlobalAvgPool2d {
             d_out, shape,
         )?)
     }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(GlobalAvgPool2dStep))
+    }
 }
 
 /// Inverted dropout: active during training, identity at inference.
@@ -536,6 +622,25 @@ impl Layer for Dropout {
                 Ok(Tensor::from_vec(data, d_out.shape())?)
             }
         }
+    }
+
+    /// Inference-mode dropout is the identity; an **active** dropout is
+    /// training-only behaviour and refuses to compile rather than
+    /// silently dropping activations (or silently becoming identity) in
+    /// a serving plan.
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        if self.training && self.p > 0.0 {
+            return Err(NnError::NotCompilable {
+                layer: self.name().to_string(),
+                reason: format!(
+                    "dropout (p = {}) is in training mode; call \
+                     Dropout::set_training(false) before compiling an \
+                     inference plan",
+                    self.p
+                ),
+            });
+        }
+        Ok(Box::new(IdentityStep { name: self.name() }))
     }
 }
 

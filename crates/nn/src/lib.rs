@@ -40,6 +40,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod attention;
+pub mod compile;
 mod engines;
 mod error;
 pub mod layers;
@@ -49,6 +50,7 @@ pub mod norm;
 pub mod optim;
 pub mod train;
 
+pub use compile::{CompiledNetwork, PlanStep};
 pub use engines::Engines;
 pub use error::NnError;
 pub use network::{Param, Sequential};

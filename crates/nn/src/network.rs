@@ -88,6 +88,25 @@ impl Sequential {
         Ok(cur)
     }
 
+    /// Freezes the network into an immutable
+    /// [`CompiledNetwork`](crate::compile::CompiledNetwork) execution
+    /// plan: every layer's GEMM weight is transposed and prepared
+    /// exactly once, and the plan serves `run`/`run_batch` from `&self`
+    /// (share it across request threads), **bit-identically** to
+    /// [`Sequential::forward`] on the same engines. The network itself
+    /// is untouched — keep training it and re-compile to pick up new
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::NotCompilable`] — naming the offending
+    /// layer — when any layer has no inference form (e.g. an active
+    /// `Dropout`), rather than silently serving a degraded plan;
+    /// propagates weight-preparation errors.
+    pub fn compile(&self, engines: &Engines) -> Result<crate::compile::CompiledNetwork> {
+        crate::compile::CompiledNetwork::from_layers(&self.layers, engines)
+    }
+
     /// Visits every trainable parameter in a stable order.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {

@@ -1,6 +1,7 @@
 //! Normalization layers (computed digitally in FP32, like all
 //! non-GEMM operations in Mirage).
 
+use crate::compile::{BatchNorm2dStep, LayerNormStep, PlanStep};
 use crate::engines::Engines;
 use crate::layers::Layer;
 use crate::network::Param;
@@ -54,6 +55,64 @@ impl BatchNorm2d {
     }
 }
 
+/// Backward-cache artifacts of a normalization forward pass
+/// (`x_hat` plus per-row/per-channel `inv_std`), captured only by the
+/// eager layers — compiled plan steps pass `None` and skip the work.
+pub(crate) type NormCache = (Tensor, Vec<f32>);
+
+/// Per-channel batch-norm normalization `g·(x − mean)·istd + b` over
+/// `[b, c, h, w]` — the expression sequence shared by the eager layer
+/// (which supplies batch or running statistics and captures the
+/// backward cache) and its compiled plan step (running statistics,
+/// `cache = None`), so both paths move bits identically by
+/// construction.
+///
+/// # Errors
+///
+/// Returns `ShapeMismatch` unless `x` is `[b, gamma.len(), h, w]`.
+pub(crate) fn batchnorm2d_normalize(
+    x: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    means: &[f32],
+    vars: &[f32],
+    eps: f32,
+    mut cache: Option<&mut NormCache>,
+) -> Result<Tensor> {
+    if x.rank() != 4 || x.shape()[1] != gamma.len() {
+        return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
+            left: x.shape().to_vec(),
+            right: vec![0, gamma.len(), 0, 0],
+        }));
+    }
+    let [b, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
+    let mut out = x.clone();
+    if let Some((x_hat, inv_std)) = cache.as_deref_mut() {
+        *x_hat = Tensor::zeros(x.shape());
+        inv_std.clear();
+        inv_std.resize(c, 0.0);
+    }
+    for ci in 0..c {
+        let mean = means[ci];
+        let istd = 1.0 / (vars[ci] + eps).sqrt();
+        if let Some((_, inv_std)) = cache.as_deref_mut() {
+            inv_std[ci] = istd;
+        }
+        let (g, be) = (gamma[ci], beta[ci]);
+        for bi in 0..b {
+            for i in 0..h * w {
+                let idx = (bi * c + ci) * h * w + i;
+                let xh = (x.data()[idx] - mean) * istd;
+                if let Some((x_hat, _)) = cache.as_deref_mut() {
+                    x_hat.data_mut()[idx] = xh;
+                }
+                out.data_mut()[idx] = g * xh + be;
+            }
+        }
+    }
+    Ok(out)
+}
+
 impl Layer for BatchNorm2d {
     fn name(&self) -> &'static str {
         "batchnorm2d"
@@ -68,11 +127,10 @@ impl Layer for BatchNorm2d {
         }
         let [b, c, h, w] = [x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]];
         let per_channel = b * h * w;
-        let mut out = x.clone();
-        let mut inv_std = vec![0.0f32; c];
-        let mut x_hat = Tensor::zeros(x.shape());
-        for ci in 0..c {
-            let (mean, var) = if self.training {
+        let (means, vars) = if self.training {
+            let mut means = vec![0.0f32; c];
+            let mut vars = vec![0.0f32; c];
+            for ci in 0..c {
                 let mut mean = 0.0f32;
                 for bi in 0..b {
                     for i in 0..h * w {
@@ -92,22 +150,24 @@ impl Layer for BatchNorm2d {
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean;
                 self.running_var[ci] =
                     (1.0 - self.momentum) * self.running_var[ci] + self.momentum * var;
-                (mean, var)
-            } else {
-                (self.running_mean[ci], self.running_var[ci])
-            };
-            let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[ci] = istd;
-            let (g, be) = (self.gamma.value.data()[ci], self.beta.value.data()[ci]);
-            for bi in 0..b {
-                for i in 0..h * w {
-                    let idx = (bi * c + ci) * h * w + i;
-                    let xh = (x.data()[idx] - mean) * istd;
-                    x_hat.data_mut()[idx] = xh;
-                    out.data_mut()[idx] = g * xh + be;
-                }
+                means[ci] = mean;
+                vars[ci] = var;
             }
-        }
+            (means, vars)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let mut captured: NormCache = (Tensor::zeros(&[0]), Vec::new());
+        let out = batchnorm2d_normalize(
+            x,
+            self.gamma.value.data(),
+            self.beta.value.data(),
+            &means,
+            &vars,
+            self.eps,
+            Some(&mut captured),
+        )?;
+        let (x_hat, inv_std) = captured;
         self.cache = Some(BnCache {
             x_hat,
             inv_std,
@@ -167,6 +227,29 @@ impl Layer for BatchNorm2d {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    /// Inference-mode batch-norm freezes the **running** statistics
+    /// into the step; a training-mode layer (batch statistics plus
+    /// running-stat updates every call) refuses to compile.
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        if self.training {
+            return Err(NnError::NotCompilable {
+                layer: self.name().to_string(),
+                reason: "batchnorm2d is in training mode (batch statistics and \
+                         running-stat updates are per-call, mutable behaviour); \
+                         call BatchNorm2d::set_training(false) before compiling \
+                         an inference plan"
+                    .to_string(),
+            });
+        }
+        Ok(Box::new(BatchNorm2dStep {
+            gamma: self.gamma.value.data().to_vec(),
+            beta: self.beta.value.data().to_vec(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            eps: self.eps,
+        }))
+    }
 }
 
 /// Layer normalization over the last dimension of `[rows, dim]` inputs
@@ -191,37 +274,69 @@ impl LayerNorm {
     }
 }
 
+/// Per-row layer-norm `g·(x − mean)·istd + b` over `[rows, dim]` — the
+/// expression sequence shared by the eager layer (which captures the
+/// backward cache) and its compiled plan step (`cache = None`), so
+/// both paths move bits identically by construction.
+///
+/// # Errors
+///
+/// Returns `ShapeMismatch` unless `x` is `[rows, gamma.len()]`.
+pub(crate) fn layernorm_rows(
+    x: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+    mut cache: Option<&mut NormCache>,
+) -> Result<Tensor> {
+    let dim = gamma.len();
+    if x.rank() != 2 || x.shape()[1] != dim {
+        return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
+            left: x.shape().to_vec(),
+            right: vec![0, dim],
+        }));
+    }
+    let rows = x.shape()[0];
+    let mut out = Tensor::zeros(x.shape());
+    if let Some((x_hat, inv_std)) = cache.as_deref_mut() {
+        *x_hat = Tensor::zeros(x.shape());
+        inv_std.clear();
+        inv_std.resize(rows, 0.0);
+    }
+    for r in 0..rows {
+        let row = x.row(r);
+        let mean = row.iter().sum::<f32>() / dim as f32;
+        let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
+        let istd = 1.0 / (var + eps).sqrt();
+        if let Some((_, inv_std)) = cache.as_deref_mut() {
+            inv_std[r] = istd;
+        }
+        for cidx in 0..dim {
+            let xh = (row[cidx] - mean) * istd;
+            if let Some((x_hat, _)) = cache.as_deref_mut() {
+                x_hat.data_mut()[r * dim + cidx] = xh;
+            }
+            out.data_mut()[r * dim + cidx] = gamma[cidx] * xh + beta[cidx];
+        }
+    }
+    Ok(out)
+}
+
 impl Layer for LayerNorm {
     fn name(&self) -> &'static str {
         "layernorm"
     }
 
     fn forward(&mut self, x: &Tensor, _engines: &Engines) -> Result<Tensor> {
-        let dim = self.gamma.value.len();
-        if x.rank() != 2 || x.shape()[1] != dim {
-            return Err(NnError::Tensor(mirage_tensor::TensorError::ShapeMismatch {
-                left: x.shape().to_vec(),
-                right: vec![0, dim],
-            }));
-        }
-        let rows = x.shape()[0];
-        let mut out = Tensor::zeros(x.shape());
-        let mut x_hat = Tensor::zeros(x.shape());
-        let mut inv_std = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = x.row(r);
-            let mean = row.iter().sum::<f32>() / dim as f32;
-            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / dim as f32;
-            let istd = 1.0 / (var + self.eps).sqrt();
-            inv_std[r] = istd;
-            for cidx in 0..dim {
-                let xh = (row[cidx] - mean) * istd;
-                x_hat.data_mut()[r * dim + cidx] = xh;
-                out.data_mut()[r * dim + cidx] =
-                    self.gamma.value.data()[cidx] * xh + self.beta.value.data()[cidx];
-            }
-        }
-        self.cache = Some((x_hat, inv_std));
+        let mut captured: NormCache = (Tensor::zeros(&[0]), Vec::new());
+        let out = layernorm_rows(
+            x,
+            self.gamma.value.data(),
+            self.beta.value.data(),
+            self.eps,
+            Some(&mut captured),
+        )?;
+        self.cache = Some(captured);
         Ok(out)
     }
 
@@ -255,6 +370,14 @@ impl Layer for LayerNorm {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.gamma);
         f(&mut self.beta);
+    }
+
+    fn compile(&self, _engines: &Engines) -> Result<Box<dyn PlanStep>> {
+        Ok(Box::new(LayerNormStep {
+            gamma: self.gamma.value.data().to_vec(),
+            beta: self.beta.value.data().to_vec(),
+            eps: self.eps,
+        }))
     }
 }
 

@@ -171,21 +171,56 @@ pub fn conv2d_forward(
     let cols = im2col(input, geo)?; // (b*oh*ow, ckk)
     let wmat = weight.reshape(&[geo.out_channels, geo.patch_len()])?;
     let out = engine.gemm(&cols, &wmat.transpose2d()?)?; // (b*oh*ow, oc)
+    patches_to_nchw(out.data(), b, geo.out_channels, oh, ow)
+}
 
-    // Permute (b, oh, ow, oc) -> (b, oc, oh, ow).
-    let mut perm = vec![0.0f32; b * geo.out_channels * oh * ow];
-    let od = out.data();
+/// [`conv2d_forward`] against a weight prepared once via
+/// [`GemmEngine::prepare`] on the **transposed** `[ckk, oc]` weight
+/// matrix (`weight.reshape([oc, ckk]).transpose2d()`): only the im2col
+/// patches touch the engine's quantizer, the B-side state is reused from
+/// the preparation. Bit-identical to [`conv2d_forward`] on the weight
+/// the value was prepared from — this is the convolution step of a
+/// compiled inference plan.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the prepared matrix does
+/// not have shape `[patch_len, out_channels]`, plus the usual shape and
+/// engine errors.
+pub fn conv2d_forward_prepared(
+    input: &Tensor,
+    prepared: &crate::PreparedRhs,
+    geo: &Conv2dGeometry,
+    engine: &dyn GemmEngine,
+) -> Result<Tensor> {
+    if prepared.k() != geo.patch_len() || prepared.n() != geo.out_channels {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![prepared.k(), prepared.n()],
+            right: vec![geo.patch_len(), geo.out_channels],
+        });
+    }
+    let b = input.shape()[0];
+    let (oh, ow) = geo.output_size(input.shape()[2], input.shape()[3])?;
+    let cols = im2col(input, geo)?;
+    let out = engine.gemm_prepared(&cols, prepared)?;
+    patches_to_nchw(out.data(), b, geo.out_channels, oh, ow)
+}
+
+/// Permutes GEMM output rows `(b*oh*ow, oc)` into `[b, oc, oh, ow]` —
+/// the layout step shared by the eager and prepared conv forwards.
+fn patches_to_nchw(od: &[f32], b: usize, oc_n: usize, oh: usize, ow: usize) -> Result<Tensor> {
+    let mut perm = vec![0.0f32; b * oc_n * oh * ow];
     for bi in 0..b {
         for oy in 0..oh {
             for ox in 0..ow {
-                let src = ((bi * oh + oy) * ow + ox) * geo.out_channels;
-                for oc in 0..geo.out_channels {
-                    perm[((bi * geo.out_channels + oc) * oh + oy) * ow + ox] = od[src + oc];
+                let src = ((bi * oh + oy) * ow + ox) * oc_n;
+                for oc in 0..oc_n {
+                    perm[((bi * oc_n + oc) * oh + oy) * ow + ox] = od[src + oc];
                 }
             }
         }
     }
-    Tensor::from_vec(perm, &[b, geo.out_channels, oh, ow])
+    Tensor::from_vec(perm, &[b, oc_n, oh, ow])
 }
 
 /// Gradients of a convolution given upstream `d_out: [b, oc, oh, ow]`.

@@ -40,9 +40,12 @@ fn flat_gemm<T: Copy>(
     col_start: usize,
     m: usize,
     n: usize,
-) -> Vec<f32> {
+    out: &mut Vec<f32>,
+) {
     let groups = a_packed.groups_per_row();
-    let mut out = vec![0.0f32; m * n];
+    out.clear();
+    out.resize(m * n, 0.0);
+    let out = out.as_mut_slice();
     // Per-block B-side scale factors, shared by every row of A.
     let mut bexp2 = vec![0.0f64; groups * J_BLOCK];
     for j0 in (0..n).step_by(J_BLOCK) {
@@ -62,23 +65,22 @@ fn flat_gemm<T: Copy>(
         let g = a_packed.config().group_size();
         match (jw == J_BLOCK, g) {
             (true, 8) => flat_block::<T, J_BLOCK, 8>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
             ),
             (true, 16) => flat_block::<T, J_BLOCK, 16>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
             ),
             (true, 32) => flat_block::<T, J_BLOCK, 32>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
             ),
             (true, 64) => flat_block::<T, J_BLOCK, 64>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
             ),
             _ => flat_block_dyn(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, jw, m, n, &mut out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, jw, m, n, out,
             ),
         }
     }
-    out
 }
 
 /// One full-width column block of [`flat_gemm`], `JW` **and** the group
@@ -307,6 +309,22 @@ impl BfpEngine {
         col_start: usize,
         n: usize,
     ) -> Result<Tensor> {
+        let mut out = Vec::new();
+        let m = self.gemm_with_packed_into(a, cols, col_start, n, &mut out)?;
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`BfpEngine::gemm_with_packed`] writing into a caller buffer —
+    /// the allocation-free entry point behind
+    /// [`GemmEngine::gemm_prepared_into`]. Returns `m`.
+    fn gemm_with_packed_into(
+        &self,
+        a: &Tensor,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        n: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
         let (m, k) = (a.shape()[0], a.shape()[1]);
         if cols.k() != k {
             return Err(TensorError::DimMismatch {
@@ -319,10 +337,18 @@ impl BfpEngine {
         // Narrowest exact integer path available: the i16 shadow (SIMD
         // dot idiom), then i32 accumulation, then widening i64 — all
         // producing the same exact group integers.
-        let out = match (a_packed.mantissas_i16(), cols.mantissas_i16(), fits_i32) {
-            (Some(a16), Some(b16), true) => {
-                flat_gemm(&a_packed, cols, a16, b16, group_dot_i16, col_start, m, n)
-            }
+        match (a_packed.mantissas_i16(), cols.mantissas_i16(), fits_i32) {
+            (Some(a16), Some(b16), true) => flat_gemm(
+                &a_packed,
+                cols,
+                a16,
+                b16,
+                group_dot_i16,
+                col_start,
+                m,
+                n,
+                out,
+            ),
             (_, _, true) => flat_gemm(
                 &a_packed,
                 cols,
@@ -332,6 +358,7 @@ impl BfpEngine {
                 col_start,
                 m,
                 n,
+                out,
             ),
             _ => flat_gemm(
                 &a_packed,
@@ -342,9 +369,10 @@ impl BfpEngine {
                 col_start,
                 m,
                 n,
+                out,
             ),
-        };
-        Tensor::from_vec(out, &[m, n])
+        }
+        Ok(m)
     }
 }
 
@@ -417,6 +445,32 @@ impl GemmEngine for BfpEngine {
                 self.gemm_with_packed(a, &state.packed, state.col_start, n)
             }
             _ => self.gemm(a, b.raw()),
+        }
+    }
+
+    /// The flat kernel writes straight into the caller's buffer: at
+    /// steady state a serving thread's recycled scratch absorbs the
+    /// output with no allocation. Bit-identical to
+    /// [`BfpEngine::gemm_prepared`].
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (_m, _k, n) = gemm_dims(a, b.raw())?;
+        match b.state_for::<PreparedBfpCols>(self.name()) {
+            Some(state) if state.config == self.config && state.col_count == n => {
+                let m = self.gemm_with_packed_into(a, &state.packed, state.col_start, n, out)?;
+                Ok((m, n))
+            }
+            _ => {
+                let y = self.gemm(a, b.raw())?;
+                let m = y.shape()[0];
+                out.clear();
+                out.extend_from_slice(y.data());
+                Ok((m, n))
+            }
         }
     }
 }

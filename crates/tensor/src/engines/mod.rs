@@ -156,6 +156,35 @@ pub trait GemmEngine: Send + Sync {
         self.gemm(a, b.raw())
     }
 
+    /// [`GemmEngine::gemm_prepared`] with an out-parameter: writes the
+    /// `m × n` result row-major into `out` (cleared first) and returns
+    /// `(m, n)`. Serving loops pass a recycled buffer from a
+    /// [`crate::scratch::ActivationScratch`] so steady-state inference
+    /// reuses the same allocations request after request.
+    ///
+    /// The default implementation computes [`GemmEngine::gemm_prepared`]
+    /// and copies the result into `out`, preserving the caller's
+    /// allocation for reuse; engines whose kernels already materialize a
+    /// flat output buffer override this to write into `out` directly.
+    /// Either way the contents are **bit-identical** to
+    /// [`GemmEngine::gemm_prepared`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`GemmEngine::gemm_prepared`].
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let y = self.gemm_prepared(a, b)?;
+        let (m, n) = (y.shape()[0], y.shape()[1]);
+        out.clear();
+        out.extend_from_slice(y.data());
+        Ok((m, n))
+    }
+
     /// Lifts the engine onto the tiled multi-threaded driver with the
     /// automatic tile/thread heuristic ([`TileConfig::auto`]).
     fn parallel(self) -> ParallelGemm<Self>
@@ -204,6 +233,15 @@ impl<E: GemmEngine + ?Sized> GemmEngine for std::sync::Arc<E> {
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         (**self).gemm_prepared(a, b)
     }
+
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        (**self).gemm_prepared_into(a, b, out)
+    }
 }
 
 impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
@@ -234,6 +272,15 @@ impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
 
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         (**self).gemm_prepared(a, b)
+    }
+
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        (**self).gemm_prepared_into(a, b, out)
     }
 }
 

@@ -174,6 +174,25 @@ mod tests {
     }
 
     #[test]
+    fn default_gemm_prepared_into_reuses_the_caller_buffer() {
+        let a = Tensor::full(&[4, 3], 0.5);
+        let b = Tensor::full(&[3, 5], 2.0);
+        let p = ExactEngine.prepare(&b).unwrap();
+        let mut out = Vec::with_capacity(64);
+        let ptr = out.as_ptr();
+        assert_eq!(
+            ExactEngine.gemm_prepared_into(&a, &p, &mut out).unwrap(),
+            (4, 5)
+        );
+        assert_eq!(out, ExactEngine.gemm(&a, &b).unwrap().data());
+        assert_eq!(
+            out.as_ptr(),
+            ptr,
+            "the default impl must write into the caller's allocation"
+        );
+    }
+
+    #[test]
     fn debug_is_informative() {
         let p = BfpEngine::new(BfpConfig::mirage_default())
             .prepare(&Tensor::zeros(&[4, 4]))

@@ -172,6 +172,22 @@ impl RnsBfpEngine {
         col_start: usize,
         n: usize,
     ) -> Result<Tensor> {
+        let mut out = Vec::new();
+        let m = self.gemm_with_packed_into(a, cols, col_start, n, &mut out)?;
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`RnsBfpEngine::gemm_with_packed`] writing into a caller buffer —
+    /// the allocation-free entry point behind
+    /// [`GemmEngine::gemm_prepared_into`]. Returns `m`.
+    fn gemm_with_packed_into(
+        &self,
+        a: &Tensor,
+        cols: &PackedRnsMatrix,
+        col_start: usize,
+        n: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
         let (m, k) = (a.shape()[0], a.shape()[1]);
         if cols.k != k {
             return Err(TensorError::DimMismatch {
@@ -186,18 +202,19 @@ impl RnsBfpEngine {
         let a_rns =
             PackedRnsMatrix::from_packed(&BfpEngine::pack_rows_wide(a, self.config), &self.moduli);
 
-        let mut out = vec![0.0f32; m * n];
+        out.clear();
+        out.resize(m * n, 0.0);
         // The paper's 3-modulus special sets get a monomorphized kernel
         // (fixed channel count, and a constant group length for the
         // common `g`); everything else takes the generic loop. All
         // variants accumulate groups in ascending order per output
         // element, so results are bit-identical across dispatches.
         match (moduli.len(), a_rns.g) {
-            (3, 16) => self.rns_blocks::<16>(&a_rns, cols, col_start, m, n, &mut out),
-            (3, 32) => self.rns_blocks::<32>(&a_rns, cols, col_start, m, n, &mut out),
-            _ => self.rns_generic(&a_rns, cols, col_start, m, n, &mut out),
+            (3, 16) => self.rns_blocks::<16>(&a_rns, cols, col_start, m, n, out),
+            (3, 32) => self.rns_blocks::<32>(&a_rns, cols, col_start, m, n, out),
+            _ => self.rns_generic(&a_rns, cols, col_start, m, n, out),
         }
-        Tensor::from_vec(out, &[m, n])
+        Ok(m)
     }
 
     /// The blocked 3-channel kernel: `JW` output columns per sweep,
@@ -445,6 +462,34 @@ impl GemmEngine for RnsBfpEngine {
                 self.gemm_with_packed(a, &state.packed, state.col_start, n)
             }
             _ => self.gemm(a, b.raw()),
+        }
+    }
+
+    /// The flat RNS kernel writes straight into the caller's buffer —
+    /// bit-identical to [`RnsBfpEngine::gemm_prepared`].
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (_m, _k, n) = gemm_dims(a, b.raw())?;
+        match b.state_for::<PreparedRnsCols>(self.name()) {
+            Some(state)
+                if state.config == self.config
+                    && state.moduli == self.moduli
+                    && state.col_count == n =>
+            {
+                let m = self.gemm_with_packed_into(a, &state.packed, state.col_start, n, out)?;
+                Ok((m, n))
+            }
+            _ => {
+                let y = self.gemm(a, b.raw())?;
+                let m = y.shape()[0];
+                out.clear();
+                out.extend_from_slice(y.data());
+                Ok((m, n))
+            }
         }
     }
 }

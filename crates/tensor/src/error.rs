@@ -37,6 +37,13 @@ pub enum TensorError {
     /// A convolution/pooling geometry is invalid (e.g. kernel larger than
     /// padded input).
     InvalidGeometry(String),
+    /// A serving-session lookup missed: nothing is prepared under this
+    /// layer/model key (`InferenceSession` weights, `ModelSession`
+    /// compiled models).
+    UnknownLayer {
+        /// The key that was looked up.
+        name: String,
+    },
     /// Propagated BFP error from a quantized engine.
     Bfp(mirage_bfp::BfpError),
     /// Propagated RNS error from the RNS-backed engine.
@@ -59,6 +66,13 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
             }
             TensorError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            TensorError::UnknownLayer { name } => {
+                write!(
+                    f,
+                    "unknown layer/model key {name:?}: nothing is loaded under \
+                     this key (load it into the session first)"
+                )
+            }
             TensorError::Bfp(e) => write!(f, "bfp error: {e}"),
             TensorError::Rns(e) => write!(f, "rns error: {e}"),
         }
@@ -97,6 +111,15 @@ mod tests {
         assert!(e.source().is_some());
         let e2 = TensorError::DimMismatch { left: 2, right: 3 };
         assert!(e2.source().is_none());
+    }
+
+    #[test]
+    fn unknown_layer_names_the_key() {
+        let e = TensorError::UnknownLayer {
+            name: "resnet/fc".into(),
+        };
+        assert!(e.to_string().contains("resnet/fc"), "{e}");
+        assert!(e.source().is_none());
     }
 
     #[test]

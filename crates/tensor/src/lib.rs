@@ -42,11 +42,13 @@ pub mod engines;
 mod error;
 pub mod parallel;
 pub mod quant;
+pub mod scratch;
 mod tensor;
 
 pub use engines::{GemmEngine, PreparedRhs};
 pub use error::TensorError;
 pub use parallel::{ParallelGemm, TileConfig};
+pub use scratch::ActivationScratch;
 pub use tensor::Tensor;
 
 /// Result alias for fallible tensor operations.

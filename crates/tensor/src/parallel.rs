@@ -421,6 +421,23 @@ impl<E: GemmEngine> ParallelGemm<E> {
         (m, k, n): (usize, usize, usize),
         threads: usize,
     ) -> Result<Tensor> {
+        let mut out = Vec::new();
+        self.fan_out_into(a, b_raw, b_prepared, (m, k, n), threads, &mut out)?;
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// [`ParallelGemm::fan_out`] writing into a caller buffer (cleared
+    /// and resized to `m × n` first) — the threaded half of
+    /// [`GemmEngine::gemm_prepared_into`].
+    fn fan_out_into(
+        &self,
+        a: &Tensor,
+        b_raw: &Tensor,
+        b_prepared: Option<&PreparedRhs>,
+        (m, k, n): (usize, usize, usize),
+        threads: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
         // Row-band height: explicit tile_m, or one equal band per worker.
         // Equal heights keep the workers balanced; the shared prepared B
         // means band count no longer multiplies quantization work.
@@ -493,7 +510,8 @@ impl<E: GemmEngine> ParallelGemm<E> {
             owned_tiles.iter().map(|(c0, tile)| (*c0, tile)).collect()
         };
 
-        let mut out = vec![0.0f32; m * n];
+        out.clear();
+        out.resize(m * n, 0.0);
         let mut per_worker: Vec<Vec<(usize, &mut [f32])>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (index, chunk) in out.chunks_mut(band_height * n).enumerate() {
@@ -517,8 +535,7 @@ impl<E: GemmEngine> ParallelGemm<E> {
                 handle.join().expect("GEMM worker panicked")?;
             }
             Ok(())
-        })?;
-        Tensor::from_vec(out, &[m, n])
+        })
     }
 
     /// Whether this `(m, k, n)` problem should skip the threaded path.
@@ -596,6 +613,25 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
             return self.inner.gemm_prepared(a, b);
         }
         self.fan_out(a, b.raw(), Some(b), (m, k, n), threads)
+    }
+
+    /// The threaded driver writing into a caller buffer: small problems
+    /// delegate to the wrapped engine's `gemm_prepared_into`, large ones
+    /// fan out and have the workers fill the buffer in place —
+    /// bit-identical to [`ParallelGemm::gemm_prepared`] either way.
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (m, k, n) = gemm_dims(a, b.raw())?;
+        if self.serial_fallback(m, k, n) || self.config.effective_threads() <= 1 {
+            return self.inner.gemm_prepared_into(a, b, out);
+        }
+        let threads = self.config.effective_threads();
+        self.fan_out_into(a, b.raw(), Some(b), (m, k, n), threads, out)?;
+        Ok((m, n))
     }
 }
 

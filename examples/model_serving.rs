@@ -1,0 +1,86 @@
+//! Compiled model serving: freeze a network once, serve it from many
+//! threads with zero per-request weight quantization.
+//!
+//! ```sh
+//! cargo run --example model_serving
+//! ```
+
+use mirage::models::serving::transformer_ff_proxy;
+use mirage::tensor::{ActivationScratch, Tensor};
+use mirage::Mirage;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mirage = Mirage::paper_default();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+
+    // A runnable stand-in for the Transformer zoo workload's FF stack
+    // (scaled to keep the example quick).
+    let mut net = transformer_ff_proxy(256, 2, 10, &mut rng);
+    let engines = mirage.training_engines();
+    println!("model: {net:?}");
+
+    // Freeze it: every GEMM weight is transposed + quantized exactly once.
+    let t0 = Instant::now();
+    let compiled = mirage.compile(&net)?;
+    println!(
+        "compiled {} steps in {:.2} ms: {:?}",
+        compiled.len(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        compiled.step_names()
+    );
+
+    // Bit-identity: compilation is a caching transformation, never a
+    // numerical one.
+    let x = Tensor::randn(&[8, 256], 1.0, &mut rng);
+    let eager = net.forward(&x, &engines)?;
+    assert_eq!(compiled.run(&x)?.data(), eager.data());
+    println!("compiled output is bit-identical to the eager forward pass");
+
+    // Single-thread serving loop: eager vs compiled.
+    let reps = 20;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        net.forward(&x, &engines)?;
+    }
+    let eager_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let mut scratch = ActivationScratch::new();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        compiled.run_with(&x, &mut scratch)?;
+    }
+    let compiled_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    println!(
+        "eager {eager_ms:.2} ms/request vs compiled {compiled_ms:.2} ms/request \
+         ({:.1}x)",
+        eager_ms / compiled_ms
+    );
+
+    // The plan is Sync and lock-free on the hot path: threads share it.
+    let served: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (compiled, x, eager) = (&compiled, &x, &eager);
+                s.spawn(move || {
+                    let mut scratch = ActivationScratch::new();
+                    for _ in 0..reps {
+                        let y = compiled.run_with(x, &mut scratch).expect("serves");
+                        assert_eq!(y.data(), eager.data());
+                    }
+                    reps
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    println!("{served} requests served concurrently from one compiled model");
+
+    // Or keep models in a session, keyed by name.
+    let session = mirage.model_session();
+    session.load("transformer-ff", &net)?;
+    let y = session.run("transformer-ff", &x)?;
+    assert_eq!(y.data(), eager.data());
+    println!("ModelSession serves {:?} bit-identically", "transformer-ff");
+    Ok(())
+}

@@ -44,4 +44,5 @@ pub use mirage_photonics as photonics;
 pub use mirage_rns as rns;
 pub use mirage_tensor as tensor;
 
-pub use mirage_core::{InferenceSession, Mirage, PhotonicGemmEngine};
+pub use mirage_core::{InferenceSession, Mirage, ModelSession, PhotonicGemmEngine};
+pub use mirage_nn::CompiledNetwork;
