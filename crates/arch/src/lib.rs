@@ -21,7 +21,8 @@
 //! - [`sram`] — the interleaved SRAM subsystem (§IV-C).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod breakdown;
 pub mod compare;

@@ -24,7 +24,8 @@
 //! | Compiled-model serving trajectory | `serving_bench` (`BENCH_serving.json`) |
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod counting;
 pub mod experiments;

@@ -26,7 +26,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 mod block;
 mod config;

@@ -121,6 +121,7 @@ impl PackedBfpMatrix {
     ///
     /// Returns [`BfpError::LengthMismatch`] unless
     /// `data.len() == rows * k`.
+    // mirage-lint: no_alloc
     pub fn quantize_rows_into(&mut self, data: &[f32], rows: usize, k: usize) -> Result<()> {
         if data.len() != rows * k {
             return Err(BfpError::LengthMismatch {
@@ -449,8 +450,15 @@ fn quantize_row_const<const G: usize>(
     }
 }
 
+// The three group-dot kernels below are the innermost loops of every
+// packed GEMM: pure integer multiply-accumulate over quantized
+// mantissae. Any floating point here would silently break the exact
+// BFP arithmetic (paper §IV-B), so the region is machine-checked.
+// mirage-lint: region(int_kernel)
+
 /// Exact integer dot of two equal-length mantissa slices with an `i64`
 /// accumulator — the general path, safe for every operating point.
+// mirage-lint: no_alloc
 #[inline]
 pub fn group_dot(a: &[i32], b: &[i32]) -> i64 {
     debug_assert_eq!(a.len(), b.len());
@@ -466,6 +474,7 @@ pub fn group_dot(a: &[i32], b: &[i32]) -> i64 {
 /// [`PackedBfpMatrix::dot_fits_i32`]) — the caller's contract. Narrower
 /// arithmetic lets the autovectorizer keep twice as many lanes per
 /// register, which is most of the flat kernel's speedup.
+// mirage-lint: no_alloc
 #[inline]
 pub fn group_dot_i32(a: &[i32], b: &[i32]) -> i64 {
     debug_assert_eq!(a.len(), b.len());
@@ -480,6 +489,7 @@ pub fn group_dot_i32(a: &[i32], b: &[i32]) -> i64 {
 /// shadow: the `i16 × i16 → i32` multiply-accumulate is the SIMD dot
 /// idiom (`pmaddwd`), packing twice as many lanes again. Same caller
 /// contract as [`group_dot_i32`]; same exact integer result.
+// mirage-lint: no_alloc
 #[inline]
 pub fn group_dot_i16(a: &[i16], b: &[i16]) -> i64 {
     debug_assert_eq!(a.len(), b.len());
@@ -489,6 +499,8 @@ pub fn group_dot_i16(a: &[i16], b: &[i16]) -> i64 {
     }
     i64::from(acc)
 }
+
+// mirage-lint: end_region(int_kernel)
 
 #[cfg(test)]
 mod tests {

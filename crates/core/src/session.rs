@@ -9,7 +9,19 @@ use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::scratch::ActivationScratch;
 use mirage_tensor::{GemmEngine, PreparedRhs, Result, Tensor, TensorError};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a session cache map, recovering it from a poisoned mutex.
+///
+/// The guarded maps are only ever mutated through single `HashMap`
+/// operations that keep them structurally valid, so a panic on another
+/// request thread cannot leave partial state behind — serving continues
+/// on the intact map instead of cascading the panic (the serving path
+/// is panic-free by contract; see `mirage-lint`'s `panic-in-serving`
+/// rule).
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// An inference session over the Mirage arithmetic that quantizes each
 /// weight matrix **once** and reuses the preparation for every
@@ -84,10 +96,7 @@ impl InferenceSession {
     /// rank-2 matrix.
     pub fn load(&self, layer: impl Into<String>, weight: &Tensor) -> Result<()> {
         let prepared = Arc::new(self.engine.prepare(weight)?);
-        self.cache
-            .lock()
-            .expect("weight cache poisoned")
-            .insert(layer.into(), prepared);
+        lock_recover(&self.cache).insert(layer.into(), prepared);
         Ok(())
     }
 
@@ -98,9 +107,7 @@ impl InferenceSession {
     /// Returns [`TensorError::UnknownLayer`] naming the missing key when
     /// nothing is loaded under it.
     fn cached(&self, layer: &str) -> Result<Arc<PreparedRhs>> {
-        self.cache
-            .lock()
-            .expect("weight cache poisoned")
+        lock_recover(&self.cache)
             .get(layer)
             .cloned()
             .ok_or_else(|| TensorError::UnknownLayer {
@@ -165,15 +172,12 @@ impl InferenceSession {
 
     /// Whether a weight is loaded under `layer`.
     pub fn contains(&self, layer: &str) -> bool {
-        self.cache
-            .lock()
-            .expect("weight cache poisoned")
-            .contains_key(layer)
+        lock_recover(&self.cache).contains_key(layer)
     }
 
     /// Number of cached layer weights.
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("weight cache poisoned").len()
+        lock_recover(&self.cache).len()
     }
 
     /// Whether the cache is empty.
@@ -184,16 +188,12 @@ impl InferenceSession {
     /// Drops the cached weight for `layer`, returning whether one was
     /// present.
     pub fn evict(&self, layer: &str) -> bool {
-        self.cache
-            .lock()
-            .expect("weight cache poisoned")
-            .remove(layer)
-            .is_some()
+        lock_recover(&self.cache).remove(layer).is_some()
     }
 
     /// Drops every cached weight.
     pub fn clear(&self) {
-        self.cache.lock().expect("weight cache poisoned").clear();
+        lock_recover(&self.cache).clear();
     }
 }
 
@@ -291,10 +291,7 @@ impl ModelSession {
         net: &Sequential,
     ) -> mirage_nn::Result<Arc<CompiledNetwork>> {
         let compiled = Arc::new(net.compile(&self.engines)?);
-        self.models
-            .lock()
-            .expect("model cache poisoned")
-            .insert(name.into(), Arc::clone(&compiled));
+        lock_recover(&self.models).insert(name.into(), Arc::clone(&compiled));
         Ok(compiled)
     }
 
@@ -305,9 +302,7 @@ impl ModelSession {
     ///
     /// Returns [`TensorError::UnknownLayer`] naming the missing key.
     pub fn model(&self, name: &str) -> Result<Arc<CompiledNetwork>> {
-        self.models
-            .lock()
-            .expect("model cache poisoned")
+        lock_recover(&self.models)
             .get(name)
             .cloned()
             .ok_or_else(|| TensorError::UnknownLayer {
@@ -356,15 +351,12 @@ impl ModelSession {
 
     /// Whether a model is loaded under `name`.
     pub fn contains(&self, name: &str) -> bool {
-        self.models
-            .lock()
-            .expect("model cache poisoned")
-            .contains_key(name)
+        lock_recover(&self.models).contains_key(name)
     }
 
     /// Number of cached models.
     pub fn len(&self) -> usize {
-        self.models.lock().expect("model cache poisoned").len()
+        lock_recover(&self.models).len()
     }
 
     /// Whether the cache is empty.
@@ -375,16 +367,12 @@ impl ModelSession {
     /// Drops the model cached under `name`, returning whether one was
     /// present (in-flight requests holding the `Arc` finish unharmed).
     pub fn evict(&self, name: &str) -> bool {
-        self.models
-            .lock()
-            .expect("model cache poisoned")
-            .remove(name)
-            .is_some()
+        lock_recover(&self.models).remove(name).is_some()
     }
 
     /// Drops every cached model.
     pub fn clear(&self) {
-        self.models.lock().expect("model cache poisoned").clear();
+        lock_recover(&self.models).clear();
     }
 }
 

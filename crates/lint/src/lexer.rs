@@ -1,0 +1,521 @@
+//! A small but real Rust lexer.
+//!
+//! The rules in this crate reason about *code* tokens only, so the lexer
+//! has to get the hard cases right: nested block comments, raw strings
+//! (`r#"…"#` with any number of hashes), byte and raw-byte strings, char
+//! literals vs lifetimes (`'a'` vs `&'a`), numeric literals with
+//! suffixes, and doc comments. A banned identifier inside a string or a
+//! comment must never surface as a token; a directive inside a string
+//! must never be honoured.
+//!
+//! The lexer is deliberately tolerant: it never fails. Anything it does
+//! not understand becomes a one-character [`TokenKind::Punct`] token,
+//! which no rule matches on beyond exact text.
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `f64`, `unwrap`, …).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// A character or byte literal, quotes included.
+    Char,
+    /// A string literal of any flavour, delimiters included.
+    Str,
+    /// An integer literal (any base, with or without suffix).
+    Int,
+    /// A floating-point literal (`1.0`, `1.`, `1e3`, `2f32`, …).
+    Float,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One code token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's exact source text.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// One comment (line, block, or doc) with position metadata, kept
+/// separately from the token stream so directives can be parsed from
+/// comments and *only* from comments.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// Whether the comment is the first non-whitespace on its line
+    /// (a standalone comment, as opposed to a trailing one).
+    pub own_line: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source into code tokens and comments. Never fails.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_has_token: false,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Whether a token (not a comment) has been emitted on the current line.
+    line_has_token: bool,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(&c) = self.src.get(self.pos) {
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.line_has_token = false;
+                    self.pos += 1;
+                }
+                c if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(0) => self.raw_string(0),
+                b'b' if self.peek(1) == Some(b'"') => self.string(1),
+                b'b' if self.peek(1) == Some(b'r') && self.raw_string_ahead(1) => {
+                    self.raw_string(1)
+                }
+                b'b' if self.peek(1) == Some(b'\'') => self.char_literal(1),
+                b'"' => self.string(0),
+                b'\'' => self.quote(),
+                c if c.is_ascii_digit() => self.number(),
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances past one byte, tracking newlines (used inside multi-line
+    /// tokens such as block comments and strings).
+    fn bump(&mut self) {
+        if self.src.get(self.pos) == Some(&b'\n') {
+            self.line += 1;
+            self.line_has_token = false;
+        }
+        self.pos += 1;
+    }
+
+    fn text(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        let text = self.text(start);
+        self.out.tokens.push(Token { kind, text, line });
+        self.line_has_token = true;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = !self.line_has_token;
+        while let Some(&c) = self.src.get(self.pos) {
+            if c == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start),
+            line,
+            own_line,
+        });
+    }
+
+    /// Block comments nest: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let own_line = !self.line_has_token;
+        let mut depth = 0usize;
+        while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            text: self.text(start),
+            line,
+            own_line,
+        });
+    }
+
+    /// Whether `r"` or `r#…#"` starts at `pos + offset` (offset skips a
+    /// `b` prefix).
+    fn raw_string_ahead(&self, offset: usize) -> bool {
+        let mut i = self.pos + offset + 1; // past the `r`
+        while self.src.get(i) == Some(&b'#') {
+            i += 1;
+        }
+        self.src.get(i) == Some(&b'"')
+    }
+
+    /// Lexes `r"…"`, `r#"…"#`, `br##"…"##`, … `prefix_len` is the number
+    /// of bytes before the `r` (1 for byte raw strings).
+    fn raw_string(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix_len + 1; // past (b)r
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            if self.peek(0) == Some(b'"') {
+                let mut closing = 0usize;
+                while closing < hashes && self.src.get(self.pos + 1 + closing) == Some(&b'#') {
+                    closing += 1;
+                }
+                if closing == hashes {
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::Str, start, line);
+    }
+
+    /// Lexes a normal (or byte) string literal with escapes.
+    fn string(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix_len + 1; // past (b)"
+        while let Some(&c) = self.src.get(self.pos) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Str, start, line);
+    }
+
+    /// Lexes a `b'…'` byte literal (the `'` handling below covers plain
+    /// char literals and lifetimes).
+    fn char_literal(&mut self, prefix_len: usize) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += prefix_len + 1; // past b'
+        self.finish_char(start, line);
+    }
+
+    /// Disambiguates `'` between a char literal and a lifetime:
+    ///
+    /// - `'a'`, `'\n'`, `'\u{1F600}'`, `'(' `→ char literal;
+    /// - `'a`, `'static` (ident not followed by a closing `'`) → lifetime.
+    fn quote(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1; // past '
+        match self.peek(0) {
+            Some(b'\\') => self.finish_char(start, line),
+            Some(c) if c == b'_' || c.is_ascii_alphanumeric() => {
+                // Could be `'a'` (char) or `'a` / `'abc` (lifetime): scan
+                // the identifier, then look for a closing quote.
+                let mut i = self.pos;
+                while matches!(self.src.get(i), Some(&c) if c == b'_' || c.is_ascii_alphanumeric())
+                {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'\'') && i == self.pos + 1 {
+                    // Exactly one character then a quote: char literal.
+                    self.pos = i + 1;
+                    self.emit(TokenKind::Char, start, line);
+                } else {
+                    self.pos = i;
+                    self.emit(TokenKind::Lifetime, start, line);
+                }
+            }
+            // `'('`, `' '`, `'.'` …: single non-ident char literal.
+            Some(_) => self.finish_char(start, line),
+            None => self.emit(TokenKind::Punct, start, line),
+        }
+    }
+
+    /// Consumes the remainder of a char literal (after the opening
+    /// quote), handling escapes, and emits it.
+    fn finish_char(&mut self, start: usize, line: u32) {
+        while let Some(&c) = self.src.get(self.pos) {
+            match c {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'\'' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.emit(TokenKind::Char, start, line);
+    }
+
+    /// Lexes a numeric literal and classifies it as int or float.
+    ///
+    /// Floats: a fractional part (`1.0`, `1.`), an exponent (`1e5`), or
+    /// an `f32`/`f64` suffix (`2f64`). `0x1f` stays an int (hex digits),
+    /// `1..2` stays an int followed by a range, and `1.max(2)`-style
+    /// method syntax keeps the `.` out of the literal.
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut float = false;
+        let radix_prefix = matches!(
+            (self.peek(0), self.peek(1)),
+            (Some(b'0'), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        );
+        if radix_prefix {
+            self.pos += 2;
+            while matches!(self.src.get(self.pos), Some(&c) if c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.pos += 1;
+            }
+            self.emit(TokenKind::Int, start, line);
+            return;
+        }
+        while matches!(self.src.get(self.pos), Some(&c) if c.is_ascii_digit() || c == b'_') {
+            self.pos += 1;
+        }
+        // Fractional part?
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let is_range = after == Some(b'.');
+            let is_method = matches!(after, Some(c) if c == b'_' || c.is_ascii_alphabetic());
+            if !is_range && !is_method {
+                float = true;
+                self.pos += 1;
+                while matches!(self.src.get(self.pos), Some(&c) if c.is_ascii_digit() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent?
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let mut i = self.pos + 1;
+            if matches!(self.src.get(i), Some(b'+' | b'-')) {
+                i += 1;
+            }
+            if matches!(self.src.get(i), Some(c) if c.is_ascii_digit()) {
+                float = true;
+                self.pos = i;
+                while matches!(self.src.get(self.pos), Some(&c) if c.is_ascii_digit() || c == b'_')
+                {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Suffix (`u32`, `f64`, …).
+        let suffix_start = self.pos;
+        while matches!(self.src.get(self.pos), Some(&c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        let suffix = &self.src[suffix_start..self.pos];
+        if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+            float = true;
+        }
+        let kind = if float {
+            TokenKind::Float
+        } else {
+            TokenKind::Int
+        };
+        self.emit(kind, start, line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while matches!(self.src.get(self.pos), Some(&c) if c == b'_' || c.is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        self.emit(TokenKind::Ident, start, line);
+    }
+
+    fn punct(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        self.emit(TokenKind::Punct, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_comment() {
+        let lexed = lex("a /* x /* y */ z */ b");
+        assert_eq!(lexed.tokens.len(), 2);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, "/* x /* y */ z */");
+    }
+
+    #[test]
+    fn raw_strings_swallow_banned_tokens() {
+        let lexed = lex(r##"let s = r#"calls unwrap( and f64"#;"##);
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "f64"));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'a'; fn f<'a>(x: &'a str) {}");
+        assert!(toks.contains(&(TokenKind::Char, "'a'".into())));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Lifetime && t == "'a")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn float_classification() {
+        for (src, kind) in [
+            ("1.0", TokenKind::Float),
+            ("1.", TokenKind::Float),
+            ("1e5", TokenKind::Float),
+            ("2.5e-3", TokenKind::Float),
+            ("7f64", TokenKind::Float),
+            ("3f32", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("0x1f", TokenKind::Int),
+            ("0b1010", TokenKind::Int),
+            ("9u64", TokenKind::Int),
+        ] {
+            assert_eq!(kinds(src)[0].0, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn range_and_method_calls_stay_integers() {
+        let toks = kinds("for i in 1..20 { x = i.max(3); }");
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let lexed = lex("/// calls unwrap()\n//! and f64\n/** and panic!() */\nfn x() {}");
+        assert_eq!(lexed.comments.len(), 3);
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "f64"));
+    }
+
+    #[test]
+    fn trailing_vs_own_line_comments() {
+        let lexed = lex("let x = 1; // trailing\n// own line\nlet y = 2;");
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lexed = lex(r##"let a = b"unwrap("; let b = br#"f64"#;"##);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Str)
+                .count(),
+            2
+        );
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.text != "unwrap" && t.text != "f64"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let lexed = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! The `mirage-lint` binary: walks the workspace, prints findings, and
+//! exits nonzero when any unwaived finding remains.
+//!
+//! ```text
+//! mirage-lint [--root PATH] [--json PATH] [--quiet]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` active findings, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mirage_lint::{lint_workspace, walk};
+
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a path argument")?,
+                ));
+            }
+            "--json" => {
+                args.json = Some(PathBuf::from(
+                    it.next().ok_or("--json requires a path argument")?,
+                ));
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => {
+                println!(
+                    "mirage-lint: workspace invariant checker\n\n\
+                     USAGE: mirage-lint [--root PATH] [--json PATH] [--quiet]\n\n\
+                     --root PATH   workspace root (default: nearest [workspace] Cargo.toml)\n\
+                     --json PATH   also write a machine-readable report to PATH\n\
+                     --quiet       print only the summary line"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("mirage-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match args.root {
+        Some(root) => root,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match walk::find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "mirage-lint: no [workspace] Cargo.toml above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mirage-lint: failed to lint {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+        if !report.findings.is_empty() {
+            println!();
+        }
+    }
+    println!(
+        "mirage-lint: {} file(s), {} finding(s) — {} active, {} waived",
+        report.files_scanned,
+        report.findings.len(),
+        report.active_count(),
+        report.waived_count()
+    );
+    if let Some(path) = args.json {
+        if let Err(err) = std::fs::write(&path, report.to_json()) {
+            eprintln!("mirage-lint: failed to write {}: {err}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("mirage-lint: report written to {}", path.display());
+    }
+    if report.active_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,461 @@
+//! The five workspace rules, applied to one file at a time.
+//!
+//! | rule | trigger | scope |
+//! |------|---------|-------|
+//! | `float-in-kernel` | `f32`/`f64` idents, float literals, float-returning std method calls | `region(int_kernel)` regions |
+//! | `alloc-in-no-alloc` | `Vec::new`/`with_capacity`, `Box::new`, `String::from`, `.push/.collect/.to_vec/.to_owned/.clone`, `format!`, `vec!` | functions marked `no_alloc` |
+//! | `panic-in-serving` | `.unwrap()`, `.expect()`, `panic!`, `assert!`/`assert_eq!`/`assert_ne!`, `todo!`, `unimplemented!`, `unreachable!` (`debug_assert!` stays legal) | non-test code of the serving modules |
+//! | `engine-contract` | `impl … GemmEngine` overriding `prepare` without `gemm_prepared` + `gemm_prepared_into` + `prepare_tile` | every file |
+//! | `crate-hygiene` | missing `#![forbid(unsafe_code)]` / standard deny set | crate roots |
+//!
+//! Waivers: `// mirage-lint: allow(<key>) -- <reason>` on the offending
+//! line (trailing) or on the line directly above (standalone) waives
+//! that line's findings for the matching rule. The reason is mandatory.
+
+use crate::directives::{parse_directives, Directive, DirectiveKind};
+use crate::lexer::{lex, Token, TokenKind};
+use crate::report::{Finding, Rule};
+use crate::scan::{scan, ScanInfo};
+
+/// The serving modules rule 3 protects (workspace-relative paths).
+pub const SERVING_MODULES: [&str; 3] = [
+    "crates/nn/src/compile.rs",
+    "crates/core/src/session.rs",
+    "crates/tensor/src/parallel.rs",
+];
+
+/// The standard crate-root attribute block rule 5 requires, in the
+/// normalized (whitespace-free) form the scanner produces.
+pub const REQUIRED_CRATE_ATTRS: [&str; 3] = [
+    "#![forbid(unsafe_code)]",
+    "#![deny(missing_docs)]",
+    "#![deny(unused_must_use)]",
+];
+
+/// Region name with int-kernel (rule 1) semantics.
+const INT_KERNEL: &str = "int_kernel";
+
+/// Std float methods banned inside `int_kernel` regions (each returns a
+/// float or only exists on floats).
+const FLOAT_METHODS: [&str; 24] = [
+    "powf",
+    "powi",
+    "sqrt",
+    "cbrt",
+    "exp",
+    "exp2",
+    "exp_m1",
+    "ln",
+    "ln_1p",
+    "log",
+    "log2",
+    "log10",
+    "sin",
+    "cos",
+    "tan",
+    "asin",
+    "acos",
+    "atan",
+    "atan2",
+    "sinh",
+    "cosh",
+    "tanh",
+    "hypot",
+    "to_degrees",
+];
+
+/// Methods banned inside `no_alloc` functions.
+const ALLOC_METHODS: [&str; 5] = ["push", "collect", "to_vec", "to_owned", "clone"];
+
+/// Macros banned in serving modules (`debug_assert*` is intentionally
+/// absent: debug-only checks cost nothing in release serving builds).
+const PANIC_MACROS: [&str; 7] = [
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "todo",
+    "unimplemented",
+    "unreachable",
+];
+
+/// How a file participates in the path-scoped rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileClass {
+    /// The file is a crate root (`src/lib.rs` of a workspace member):
+    /// rule 5 applies.
+    pub crate_root: bool,
+    /// The file is a serving module: rule 3 applies.
+    pub serving: bool,
+}
+
+/// Classifies a workspace-relative path (forward-slash form).
+pub fn classify(rel: &str) -> FileClass {
+    let crate_root = rel == "src/lib.rs" || {
+        let parts: Vec<&str> = rel.split('/').collect();
+        parts.len() == 4 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "lib.rs"
+    };
+    FileClass {
+        crate_root,
+        serving: SERVING_MODULES.contains(&rel),
+    }
+}
+
+/// Lints one file's source, returning every finding (waived included).
+pub fn lint_source(rel: &str, source: &str, class: FileClass) -> Vec<Finding> {
+    let lexed = lex(source);
+    let info = scan(&lexed.tokens);
+    let directives = parse_directives(&lexed.comments);
+    let mut findings = Vec::new();
+
+    directive_findings(rel, &directives, &mut findings);
+    let regions = int_kernel_regions(rel, &directives, &mut findings);
+    float_in_kernel(rel, &lexed.tokens, &regions, &mut findings);
+    no_alloc(rel, &lexed.tokens, &info, &directives, &mut findings);
+    if class.serving {
+        panic_in_serving(rel, &lexed.tokens, &info, &mut findings);
+    }
+    engine_contract(rel, &info, &mut findings);
+    if class.crate_root {
+        crate_hygiene(rel, &info, &mut findings);
+    }
+
+    apply_waivers(&lexed.tokens, &directives, &mut findings);
+    findings
+}
+
+/// Reports malformed directives and reason-less waivers.
+fn directive_findings(rel: &str, directives: &[Directive], findings: &mut Vec<Finding>) {
+    for d in directives {
+        match &d.kind {
+            DirectiveKind::Malformed(msg) => {
+                findings.push(Finding::new(rel, d.line, Rule::Directive, msg.clone()));
+            }
+            DirectiveKind::Allow { key, reason: None } => {
+                findings.push(Finding::new(
+                    rel,
+                    d.line,
+                    Rule::Directive,
+                    format!("allow({key}) without a reason: write `allow({key}) -- <why>`"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Pairs `region(int_kernel)` / `end_region(int_kernel)` markers into
+/// exclusive line intervals, reporting unbalanced markers.
+fn int_kernel_regions(
+    rel: &str,
+    directives: &[Directive],
+    findings: &mut Vec<Finding>,
+) -> Vec<(u32, u32)> {
+    let mut stack: Vec<u32> = Vec::new();
+    let mut regions = Vec::new();
+    for d in directives {
+        match &d.kind {
+            DirectiveKind::Region(name) if name == INT_KERNEL => stack.push(d.line),
+            DirectiveKind::Region(name) => findings.push(Finding::new(
+                rel,
+                d.line,
+                Rule::Directive,
+                format!("unknown region {name:?} (known: {INT_KERNEL:?})"),
+            )),
+            DirectiveKind::EndRegion(name) if name == INT_KERNEL => match stack.pop() {
+                Some(start) => regions.push((start, d.line)),
+                None => findings.push(Finding::new(
+                    rel,
+                    d.line,
+                    Rule::Directive,
+                    "end_region(int_kernel) without a matching region marker",
+                )),
+            },
+            DirectiveKind::EndRegion(name) => findings.push(Finding::new(
+                rel,
+                d.line,
+                Rule::Directive,
+                format!("unknown region {name:?} in end_region"),
+            )),
+            _ => {}
+        }
+    }
+    for start in stack {
+        findings.push(Finding::new(
+            rel,
+            start,
+            Rule::Directive,
+            "region(int_kernel) is never closed (missing end_region)",
+        ));
+    }
+    regions
+}
+
+/// Rule 1: no float types, float literals, or float std calls inside
+/// `int_kernel` regions.
+fn float_in_kernel(
+    rel: &str,
+    tokens: &[Token],
+    regions: &[(u32, u32)],
+    findings: &mut Vec<Finding>,
+) {
+    if regions.is_empty() {
+        return;
+    }
+    let in_region = |line: u32| {
+        regions
+            .iter()
+            .any(|&(start, end)| line > start && line < end)
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        if !in_region(t.line) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                findings.push(Finding::new(
+                    rel,
+                    t.line,
+                    Rule::FloatInKernel,
+                    format!("float type `{}` inside an int_kernel region", t.text),
+                ));
+            }
+            TokenKind::Ident
+                if FLOAT_METHODS.contains(&t.text.as_str())
+                    && i > 0
+                    && tokens[i - 1].text == "."
+                    && tokens.get(i + 1).is_some_and(|n| n.text == "(") =>
+            {
+                findings.push(Finding::new(
+                    rel,
+                    t.line,
+                    Rule::FloatInKernel,
+                    format!(
+                        "float-returning std call `.{}()` inside an int_kernel region",
+                        t.text
+                    ),
+                ));
+            }
+            TokenKind::Float => {
+                findings.push(Finding::new(
+                    rel,
+                    t.line,
+                    Rule::FloatInKernel,
+                    format!("float literal `{}` inside an int_kernel region", t.text),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule 2: `no_alloc` functions must not contain allocating calls.
+fn no_alloc(
+    rel: &str,
+    tokens: &[Token],
+    info: &ScanInfo,
+    directives: &[Directive],
+    findings: &mut Vec<Finding>,
+) {
+    for d in directives {
+        if d.kind != DirectiveKind::NoAlloc {
+            continue;
+        }
+        // The directive marks the next `fn` below it.
+        let Some(f) = info
+            .fns
+            .iter()
+            .filter(|f| f.line > d.line)
+            .min_by_key(|f| f.line)
+        else {
+            findings.push(Finding::new(
+                rel,
+                d.line,
+                Rule::Directive,
+                "no_alloc directive is not followed by a function",
+            ));
+            continue;
+        };
+        let (start, end) = f.body;
+        let body = &tokens[start..end.min(tokens.len())];
+        for (i, t) in body.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| body[p].text.as_str());
+            let next = body.get(i + 1).map(|n| n.text.as_str());
+            let message = match t.text.as_str() {
+                // `Vec::new`, `Vec::with_capacity`, `Box::new`,
+                // `String::from`, `String::new` — path form.
+                "Vec" | "Box" | "String"
+                    if next == Some(":")
+                        && matches!(
+                            body.get(i + 3).map(|m| m.text.as_str()),
+                            Some("new" | "with_capacity" | "from")
+                        ) =>
+                {
+                    Some(format!(
+                        "`{}::{}` allocates inside `{}` (marked no_alloc)",
+                        t.text,
+                        body[i + 3].text,
+                        f.name
+                    ))
+                }
+                // `.push(…)`, `.collect::<…>()`, `.to_vec()`, `.clone()`.
+                m if ALLOC_METHODS.contains(&m)
+                    && prev == Some(".")
+                    && matches!(next, Some("(" | ":")) =>
+                {
+                    Some(format!(
+                        "`.{}` allocates inside `{}` (marked no_alloc)",
+                        t.text, f.name
+                    ))
+                }
+                // `format!`, `vec!`.
+                "format" | "vec" if next == Some("!") => Some(format!(
+                    "`{}!` allocates inside `{}` (marked no_alloc)",
+                    t.text, f.name
+                )),
+                _ => None,
+            };
+            if let Some(message) = message {
+                findings.push(Finding::new(rel, t.line, Rule::AllocInNoAlloc, message));
+            }
+        }
+    }
+}
+
+/// Rule 3: no panicking constructs in non-test serving code.
+fn panic_in_serving(rel: &str, tokens: &[Token], info: &ScanInfo, findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident || info.in_test_code(i) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+        let next = tokens.get(i + 1).map(|n| n.text.as_str());
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev == Some(".") && next == Some("(") => {
+                findings.push(Finding::new(
+                    rel,
+                    t.line,
+                    Rule::PanicInServing,
+                    format!(
+                        "`.{}()` can panic on the serving path — propagate an error instead",
+                        t.text
+                    ),
+                ));
+            }
+            m if PANIC_MACROS.contains(&m) && next == Some("!") => {
+                findings.push(Finding::new(
+                    rel,
+                    t.line,
+                    Rule::PanicInServing,
+                    format!(
+                        "`{m}!` can panic on the serving path (debug_assert! is the \
+                         permitted form for invariants)"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Rule 4: any `GemmEngine` impl overriding `prepare` must override the
+/// whole prepared surface, or prepared state silently degrades (a tile
+/// or an `_into` call would fall back to default re-quantization).
+fn engine_contract(rel: &str, info: &ScanInfo, findings: &mut Vec<Finding>) {
+    const REQUIRED: [&str; 3] = ["gemm_prepared", "gemm_prepared_into", "prepare_tile"];
+    for imp in &info.impls {
+        if !imp.trait_idents.iter().any(|t| t == "GemmEngine")
+            || info.in_test_code(imp.impl_token)
+            || !imp.methods.iter().any(|m| m == "prepare")
+        {
+            continue;
+        }
+        let missing: Vec<&str> = REQUIRED
+            .iter()
+            .copied()
+            .filter(|r| !imp.methods.iter().any(|m| m == r))
+            .collect();
+        if !missing.is_empty() {
+            findings.push(Finding::new(
+                rel,
+                imp.line,
+                Rule::EngineContract,
+                format!(
+                    "`impl GemmEngine for {}` overrides `prepare` but not {} — \
+                     prepared state would silently degrade on those paths",
+                    imp.type_name,
+                    missing
+                        .iter()
+                        .map(|m| format!("`{m}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 5: crate roots carry the standard forbid/deny block.
+fn crate_hygiene(rel: &str, info: &ScanInfo, findings: &mut Vec<Finding>) {
+    for required in REQUIRED_CRATE_ATTRS {
+        if !info.inner_attrs.iter().any(|a| a == required) {
+            findings.push(Finding::new(
+                rel,
+                1,
+                Rule::CrateHygiene,
+                format!("crate root is missing `{required}`"),
+            ));
+        }
+    }
+}
+
+/// Marks findings covered by a reasoned `allow(...)` directive as
+/// waived. Waivers are line-scoped: a trailing directive covers its own
+/// line, a standalone one covers the next code line. `hygiene_ok` alone
+/// is file-scoped, since rule 5 findings anchor to the file itself.
+fn apply_waivers(tokens: &[Token], directives: &[Directive], findings: &mut [Finding]) {
+    struct Waiver<'a> {
+        key: &'a str,
+        reason: &'a str,
+        covered_line: u32,
+    }
+    let mut waivers = Vec::new();
+    for d in directives {
+        if let DirectiveKind::Allow {
+            key,
+            reason: Some(reason),
+        } = &d.kind
+        {
+            let covered_line = if d.own_line {
+                tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > d.line)
+                    .unwrap_or(d.line)
+            } else {
+                d.line
+            };
+            waivers.push(Waiver {
+                key,
+                reason,
+                covered_line,
+            });
+        }
+    }
+    for f in findings.iter_mut() {
+        let Some(key) = f.rule.waiver_key() else {
+            continue;
+        };
+        let file_scoped = matches!(f.rule, Rule::CrateHygiene);
+        if let Some(w) = waivers
+            .iter()
+            .find(|w| w.key == key && (file_scoped || w.covered_line == f.line))
+        {
+            f.waived = true;
+            f.reason = Some(w.reason.to_string());
+        }
+    }
+}

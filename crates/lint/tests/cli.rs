@@ -1,0 +1,58 @@
+//! The `mirage-lint` binary's exit-code contract: green (0) on the real
+//! workspace, red (1) on the seeded-violation fixture workspace, and a
+//! machine-readable JSON report either way.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mirage-lint"))
+}
+
+#[test]
+fn red_on_the_seeded_workspace_with_json_report() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded");
+    let json = std::env::temp_dir().join("mirage-lint-seeded-report.json");
+    let out = bin()
+        .args(["--root"])
+        .arg(&root)
+        .arg("--json")
+        .arg(&json)
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "seeded violations must exit 1; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let report = std::fs::read_to_string(&json).expect("JSON report written");
+    assert!(report.contains("\"rule\": \"float-in-kernel\""));
+    assert!(report.contains("\"rule\": \"crate-hygiene\""));
+    let _ = std::fs::remove_file(&json);
+}
+
+#[test]
+fn green_on_the_real_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let out = bin()
+        .args(["--root"])
+        .arg(&root)
+        .arg("--quiet")
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "the real workspace must lint clean; stdout:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("0 active"), "{summary}");
+}
+
+#[test]
+fn usage_error_exits_2() {
+    let out = bin().arg("--frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,23 @@
+//! Fixture: deliberate allocations inside a `no_alloc` function.
+//! Expected: 5 active `alloc-in-no-alloc` findings + 1 waived.
+//! Never compiled — consumed via `include_str!` by `rules_fire.rs`.
+
+/// Unmarked: free to allocate, no findings.
+pub fn cold() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+
+// mirage-lint: no_alloc
+/// Each allocating call below must fire; the waived `format!` must not.
+pub fn hot(xs: &[u32], out: &mut Vec<u32>) {
+    let staged = Vec::with_capacity(xs.len());
+    let doubled: Vec<u32> = xs.iter().map(|&x| x * 2).collect();
+    let copy = xs.to_vec();
+    out.push(doubled.len() as u32);
+    let boxed = Box::new(xs.len());
+    // mirage-lint: allow(alloc_ok) -- fixture: demonstrates a reasoned waiver
+    let tagged = format!("{}-{:?}", copy.len(), boxed);
+    drop((staged, tagged));
+}

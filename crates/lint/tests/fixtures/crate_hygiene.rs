@@ -1,0 +1,10 @@
+//! Fixture: a crate root missing two of the three required attributes.
+//! Expected: 2 active `crate-hygiene` findings when classified as a
+//! crate root, zero when classified as an ordinary module.
+//! Never compiled — consumed via `include_str!` by `rules_fire.rs`.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::needless_range_loop)]
+
+/// The lone public item.
+pub fn documented() {}

@@ -1,0 +1,56 @@
+//! Fixture: a `GemmEngine` impl overriding `prepare` without the rest
+//! of the prepared surface. Expected: exactly 1 active
+//! `engine-contract` finding, anchored at the `Partial` impl and naming
+//! `gemm_prepared_into` and `prepare_tile`; the `Complete` impl and the
+//! non-engine trait must stay silent.
+//! Never compiled — consumed via `include_str!` by `rules_fire.rs`.
+
+pub struct Partial;
+pub struct Complete;
+pub struct Unrelated;
+
+impl GemmEngine for Partial {
+    fn name(&self) -> &'static str {
+        "partial"
+    }
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        prepare_impl(b)
+    }
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        gemm_impl(a, b)
+    }
+}
+
+impl GemmEngine for Complete {
+    fn name(&self) -> &'static str {
+        "complete"
+    }
+    fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
+        prepare_impl(b)
+    }
+    fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
+        gemm_impl(a, b)
+    }
+    fn gemm_prepared_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        into_impl(a, b, out)
+    }
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        tile_impl(whole, c0, width)
+    }
+}
+
+impl SomeOtherTrait for Unrelated {
+    fn prepare(&self) -> u32 {
+        0
+    }
+}

@@ -1,0 +1,25 @@
+//! Fixture: deliberate floats inside an `int_kernel` region.
+//! Expected: 3 active `float-in-kernel` findings + 1 waived.
+//! Never compiled — consumed via `include_str!` by `rules_fire.rs`.
+
+/// Outside any region: floats are free here, no findings.
+pub fn outside(a: &[i32]) -> f32 {
+    a.iter().sum::<i32>() as f32
+}
+
+// mirage-lint: region(int_kernel)
+
+/// The `f64` return type, the `0.5` literal and the `.sqrt()` call must
+/// each fire; the waived cast below must come back waived, not active.
+pub fn dirty(a: &[i32]) -> f64 {
+    let mut acc = 0i64;
+    for &x in a {
+        acc += i64::from(x) * i64::from(x);
+    }
+    // mirage-lint: allow(float_ok) -- fixture: demonstrates a reasoned waiver
+    let as_float = acc as f64;
+    let scaled = as_float * 0.5;
+    scaled.sqrt()
+}
+
+// mirage-lint: end_region(int_kernel)

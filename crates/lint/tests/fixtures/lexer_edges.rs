@@ -1,0 +1,43 @@
+//! Fixture: lexer edge cases. This file is saturated with banned
+//! tokens — but only inside comments, doc comments, raw strings, byte
+//! strings and char literals — so it must produce ZERO findings even
+//! with every rule armed at once (int_kernel region spanning the whole
+//! file, no_alloc markers, and serving-module classification).
+//! Prose decoys: f64, 0.5, .sqrt(), x.unwrap(), panic!("doc").
+//! Never compiled — consumed via `include_str!` by `lexer_edges.rs`.
+
+// mirage-lint: region(int_kernel)
+
+/* Nested /* block /* comments */ mentioning f64, 0.5 */ and .sqrt( */
+
+/// Doc decoys: `x.unwrap()`, `panic!("no")`, `vec![0.0f64]`, `0.5f32`.
+pub fn raw_strings<'a>(x: &'a str) -> (&'a str, char, u8) {
+    let s = r#"f64 0.5 .unwrap() panic!("p") Vec::new() format!("q")"#;
+    let nested = r##"outer r#"inner f32"# still the same string"##;
+    let bytes = b"f64 in a byte string 0.5";
+    let byte = b'f';
+    let c = '\u{1F600}';
+    let escaped = '\'';
+    let lifetime_not_char: &'a str = x;
+    let _ = (s, nested, bytes, escaped);
+    (lifetime_not_char, c, byte)
+}
+
+// A string literal is NOT a comment: this directive must be ignored.
+pub fn directive_in_string() -> &'static str {
+    "// mirage-lint: end_region(int_kernel) -- not a real directive"
+}
+
+// mirage-lint: no_alloc
+/// Ranges and int method calls must not read as float literals, and
+/// `0.5e1`-shaped decoys live only in this doc line.
+pub fn int_edges(n: usize) -> usize {
+    let mut total = 0usize;
+    for i in 0..n {
+        total += i.max(1);
+    }
+    let pair = (1, 2.min(3));
+    total + pair.1
+}
+
+// mirage-lint: end_region(int_kernel)

@@ -1,0 +1,30 @@
+//! Fixture: deliberate panics in (what the test presents as) a serving
+//! module. Expected: 4 active `panic-in-serving` findings + 1 waived;
+//! the `debug_assert!` and the test-module `unwrap` must stay silent.
+//! Never compiled — consumed via `include_str!` by `rules_fire.rs`.
+
+/// Serving entry exercising every banned construct once.
+pub fn serve(x: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    let w = x.expect("value");
+    assert!(v > 0);
+    if v == 9 {
+        panic!("nine");
+    }
+    debug_assert!(w < 1_000);
+    // mirage-lint: allow(panic_ok) -- fixture: demonstrates a reasoned waiver
+    let z = x.unwrap();
+    v + w + z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::serve;
+
+    #[test]
+    fn unwrap_in_tests_is_legal() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert_eq!(serve(v), 9);
+    }
+}

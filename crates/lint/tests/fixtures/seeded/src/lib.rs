@@ -1,0 +1,9 @@
+//! Seeded crate root: deliberately missing `#![deny(missing_docs)]`
+//! and `#![deny(unused_must_use)]` — 2 active `crate-hygiene` findings.
+
+#![forbid(unsafe_code)]
+
+/// Entry point of the seeded workspace.
+pub fn seeded() -> u32 {
+    41
+}

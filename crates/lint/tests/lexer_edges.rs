@@ -1,0 +1,111 @@
+//! Lexer edge cases: the fixture is saturated with banned tokens in
+//! comments, doc comments, raw strings, byte strings and char literals
+//! — none may fire even with every rule armed at once.
+
+use mirage_lint::lexer::{lex, TokenKind};
+use mirage_lint::{classify, lint_source, FileClass};
+
+#[test]
+fn edge_fixture_produces_zero_findings() {
+    let src = include_str!("fixtures/lexer_edges.rs");
+    // Classified as a serving module so the panic rule is armed too;
+    // the fixture also opens an int_kernel region and no_alloc marks.
+    let rel = "crates/tensor/src/parallel.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn nested_block_comments_swallow_banned_tokens() {
+    let src = "// mirage-lint: region(int_kernel)\n\
+               /* outer /* inner f64 0.5 */ still comment .sqrt( */\n\
+               pub fn f(x: i32) -> i32 { x }\n\
+               // mirage-lint: end_region(int_kernel)\n";
+    let findings = lint_source("k.rs", src, FileClass::default());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn raw_strings_swallow_banned_tokens() {
+    let src = "// mirage-lint: region(int_kernel)\n\
+               pub fn f() -> &'static str {\n\
+                   r##\"x.unwrap() f64 panic!(\"no\") 0.5 r#\"inner\"#\"##\n\
+               }\n\
+               // mirage-lint: end_region(int_kernel)\n";
+    let rel = "crates/core/src/session.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn directives_inside_strings_are_not_honoured() {
+    // If the string "opened" a region, the f64 below would fire.
+    let src = "pub fn f() -> &'static str {\n\
+                   \"// mirage-lint: region(int_kernel)\"\n\
+               }\n\
+               pub fn g(x: f64) -> f64 { x * 0.5 }\n";
+    let findings = lint_source("k.rs", src, FileClass::default());
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn char_literals_are_not_lifetimes() {
+    let lexed = lex("let c = 'a'; let r: &'a i32 = &0; let e = '\\''; f::<'b>()");
+    let chars = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Char)
+        .count();
+    let lifetimes = lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Lifetime)
+        .count();
+    assert_eq!(chars, 2, "{:#?}", lexed.tokens);
+    assert_eq!(lifetimes, 2, "{:#?}", lexed.tokens);
+}
+
+#[test]
+fn doc_comments_with_banned_tokens_stay_silent() {
+    let src = "//! Module docs mention f64, 0.5, .sqrt() and x.unwrap().\n\
+               // mirage-lint: region(int_kernel)\n\
+               /// Doc: `x.unwrap()` panics; `0.5f64.sqrt()` is float.\n\
+               pub fn serve(x: u32) -> u32 { x }\n\
+               // mirage-lint: end_region(int_kernel)\n";
+    let rel = "crates/core/src/session.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn int_ranges_and_methods_are_not_float_literals() {
+    let lexed = lex("for i in 0..10 { let x = 2.min(3); let y = v.0; }");
+    assert!(
+        lexed.tokens.iter().all(|t| t.kind != TokenKind::Float),
+        "{:#?}",
+        lexed.tokens
+    );
+}
+
+#[test]
+fn float_literals_classify_correctly() {
+    for (src, floats) in [
+        ("1.0", 1),
+        ("1.5e3", 1),
+        ("2f32", 1),
+        ("3f64", 1),
+        ("0x1f", 0),  // hex digits, not a float suffix
+        ("1_000", 0), // separator int
+        ("1.", 1),    // trailing-dot float, as in `let x = 1.;`
+        ("1..2", 0),  // range, not a fraction
+        ("x.0", 0),   // tuple index, not a fraction
+    ] {
+        let lexed = lex(src);
+        let got = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Float)
+            .count();
+        assert_eq!(got, floats, "source {src:?}: {:#?}", lexed.tokens);
+    }
+}

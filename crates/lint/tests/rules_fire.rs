@@ -1,0 +1,177 @@
+//! Every rule must fire on its failing fixture — a gate that cannot go
+//! red proves nothing by being green — and reasoned waivers must come
+//! back waived with the reason recorded.
+
+use mirage_lint::{classify, lint_source, lint_workspace, FileClass, Finding, Rule};
+use std::path::Path;
+
+fn active(findings: &[Finding], rule: Rule) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.waived)
+        .count()
+}
+
+fn waived(findings: &[Finding], rule: Rule) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.waived)
+        .count()
+}
+
+#[test]
+fn float_in_kernel_fires() {
+    let src = include_str!("fixtures/float_in_kernel.rs");
+    let findings = lint_source("crates/x/src/kernel.rs", src, FileClass::default());
+    assert_eq!(active(&findings, Rule::FloatInKernel), 3, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::FloatInKernel), 1, "{findings:#?}");
+    let w = findings.iter().find(|f| f.waived).expect("one waived");
+    assert!(
+        w.reason
+            .as_deref()
+            .unwrap_or("")
+            .contains("reasoned waiver"),
+        "waiver reason must be recorded, got {:?}",
+        w.reason
+    );
+    // The `outside` fn's floats are not in any region: only the three
+    // in-region tokens (return type, literal, `.sqrt()`) fire.
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains(".sqrt()") && !f.waived));
+}
+
+#[test]
+fn alloc_in_no_alloc_fires() {
+    let src = include_str!("fixtures/alloc_in_no_alloc.rs");
+    let findings = lint_source("crates/x/src/hot.rs", src, FileClass::default());
+    assert_eq!(active(&findings, Rule::AllocInNoAlloc), 5, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::AllocInNoAlloc), 1, "{findings:#?}");
+    // The unmarked `cold` fn allocates freely: every finding names `hot`.
+    assert!(findings
+        .iter()
+        .filter(|f| f.rule == Rule::AllocInNoAlloc)
+        .all(|f| f.message.contains("`hot`")));
+}
+
+#[test]
+fn panic_in_serving_fires() {
+    let src = include_str!("fixtures/panic_in_serving.rs");
+    let rel = "crates/nn/src/compile.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::PanicInServing), 4, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::PanicInServing), 1, "{findings:#?}");
+    // `debug_assert!` and the `#[cfg(test)]` module's unwrap stay
+    // silent: no finding is *about* debug_assert (the `assert!` message
+    // merely recommends it), and none lands past the test module start.
+    assert!(!findings
+        .iter()
+        .any(|f| f.message.starts_with("`debug_assert")));
+    let test_mod_line = src
+        .lines()
+        .position(|l| l.contains("#[cfg(test)]"))
+        .expect("fixture has a test module") as u32
+        + 1;
+    assert!(findings.iter().all(|f| f.line < test_mod_line));
+}
+
+#[test]
+fn panic_rule_is_path_scoped() {
+    let src = include_str!("fixtures/panic_in_serving.rs");
+    let rel = "crates/nn/src/train.rs"; // not a serving module
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::PanicInServing), 0, "{findings:#?}");
+}
+
+#[test]
+fn engine_contract_fires() {
+    let src = include_str!("fixtures/engine_contract.rs");
+    let findings = lint_source("crates/x/src/engine.rs", src, FileClass::default());
+    let hits: Vec<&Finding> = findings
+        .iter()
+        .filter(|f| f.rule == Rule::EngineContract)
+        .collect();
+    assert_eq!(hits.len(), 1, "{findings:#?}");
+    assert!(hits[0].message.contains("Partial"));
+    assert!(hits[0].message.contains("`gemm_prepared_into`"));
+    assert!(hits[0].message.contains("`prepare_tile`"));
+    assert!(!hits[0].message.contains("`gemm_prepared`,"));
+}
+
+#[test]
+fn crate_hygiene_fires_on_crate_roots_only() {
+    let src = include_str!("fixtures/crate_hygiene.rs");
+    let rel = "crates/demo/src/lib.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::CrateHygiene), 2, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("deny(missing_docs)")));
+
+    let module = lint_source(
+        "crates/demo/src/other.rs",
+        src,
+        classify("crates/demo/src/other.rs"),
+    );
+    assert_eq!(active(&module, Rule::CrateHygiene), 0, "{module:#?}");
+}
+
+#[test]
+fn hygiene_ok_waiver_is_file_scoped() {
+    let src = "//! Docs.\n\
+               // mirage-lint: allow(hygiene_ok) -- fixture: demo root opts out of the full block\n\
+               pub fn f() {}\n";
+    let rel = "crates/demo/src/lib.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::CrateHygiene), 0, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::CrateHygiene), 3, "{findings:#?}");
+}
+
+#[test]
+fn reasonless_allow_is_an_active_finding() {
+    let src = "// mirage-lint: allow(float_ok)\npub fn f() {}\n";
+    let findings = lint_source("a.rs", src, FileClass::default());
+    assert_eq!(active(&findings, Rule::Directive), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("without a reason"));
+}
+
+#[test]
+fn unbalanced_region_is_an_active_finding() {
+    let open = "// mirage-lint: region(int_kernel)\npub fn f() {}\n";
+    let findings = lint_source("a.rs", open, FileClass::default());
+    assert_eq!(active(&findings, Rule::Directive), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("never closed"));
+
+    let close = "pub fn f() {}\n// mirage-lint: end_region(int_kernel)\n";
+    let findings = lint_source("a.rs", close, FileClass::default());
+    assert_eq!(active(&findings, Rule::Directive), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("without a matching region"));
+}
+
+#[test]
+fn unknown_waiver_key_is_an_active_finding() {
+    let src = "// mirage-lint: allow(everything_ok) -- please\npub fn f() {}\n";
+    let findings = lint_source("a.rs", src, FileClass::default());
+    assert_eq!(active(&findings, Rule::Directive), 1, "{findings:#?}");
+}
+
+#[test]
+fn seeded_workspace_turns_every_rule_red() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded");
+    let report = lint_workspace(&root).expect("seeded workspace lints");
+    for rule in [
+        Rule::FloatInKernel,
+        Rule::AllocInNoAlloc,
+        Rule::PanicInServing,
+        Rule::EngineContract,
+        Rule::CrateHygiene,
+    ] {
+        assert!(
+            !report.active_for(rule).is_empty(),
+            "{rule} produced no active finding in the seeded workspace"
+        );
+    }
+    assert!(report.active_count() >= 5);
+    let json = report.to_json();
+    assert!(json.contains("\"rule\": \"engine-contract\""));
+}

@@ -14,7 +14,8 @@
 //!   for the compiled-model (eager vs prepared) inference path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod datasets;
 pub mod serving;

@@ -239,10 +239,16 @@ impl PlanStep for EagerStep {
     }
 
     fn run(&self, x: &Tensor, _scratch: &mut ActivationScratch) -> Result<Tensor> {
-        self.layer
-            .lock()
-            .expect("eager step layer poisoned")
-            .forward(x, &self.engines)
+        // Unlike the session caches, a poisoned lock here is NOT
+        // recoverable: a panic mid-`forward` can leave the wrapped
+        // layer's own state inconsistent, so the step reports the
+        // error instead of serving from (or panicking on) it.
+        match self.layer.lock() {
+            Ok(mut layer) => layer.forward(x, &self.engines),
+            Err(_) => Err(NnError::PoisonedStep {
+                layer: self.name.to_string(),
+            }),
+        }
     }
 }
 

@@ -34,6 +34,14 @@ pub enum NnError {
         /// Why the layer cannot be compiled, and what to do about it.
         reason: String,
     },
+    /// An eager plan step's wrapped layer is poisoned: a previous
+    /// request panicked mid-`forward`, so the layer's internal state
+    /// may be inconsistent and the step refuses to serve from it
+    /// (recompile the network to recover).
+    PoisonedStep {
+        /// `Layer::name` of the wrapped layer.
+        layer: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -52,6 +60,13 @@ impl fmt::Display for NnError {
             NnError::Diverged => write!(f, "loss is not finite; training diverged"),
             NnError::NotCompilable { layer, reason } => {
                 write!(f, "layer {layer:?} cannot be compiled: {reason}")
+            }
+            NnError::PoisonedStep { layer } => {
+                write!(
+                    f,
+                    "eager step for layer {layer:?} is poisoned by a panicked \
+                     request; recompile the network to recover"
+                )
             }
         }
     }

@@ -34,7 +34,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 // Index-based loops keep the numeric kernels aligned with their math;
 // iterator rewrites obscure the (row, channel) structure.
 #![allow(clippy::needless_range_loop)]

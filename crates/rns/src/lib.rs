@@ -39,7 +39,8 @@
 //!   (paper §VI-E).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod convert;
 pub mod integer;

@@ -144,6 +144,12 @@ impl std::ops::Neg for Residue {
     }
 }
 
+// The forward conversion and modular dots below are the RNS half of
+// the exact-arithmetic story (paper §IV-B, Eq. 12): residues are pure
+// unsigned integers, and any floating point would break the
+// bit-identity between residue planes and the reference GEMM.
+// mirage-lint: region(int_kernel)
+
 /// Forward-converts a slice of signed integers into residues modulo
 /// `modulus` — the vectorized Fig. 2 step-2 conversion (shift-based in
 /// hardware, §IV-B) that GEMM engines use to stage operands, and
@@ -166,6 +172,7 @@ pub fn reduce_signed(values: &[i64], modulus: Modulus) -> Vec<u64> {
 /// builders convert whole mantissa matrices channel by channel and reuse
 /// one buffer per channel, so the forward conversion never allocates at
 /// steady state. The buffer is cleared first; results are appended.
+// mirage-lint: no_alloc
 pub fn reduce_signed_into(values: &[i64], modulus: Modulus, out: &mut Vec<u64>) {
     out.clear();
     out.extend(values.iter().map(|&v| modulus.reduce_i128(i128::from(v))));
@@ -208,6 +215,7 @@ pub fn dot_product(xs: &[u64], ws: &[u64], modulus: Modulus) -> Result<u64> {
 ///
 /// Panics (in debug builds) if the lengths differ or any residue is
 /// unreduced.
+// mirage-lint: no_alloc
 pub fn dot_product_trusted(xs: &[u64], ws: &[u64], modulus: Modulus) -> u64 {
     debug_assert_eq!(xs.len(), ws.len(), "residue plane slices differ");
     let m = modulus.value();
@@ -231,6 +239,8 @@ pub fn dot_product_trusted(xs: &[u64], ws: &[u64], modulus: Modulus) -> u64 {
     }
     (acc % m) as u64
 }
+
+// mirage-lint: end_region(int_kernel)
 
 #[cfg(test)]
 mod tests {

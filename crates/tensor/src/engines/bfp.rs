@@ -30,6 +30,7 @@ const J_BLOCK: usize = 16;
 /// product are powers of two within the normal `f64` range (quantizer
 /// scale exponents are bounded by the `f32` exponent span, |e| <= 172),
 /// so the product is the same exact `f64` as `pow2(ae + be)`.
+// mirage-lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 fn flat_gemm<T: Copy>(
     a_packed: &PackedBfpMatrix,
@@ -47,6 +48,7 @@ fn flat_gemm<T: Copy>(
     out.resize(m * n, 0.0);
     let out = out.as_mut_slice();
     // Per-block B-side scale factors, shared by every row of A.
+    // mirage-lint: allow(alloc_ok) -- one bexp2 staging buffer per GEMM call, outside the row loop; sized by B alone
     let mut bexp2 = vec![0.0f64; groups * J_BLOCK];
     for j0 in (0..n).step_by(J_BLOCK) {
         let jw = (n - j0).min(J_BLOCK);
@@ -86,6 +88,7 @@ fn flat_gemm<T: Copy>(
 /// One full-width column block of [`flat_gemm`], `JW` **and** the group
 /// size `G` known at compile time so both the `jj` sweeps and the inner
 /// integer dots have constant trip counts.
+// mirage-lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 #[inline(always)]
 fn flat_block<T: Copy, const JW: usize, const G: usize>(
@@ -112,10 +115,14 @@ fn flat_block<T: Copy, const JW: usize, const G: usize>(
         for gi in 0..groups {
             let base = gi * G;
             let a_g = &a_row[base..base + G];
+            // The dot sweep is pure integer by contract — the floats
+            // enter only in the scale recombination below (§V-A).
+            // mirage-lint: region(int_kernel)
             for (jj, slot) in ints.iter_mut().enumerate() {
                 let b_base = (col_start + j0 + jj) * padded + base;
                 *slot = dot(a_g, &b_m[b_base..b_base + G]);
             }
+            // mirage-lint: end_region(int_kernel)
             let pa2 = pow2(a_exps[gi]);
             for (jj, slot) in acc.iter_mut().enumerate() {
                 *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
@@ -127,6 +134,7 @@ fn flat_block<T: Copy, const JW: usize, const G: usize>(
 
 /// The ragged final column block of [`flat_gemm`]: same body with a
 /// runtime width.
+// mirage-lint: no_alloc
 #[allow(clippy::too_many_arguments)]
 fn flat_block_dyn<T: Copy>(
     a_packed: &PackedBfpMatrix,
@@ -153,10 +161,13 @@ fn flat_block_dyn<T: Copy>(
         for gi in 0..groups {
             let base = gi * g;
             let a_g = &a_row[base..base + g];
+            // Same pure-integer contract as the constant-width block.
+            // mirage-lint: region(int_kernel)
             for (jj, slot) in ints[..jw].iter_mut().enumerate() {
                 let b_base = (col_start + j0 + jj) * padded + base;
                 *slot = dot(a_g, &b_m[b_base..b_base + g]);
             }
+            // mirage-lint: end_region(int_kernel)
             let pa2 = pow2(a_exps[gi]);
             for (jj, slot) in acc[..jw].iter_mut().enumerate() {
                 *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
@@ -317,6 +328,7 @@ impl BfpEngine {
     /// [`BfpEngine::gemm_with_packed`] writing into a caller buffer —
     /// the allocation-free entry point behind
     /// [`GemmEngine::gemm_prepared_into`]. Returns `m`.
+    // mirage-lint: no_alloc
     fn gemm_with_packed_into(
         &self,
         a: &Tensor,

@@ -224,6 +224,7 @@ impl RnsBfpEngine {
     /// (the paper's operating points), the whole group pipeline is
     /// inlined over raw slices — no per-dot tier dispatch, no per-group
     /// converter call.
+    // mirage-lint: no_alloc
     fn rns_blocks<const G: usize>(
         &self,
         a_rns: &PackedRnsMatrix,
@@ -248,7 +249,9 @@ impl RnsBfpEngine {
             self.converter.small_constants(),
         ) {
             let (w0, w1, w2) = (crt.wi[0], crt.wi[1], crt.wi[2]);
-            // One `u16` group dot, reduced divide-free.
+            // One `u16` group dot, reduced divide-free. Pure integer by
+            // contract — this is the arithmetic an MMVMU performs.
+            // mirage-lint: region(int_kernel)
             #[inline(always)]
             fn dot<const G: usize>(a: &[u16], off_a: usize, b: &[u16], off_b: usize) -> u64 {
                 let mut acc = 0u32;
@@ -257,6 +260,7 @@ impl RnsBfpEngine {
                 }
                 u64::from(acc)
             }
+            // mirage-lint: end_region(int_kernel)
             let mut acc = [0.0f32; JW];
             for j0 in (0..n).step_by(JW) {
                 let jw = (n - j0).min(JW);
@@ -269,7 +273,9 @@ impl RnsBfpEngine {
                             let col = col_start + j0 + jj;
                             let b_off = cols.group_offset(col, gi);
                             // Fig. 2 steps 5-6: one modular dot per
-                            // channel…
+                            // channel… (exact integers up to the scale
+                            // recombination below)
+                            // mirage-lint: region(int_kernel)
                             let r0 = m0.fast_rem(dot::<G>(a0, a_off, b0, b_off));
                             let r1 = m1.fast_rem(dot::<G>(a1, a_off, b1, b_off));
                             let r2 = m2.fast_rem(dot::<G>(a2, a_off, b2, b_off));
@@ -285,6 +291,7 @@ impl RnsBfpEngine {
                             } else {
                                 v as i64
                             };
+                            // mirage-lint: end_region(int_kernel)
                             // …step 8, exponent recombination.
                             let pb2 = pow2(cols.scale_exp(col, gi));
                             *slot += (integer as f64 * (pa2 * pb2)) as f32;
@@ -310,6 +317,7 @@ impl RnsBfpEngine {
                         let col = col_start + j0 + jj;
                         let b_off = cols.group_offset(col, gi);
                         // Fig. 2 steps 5-6: one modular dot per channel…
+                        // mirage-lint: region(int_kernel)
                         let residues = [
                             p0.group_dot_fixed::<G>(a_off, q0, b_off, m0),
                             p1.group_dot_fixed::<G>(a_off, q1, b_off, m1),
@@ -318,7 +326,9 @@ impl RnsBfpEngine {
                         // …step 7 reverse conversion, step 8 exponent
                         // recombination (pow2(ae)·pow2(be) is the exact
                         // power of two 2^(ae+be); see the BFP kernel).
+                        // mirage-lint: allow(float_ok) -- CRT output is bounded by Eq. 13 (< 2^52), so the i64 -> f64 conversion is lossless
                         let integer = self.converter.to_signed_trusted(&residues) as f64;
+                        // mirage-lint: end_region(int_kernel)
                         let pb2 = pow2(cols.scale_exp(col, gi));
                         *slot += (integer * (pa2 * pb2)) as f32;
                     }
@@ -331,6 +341,7 @@ impl RnsBfpEngine {
     }
 
     /// The fully generic kernel: any channel count, any group size.
+    // mirage-lint: no_alloc
     fn rns_generic(
         &self,
         a_rns: &PackedRnsMatrix,
@@ -343,6 +354,7 @@ impl RnsBfpEngine {
         let moduli = self.moduli.moduli();
         let g = a_rns.g;
         // Per-group CRT scratch, hoisted out of every loop.
+        // mirage-lint: allow(alloc_ok) -- one CRT scratch vector per GEMM call, hoisted out of all three loops
         let mut residues_out = vec![0u64; moduli.len()];
         for i in 0..m {
             for j in 0..n {
@@ -353,6 +365,7 @@ impl RnsBfpEngine {
                     let b_off = cols.group_offset(col, gi);
                     // The modular dot products the MMVMUs compute
                     // (Fig. 2 steps 5-6), one per modulus channel.
+                    // mirage-lint: region(int_kernel)
                     for (channel, &modulus) in moduli.iter().enumerate() {
                         residues_out[channel] = a_rns.planes[channel].group_dot(
                             a_off,
@@ -364,7 +377,9 @@ impl RnsBfpEngine {
                     }
                     // Reverse conversion (Fig. 2 step 7) and exponent
                     // recombination (step 8).
+                    // mirage-lint: allow(float_ok) -- CRT output is bounded by Eq. 13 (< 2^52), so the i64 -> f64 conversion is lossless
                     let integer = self.converter.to_signed_trusted(&residues_out) as f64;
+                    // mirage-lint: end_region(int_kernel)
                     let scale_exp = a_rns.scale_exp(i, gi) + cols.scale_exp(col, gi);
                     acc += (integer * pow2(scale_exp)) as f32;
                 }

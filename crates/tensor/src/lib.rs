@@ -35,7 +35,8 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod conv;
 pub mod engines;

@@ -335,7 +335,12 @@ impl<E: GemmEngine> ParallelGemm<E> {
                             break;
                         }
                         let result = self.inner.gemm_prepared(&inputs[i], b);
-                        *slots[i].lock().expect("batch slot poisoned") = Some(result);
+                        // Poison recovery: each slot is written exactly
+                        // once by the worker that claimed its index, so
+                        // a panic elsewhere cannot leave it half-set.
+                        *slots[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
                     })
                 });
             }
@@ -344,7 +349,11 @@ impl<E: GemmEngine> ParallelGemm<E> {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
-                    .expect("batch slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // Provably infallible: `next.fetch_add` hands out
+                    // every index in `0..inputs.len()` exactly once, and
+                    // the scope joins all workers before we get here.
+                    // mirage-lint: allow(panic_ok) -- fetch_add claims every index exactly once before the scope joins
                     .expect("every batch index was claimed by a worker")
             })
             .collect()
@@ -504,6 +513,9 @@ impl<E: GemmEngine> ParallelGemm<E> {
         let col_tiles: Vec<(usize, &PreparedRhs)> = if tile_n >= n {
             vec![(
                 0,
+                // Provably infallible: `whole` is `Some` exactly when
+                // `b_prepared` is `None` in this branch (staged above).
+                // mirage-lint: allow(panic_ok) -- whole is staged above whenever b_prepared is None in this branch
                 b_prepared.unwrap_or_else(|| whole.as_ref().expect("prepared above")),
             )]
         } else {
@@ -532,6 +544,10 @@ impl<E: GemmEngine> ParallelGemm<E> {
                 }));
             }
             for handle in handles {
+                // Re-raising a worker panic on the caller thread is the
+                // intended behaviour: workers only panic on bugs, and
+                // swallowing the panic would return a half-filled buffer.
+                // mirage-lint: allow(panic_ok) -- intentionally re-raises a worker panic; returning would hand back a half-filled buffer
                 handle.join().expect("GEMM worker panicked")?;
             }
             Ok(())
@@ -598,6 +614,20 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
     /// driver wrapping the same engine.
     fn prepare(&self, b: &Tensor) -> Result<PreparedRhs> {
         self.inner.prepare(b)
+    }
+
+    /// Delegates tile slicing to the wrapped engine, like
+    /// [`ParallelGemm::prepare`]: the packed column-view belongs to the
+    /// arithmetic, so an outer driver wrapping this one (nested batch
+    /// drivers, shared engine stacks) slices the same shared buffers
+    /// instead of falling back to re-quantizing each tile.
+    fn prepare_tile(
+        &self,
+        whole: &PreparedRhs,
+        c0: usize,
+        width: usize,
+    ) -> Result<Option<PreparedRhs>> {
+        self.inner.prepare_tile(whole, c0, width)
     }
 
     /// The threaded driver against an already-prepared weight: every row

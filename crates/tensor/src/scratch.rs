@@ -49,6 +49,7 @@ impl ActivationScratch {
     /// reusing a recycled allocation when one is available. The buffer
     /// comes back empty (`len == 0`); fill it and move it into a
     /// [`Tensor`](crate::Tensor) via `Tensor::from_vec`.
+    // mirage-lint: no_alloc
     pub fn take(&mut self, capacity: usize) -> Vec<f32> {
         match self.free.pop() {
             Some(mut buf) => {
@@ -56,6 +57,10 @@ impl ActivationScratch {
                 buf.reserve(capacity);
                 buf
             }
+            // Cold path only: the first request of a thread's lifetime
+            // (or a plan outgrowing the pool) allocates; steady state
+            // always hits the recycled arm above.
+            // mirage-lint: allow(alloc_ok) -- first-request cold path; steady state reuses the pooled buffer
             None => Vec::with_capacity(capacity),
         }
     }

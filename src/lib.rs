@@ -33,7 +33,8 @@
 //! `crates/bench` for the per-table/figure reproduction harness.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![deny(unused_must_use)]
 
 pub use mirage_arch as arch;
 pub use mirage_bfp as bfp;
