@@ -1,0 +1,198 @@
+//! Online serving under concurrent load — the throughput/latency bench
+//! for the dynamic-batching front end.
+//!
+//! N client threads each fire a stream of single-row requests at one
+//! `ModelServer` over the Transformer feed-forward proxy (the
+//! `serving_bench` shape, hidden = 768) on the serial Mirage BFP
+//! arithmetic. The server coalesces them into dynamic batches
+//! (`max_batch` 32 / `max_delay` 1 ms, stacked execution), and this
+//! bench asserts — for **every** response, before any number is
+//! reported — that the served bits equal a per-request run of the same
+//! compiled plan, which PR 5's serving suite pins bit-identical to the
+//! eager `Sequential::forward`. A sampled subset is additionally
+//! checked against the true eager forward directly, so the chain is
+//! closed end to end inside this binary too.
+//!
+//! `--test` (smoke) mode runs one small thread count and all of the
+//! bit-identity asserts; full runs sweep the thread counts and write
+//! throughput + p50/p99 client latency to `BENCH_load.json`.
+
+use mirage_bench::{percentile_sorted, print_table, write_summary, JsonField};
+use mirage_core::serve::{BatchMode, ModelServer, ServerConfig};
+use mirage_core::Mirage;
+use mirage_models::serving::transformer_ff_proxy;
+use mirage_nn::Engines;
+use mirage_tensor::Tensor;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The zoo serving shape: Transformer hidden width and FF blocks.
+const HIDDEN: usize = 768;
+const BLOCKS: usize = 2;
+const CLASSES: usize = 10;
+/// Distinct single-row requests cycled by the clients.
+const POOL: usize = 24;
+
+struct LoadResult {
+    threads: usize,
+    requests: usize,
+    wall: Duration,
+    latencies_ms: Vec<f64>,
+    mean_batch: f64,
+    max_batch_seen: usize,
+}
+
+/// Drives `threads` client threads of `per_thread` requests each
+/// through one server, asserting every response bit-identical to the
+/// per-request expectation, and returns the client-side latency
+/// distribution.
+fn drive(
+    model: &Arc<mirage_nn::CompiledNetwork>,
+    pool: &[(Tensor, Tensor)],
+    threads: usize,
+    per_thread: usize,
+) -> LoadResult {
+    let config = ServerConfig::default()
+        .with_max_batch(32)
+        .with_max_delay(Duration::from_millis(1))
+        .with_batch_mode(BatchMode::Stack)
+        .with_queue_capacity(4096);
+    let server = ModelServer::new(Arc::clone(model), config).expect("server starts");
+    let t0 = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let server = &server;
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(per_thread);
+                    for round in 0..per_thread {
+                        let (x, expected) = &pool[(t * 7 + round) % pool.len()];
+                        let sent = Instant::now();
+                        let response = server.infer(x.clone()).expect("request served");
+                        lat.push(sent.elapsed().as_secs_f64() * 1e3);
+                        assert_eq!(
+                            response.output.data(),
+                            expected.data(),
+                            "thread {t} round {round}: batched response diverged \
+                             from the per-request forward"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+    let stats = server.stats();
+    server.join();
+    let requests = threads * per_thread;
+    assert_eq!(stats.completed, requests as u64, "requests lost under load");
+    assert_eq!(stats.failed, 0);
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LoadResult {
+        threads,
+        requests,
+        wall,
+        latencies_ms,
+        mean_batch: stats.mean_batch_size(),
+        max_batch_seen: stats.max_batch_seen,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--test");
+    let mirage = Mirage::paper_default();
+    // Serial engines: isolate batching behaviour from GEMM threading
+    // (this container has 1 CPU), matching serving_bench.
+    let engines = Engines::uniform(mirage.gemm_engine());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9001);
+    let mut net = transformer_ff_proxy(HIDDEN, BLOCKS, CLASSES, &mut rng);
+    let model = Arc::new(net.compile(&engines).expect("proxy model compiles"));
+
+    // Per-request expectations: the compiled plan run per item…
+    let pool: Vec<(Tensor, Tensor)> = (0..POOL)
+        .map(|_| {
+            let x = Tensor::randn(&[1, HIDDEN], 1.0, &mut rng);
+            let y = model.run(&x).expect("per-request forward");
+            (x, y)
+        })
+        .collect();
+    // …closed against the true eager forward on a sampled subset, so
+    // served responses == compiled per-item == eager, in this binary.
+    for (x, expected) in pool.iter().step_by(if smoke { 8 } else { 4 }) {
+        let eager = net.forward(x, &engines).expect("eager forward");
+        assert_eq!(
+            expected.data(),
+            eager.data(),
+            "compiled per-request forward diverged from eager"
+        );
+    }
+
+    let thread_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8] };
+    let per_thread = if smoke { 8 } else { 120 };
+
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+    for &threads in thread_counts {
+        let r = drive(&model, &pool, threads, per_thread);
+        let throughput = r.requests as f64 / r.wall.as_secs_f64();
+        let p50 = percentile_sorted(&r.latencies_ms, 50.0);
+        let p99 = percentile_sorted(&r.latencies_ms, 99.0);
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{}", r.requests),
+            format!("{throughput:.0}"),
+            format!("{p50:.2}"),
+            format!("{p99:.2}"),
+            format!("{:.1}", r.mean_batch),
+            format!("{}", r.max_batch_seen),
+            "yes".into(),
+        ]);
+        json.push(vec![
+            JsonField::Str("model", format!("transformer-ff-proxy-{HIDDEN}x{BLOCKS}")),
+            JsonField::Num("threads", r.threads as f64),
+            JsonField::Num("requests", r.requests as f64),
+            JsonField::Num("throughput_rps", throughput),
+            JsonField::Num("p50_ms", p50),
+            JsonField::Num("p99_ms", p99),
+            JsonField::Num("mean_batch", r.mean_batch),
+            JsonField::Num("max_batch_seen", r.max_batch_seen as f64),
+            JsonField::Num("max_batch_config", 32.0),
+            JsonField::Num("max_delay_ms", 1.0),
+        ]);
+    }
+
+    print_table(
+        "Online serving under concurrent load — dynamic batching, serial BFP",
+        &[
+            "threads",
+            "requests",
+            "req/s",
+            "p50 (ms)",
+            "p99 (ms)",
+            "mean batch",
+            "max batch",
+            "bit-identical",
+        ],
+        &rows,
+    );
+    println!("\nEvery response is asserted bit-identical to a per-request");
+    println!("forward of the same compiled plan before any number above is");
+    println!("reported; a sampled subset is additionally checked against the");
+    println!("true eager Sequential::forward.");
+
+    if smoke {
+        println!("\n--test smoke mode: single thread count; JSON skipped.");
+        return;
+    }
+    write_summary(
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_load.json"),
+        "load_bench",
+        &json,
+    );
+}

@@ -22,6 +22,7 @@
 //! | Parallel/prepared perf trajectory | `parallel_speedup` (`BENCH_parallel.json`) |
 //! | Packed-kernel perf trajectory | `kernel_microbench` (`BENCH_kernels.json`) |
 //! | Compiled-model serving trajectory | `serving_bench` (`BENCH_serving.json`) |
+//! | Online serving under concurrent load | `load_bench` (`BENCH_load.json`) |
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -30,8 +31,10 @@
 pub mod counting;
 pub mod experiments;
 pub mod json;
+pub mod stats;
 pub mod table;
 
 pub use counting::{CountingEngine, GemmCounters};
 pub use json::{write_summary, JsonField};
+pub use stats::{percentile, percentile_sorted};
 pub use table::print_table;

@@ -1,0 +1,63 @@
+//! Latency-distribution helpers for the load benchmarks: percentiles
+//! over recorded per-request latencies.
+
+/// The `p`-th percentile (0–100) of `samples` by linear interpolation
+/// between closest ranks, computed on a sorted copy. Returns 0.0 for an
+/// empty sample set; `p` is clamped to [0, 100].
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over samples the caller has already sorted ascending
+/// — use this when taking several percentiles of one distribution.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    match sorted {
+        [] => 0.0,
+        [only] => *only,
+        _ => {
+            let p = p.clamp(0.0, 100.0);
+            let rank = p / 100.0 * (sorted.len() - 1) as f64;
+            let lo = rank.floor() as usize;
+            let hi = rank.ceil() as usize;
+            let frac = rank - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 0.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let samples = [4.0, 1.0, 3.0, 2.0]; // unsorted on purpose
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert_eq!(percentile(&samples, 50.0), 2.5);
+        assert!((percentile(&samples, 25.0) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_is_clamped_and_sorted_variant_matches() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_sorted(&sorted, -5.0), 1.0);
+        assert_eq!(percentile_sorted(&sorted, 500.0), 100.0);
+        assert_eq!(percentile_sorted(&sorted, 50.0), percentile(&sorted, 50.0));
+        // p50 of 1..=100 with interpolation: (50 + 51)/2 = 50.5.
+        assert_eq!(percentile_sorted(&sorted, 50.0), 50.5);
+        assert_eq!(percentile_sorted(&sorted, 99.0), 99.01);
+    }
+}

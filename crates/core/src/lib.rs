@@ -19,6 +19,13 @@
 //!   execution plan (`mirage_nn::CompiledNetwork`) and served lock-free
 //!   from any number of threads, bit-identically to the eager forward
 //!   pass, with zero weight-side quantization per request.
+//! - [`serve`] — the online serving front end: [`serve::ModelServer`]
+//!   turns concurrent single requests into coalesced batches (bounded
+//!   queue, `max_batch`/`max_delay` dynamic batching, admission
+//!   control, per-request accounting) without ever changing a
+//!   request's bits; its [`serve::BatchPolicy`] is a pure state
+//!   machine driven by an injected [`serve::Clock`], so every flush
+//!   rule is tested on a virtual clock.
 //! - [`report`] — evaluation summaries used by the benchmark harness.
 //!
 //! GEMMs run on the tiled multi-threaded execution layer by default:
@@ -48,9 +55,11 @@ mod accelerator;
 pub mod dataflow;
 mod photonic_gemm;
 pub mod report;
+pub mod serve;
 mod session;
 
 pub use accelerator::Mirage;
 pub use dataflow::{StepTrace, TiledMvm};
 pub use photonic_gemm::PhotonicGemmEngine;
+pub use serve::{BatchMode, ModelServer, ServeError, ServerConfig, ServerStats};
 pub use session::{InferenceSession, ModelSession};

@@ -349,6 +349,31 @@ impl ModelSession {
         self.model(name)?.run_batch(inputs)
     }
 
+    /// Starts an online serving front end ([`crate::serve::ModelServer`])
+    /// over the compiled model cached under `name`: a bounded submission
+    /// queue plus a coalescing dynamic batcher, with responses
+    /// bit-identical to per-request eager forwards (see
+    /// [`crate::serve`]). The server holds its own `Arc` to the model,
+    /// so evicting or replacing `name` afterwards does not disturb it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::serve::ServeError::UnknownModel`] when nothing is
+    /// loaded under `name`, and the usual configuration/spawn errors
+    /// from [`crate::serve::ModelServer::new`].
+    pub fn server(
+        &self,
+        name: &str,
+        config: crate::serve::ServerConfig,
+    ) -> std::result::Result<crate::serve::ModelServer, crate::serve::ServeError> {
+        let model = self
+            .model(name)
+            .map_err(|_| crate::serve::ServeError::UnknownModel {
+                name: name.to_string(),
+            })?;
+        crate::serve::ModelServer::new(model, config)
+    }
+
     /// Whether a model is loaded under `name`.
     pub fn contains(&self, name: &str) -> bool {
         lock_recover(&self.models).contains_key(name)
@@ -619,6 +644,33 @@ mod model_session_tests {
         assert_eq!(
             serial.run("m", &x).unwrap().data(),
             parallel.run("m", &x).unwrap().data()
+        );
+    }
+
+    #[test]
+    fn session_server_serves_the_cached_model_bit_identically() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        let mut net = mlp(310);
+        session.load("mlp", &net).unwrap();
+        let server = session
+            .server("mlp", crate::serve::ServerConfig::default())
+            .unwrap();
+        let x = Tensor::full(&[1, 32], 0.125);
+        let eager = net.forward(&x, session.engines()).unwrap();
+        let response = server.infer(x).unwrap();
+        assert_eq!(response.output.data(), eager.data());
+        // Evicting the session entry does not disturb the live server.
+        assert!(session.evict("mlp"));
+        assert!(server.infer(Tensor::full(&[1, 32], 0.125)).is_ok());
+        server.join();
+        // An unknown name is the typed serve error.
+        let err = session
+            .server("ghost", crate::serve::ServerConfig::default())
+            .unwrap_err();
+        assert!(
+            matches!(&err, crate::serve::ServeError::UnknownModel { name } if name == "ghost"),
+            "{err:?}"
         );
     }
 

@@ -1,0 +1,172 @@
+//! Property-based tests for the dynamic-batching policy.
+//!
+//! [`BatchPolicy`] is a pure state machine, so the whole flush surface
+//! is checkable against a shadow model under a virtual clock: for
+//! **arbitrary** arrival sequences,
+//!
+//! - no admitted request waits past `max_delay` (the policy demands a
+//!   flush no later than the oldest deadline),
+//! - no batch exceeds `max_batch`,
+//! - no request is dropped or duplicated (flushed ids are exactly the
+//!   admitted ids),
+//! - FIFO order is preserved (every flush takes a prefix of the
+//!   pending queue, in arrival order).
+//!
+//! The driver mirrors how [`mirage_core::serve::ModelServer`] uses the
+//! policy: after every event it keeps flushing while the policy says
+//! `Flush`, so the policy is always observed in a settled state.
+
+use mirage_core::serve::{BatchPolicy, FlushDecision, SubmitDecision};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A shadow request: its admission id and its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Shadow {
+    id: u64,
+    deadline: Duration,
+}
+
+/// Drains the policy while it demands flushes, checking every flush
+/// against the shadow queue. Returns the flushed ids in order.
+fn settle(
+    policy: &mut BatchPolicy,
+    shadow: &mut VecDeque<Shadow>,
+    now: Duration,
+    flushed: &mut Vec<u64>,
+) -> Result<(), TestCaseError> {
+    loop {
+        match policy.on_tick(now) {
+            FlushDecision::Flush => {
+                let take = policy.on_flush();
+                prop_assert!(take >= 1, "a demanded flush must take something");
+                prop_assert!(
+                    take <= policy.max_batch(),
+                    "flush of {take} exceeds max_batch {}",
+                    policy.max_batch()
+                );
+                prop_assert!(take <= shadow.len(), "flush larger than pending");
+                // FIFO: the flush takes exactly the oldest `take` requests.
+                for _ in 0..take {
+                    let Some(s) = shadow.pop_front() else {
+                        return Err(TestCaseError::Fail("shadow queue underflow".to_string()));
+                    };
+                    flushed.push(s.id);
+                }
+            }
+            FlushDecision::WaitUntil(deadline) => {
+                // The wait target is the OLDEST pending deadline, and
+                // nothing pending is overdue (else it would be Flush).
+                let Some(front) = shadow.front() else {
+                    return Err(TestCaseError::Fail(
+                        "WaitUntil with empty shadow".to_string(),
+                    ));
+                };
+                prop_assert_eq!(deadline, front.deadline);
+                prop_assert!(
+                    now < front.deadline,
+                    "policy waits while the oldest request is overdue: \
+                     now {now:?} >= deadline {:?}",
+                    front.deadline
+                );
+                return Ok(());
+            }
+            FlushDecision::Idle => {
+                prop_assert!(shadow.is_empty(), "Idle while requests pend");
+                return Ok(());
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The full batching contract over arbitrary arrival sequences:
+    /// bounded batches, bounded waits, no drops, no duplicates, FIFO.
+    #[test]
+    fn arbitrary_arrivals_flush_in_order_within_bounds(
+        max_batch in 1usize..9,
+        capacity in 0usize..24,
+        delay_us in 1u64..5000,
+        // (advance_us, submits) event stream: time moves forward by
+        // 0..4ms, then 0..3 submissions arrive at that instant.
+        events in prop::collection::vec((0u64..4000, 0usize..3), 1..120),
+    ) {
+        let max_delay = Duration::from_micros(delay_us);
+        let mut policy = BatchPolicy::new(max_batch, max_delay, capacity);
+        let mut shadow: VecDeque<Shadow> = VecDeque::new();
+        let mut flushed: Vec<u64> = Vec::new();
+        let mut admitted: Vec<u64> = Vec::new();
+        let mut now = Duration::ZERO;
+        let mut next_id = 0u64;
+
+        for (advance_us, submits) in events {
+            now += Duration::from_micros(advance_us);
+            // Time moved: the worker re-ticks before anything else, so
+            // overdue requests flush before new arrivals join them…
+            settle(&mut policy, &mut shadow, now, &mut flushed)?;
+            for _ in 0..submits {
+                prop_assert_eq!(policy.pending(), shadow.len());
+                match policy.on_submit(now) {
+                    SubmitDecision::Rejected => {
+                        // Admission control rejects exactly at capacity.
+                        prop_assert_eq!(shadow.len(), capacity);
+                    }
+                    SubmitDecision::Admitted(_) => {
+                        prop_assert!(shadow.len() < capacity);
+                        shadow.push_back(Shadow {
+                            id: next_id,
+                            deadline: now + max_delay,
+                        });
+                        admitted.push(next_id);
+                        next_id += 1;
+                        // …and a full batch flushes on count immediately.
+                        settle(&mut policy, &mut shadow, now, &mut flushed)?;
+                    }
+                }
+            }
+            prop_assert!(policy.pending() <= capacity);
+        }
+
+        // Jump past every outstanding deadline: everything must drain.
+        now += max_delay + Duration::from_micros(1);
+        settle(&mut policy, &mut shadow, now, &mut flushed)?;
+        prop_assert_eq!(policy.pending(), 0);
+        prop_assert!(shadow.is_empty());
+
+        // No drop, no duplicate, FIFO: the flushed ids are exactly the
+        // admitted ids, in admission order.
+        prop_assert_eq!(flushed, admitted);
+    }
+
+    /// No admitted request waits past `max_delay`: whenever the driver
+    /// ticks at or after a request's deadline, the request is flushed
+    /// during that tick (the settle loop), never left pending.
+    #[test]
+    fn no_request_survives_its_deadline(
+        max_batch in 1usize..9,
+        delay_us in 1u64..5000,
+        gaps in prop::collection::vec(0u64..8000, 1..80),
+    ) {
+        let max_delay = Duration::from_micros(delay_us);
+        let mut policy = BatchPolicy::new(max_batch, max_delay, 1024);
+        let mut shadow: VecDeque<Shadow> = VecDeque::new();
+        let mut flushed: Vec<u64> = Vec::new();
+        let mut now = Duration::ZERO;
+        let mut id = 0u64;
+
+        for gap_us in gaps {
+            now += Duration::from_micros(gap_us);
+            settle(&mut policy, &mut shadow, now, &mut flushed)?;
+            // After settling, nothing pending has an expired deadline.
+            if let Some(front) = shadow.front() {
+                prop_assert!(now < front.deadline);
+            }
+            if let SubmitDecision::Admitted(_) = policy.on_submit(now) {
+                shadow.push_back(Shadow { id, deadline: now + max_delay });
+                id += 1;
+                settle(&mut policy, &mut shadow, now, &mut flushed)?;
+            }
+        }
+    }
+}

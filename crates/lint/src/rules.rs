@@ -18,8 +18,9 @@ use crate::report::{Finding, Rule};
 use crate::scan::{scan, ScanInfo};
 
 /// The serving modules rule 3 protects (workspace-relative paths).
-pub const SERVING_MODULES: [&str; 3] = [
+pub const SERVING_MODULES: [&str; 4] = [
     "crates/nn/src/compile.rs",
+    "crates/core/src/serve.rs",
     "crates/core/src/session.rs",
     "crates/tensor/src/parallel.rs",
 ];

@@ -35,3 +35,20 @@ fn workspace_has_zero_active_findings() {
         report.files_scanned
     );
 }
+
+#[test]
+fn serving_contract_covers_the_online_server() {
+    // The panic-free contract must extend to every serving-path module;
+    // losing one from the list silently un-protects it.
+    for file in [
+        "crates/nn/src/compile.rs",
+        "crates/core/src/serve.rs",
+        "crates/core/src/session.rs",
+        "crates/tensor/src/parallel.rs",
+    ] {
+        assert!(
+            mirage_lint::rules::SERVING_MODULES.contains(&file),
+            "{file} missing from the panic-in-serving file list"
+        );
+    }
+}

@@ -45,5 +45,8 @@ pub use mirage_photonics as photonics;
 pub use mirage_rns as rns;
 pub use mirage_tensor as tensor;
 
+pub use mirage_core::serve::{
+    BatchMode, ModelServer, PendingResponse, Response, ServeError, ServerConfig, ServerStats,
+};
 pub use mirage_core::{InferenceSession, Mirage, ModelSession, PhotonicGemmEngine};
 pub use mirage_nn::CompiledNetwork;

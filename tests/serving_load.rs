@@ -1,0 +1,202 @@
+//! The online-serving concurrency contract.
+//!
+//! Dynamic batching coalesces *different users'* single requests into
+//! one flush — and must still return each user exactly the bits a lone
+//! `Sequential::forward` of their own input would produce. This suite
+//! drives a [`ModelServer`] from many client threads over every
+//! arithmetic (exact / BFP / RNS-BFP), in both batch-execution modes,
+//! and asserts bit-identity per response; plus shutdown-under-load
+//! (every admitted request is answered, none lost) and the typed-error
+//! edge cases at the facade surface.
+
+use mirage::models::small::small_mlp;
+use mirage::nn::{Engines, Sequential};
+use mirage::tensor::engines::ExactEngine;
+use mirage::tensor::Tensor;
+use mirage::{BatchMode, Mirage, ModelServer, ServeError, ServerConfig};
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The three arithmetic paths of the serving grid.
+fn engine_stacks(mirage: &Mirage) -> Vec<(&'static str, Engines)> {
+    vec![
+        ("fp32", Engines::uniform(ExactEngine)),
+        ("bfp", Engines::uniform(mirage.gemm_engine())),
+        (
+            "rns-bfp",
+            Engines::uniform(mirage.rns_gemm_engine().expect("paper moduli")),
+        ),
+    ]
+}
+
+/// A compiled model plus its eager per-request expectations: the input
+/// pool is forwarded once, single-threaded, through the *eager*
+/// `Sequential::forward` — the ground truth every served response must
+/// match bit-for-bit.
+fn fixture(engines: &Engines, seed: u64) -> (Arc<mirage::CompiledNetwork>, Vec<(Tensor, Tensor)>) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut net: Sequential = small_mlp(32, 16, 4, &mut rng);
+    let compiled = Arc::new(net.compile(engines).expect("mlp compiles"));
+    let pool: Vec<(Tensor, Tensor)> = (0..16)
+        .map(|_| {
+            let x = Tensor::randn(&[1, 32], 1.0, &mut rng);
+            let y = net.forward(&x, engines).expect("eager forward");
+            (x, y)
+        })
+        .collect();
+    (compiled, pool)
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_responses_on_every_engine() {
+    let mirage = Mirage::paper_default();
+    const THREADS: usize = 4;
+    const REQUESTS: usize = 25;
+    for (name, engines) in engine_stacks(&mirage) {
+        for mode in [BatchMode::PerItem, BatchMode::Stack] {
+            let (compiled, pool) = fixture(&engines, 7100);
+            let config = ServerConfig::default()
+                .with_max_batch(8)
+                .with_max_delay(Duration::from_micros(200))
+                .with_batch_mode(mode);
+            let server = ModelServer::new(compiled, config).expect("server starts");
+            std::thread::scope(|s| {
+                for t in 0..THREADS {
+                    let (server, pool) = (&server, &pool);
+                    s.spawn(move || {
+                        for round in 0..REQUESTS {
+                            let (x, expected) = &pool[(t * 5 + round) % pool.len()];
+                            let response = server.infer(x.clone()).expect("request served");
+                            assert_eq!(
+                                response.output.data(),
+                                expected.data(),
+                                "{name}/{mode:?} thread {t} round {round}: \
+                                 batched response differs from lone eager forward"
+                            );
+                            assert!(response.stats.batch_size >= 1);
+                            assert!(response.stats.batch_size <= 8, "batch exceeded max_batch");
+                        }
+                    });
+                }
+            });
+            let stats = server.stats();
+            assert_eq!(
+                stats.completed,
+                (THREADS * REQUESTS) as u64,
+                "{name}/{mode:?}"
+            );
+            assert_eq!(stats.failed, 0, "{name}/{mode:?}");
+            assert_eq!(stats.answered(), stats.submitted - stats.rejected);
+            server.join();
+        }
+    }
+}
+
+#[test]
+fn shutdown_under_load_drains_every_admitted_request() {
+    let mirage = Mirage::paper_default();
+    let (compiled, pool) = fixture(&engine_stacks(&mirage)[1].1, 7101);
+    let config = ServerConfig::default()
+        .with_max_batch(4)
+        .with_max_delay(Duration::from_micros(500));
+    let server = ModelServer::new(compiled, config).expect("server starts");
+
+    // Clients race shutdown: every submit that was ADMITTED must still
+    // be answered (bit-identically); submits after shutdown get the
+    // typed rejection, never a hang or a lost channel.
+    let (admitted, rejected) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let (server, pool) = (&server, &pool);
+                s.spawn(move || {
+                    let mut admitted = 0u64;
+                    let mut rejected = 0u64;
+                    for round in 0..40 {
+                        let (x, expected) = &pool[(t + round) % pool.len()];
+                        match server.submit(x.clone()) {
+                            Ok(pending) => {
+                                admitted += 1;
+                                let response =
+                                    pending.wait().expect("admitted request must be served");
+                                assert_eq!(
+                                    response.output.data(),
+                                    expected.data(),
+                                    "drained response must stay bit-identical"
+                                );
+                            }
+                            Err(ServeError::ShuttingDown) => rejected += 1,
+                            Err(other) => panic!("unexpected rejection: {other:?}"),
+                        }
+                    }
+                    (admitted, rejected)
+                })
+            })
+            .collect();
+        // Begin shutdown while the clients are mid-stream.
+        server.shutdown();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0u64, 0u64), |(a, r), (ta, tr)| (a + ta, r + tr))
+    });
+
+    let stats = server.stats();
+    assert_eq!(
+        stats.completed, admitted,
+        "admitted != answered: requests lost"
+    );
+    assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.failed, 0);
+    server.join();
+    assert_eq!(admitted + rejected, 160, "every submit accounted for");
+}
+
+#[test]
+fn facade_surface_rejects_bad_requests_with_typed_errors() {
+    let mirage = Mirage::paper_default();
+    let session = mirage.model_session();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7102);
+    session
+        .load("mlp", &small_mlp(32, 16, 4, &mut rng))
+        .expect("loads");
+
+    // Zero-capacity queue: typed rejection, no panic.
+    let server = session
+        .server("mlp", ServerConfig::default().with_queue_capacity(0))
+        .expect("server starts");
+    assert_eq!(
+        server.submit(Tensor::ones(&[1, 32])).unwrap_err(),
+        ServeError::QueueFull { capacity: 0 }
+    );
+    server.join();
+
+    // Submit after shutdown: typed rejection, no hang.
+    let server = session
+        .server("mlp", ServerConfig::default())
+        .expect("server starts");
+    server.shutdown();
+    assert_eq!(
+        server.submit(Tensor::ones(&[1, 32])).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+    server.join();
+
+    // Malformed input: the model's error comes back as this request's
+    // response; the server keeps serving afterwards.
+    let server = session
+        .server("mlp", ServerConfig::default())
+        .expect("server starts");
+    assert!(matches!(
+        server.infer(Tensor::ones(&[1, 5])).unwrap_err(),
+        ServeError::Model(_)
+    ));
+    assert!(server.infer(Tensor::ones(&[1, 32])).is_ok());
+    server.join();
+
+    // Unknown model name at the session surface.
+    assert!(matches!(
+        session.server("ghost", ServerConfig::default()),
+        Err(ServeError::UnknownModel { .. })
+    ));
+}
