@@ -19,6 +19,8 @@
 //! - [`inference`] — inference throughput comparison (Table III).
 //! - [`macunit`] — MAC-unit-level constants (Table II).
 //! - [`sram`] — the interleaved SRAM subsystem (§IV-C).
+//! - [`sharding`] — per-shard latency/energy for tensor/pipeline
+//!   placements across multiple Mirage instances.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -33,6 +35,7 @@ pub mod energy;
 pub mod inference;
 pub mod latency;
 pub mod macunit;
+pub mod sharding;
 pub mod sram;
 pub mod utilization;
 pub mod workload;

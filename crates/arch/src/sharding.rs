@@ -1,0 +1,230 @@
+//! Per-shard latency/energy for multi-accelerator placements.
+//!
+//! The execution layer (`mirage-nn`'s shard module) splits a compiled
+//! plan across K simulated Mirage instances — tensor-parallel column
+//! shards of each layer's output features, or pipeline-parallel stage
+//! splits with micro-batching. This module prices those placements with
+//! the paper's own cost models, so the scaling story is measurable and
+//! not just bit-identical:
+//!
+//! - [`tensor_shard_costs`] — each shard `i` owns a balanced slice of
+//!   every layer's output features (`m` of the forward GEMM
+//!   `O(m×n) = W(m×k)·X(k×n)`, matching the execution layer's column
+//!   shards of `Wᵀ`); its latency is the forward latency of that
+//!   sub-workload on one full Mirage instance
+//!   ([`mirage_inference_latency_s`]), and its energy is that
+//!   instance's peak power held for the shard's busy time.
+//! - [`pipeline_stage_costs`] — stage `s` owns a balanced contiguous
+//!   run of layers; same per-instance pricing.
+//! - [`tensor_shard_latency_s`] / [`pipeline_latency_s`] — the
+//!   placement-level roll-ups: tensor shards run concurrently (max);
+//!   a GPipe schedule of `M` micro-batches over `S` stages costs
+//!   `(M + S − 1)` rounds of the slowest stage.
+//!
+//! The reduction dimension `k` is never split (that is the execution
+//! layer's bit-identity contract), so a shard's GEMMs are whole-`k`
+//! slices and the latency model needs no partial-sum traffic term.
+
+use crate::breakdown::power_breakdown;
+use crate::config::MirageConfig;
+use crate::energy::DigitalEnergy;
+use crate::latency::mirage_inference_latency_s;
+use crate::workload::{Workload, WorkloadLayer};
+
+/// Cost of one shard (or one pipeline stage) of a placement: the
+/// forward latency of its slice of the workload on a full Mirage
+/// instance, and the energy that instance spends computing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardCost {
+    /// Shard (or stage) index.
+    pub shard: usize,
+    /// Forward MACs this shard executes per inference.
+    pub macs: u64,
+    /// Forward latency of this shard's sub-workload, seconds.
+    pub latency_s: f64,
+    /// Energy this instance spends per inference, joules (peak power ×
+    /// busy time).
+    pub energy_j: f64,
+}
+
+/// Balanced split of `n` items over `parts`: `(start, len)` per part,
+/// the first `n % parts` parts one item longer — the same split the
+/// execution layer uses for columns and stages.
+fn balanced(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut at = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push((at, len));
+        at += len;
+    }
+    out
+}
+
+fn instance_cost(cfg: &MirageConfig, shard: usize, sub: &Workload) -> ShardCost {
+    let latency_s = mirage_inference_latency_s(cfg, sub);
+    let power_w = power_breakdown(cfg, &DigitalEnergy::default()).total_w();
+    ShardCost {
+        shard,
+        macs: sub.inference_macs(),
+        latency_s,
+        energy_j: latency_s * power_w,
+    }
+}
+
+/// Per-shard costs of a K-way tensor-parallel placement: shard `i`
+/// computes a balanced slice of every layer's output features, with
+/// `k` and the streamed activation dimension untouched. Shards beyond
+/// a layer's output width (K > m) own zero rows of it and contribute
+/// zero latency for that layer — degenerate, but well-formed.
+pub fn tensor_shard_costs(
+    cfg: &MirageConfig,
+    workload: &Workload,
+    shards: usize,
+) -> Vec<ShardCost> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|i| {
+            let layers: Vec<WorkloadLayer> = workload
+                .layers
+                .iter()
+                .map(|l| {
+                    let share = balanced(l.forward.m, shards)[i].1;
+                    WorkloadLayer::new(l.name.clone(), share, l.forward.k, l.forward.n)
+                })
+                .collect();
+            let sub = Workload::new(workload.name.clone(), workload.batch, layers);
+            instance_cost(cfg, i, &sub)
+        })
+        .collect()
+}
+
+/// Placement-level latency of a tensor-parallel step: the shards run
+/// concurrently, so the step finishes with the slowest shard.
+pub fn tensor_shard_latency_s(costs: &[ShardCost]) -> f64 {
+    costs.iter().map(|c| c.latency_s).fold(0.0, f64::max)
+}
+
+/// Speedup of a K-way tensor-parallel placement over one instance
+/// (unsharded latency / slowest shard). Sub-linear in general: every
+/// shard still pays the per-tile reprogram stalls of its slice.
+pub fn tensor_shard_speedup(cfg: &MirageConfig, workload: &Workload, shards: usize) -> f64 {
+    let whole = mirage_inference_latency_s(cfg, workload);
+    let sharded = tensor_shard_latency_s(&tensor_shard_costs(cfg, workload, shards));
+    if sharded > 0.0 {
+        whole / sharded
+    } else {
+        1.0
+    }
+}
+
+/// Per-stage costs of an S-way pipeline-parallel placement: stage `s`
+/// owns a balanced contiguous run of the workload's layers (stages
+/// beyond the layer count are empty and cost nothing).
+pub fn pipeline_stage_costs(
+    cfg: &MirageConfig,
+    workload: &Workload,
+    stages: usize,
+) -> Vec<ShardCost> {
+    balanced(workload.layers.len(), stages)
+        .into_iter()
+        .enumerate()
+        .map(|(s, (start, len))| {
+            let layers = workload.layers[start..start + len].to_vec();
+            let sub = Workload::new(workload.name.clone(), workload.batch, layers);
+            instance_cost(cfg, s, &sub)
+        })
+        .collect()
+}
+
+/// Latency of draining `micro_batches` micro-batches through the
+/// pipeline on the GPipe schedule: `micro_batches + stages − 1` rounds,
+/// each paced by the slowest stage. Zero micro-batches cost nothing.
+pub fn pipeline_latency_s(stage_costs: &[ShardCost], micro_batches: usize) -> f64 {
+    if micro_batches == 0 || stage_costs.is_empty() {
+        return 0.0;
+    }
+    let bottleneck = stage_costs.iter().map(|c| c.latency_s).fold(0.0, f64::max);
+    (micro_batches + stage_costs.len() - 1) as f64 * bottleneck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> Workload {
+        Workload::new(
+            "proxy",
+            1,
+            vec![
+                WorkloadLayer::new("fc1", 256, 64, 32),
+                WorkloadLayer::new("fc2", 1024, 256, 32),
+                WorkloadLayer::new("fc3", 10, 1024, 32),
+            ],
+        )
+    }
+
+    #[test]
+    fn balanced_covers_and_orders() {
+        assert_eq!(balanced(10, 3), vec![(0, 4), (4, 3), (7, 3)]);
+        assert_eq!(balanced(2, 4), vec![(0, 1), (1, 1), (2, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn tensor_shards_cover_the_macs_and_cut_latency() {
+        let cfg = MirageConfig::default();
+        let w = workload();
+        let whole = mirage_inference_latency_s(&cfg, &w);
+        for k in [1, 2, 4] {
+            let costs = tensor_shard_costs(&cfg, &w, k);
+            assert_eq!(costs.len(), k);
+            let macs: u64 = costs.iter().map(|c| c.macs).sum();
+            assert_eq!(macs, w.inference_macs(), "k never split, no extra MACs");
+            let slowest = tensor_shard_latency_s(&costs);
+            assert!(slowest <= whole + 1e-18);
+            for c in &costs {
+                assert!(c.energy_j >= 0.0 && c.latency_s.is_finite());
+            }
+        }
+        assert!(tensor_shard_speedup(&cfg, &w, 4) >= 1.0);
+    }
+
+    #[test]
+    fn oversharded_placements_are_well_formed() {
+        let cfg = MirageConfig::default();
+        let w = Workload::new("tiny", 1, vec![WorkloadLayer::new("fc", 2, 8, 4)]);
+        let costs = tensor_shard_costs(&cfg, &w, 7);
+        assert_eq!(costs.len(), 7);
+        // Shards past the 2 output rows own nothing and cost nothing.
+        for c in &costs[2..] {
+            assert_eq!(c.macs, 0);
+            assert_eq!(c.latency_s, 0.0);
+            assert_eq!(c.energy_j, 0.0);
+        }
+        let stage_costs = pipeline_stage_costs(&cfg, &w, 5);
+        assert_eq!(stage_costs.len(), 5);
+        assert_eq!(stage_costs[1].macs, 0);
+    }
+
+    #[test]
+    fn pipeline_stages_partition_latency_and_gpipe_rounds_price_out() {
+        let cfg = MirageConfig::default();
+        let w = workload();
+        let whole = mirage_inference_latency_s(&cfg, &w);
+        let costs = pipeline_stage_costs(&cfg, &w, 3);
+        let sum: f64 = costs.iter().map(|c| c.latency_s).sum();
+        assert!((sum - whole).abs() < 1e-15, "stages partition the layers");
+        // One micro-batch: S rounds of the bottleneck.
+        let bottleneck = costs.iter().map(|c| c.latency_s).fold(0.0, f64::max);
+        assert!((pipeline_latency_s(&costs, 1) - 3.0 * bottleneck).abs() < 1e-18);
+        // Deep pipelines amortize: per-micro-batch cost approaches the
+        // bottleneck, below the whole-model latency.
+        let m = 64;
+        let per_mb = pipeline_latency_s(&costs, m) / m as f64;
+        assert!(per_mb < whole);
+        assert_eq!(pipeline_latency_s(&costs, 0), 0.0);
+    }
+}

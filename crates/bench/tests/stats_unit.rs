@@ -1,0 +1,54 @@
+//! Direct unit coverage for `mirage_bench::stats` — the percentile
+//! helpers the load benchmarks report through. Edge cases first: the
+//! empty distribution, the single sample, and the p0/p100 endpoints
+//! must be exact, because they anchor every latency table.
+
+use mirage_bench::stats::{percentile, percentile_sorted};
+
+#[test]
+fn empty_distributions_report_zero() {
+    assert_eq!(percentile(&[], 0.0), 0.0);
+    assert_eq!(percentile(&[], 50.0), 0.0);
+    assert_eq!(percentile(&[], 100.0), 0.0);
+    assert_eq!(percentile_sorted(&[], 99.9), 0.0);
+}
+
+#[test]
+fn a_single_sample_is_every_percentile() {
+    for p in [0.0, 1.0, 50.0, 99.0, 100.0, -3.0, 250.0] {
+        assert_eq!(percentile(&[42.5], p), 42.5);
+        assert_eq!(percentile_sorted(&[42.5], p), 42.5);
+    }
+}
+
+#[test]
+fn p0_and_p100_are_the_exact_extremes() {
+    let samples = [9.0, -2.0, 4.0, 4.0, 0.5];
+    assert_eq!(percentile(&samples, 0.0), -2.0);
+    assert_eq!(percentile(&samples, 100.0), 9.0);
+    // Out-of-range p clamps to the same extremes.
+    assert_eq!(percentile(&samples, -50.0), -2.0);
+    assert_eq!(percentile(&samples, 1e9), 9.0);
+}
+
+#[test]
+fn unsorted_input_matches_the_presorted_fast_path() {
+    let samples = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+        assert_eq!(percentile(&samples, p), percentile_sorted(&sorted, p));
+    }
+}
+
+#[test]
+fn interpolation_is_linear_between_closest_ranks() {
+    // Ranks of [10, 20, 30, 40] sit at p ∈ {0, 33.3.., 66.6.., 100}.
+    let sorted = [10.0, 20.0, 30.0, 40.0];
+    assert_eq!(percentile_sorted(&sorted, 50.0), 25.0);
+    assert!((percentile_sorted(&sorted, 75.0) - 32.5).abs() < 1e-12);
+    // Duplicated samples flatten the interpolation where they repeat.
+    let flat = [1.0, 5.0, 5.0, 5.0, 9.0];
+    assert_eq!(percentile_sorted(&flat, 50.0), 5.0);
+    assert_eq!(percentile_sorted(&flat, 37.5), 5.0);
+}

@@ -147,6 +147,26 @@ impl Mirage {
         net.compile(&Engines::uniform(engine))
     }
 
+    /// Compiles `net` and re-places it across simulated accelerator
+    /// instances per `spec`: tensor-parallel column shards of every
+    /// Dense/attention-head weight sliced from one shared preparation,
+    /// plus an optional pipeline-stage split with micro-batch
+    /// scheduling (see [`mirage_nn::shard`]). The returned plan is
+    /// bit-identical to [`Mirage::compile`] and to the eager forward.
+    ///
+    /// # Errors
+    ///
+    /// The [`Mirage::compile`] errors, plus
+    /// [`mirage_nn::NnError::ShardConfig`] for an invalid placement.
+    pub fn compile_sharded(
+        &self,
+        net: &Sequential,
+        spec: &mirage_nn::ShardSpec,
+    ) -> mirage_nn::Result<CompiledNetwork> {
+        let compiled = self.compile(net)?;
+        Ok(mirage_nn::ShardPlan::new(&compiled, spec)?.into_network())
+    }
+
     /// An [`InferenceSession`] over this accelerator: caches prepared
     /// weights per layer so repeated inference never re-quantizes them.
     pub fn inference_session(&self) -> InferenceSession {

@@ -55,6 +55,14 @@
 //!   (`tests/serving_load.rs`, `load_bench`) asserts the equality
 //!   mechanically on every engine.
 //!
+//! Sharded plans need no special casing here: a tensor- or
+//! pipeline-parallel placement ([`mirage_nn::shard::ShardPlan`],
+//! [`ModelSession::load_sharded`](crate::session::ModelSession::load_sharded))
+//! is itself a [`CompiledNetwork`], so the server routes batches
+//! through sharded plans unchanged — and the shard layer's own
+//! bit-identity contract keeps every coalesced response equal to the
+//! lone unsharded forward.
+//!
 //! ```
 //! use mirage_core::serve::{ModelServer, ServerConfig};
 //! use mirage_core::Mirage;

@@ -3,6 +3,7 @@
 //! ([`ModelSession`]).
 
 use crate::accelerator::Mirage;
+use mirage_nn::shard::{ShardPlan, ShardSpec};
 use mirage_nn::{CompiledNetwork, Engines, Sequential};
 use mirage_tensor::engines::BfpEngine;
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
@@ -293,6 +294,33 @@ impl ModelSession {
         let compiled = Arc::new(net.compile(&self.engines)?);
         lock_recover(&self.models).insert(name.into(), Arc::clone(&compiled));
         Ok(compiled)
+    }
+
+    /// Compiles `net`, re-places it across simulated accelerator
+    /// instances per `spec` (tensor-parallel shards sliced from the
+    /// shared weight preparations, plus an optional pipeline split —
+    /// see [`mirage_nn::shard`]), and caches the sharded plan under
+    /// `name`. The cached model is a plain [`CompiledNetwork`]:
+    /// [`ModelSession::run`] / [`ModelSession::run_batch`] and the
+    /// online [`ModelSession::server`] route through sharded plans
+    /// unchanged, and responses stay bit-identical to the unsharded
+    /// (and eager) paths.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ModelSession::load`], plus
+    /// [`mirage_nn::NnError::ShardConfig`] for an invalid placement
+    /// spec.
+    pub fn load_sharded(
+        &self,
+        name: impl Into<String>,
+        net: &Sequential,
+        spec: &ShardSpec,
+    ) -> mirage_nn::Result<Arc<CompiledNetwork>> {
+        let compiled = net.compile(&self.engines)?;
+        let sharded = Arc::new(ShardPlan::new(&compiled, spec)?.into_network());
+        lock_recover(&self.models).insert(name.into(), Arc::clone(&sharded));
+        Ok(sharded)
     }
 
     /// The compiled model cached under `name`. Serving loops can hold
@@ -672,6 +700,42 @@ mod model_session_tests {
             matches!(&err, crate::serve::ServeError::UnknownModel { name } if name == "ghost"),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn load_sharded_serves_bit_identically_through_session_and_server() {
+        let mirage = Mirage::paper_default();
+        let session = mirage.model_session();
+        let mut net = mlp(311);
+        session.load("flat", &net).unwrap();
+        let spec = ShardSpec::tensor(3).with_pipeline(2, 2);
+        let sharded = session.load_sharded("sharded", &net, &spec).unwrap();
+        assert_eq!(sharded.pipeline_stages(), 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(312);
+        let inputs: Vec<Tensor> = (0..5)
+            .map(|_| Tensor::randn(&[2, 32], 1.0, &mut rng))
+            .collect();
+        let flat = session.run_batch("flat", &inputs).unwrap();
+        let shard = session.run_batch("sharded", &inputs).unwrap();
+        for ((x, a), b) in inputs.iter().zip(&flat).zip(&shard) {
+            let eager = net.forward(x, session.engines()).unwrap();
+            assert_eq!(a.data(), eager.data());
+            assert_eq!(b.data(), eager.data());
+        }
+        // The online front end routes through the sharded plan unchanged.
+        let server = session
+            .server("sharded", crate::serve::ServerConfig::default())
+            .unwrap();
+        let x = Tensor::full(&[1, 32], 0.25);
+        let eager = net.forward(&x, session.engines()).unwrap();
+        assert_eq!(server.infer(x).unwrap().output.data(), eager.data());
+        server.join();
+        // Invalid placements are rejected, not cached.
+        assert!(matches!(
+            session.load_sharded("bad", &net, &ShardSpec::tensor(0)),
+            Err(mirage_nn::NnError::ShardConfig { .. })
+        ));
+        assert!(!session.contains("bad"));
     }
 
     #[test]

@@ -18,8 +18,9 @@ use crate::report::{Finding, Rule};
 use crate::scan::{scan, ScanInfo};
 
 /// The serving modules rule 3 protects (workspace-relative paths).
-pub const SERVING_MODULES: [&str; 4] = [
+pub const SERVING_MODULES: [&str; 5] = [
     "crates/nn/src/compile.rs",
+    "crates/nn/src/shard.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/session.rs",
     "crates/tensor/src/parallel.rs",

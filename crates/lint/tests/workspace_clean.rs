@@ -42,6 +42,7 @@ fn serving_contract_covers_the_online_server() {
     // losing one from the list silently un-protects it.
     for file in [
         "crates/nn/src/compile.rs",
+        "crates/nn/src/shard.rs",
         "crates/core/src/serve.rs",
         "crates/core/src/session.rs",
         "crates/tensor/src/parallel.rs",

@@ -92,6 +92,29 @@ pub trait PlanStep: Send + Sync {
     fn is_identity(&self) -> bool {
         false
     }
+
+    /// Splits this step into tensor-parallel stages over `shards`
+    /// simulated accelerator instances, or `None` when the step has no
+    /// sharded form and a [`ShardPlan`](crate::shard::ShardPlan)
+    /// replicates it instead.
+    ///
+    /// Each returned [`ShardedStep`](crate::shard::ShardedStep) stage
+    /// replaces this step in the plan, in order. The contract is the
+    /// same bit-identity bar as compilation itself: the staged
+    /// computation must equal this step's [`run`](PlanStep::run) to the
+    /// last bit. GEMM-bearing steps therefore only shard when their
+    /// engine opts into
+    /// [`tile_invariant`](mirage_tensor::GemmEngine::tile_invariant),
+    /// split **output columns only** (`k` is never split), and combine
+    /// by fixed-order concatenation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation-slicing errors from the engine.
+    fn shard(&self, shards: usize) -> Result<Option<Vec<crate::shard::ShardedStep>>> {
+        let _ = shards;
+        Ok(None)
+    }
 }
 
 /// A frozen, immutable execution plan for a [`Sequential`] network.
@@ -101,7 +124,8 @@ pub trait PlanStep: Send + Sync {
 ///
 /// [`Sequential`]: crate::Sequential
 pub struct CompiledNetwork {
-    steps: Vec<Box<dyn PlanStep>>,
+    steps: Vec<Arc<dyn PlanStep>>,
+    pub(crate) schedule: Option<crate::shard::PipelineSchedule>,
 }
 
 impl CompiledNetwork {
@@ -111,14 +135,31 @@ impl CompiledNetwork {
     /// are elided from the plan: every layer must still *compile*, but
     /// serving skips the no-op activation copies.
     pub(crate) fn from_layers(layers: &[Box<dyn Layer>], engines: &Engines) -> Result<Self> {
-        let mut steps = Vec::with_capacity(layers.len());
+        let mut steps: Vec<Arc<dyn PlanStep>> = Vec::with_capacity(layers.len());
         for layer in layers {
             let step = layer.compile(engines)?;
             if !step.is_identity() {
-                steps.push(step);
+                steps.push(Arc::from(step));
             }
         }
-        Ok(CompiledNetwork { steps })
+        Ok(CompiledNetwork {
+            steps,
+            schedule: None,
+        })
+    }
+
+    /// Builds a plan directly from shared steps — how derived plans
+    /// (sharded, pipelined) rewrap steps without copying step state.
+    pub(crate) fn from_steps(steps: Vec<Arc<dyn PlanStep>>) -> Self {
+        CompiledNetwork {
+            steps,
+            schedule: None,
+        }
+    }
+
+    /// The shared steps, in execution order.
+    pub(crate) fn steps(&self) -> &[Arc<dyn PlanStep>] {
+        &self.steps
     }
 
     /// Runs one request with a fresh scratch arena. For serving loops,
@@ -142,29 +183,34 @@ impl CompiledNetwork {
     ///
     /// Propagates step errors.
     pub fn run_with(&self, x: &Tensor, scratch: &mut ActivationScratch) -> Result<Tensor> {
-        let mut cur: Option<Tensor> = None;
-        for step in &self.steps {
-            let next = step.run(cur.as_ref().unwrap_or(x), scratch)?;
-            if let Some(dead) = cur.take() {
-                scratch.recycle(dead.into_data());
-            }
-            cur = Some(next);
-        }
-        Ok(cur.unwrap_or_else(|| x.clone()))
+        run_steps(&self.steps, x, scratch)
     }
 
     /// Runs a batch of requests through one shared scratch arena,
     /// bit-identical to mapping [`CompiledNetwork::run`] over the items.
     ///
+    /// Plans carrying a pipeline schedule (see
+    /// [`with_pipeline`](CompiledNetwork::with_pipeline)) execute the
+    /// batch as micro-batches flowing through the stage splits instead
+    /// of item-by-item — same arithmetic per item, same results to the
+    /// bit, different interleaving.
+    ///
     /// # Errors
     ///
     /// Propagates step errors; the whole batch fails if any item does.
     pub fn run_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>> {
-        let mut scratch = ActivationScratch::new();
-        inputs
-            .iter()
-            .map(|x| self.run_with(x, &mut scratch))
-            .collect()
+        match &self.schedule {
+            Some(schedule) => {
+                crate::shard::pipeline_run_batch(&self.steps, schedule, inputs).map(|(y, _)| y)
+            }
+            None => {
+                let mut scratch = ActivationScratch::new();
+                inputs
+                    .iter()
+                    .map(|x| self.run_with(x, &mut scratch))
+                    .collect()
+            }
+        }
     }
 
     /// Number of plan steps (one per source layer).
@@ -188,6 +234,25 @@ impl std::fmt::Debug for CompiledNetwork {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "CompiledNetwork{:?}", self.step_names())
     }
+}
+
+/// Threads one activation through a step slice, ping-ponging dead
+/// buffers into the scratch arena — the core serving loop, shared by
+/// [`CompiledNetwork::run_with`] and the pipeline stage executor.
+pub(crate) fn run_steps(
+    steps: &[Arc<dyn PlanStep>],
+    x: &Tensor,
+    scratch: &mut ActivationScratch,
+) -> Result<Tensor> {
+    let mut cur: Option<Tensor> = None;
+    for step in steps {
+        let next = step.run(cur.as_ref().unwrap_or(x), scratch)?;
+        if let Some(dead) = cur.take() {
+            scratch.recycle(dead.into_data());
+        }
+        cur = Some(next);
+    }
+    Ok(cur.unwrap_or_else(|| x.clone()))
 }
 
 /// Escape hatch for custom layers: wraps a layer's **eager** forward
@@ -286,6 +351,30 @@ impl PlanStep for DenseStep {
             .gemm_prepared_into(x, &self.prepared, &mut out)?;
         crate::layers::add_row_bias(&mut out, &self.bias);
         Ok(Tensor::from_vec(out, &[m, n])?)
+    }
+
+    /// Column-shards the prepared weight: shard `i` owns a contiguous
+    /// slice of output features cut from the shared preparation by
+    /// [`GemmEngine::prepare_tile`], plus the matching bias slice. The
+    /// fixed-order column concat equals the whole GEMM bit-exactly for
+    /// tile-invariant engines — the same invariant the tiled parallel
+    /// driver relies on, lifted to model level.
+    fn shard(&self, shards: usize) -> Result<Option<Vec<crate::shard::ShardedStep>>> {
+        use crate::shard::{column_ranges, slice_prepared, GemmShardPart, ShardedStep};
+        if !self.engine.tile_invariant() {
+            return Ok(None);
+        }
+        let mut parts: Vec<Box<dyn PlanStep>> = Vec::with_capacity(shards);
+        for (c0, width) in column_ranges(self.prepared.n(), shards) {
+            let tile = slice_prepared(&self.engine, &self.prepared, c0, width)?;
+            parts.push(Box::new(GemmShardPart::new(
+                "dense-shard",
+                self.engine.clone(),
+                tile,
+                Some(self.bias[c0..c0 + width].to_vec()),
+            )));
+        }
+        Ok(Some(vec![ShardedStep::concat("dense", parts)?]))
     }
 }
 
@@ -400,6 +489,53 @@ impl PlanStep for SelfAttentionStep {
             }
         }
         Ok(e.gemm_prepared(&ctx, &self.wo_t)?)
+    }
+
+    /// Head-shards the attention into two staged sharded steps. Stage
+    /// one gives each shard a contiguous head range: because head `h`
+    /// occupies activation columns `h·head_dim ..= (h+1)·head_dim`, a
+    /// head range is exactly a column shard of the prepared
+    /// `Wq`/`Wk`/`Wv`, and each shard runs its own score/softmax/context
+    /// loop on bit-identical projections; concatenating the per-shard
+    /// context blocks in head order rebuilds the full context
+    /// bit-exactly. Stage two column-shards the output projection `Wo`
+    /// (its reduction dimension is the full `dim`, so it cannot join
+    /// stage one without splitting `k` — which the contract forbids).
+    fn shard(&self, shards: usize) -> Result<Option<Vec<crate::shard::ShardedStep>>> {
+        use crate::shard::{
+            column_ranges, head_ranges, slice_prepared, GemmShardPart, HeadShardPart, ShardedStep,
+        };
+        if !self.engine.tile_invariant() {
+            return Ok(None);
+        }
+        let head_dim = self.dim / self.heads;
+        let mut head_parts: Vec<Box<dyn PlanStep>> = Vec::with_capacity(shards);
+        for (h0, count) in head_ranges(self.heads, shards) {
+            let (c0, width) = (h0 * head_dim, count * head_dim);
+            head_parts.push(Box::new(HeadShardPart::new(
+                self.engine.clone(),
+                self.seq,
+                self.dim,
+                head_dim,
+                count,
+                slice_prepared(&self.engine, &self.wq_t, c0, width)?,
+                slice_prepared(&self.engine, &self.wk_t, c0, width)?,
+                slice_prepared(&self.engine, &self.wv_t, c0, width)?,
+            )));
+        }
+        let mut proj_parts: Vec<Box<dyn PlanStep>> = Vec::with_capacity(shards);
+        for (c0, width) in column_ranges(self.wo_t.n(), shards) {
+            proj_parts.push(Box::new(GemmShardPart::new(
+                "attention-proj-shard",
+                self.engine.clone(),
+                slice_prepared(&self.engine, &self.wo_t, c0, width)?,
+                None,
+            )));
+        }
+        Ok(Some(vec![
+            ShardedStep::concat("attention-heads", head_parts)?,
+            ShardedStep::concat("attention-proj", proj_parts)?,
+        ]))
     }
 }
 

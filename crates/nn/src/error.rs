@@ -34,6 +34,12 @@ pub enum NnError {
         /// Why the layer cannot be compiled, and what to do about it.
         reason: String,
     },
+    /// A shard/pipeline placement request is invalid (zero shard
+    /// count, zero pipeline stages, an empty sharded step, …).
+    ShardConfig {
+        /// What was wrong with the requested placement.
+        reason: String,
+    },
     /// An eager plan step's wrapped layer is poisoned: a previous
     /// request panicked mid-`forward`, so the layer's internal state
     /// may be inconsistent and the step refuses to serve from it
@@ -60,6 +66,9 @@ impl fmt::Display for NnError {
             NnError::Diverged => write!(f, "loss is not finite; training diverged"),
             NnError::NotCompilable { layer, reason } => {
                 write!(f, "layer {layer:?} cannot be compiled: {reason}")
+            }
+            NnError::ShardConfig { reason } => {
+                write!(f, "invalid shard placement: {reason}")
             }
             NnError::PoisonedStep { layer } => {
                 write!(

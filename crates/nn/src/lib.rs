@@ -49,12 +49,14 @@ pub mod loss;
 mod network;
 pub mod norm;
 pub mod optim;
+pub mod shard;
 pub mod train;
 
 pub use compile::{CompiledNetwork, PlanStep};
 pub use engines::Engines;
 pub use error::NnError;
 pub use network::{Param, Sequential};
+pub use shard::{PipelineTrace, ShardPlan, ShardSpec};
 
 /// Result alias for fallible training operations.
 pub type Result<T> = std::result::Result<T, NnError>;

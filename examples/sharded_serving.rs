@@ -1,0 +1,103 @@
+//! Shard a compiled model across simulated accelerator instances —
+//! tensor-parallel column shards plus a pipeline split — and serve it
+//! through the same facade as the unsharded plan, bit-identically.
+//!
+//! ```sh
+//! cargo run --release --example sharded_serving
+//! ```
+
+use mirage::arch::sharding::{
+    pipeline_latency_s, pipeline_stage_costs, tensor_shard_costs, tensor_shard_latency_s,
+};
+use mirage::arch::{MirageConfig, Workload, WorkloadLayer};
+use mirage::models::serving::transformer_ff_proxy;
+use mirage::tensor::Tensor;
+use mirage::{Mirage, ShardPlan, ShardSpec};
+use rand::SeedableRng;
+
+const HIDDEN: usize = 128;
+const BLOCKS: usize = 2;
+const CLASSES: usize = 10;
+const BATCH: usize = 8;
+
+fn main() {
+    let mirage = Mirage::paper_default();
+    let engines = mirage.training_engines();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut net = transformer_ff_proxy(HIDDEN, BLOCKS, CLASSES, &mut rng);
+    let compiled = mirage.compile(&net).expect("proxy compiles");
+
+    let requests: Vec<Tensor> = (0..6)
+        .map(|_| Tensor::randn(&[BATCH, HIDDEN], 1.0, &mut rng))
+        .collect();
+    let eager: Vec<Tensor> = requests
+        .iter()
+        .map(|x| net.forward(x, &engines).expect("eager forward"))
+        .collect();
+
+    println!("Sharded serving of the transformer FF proxy ({HIDDEN}x{BLOCKS})\n");
+    println!(
+        "{:<18} {:>3} {:>7} {:>9} {:>14} {:>14}",
+        "placement", "K", "stages", "sharded", "modeled (us)", "bit-identical"
+    );
+
+    // The arch-side workload mirror of the proxy, for the cost model.
+    let mut layers = Vec::new();
+    for b in 0..BLOCKS {
+        layers.push(WorkloadLayer::new(
+            format!("l{b}.ff1"),
+            4 * HIDDEN,
+            HIDDEN,
+            BATCH,
+        ));
+        layers.push(WorkloadLayer::new(
+            format!("l{b}.ff2"),
+            HIDDEN,
+            4 * HIDDEN,
+            BATCH,
+        ));
+    }
+    layers.push(WorkloadLayer::new("head", CLASSES, HIDDEN, BATCH));
+    let workload = Workload::new("ff-proxy", BATCH, layers);
+    let cfg = MirageConfig::default();
+
+    let placements = [
+        ("tensor x2", ShardSpec::tensor(2)),
+        ("tensor x4", ShardSpec::tensor(4)),
+        ("pipeline 3x2", ShardSpec::pipeline(3, 2)),
+        ("tensor2 + pipe2", ShardSpec::tensor(2).with_pipeline(2, 2)),
+    ];
+    for (name, spec) in placements {
+        let plan = ShardPlan::new(&compiled, &spec).expect("placement is valid");
+        let outputs = plan.run_batch(&requests).expect("sharded serving");
+        let identical = outputs
+            .iter()
+            .zip(&eager)
+            .all(|(y, e)| y.data() == e.data());
+
+        let modeled_s = if spec.pipeline_stages() > 1 {
+            let stage_costs = pipeline_stage_costs(&cfg, &workload, spec.pipeline_stages());
+            let micro = requests.len().div_ceil(spec.micro_batch());
+            pipeline_latency_s(&stage_costs, micro) / requests.len() as f64
+        } else {
+            tensor_shard_latency_s(&tensor_shard_costs(&cfg, &workload, spec.shards()))
+        };
+        println!(
+            "{:<18} {:>3} {:>7} {:>6}/{:<2} {:>14.3} {:>14}",
+            name,
+            spec.shards(),
+            spec.pipeline_stages(),
+            plan.sharded_steps(),
+            plan.sharded_steps() + plan.replicated_steps(),
+            modeled_s * 1e6,
+            if identical { "yes" } else { "NO" },
+        );
+        assert!(identical, "{name}: sharded output diverged from eager");
+    }
+
+    println!("\nEvery placement above produced bit-identical outputs: sharding");
+    println!("slices the already-prepared weights (k is never split, concat");
+    println!("order is fixed), so placement is a layout choice, not a");
+    println!("numerical one. The 'sharded' column counts sharded/total plan");
+    println!("steps; 'modeled' prices the placement on K Mirage instances.");
+}

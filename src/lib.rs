@@ -49,4 +49,4 @@ pub use mirage_core::serve::{
     BatchMode, ModelServer, PendingResponse, Response, ServeError, ServerConfig, ServerStats,
 };
 pub use mirage_core::{InferenceSession, Mirage, ModelSession, PhotonicGemmEngine};
-pub use mirage_nn::CompiledNetwork;
+pub use mirage_nn::{CompiledNetwork, PipelineTrace, ShardPlan, ShardSpec};
