@@ -8,7 +8,7 @@ use mirage_arch::energy::DigitalEnergy;
 use mirage_arch::{MirageConfig, Workload};
 use mirage_bfp::BfpConfig;
 use mirage_nn::{CompiledNetwork, Engines, Sequential};
-use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
+use mirage_tensor::engines::{BfpEngine, ProtectedRnsBfpEngine, RnsBfpEngine};
 use mirage_tensor::parallel::{ParallelGemm, TileConfig};
 use mirage_tensor::{GemmEngine, Result as TensorResult, Tensor};
 
@@ -210,6 +210,25 @@ impl Mirage {
     /// for the configured BFP point.
     pub fn rns_gemm_engine(&self) -> TensorResult<RnsBfpEngine> {
         RnsBfpEngine::new(self.bfp_config(), self.config.moduli.clone())
+    }
+
+    /// The RRNS-protected RNS GEMM engine (§VI-E): the configured
+    /// moduli as the base set plus `redundant` extra channels, so
+    /// compiled plans detect and correct injected residue errors. Arm a
+    /// [`mirage_tensor::faults::FaultInjector`] with
+    /// [`ProtectedRnsBfpEngine::with_injector`] to corrupt it under
+    /// live traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configured base set violates Eq. 13 for
+    /// the configured BFP point, or if the redundant moduli are not
+    /// co-prime with it.
+    pub fn protected_rns_gemm_engine(
+        &self,
+        redundant: &[u64],
+    ) -> TensorResult<ProtectedRnsBfpEngine> {
+        ProtectedRnsBfpEngine::new(self.bfp_config(), self.config.moduli.clone(), redundant)
     }
 
     /// The device-level photonic GEMM engine (phase accumulation and

@@ -63,6 +63,22 @@
 //! bit-identity contract keeps every coalesced response equal to the
 //! lone unsharded forward.
 //!
+//! ## Faults are accounted, corrected, or typed — never silent
+//!
+//! When the compiled plan runs over fault-injected engines
+//! ([`mirage_tensor::faults::FaultyEngine`], or an RRNS-protected
+//! [`mirage_tensor::engines::ProtectedRnsBfpEngine`] with an armed
+//! injector), every model execution runs inside a
+//! [`FaultScope`](mirage_tensor::faults::FaultScope): the corruptions
+//! injected into that run — and what the protection layer detected,
+//! corrected, or could not correct — land in the response's
+//! [`RequestStats::faults`] and aggregate into [`ServerStats::faults`]
+//! per flush. A protected plan that hits an uncorrectable corruption
+//! answers that request with [`ServeError::Uncorrectable`] (the worker
+//! and its batchmates survive, exactly like the panic firewall); with
+//! every injection rate at zero the fault machinery is inert and the
+//! bit-identity contract above is unchanged.
+//!
 //! ```
 //! use mirage_core::serve::{ModelServer, ServerConfig};
 //! use mirage_core::Mirage;
@@ -92,7 +108,9 @@
 //! ```
 
 use mirage_nn::{CompiledNetwork, NnError};
-use mirage_tensor::{ActivationScratch, Tensor};
+use mirage_rns::RnsError;
+use mirage_tensor::faults::{FaultCounts, FaultScope};
+use mirage_tensor::{ActivationScratch, Tensor, TensorError};
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -468,6 +486,17 @@ pub enum ServeError {
         /// The stringified panic payload.
         message: String,
     },
+    /// The RRNS protection layer detected a corruption in this
+    /// request's execution that it could not correct. The request is
+    /// answered with this typed error instead of a silently wrong
+    /// output; the counts cover this request's execution up to the
+    /// abort.
+    Uncorrectable {
+        /// Corrupted group results detected during this execution.
+        detected: u64,
+        /// Corruptions corrected exactly before the abort.
+        corrected: u64,
+    },
     /// The worker dropped the response channel without answering
     /// (never expected: workers drain the queue even on shutdown).
     Disconnected,
@@ -494,6 +523,16 @@ impl std::fmt::Display for ServeError {
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Panicked { message } => {
                 write!(f, "model panicked while serving the batch: {message}")
+            }
+            ServeError::Uncorrectable {
+                detected,
+                corrected,
+            } => {
+                write!(
+                    f,
+                    "uncorrectable corruption detected by RRNS protection \
+                     ({detected} detected, {corrected} corrected before the abort)"
+                )
             }
             ServeError::Disconnected => {
                 write!(f, "worker dropped the response channel without answering")
@@ -525,6 +564,12 @@ pub struct RequestStats {
     pub batch_size: usize,
     /// Execution time of that batch against the compiled model.
     pub service_time: Duration,
+    /// Fault events of the execution that produced this response:
+    /// injected corruptions and what the protection layer did about
+    /// them. Per-item execution attributes exactly this request's run;
+    /// a stacked flush shares one execution, so its counts appear on
+    /// every member (the server-wide totals count that execution once).
+    pub faults: FaultCounts,
 }
 
 /// A served request: the model output plus its accounting.
@@ -600,6 +645,13 @@ pub struct ServerStats {
     pub max_queue_wait: Duration,
     /// Sum of batch service times (per batch, not per request).
     pub total_service_time: Duration,
+    /// Server-wide fault accounting, aggregated per flush: corruptions
+    /// injected into served executions, and how many group results the
+    /// RRNS protection layer detected, corrected, or had to surface as
+    /// [`ServeError::Uncorrectable`]. Each execution is counted once —
+    /// a stacked flush contributes its single run, a per-item flush the
+    /// sum of its members' runs.
+    pub faults: FaultCounts,
 }
 
 impl ServerStats {
@@ -917,7 +969,7 @@ fn serve_batch(
 ) {
     let size = batch.len();
     let started = shared.clock.now();
-    let results = execute(shared, &batch, scratch);
+    let (results, flush_faults) = execute(shared, &batch, scratch);
     let service_time = shared.clock.now().saturating_sub(started);
 
     let mut completed = 0u64;
@@ -925,7 +977,7 @@ fn serve_batch(
     let mut total_wait = Duration::ZERO;
     let mut max_wait = Duration::ZERO;
     let mut deliveries = Vec::with_capacity(size);
-    for (pending, result) in batch.into_iter().zip(results) {
+    for (pending, (result, faults)) in batch.into_iter().zip(results) {
         let queue_wait = taken_at.saturating_sub(pending.submitted);
         total_wait = total_wait.saturating_add(queue_wait);
         max_wait = max_wait.max(queue_wait);
@@ -938,6 +990,7 @@ fn serve_batch(
                         queue_wait,
                         batch_size: size,
                         service_time,
+                        faults,
                     },
                 })
             }
@@ -965,6 +1018,7 @@ fn serve_batch(
     stats.total_queue_wait = stats.total_queue_wait.saturating_add(total_wait);
     stats.max_queue_wait = stats.max_queue_wait.max(max_wait);
     stats.total_service_time = stats.total_service_time.saturating_add(service_time);
+    stats.faults.accumulate(flush_faults);
     drop(state);
 
     for (tx, delivery) in deliveries {
@@ -973,35 +1027,51 @@ fn serve_batch(
     }
 }
 
+/// One request's outcome with the fault counts of the execution that
+/// produced it.
+type FaultedResult = (Result<Tensor, ServeError>, FaultCounts);
+
 /// Runs the batch under the configured [`BatchMode`]. Stacked execution
 /// falls back to per-item whenever the batch cannot be stacked (mixed
 /// shapes, model error, or a plan that does not map rows 1:1), so a
-/// malformed request only ever fails itself.
+/// malformed request only ever fails itself. Returns each member's
+/// result with the fault counts of the execution that produced it, plus
+/// the flush-level fault total (each execution counted once).
 fn execute(
     shared: &Shared,
     batch: &[Pending],
     scratch: &mut ActivationScratch,
-) -> Vec<Result<Tensor, ServeError>> {
+) -> (Vec<FaultedResult>, FaultCounts) {
     if shared.config.batch_mode == BatchMode::Stack && batch.len() > 1 {
-        if let Some(results) = try_stacked(shared, batch, scratch) {
-            return results;
+        if let Some((results, faults)) = try_stacked(shared, batch, scratch) {
+            return (results.into_iter().map(|r| (r, faults)).collect(), faults);
         }
     }
-    batch
+    let mut flush_faults = FaultCounts::ZERO;
+    let results = batch
         .iter()
-        .map(|p| catch_run(shared, &p.input, scratch))
-        .collect()
+        .map(|p| {
+            let (result, faults) = catch_run(shared, &p.input, scratch);
+            flush_faults.accumulate(faults);
+            (result, faults)
+        })
+        .collect();
+    (results, flush_faults)
 }
 
 /// Stacks the batch's rows into one activation, runs the plan once, and
 /// splits the output back per request. `None` means "use per-item
 /// execution instead" — taken when shapes are heterogeneous, the
 /// stacked run errors/panics, or the output does not map rows 1:1.
+/// (A stacked run aborted by an uncorrectable corruption falls back the
+/// same way: the per-item re-runs draw fresh faults, so only requests
+/// whose own execution is corrupted fail.) Returns the split results
+/// with the stacked execution's fault counts.
 fn try_stacked(
     shared: &Shared,
     batch: &[Pending],
     scratch: &mut ActivationScratch,
-) -> Option<Vec<Result<Tensor, ServeError>>> {
+) -> Option<(Vec<Result<Tensor, ServeError>>, FaultCounts)> {
     let first = batch.first()?;
     if first.input.rank() != 2 {
         return None;
@@ -1022,7 +1092,8 @@ fn try_stacked(
         data.extend_from_slice(pending.input.data());
     }
     let stacked = Tensor::from_vec(data, &[total_rows, cols]).ok()?;
-    let output = catch_run(shared, &stacked, scratch).ok()?;
+    let (result, faults) = catch_run(shared, &stacked, scratch);
+    let output = result.ok()?;
     if output.rank() != 2 || output.shape().first() != Some(&total_rows) {
         // The plan does not preserve the row dimension (e.g. a pooling
         // head): stacking cannot be split back — serve per item.
@@ -1041,30 +1112,52 @@ fn try_stacked(
         );
         row += rows;
     }
-    Some(results)
+    Some((results, faults))
 }
 
-/// One model execution with a panic firewall: a panicking plan step
-/// becomes [`ServeError::Panicked`] for the affected request instead of
-/// killing the worker (and hanging every queued client). The scratch
-/// arena is replaced after a caught panic — its buffers may be stale.
+/// One model execution with a panic firewall and a fault-accounting
+/// scope. A panicking plan step becomes [`ServeError::Panicked`] for
+/// the affected request instead of killing the worker (and hanging
+/// every queued client); the scratch arena is replaced after a caught
+/// panic — its buffers may be stale. Every fault event recorded during
+/// the run (injections by a `FaultyEngine` or armed protected engine,
+/// detections/corrections by the RRNS layer) is captured in the
+/// returned [`FaultCounts`], and an RRNS abort is mapped to the typed
+/// [`ServeError::Uncorrectable`].
 fn catch_run(
     shared: &Shared,
     x: &Tensor,
     scratch: &mut ActivationScratch,
-) -> Result<Tensor, ServeError> {
+) -> (Result<Tensor, ServeError>, FaultCounts) {
+    let scope = FaultScope::begin();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         shared.model.run_with(x, scratch)
     }));
-    match outcome {
+    let faults = scope.finish();
+    let result = match outcome {
         Ok(Ok(output)) => Ok(output),
-        Ok(Err(e)) => Err(ServeError::Model(e)),
+        Ok(Err(e)) => Err(model_error(e, faults)),
         Err(payload) => {
             *scratch = ActivationScratch::new();
             Err(ServeError::Panicked {
                 message: panic_message(payload.as_ref()),
             })
         }
+    };
+    (result, faults)
+}
+
+/// Maps a model error onto its serving error: an uncorrectable RRNS
+/// abort becomes [`ServeError::Uncorrectable`] carrying this
+/// execution's detection/correction counts; everything else stays a
+/// [`ServeError::Model`].
+fn model_error(e: NnError, faults: FaultCounts) -> ServeError {
+    match e {
+        NnError::Tensor(TensorError::Rns(RnsError::Uncorrectable)) => ServeError::Uncorrectable {
+            detected: faults.detected,
+            corrected: faults.corrected,
+        },
+        other => ServeError::Model(other),
     }
 }
 
@@ -1472,6 +1565,10 @@ mod server_tests {
             ServeError::Panicked {
                 message: "p".into(),
             },
+            ServeError::Uncorrectable {
+                detected: 3,
+                corrected: 2,
+            },
             ServeError::Disconnected,
             ServeError::WorkerSpawn {
                 message: "os".into(),
@@ -1482,5 +1579,78 @@ mod server_tests {
         use std::error::Error;
         assert!(ServeError::Model(NnError::Diverged).source().is_some());
         assert!(ServeError::ShuttingDown.source().is_none());
+    }
+
+    #[test]
+    fn fault_counts_thread_through_request_and_server_stats() {
+        use mirage_tensor::faults::{FaultConfig, FaultInjector, FaultyEngine};
+
+        let injector = Arc::new(FaultInjector::new(
+            FaultConfig::disabled(77).with_mantissa_flip_rate(0.5),
+        ));
+        let engines = Engines::uniform(FaultyEngine::new(ExactEngine, Arc::clone(&injector)));
+        let net = mlp(60);
+        let plan = Arc::new(net.compile(&engines).unwrap());
+        let server = ModelServer::new(plan, ServerConfig::default()).unwrap();
+
+        let response = server.infer(Tensor::full(&[1, 16], 0.5)).unwrap();
+        assert!(
+            response.stats.faults.injected > 0,
+            "a 50% flip rate over two Dense layers must fire"
+        );
+        // Unprotected engine: injections only, nothing detected.
+        assert_eq!(response.stats.faults.detected, 0);
+        let stats = server.stats();
+        assert_eq!(stats.faults, response.stats.faults);
+
+        // Live retuning to zero: the next request is fault-free.
+        injector.set_mantissa_flip_rate(0.0);
+        let clean = server.infer(Tensor::full(&[1, 16], 0.5)).unwrap();
+        assert_eq!(clean.stats.faults, FaultCounts::ZERO);
+        assert_eq!(server.stats().faults, stats.faults);
+        server.join();
+    }
+
+    #[test]
+    fn uncorrectable_abort_is_a_typed_error_response_and_the_server_survives() {
+        use mirage_bfp::BfpConfig;
+        use mirage_tensor::engines::ProtectedRnsBfpEngine;
+        use mirage_tensor::faults::{FaultConfig, FaultInjector};
+
+        let injector = Arc::new(FaultInjector::new(
+            FaultConfig::disabled(78).with_residue_flip_rate(0.9),
+        ));
+        let protected = ProtectedRnsBfpEngine::with_min_special_set(BfpConfig::mirage_default())
+            .unwrap()
+            .with_injector(Arc::clone(&injector));
+        let engines = Engines::uniform(protected.clone());
+        let mut net = mlp(61);
+        let plan = Arc::new(net.compile(&engines).unwrap());
+        let server = ModelServer::new(plan, ServerConfig::default()).unwrap();
+
+        let x = Tensor::full(&[1, 16], 0.5);
+        let err = server.infer(x.clone()).unwrap_err();
+        match err {
+            ServeError::Uncorrectable {
+                detected,
+                corrected,
+            } => {
+                assert!(detected > corrected, "at least one group was unfixable");
+            }
+            other => panic!("expected Uncorrectable, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert!(stats.faults.uncorrectable > 0);
+
+        // The worker survives; with injection disabled the same server
+        // answers bit-identically to the clean eager forward.
+        injector.set_residue_flip_rate(0.0);
+        let response = server.infer(x.clone()).unwrap();
+        let clean_engines = Engines::uniform(protected.clone());
+        let eager = net.forward(&x, &clean_engines).unwrap();
+        assert_eq!(response.output.data(), eager.data());
+        assert_eq!(response.stats.faults, FaultCounts::ZERO);
+        server.join();
     }
 }

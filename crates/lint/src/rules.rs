@@ -18,12 +18,14 @@ use crate::report::{Finding, Rule};
 use crate::scan::{scan, ScanInfo};
 
 /// The serving modules rule 3 protects (workspace-relative paths).
-pub const SERVING_MODULES: [&str; 5] = [
+pub const SERVING_MODULES: [&str; 7] = [
     "crates/nn/src/compile.rs",
     "crates/nn/src/shard.rs",
     "crates/core/src/serve.rs",
     "crates/core/src/session.rs",
     "crates/tensor/src/parallel.rs",
+    "crates/tensor/src/faults.rs",
+    "crates/tensor/src/engines/protected_rns.rs",
 ];
 
 /// The standard crate-root attribute block rule 5 requires, in the

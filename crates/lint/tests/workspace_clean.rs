@@ -46,6 +46,8 @@ fn serving_contract_covers_the_online_server() {
         "crates/core/src/serve.rs",
         "crates/core/src/session.rs",
         "crates/tensor/src/parallel.rs",
+        "crates/tensor/src/faults.rs",
+        "crates/tensor/src/engines/protected_rns.rs",
     ] {
         assert!(
             mirage_lint::rules::SERVING_MODULES.contains(&file),

@@ -44,7 +44,12 @@
 //!   stage, never what the stage computes.
 //!
 //! Hence sharded == unsharded == eager, to the last bit, for every
-//! engine — enforced by the cross-crate grid tests.
+//! engine — enforced by the cross-crate grid tests. This includes the
+//! fault-tolerant engines: `ProtectedRnsBfpEngine` and the
+//! `FaultyEngine` adapter (`mirage_tensor::faults`) are tile-invariant,
+//! so sharded plans serve under fault injection with per-request
+//! correction accounting, and a corrupted shard execution fails only
+//! its own request (the root-level fault-injection grid pins this).
 //!
 //! ```
 //! use mirage_nn::{Sequential, layers::{Dense, Relu}, Engines};

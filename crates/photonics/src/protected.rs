@@ -10,6 +10,13 @@
 //! photonic MMVMU) and pushes every output-residue vector through the
 //! RRNS decoder. Power and area scale roughly linearly with the moduli
 //! count while throughput is unchanged — the trade the paper describes.
+//!
+//! This module models the *device*: photonic channels, phase noise,
+//! per-read power. The same RRNS decode lifecycle runs at GEMM scale in
+//! `mirage_tensor::engines::ProtectedRnsBfpEngine`, which serves whole
+//! compiled models under live traffic with fault injection
+//! (`mirage_tensor::faults`) and per-request correction accounting —
+//! see ARCHITECTURE.md § *Fault injection & RRNS-protected serving*.
 
 use crate::config::PhotonicConfig;
 use crate::detect::PhaseDetector;

@@ -257,7 +257,7 @@ mod tests {
         let r = rrns();
         let mut res = r.encode(1234).unwrap();
         res[0] = (res[0] + 3) % 31;
-        res[3] = (res[3] + 7) % 29;
+        res[3] = (res[3] + 7) % 37;
         // Either we notice there is no consistent single-channel fix, or
         // (rarely) a fix exists but must not silently return garbage that
         // matches more than one candidate.
@@ -283,5 +283,138 @@ mod tests {
     #[test]
     fn rejects_non_coprime_redundant() {
         assert!(RedundantRns::new(&[31, 32, 33], &[62]).is_err());
+    }
+
+    #[test]
+    fn zero_value_corruption_is_detected_and_corrected_on_every_channel() {
+        // Zero is the all-zero residue vector — the degenerate encoding
+        // where a flip on any channel must still be located exactly.
+        let r = rrns();
+        let moduli = [31u64, 32, 33, 37, 41];
+        let clean = r.encode(0).unwrap();
+        assert_eq!(clean, vec![0, 0, 0, 0, 0]);
+        for ch in 0..5 {
+            for delta in [1u64, moduli[ch] / 2, moduli[ch] - 1] {
+                let mut res = clean.clone();
+                res[ch] = delta % moduli[ch];
+                assert!(r.detect(&res).unwrap(), "ch = {ch}, delta = {delta}");
+                let c = r.correct(&res).unwrap();
+                assert_eq!(c.value, 0);
+                assert_eq!(c.corrected_channel, Some(ch));
+            }
+        }
+    }
+
+    #[test]
+    fn psi_boundary_values_survive_corruption_on_every_channel() {
+        // ±ψ sit at the very edge of the legitimate range — the drop-one
+        // candidates of a corrupted boundary encoding flirt with the
+        // range check, so correction must still land exactly on ±ψ.
+        let r = rrns();
+        let psi = r.psi() as i128;
+        assert_eq!(psi, 16367);
+        let moduli = [31u64, 32, 33, 37, 41];
+        for value in [psi, -psi] {
+            let clean = r.encode(value).unwrap();
+            assert!(!r.detect(&clean).unwrap());
+            for ch in 0..5 {
+                let mut res = clean.clone();
+                res[ch] = (res[ch] + 1) % moduli[ch];
+                assert!(r.detect(&res).unwrap(), "value = {value}, ch = {ch}");
+                let c = r.correct(&res).unwrap();
+                assert_eq!(c.value, value, "value = {value}, ch = {ch}");
+                assert_eq!(c.corrected_channel, Some(ch));
+            }
+        }
+        // Just outside the boundary the encoder itself refuses.
+        assert!(matches!(
+            r.encode(psi + 1),
+            Err(RnsError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            r.encode(-(psi + 1)),
+            Err(RnsError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn simultaneous_double_errors_never_miscorrect_exhaustively() {
+        // Exhaustive two-channel sweep for a handful of values: every
+        // outcome must be either a typed Uncorrectable or a correction
+        // whose value is arithmetically consistent with all but one
+        // channel — never a silently different value passed off as a
+        // single-channel fix of the *wrong* channel pair.
+        let r = rrns();
+        let moduli = [31u64, 32, 33, 37, 41];
+        let mut uncorrectable = 0u32;
+        let mut consistent_fixes = 0u32;
+        for &value in &[0i128, 1234, -4242] {
+            let clean = r.encode(value).unwrap();
+            for ch_a in 0..5 {
+                for ch_b in (ch_a + 1)..5 {
+                    for (da, db) in [(1u64, 1u64), (3, 7), (moduli[ch_a] - 1, 5)] {
+                        let mut res = clean.clone();
+                        res[ch_a] = (res[ch_a] + da) % moduli[ch_a];
+                        res[ch_b] = (res[ch_b] + db) % moduli[ch_b];
+                        assert!(r.detect(&res).unwrap(), "double errors are detected");
+                        match r.correct(&res) {
+                            Err(RnsError::Uncorrectable) => uncorrectable += 1,
+                            Ok(c) => {
+                                // A double error can masquerade as a single
+                                // error on some OTHER channel; when it does,
+                                // the decoded value must still be consistent
+                                // with every channel except the blamed one —
+                                // the RRNS guarantee is "consistent or
+                                // refused", not clairvoyance.
+                                let blamed = c.corrected_channel.expect(
+                                    "a detected-corrupt vector cannot decode with no correction",
+                                );
+                                assert!(c.value.unsigned_abs() <= r.psi());
+                                let consistent =
+                                    r.full_set().moduli().iter().enumerate().all(|(i, m)| {
+                                        i == blamed || m.reduce_i128(c.value) == res[i]
+                                    });
+                                assert!(consistent, "mis-correction leaked an inconsistent value");
+                                consistent_fixes += 1;
+                            }
+                            Err(e) => panic!("unexpected error {e}"),
+                        }
+                    }
+                }
+            }
+        }
+        assert!(uncorrectable > 0, "double errors should mostly be refused");
+        // Sanity: the masquerade case is rare but the sweep is large
+        // enough that both branches execute (values chosen accordingly).
+        assert!(uncorrectable + consistent_fixes == 3 * 10 * 3);
+    }
+
+    #[test]
+    fn wrong_length_vectors_return_typed_errors_not_panics() {
+        let r = rrns();
+        let clean = r.encode(77).unwrap();
+        for bad_len in [0usize, 3, 4, 6] {
+            let mut res = clean.clone();
+            res.resize(bad_len, 0);
+            assert!(
+                matches!(r.detect(&res), Err(RnsError::LengthMismatch { .. })),
+                "detect, len = {bad_len}"
+            );
+            assert!(
+                matches!(r.correct(&res), Err(RnsError::LengthMismatch { .. })),
+                "correct, len = {bad_len}"
+            );
+        }
+        // Unreduced residues are typed errors too.
+        let mut unreduced = clean.clone();
+        unreduced[0] = 31; // == modulus
+        assert!(matches!(
+            r.detect(&unreduced),
+            Err(RnsError::UnreducedResidue { .. })
+        ));
+        assert!(matches!(
+            r.correct(&unreduced),
+            Err(RnsError::UnreducedResidue { .. })
+        ));
     }
 }

@@ -11,6 +11,7 @@ mod bfp;
 mod exact;
 mod formats;
 mod prepared;
+mod protected_rns;
 mod rns_bfp;
 mod stochastic;
 
@@ -19,6 +20,7 @@ pub use bfp::BfpEngine;
 pub use exact::ExactEngine;
 pub use formats::{Bf16Engine, Hfp8Engine, IntEngine};
 pub use prepared::PreparedRhs;
+pub use protected_rns::ProtectedRnsBfpEngine;
 pub use rns_bfp::RnsBfpEngine;
 pub use stochastic::StochasticBfpEngine;
 

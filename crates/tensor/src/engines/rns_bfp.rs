@@ -17,21 +17,21 @@ use std::sync::Arc;
 /// `Residue` construction, no per-group heap objects, and the narrowest
 /// exact lane width the modulus permits.
 #[derive(Debug)]
-struct PackedRnsMatrix {
-    rows: usize,
-    k: usize,
-    groups_per_row: usize,
-    g: usize,
+pub(crate) struct PackedRnsMatrix {
+    pub(crate) rows: usize,
+    pub(crate) k: usize,
+    pub(crate) groups_per_row: usize,
+    pub(crate) g: usize,
     /// One [`ResiduePlane`] per modulus channel.
-    planes: Vec<ResiduePlane>,
+    pub(crate) planes: Vec<ResiduePlane>,
     /// `rows * groups_per_row` shared scale exponents.
-    scale_exps: Vec<i32>,
+    pub(crate) scale_exps: Vec<i32>,
 }
 
 impl PackedRnsMatrix {
     /// Forward conversion (Fig. 2 step 2) of a whole packed matrix:
     /// each channel reduces the flat mantissa buffer in one pass.
-    fn from_packed(packed: &PackedBfpMatrix, moduli: &ModuliSet) -> Self {
+    pub(crate) fn from_packed(packed: &PackedBfpMatrix, moduli: &ModuliSet) -> Self {
         let g = packed.config().group_size();
         let planes = moduli
             .moduli()
@@ -49,12 +49,12 @@ impl PackedRnsMatrix {
     }
 
     /// Flat offset of group `gi` of `row` within every channel plane.
-    fn group_offset(&self, row: usize, gi: usize) -> usize {
+    pub(crate) fn group_offset(&self, row: usize, gi: usize) -> usize {
         (row * self.groups_per_row + gi) * self.g
     }
 
     /// The shared scale exponent of group `gi` of `row`.
-    fn scale_exp(&self, row: usize, gi: usize) -> i32 {
+    pub(crate) fn scale_exp(&self, row: usize, gi: usize) -> i32 {
         self.scale_exps[row * self.groups_per_row + gi]
     }
 }

@@ -16,6 +16,14 @@
 //! - [`engines::AnalogFxpEngine`] — a *conventional* analog core with
 //!   bounded-precision ADCs, reproducing the information loss that
 //!   motivates Mirage (paper §II-C).
+//! - [`engines::ProtectedRnsBfpEngine`] — the RNS path carrying
+//!   redundant residues (RRNS, paper §VI-E): detects, corrects, and
+//!   accounts for injected residue errors, bit-identical to the
+//!   unprotected path when clean.
+//!
+//! The [`faults`] module provides the deterministic fault-injection
+//! layer ([`FaultInjector`], [`FaultyEngine`]) that corrupts any of
+//! these engines under live traffic.
 //!
 //! Any engine can be lifted onto the tiled multi-threaded execution
 //! layer ([`parallel::ParallelGemm`]) with [`GemmEngine::parallel`]; the
@@ -41,6 +49,7 @@
 pub mod conv;
 pub mod engines;
 mod error;
+pub mod faults;
 pub mod parallel;
 pub mod quant;
 pub mod scratch;
@@ -48,6 +57,7 @@ mod tensor;
 
 pub use engines::{GemmEngine, PreparedRhs};
 pub use error::TensorError;
+pub use faults::{FaultConfig, FaultCounts, FaultInjector, FaultScope, FaultyEngine};
 pub use parallel::{ParallelGemm, TileConfig};
 pub use scratch::ActivationScratch;
 pub use tensor::Tensor;

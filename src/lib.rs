@@ -46,7 +46,10 @@ pub use mirage_rns as rns;
 pub use mirage_tensor as tensor;
 
 pub use mirage_core::serve::{
-    BatchMode, ModelServer, PendingResponse, Response, ServeError, ServerConfig, ServerStats,
+    BatchMode, ModelServer, PendingResponse, RequestStats, Response, ServeError, ServerConfig,
+    ServerStats,
 };
 pub use mirage_core::{InferenceSession, Mirage, ModelSession, PhotonicGemmEngine};
 pub use mirage_nn::{CompiledNetwork, PipelineTrace, ShardPlan, ShardSpec};
+pub use mirage_tensor::engines::ProtectedRnsBfpEngine;
+pub use mirage_tensor::faults::{FaultConfig, FaultCounts, FaultInjector, FaultyEngine};

@@ -13,7 +13,10 @@ use mirage::models::small::small_mlp;
 use mirage::nn::{Engines, Sequential};
 use mirage::tensor::engines::ExactEngine;
 use mirage::tensor::Tensor;
-use mirage::{BatchMode, Mirage, ModelServer, ServeError, ServerConfig};
+use mirage::{
+    BatchMode, FaultConfig, FaultInjector, Mirage, ModelServer, ServeError, ServerConfig,
+    ShardPlan, ShardSpec,
+};
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Duration;
@@ -199,4 +202,90 @@ fn facade_surface_rejects_bad_requests_with_typed_errors() {
         session.server("ghost", ServerConfig::default()),
         Err(ServeError::UnknownModel { .. })
     ));
+}
+
+#[test]
+fn corrupted_shard_fails_only_its_request_and_batchmates_survive() {
+    // A tensor-sharded placement served under residue-level fault
+    // injection: a corruption inside one request's shard execution must
+    // surface as *that request's* typed `Uncorrectable` error, while
+    // batchmates in the same flush — and the server itself — carry on
+    // returning clean, bit-identical responses.
+    let mirage = Mirage::paper_default();
+    let protected = mirage
+        .protected_rns_gemm_engine(&[37, 41])
+        .expect("redundant moduli");
+    let mut saw_failure = false;
+    let mut saw_survivor_in_mixed_flush = false;
+    for seed in 0..6u64 {
+        let injector = Arc::new(FaultInjector::new(
+            FaultConfig::disabled(7103 + seed).with_residue_flip_rate(0.03),
+        ));
+        let faulty = Engines::uniform(protected.clone().with_injector(Arc::clone(&injector)));
+        let clean = Engines::uniform(protected.clone());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7104);
+        let mut net: Sequential = small_mlp(32, 16, 4, &mut rng);
+        let compiled = net.compile(&faulty).expect("mlp compiles");
+        let network = Arc::new(
+            ShardPlan::new(&compiled, &ShardSpec::tensor(2))
+                .expect("placement is valid")
+                .into_network(),
+        );
+        let pool: Vec<(Tensor, Tensor)> = (0..16)
+            .map(|_| {
+                let x = Tensor::randn(&[1, 32], 1.0, &mut rng);
+                let y = net.forward(&x, &clean).expect("clean eager forward");
+                (x, y)
+            })
+            .collect();
+        let config = ServerConfig::default()
+            .with_max_batch(8)
+            .with_max_delay(Duration::from_micros(200));
+        let server = ModelServer::new(network, config).expect("server starts");
+
+        // Submit the whole pool before waiting so flushes mix several
+        // requests; per-item execution isolates each one's faults.
+        let pending: Vec<_> = pool
+            .iter()
+            .map(|(x, expected)| (server.submit(x.clone()).expect("admitted"), expected))
+            .collect();
+        let mut failed = 0u64;
+        for (p, expected) in pending {
+            match p.wait() {
+                Ok(response) => {
+                    assert_eq!(
+                        response.output.data(),
+                        expected.data(),
+                        "seed {seed}: a surviving batchmate must stay bit-identical"
+                    );
+                    if response.stats.batch_size > 1 {
+                        saw_survivor_in_mixed_flush = true;
+                    }
+                }
+                Err(ServeError::Uncorrectable { .. }) => {
+                    failed += 1;
+                    saw_failure = true;
+                }
+                Err(other) => panic!("seed {seed}: unexpected error {other:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.failed, failed, "seed {seed}");
+        assert_eq!(stats.completed + stats.failed, 16, "seed {seed}");
+
+        // The server outlives the corruption: disarm and re-serve.
+        injector.set_residue_flip_rate(0.0);
+        let (x, expected) = &pool[0];
+        let response = server.infer(x.clone()).expect("server survives");
+        assert_eq!(response.output.data(), expected.data(), "seed {seed}");
+        server.join();
+        if saw_failure && saw_survivor_in_mixed_flush {
+            break;
+        }
+    }
+    assert!(saw_failure, "the seed scan must produce at least one abort");
+    assert!(
+        saw_survivor_in_mixed_flush,
+        "the seed scan must produce a clean response from a multi-request flush"
+    );
 }
