@@ -14,14 +14,22 @@
 //!   `pow2`);
 //! - **BFP GEMM** and **RNS-BFP GEMM** on the 64×256×256 serving shape:
 //!   the packed engines vs faithful reimplementations of the legacy
-//!   per-group-heap-object kernels (kept here as the oracle).
+//!   per-group-heap-object kernels (kept here as the oracle) — pinned
+//!   to the scalar kernels (`SimdPolicy::Off`) so the row keeps
+//!   measuring the PR 4 layout gain;
+//! - **SIMD GEMM rows**: the explicit SIMD kernels (AVX2/SSE2 dispatch)
+//!   vs the scalar packed kernels on the same shape, asserted
+//!   bit-identical element-exact before timing. The `simd` column
+//!   records the tier each row ran at.
 //!
 //! Every comparison asserts **bit-identity** before timing anything, so
 //! running this bench in `--test` (smoke) mode is a correctness check.
 //! Full runs write `BENCH_kernels.json` for the perf trajectory.
+//! `MIRAGE_SIMD=off` (or `sse2`) caps the SIMD rows' tier, which CI
+//! uses to smoke the scalar fallback.
 
 use mirage_bench::{print_table, write_summary, JsonField};
-use mirage_bfp::{BfpBlock, BfpConfig, PackedBfpMatrix};
+use mirage_bfp::{simd, BfpBlock, BfpConfig, PackedBfpMatrix, SimdPolicy};
 use mirage_rns::convert::{CrtConverter, ReverseConverter};
 use mirage_rns::residue;
 use mirage_tensor::engines::{BfpEngine, RnsBfpEngine};
@@ -171,25 +179,28 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
-    let mut record = |kernel: &str, workload: String, legacy: Duration, packed: Duration| {
-        let speedup = legacy.as_secs_f64() / packed.as_secs_f64();
-        rows.push(vec![
-            kernel.to_string(),
-            workload.clone(),
-            format!("{:.3}", ms(legacy)),
-            format!("{:.3}", ms(packed)),
-            format!("{speedup:.2}x"),
-            "yes".into(),
-        ]);
-        json.push(vec![
-            JsonField::Str("kernel", kernel.to_string()),
-            JsonField::Str("workload", workload),
-            JsonField::Num("legacy_ms", ms(legacy)),
-            JsonField::Num("packed_ms", ms(packed)),
-            JsonField::Num("speedup", speedup),
-            JsonField::Num("threads", 1.0),
-        ]);
-    };
+    let mut record =
+        |kernel: &str, workload: String, simd_label: &str, legacy: Duration, packed: Duration| {
+            let speedup = legacy.as_secs_f64() / packed.as_secs_f64();
+            rows.push(vec![
+                kernel.to_string(),
+                workload.clone(),
+                format!("{:.3}", ms(legacy)),
+                format!("{:.3}", ms(packed)),
+                format!("{speedup:.2}x"),
+                simd_label.to_string(),
+                "yes".into(),
+            ]);
+            json.push(vec![
+                JsonField::Str("kernel", kernel.to_string()),
+                JsonField::Str("workload", workload),
+                JsonField::Num("legacy_ms", ms(legacy)),
+                JsonField::Num("packed_ms", ms(packed)),
+                JsonField::Num("speedup", speedup),
+                JsonField::Str("simd", simd_label.to_string()),
+                JsonField::Num("threads", 1.0),
+            ]);
+        };
 
     // ── Quantize: legacy Vec<Vec<BfpBlock>> vs packed flat buffers ───
     {
@@ -224,7 +235,13 @@ fn main() {
                 .unwrap();
             black_box(scratch.mantissas().len());
         });
-        record("quantize", format!("{M}x{K} rows"), t_legacy, t_packed);
+        record(
+            "quantize",
+            format!("{M}x{K} rows"),
+            "off",
+            t_legacy,
+            t_packed,
+        );
     }
 
     // ── Group-dot: BfpBlock::dot chains vs flat slice dots ───────────
@@ -258,14 +275,17 @@ fn main() {
         record(
             "group-dot sweep",
             format!("{M}x{N} dots of k={K}"),
+            "off",
             t_legacy,
             t_packed,
         );
     }
 
     // ── BFP GEMM: packed engine vs legacy block path ─────────────────
+    // Pinned to the scalar kernel so this row keeps measuring the PR 4
+    // layout gain; the SIMD gain gets its own row below.
     {
-        let engine = BfpEngine::new(config);
+        let engine = BfpEngine::new(config).with_simd_policy(SimdPolicy::Off);
         let packed_out = engine.gemm(&a, &b).unwrap();
         let legacy_out = legacy_bfp_gemm(&a, &b, config);
         assert_eq!(
@@ -279,12 +299,20 @@ fn main() {
         let t_packed = best_of(reps(5), || {
             black_box(engine.gemm(black_box(&a), black_box(&b)).unwrap());
         });
-        record("bfp gemm", format!("{M}x{K}x{N}"), t_legacy, t_packed);
+        record(
+            "bfp gemm",
+            format!("{M}x{K}x{N}"),
+            "off",
+            t_legacy,
+            t_packed,
+        );
     }
 
     // ── RNS-BFP GEMM: packed residue planes vs legacy groups ─────────
     {
-        let engine = RnsBfpEngine::with_min_special_set(config).unwrap();
+        let engine = RnsBfpEngine::with_min_special_set(config)
+            .unwrap()
+            .with_simd_policy(SimdPolicy::Off);
         let packed_out = engine.gemm(&a, &b).unwrap();
         let legacy_out = legacy_rns_gemm(&a, &b, &engine);
         assert_eq!(
@@ -298,7 +326,92 @@ fn main() {
         let t_packed = best_of(reps(3), || {
             black_box(engine.gemm(black_box(&a), black_box(&b)).unwrap());
         });
-        record("rns-bfp gemm", format!("{M}x{K}x{N}"), t_legacy, t_packed);
+        record(
+            "rns-bfp gemm",
+            format!("{M}x{K}x{N}"),
+            "off",
+            t_legacy,
+            t_packed,
+        );
+    }
+
+    // ── SIMD GEMM: explicit-SIMD kernels vs scalar packed kernels ────
+    // The "legacy" side here is this PR's baseline: the PR 4 scalar
+    // packed kernel the rows above just measured. Bit-identity between
+    // the tiers is the tentpole contract and is asserted element-exact
+    // before any timing.
+    let tier = simd::resolve_tier(SimdPolicy::Auto).label();
+    {
+        let scalar = BfpEngine::new(config).with_simd_policy(SimdPolicy::Off);
+        let vector = BfpEngine::new(config); // SimdPolicy::Auto
+        let prepared_scalar = scalar.prepare(&b).unwrap();
+        let prepared_vector = vector.prepare(&b).unwrap();
+        let out_scalar = scalar.gemm_prepared(&a, &prepared_scalar).unwrap();
+        let out_vector = vector.gemm_prepared(&a, &prepared_vector).unwrap();
+        let scalar_bits: Vec<u32> = out_scalar.data().iter().map(|v| v.to_bits()).collect();
+        let vector_bits: Vec<u32> = out_vector.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            scalar_bits, vector_bits,
+            "SIMD BFP GEMM diverged from the scalar packed kernel"
+        );
+        let t_scalar = best_of(reps(5), || {
+            black_box(
+                scalar
+                    .gemm_prepared(black_box(&a), &prepared_scalar)
+                    .unwrap(),
+            );
+        });
+        let t_vector = best_of(reps(5), || {
+            black_box(
+                vector
+                    .gemm_prepared(black_box(&a), &prepared_vector)
+                    .unwrap(),
+            );
+        });
+        record(
+            "bfp gemm (simd)",
+            format!("{M}x{K}x{N}"),
+            tier,
+            t_scalar,
+            t_vector,
+        );
+    }
+    {
+        let scalar = RnsBfpEngine::with_min_special_set(config)
+            .unwrap()
+            .with_simd_policy(SimdPolicy::Off);
+        let vector = RnsBfpEngine::with_min_special_set(config).unwrap();
+        let prepared_scalar = scalar.prepare(&b).unwrap();
+        let prepared_vector = vector.prepare(&b).unwrap();
+        let out_scalar = scalar.gemm_prepared(&a, &prepared_scalar).unwrap();
+        let out_vector = vector.gemm_prepared(&a, &prepared_vector).unwrap();
+        let scalar_bits: Vec<u32> = out_scalar.data().iter().map(|v| v.to_bits()).collect();
+        let vector_bits: Vec<u32> = out_vector.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            scalar_bits, vector_bits,
+            "SIMD RNS-BFP GEMM diverged from the scalar packed kernel"
+        );
+        let t_scalar = best_of(reps(3), || {
+            black_box(
+                scalar
+                    .gemm_prepared(black_box(&a), &prepared_scalar)
+                    .unwrap(),
+            );
+        });
+        let t_vector = best_of(reps(3), || {
+            black_box(
+                vector
+                    .gemm_prepared(black_box(&a), &prepared_vector)
+                    .unwrap(),
+            );
+        });
+        record(
+            "rns-bfp gemm (simd)",
+            format!("{M}x{K}x{N}"),
+            tier,
+            t_scalar,
+            t_vector,
+        );
     }
 
     print_table(
@@ -306,16 +419,19 @@ fn main() {
         &[
             "kernel",
             "workload",
-            "legacy (ms)",
-            "packed (ms)",
+            "baseline (ms)",
+            "new (ms)",
             "speedup",
+            "simd",
             "bit-identical",
         ],
         &rows,
     );
     println!("\nAll packed results are asserted bit-identical to the legacy");
-    println!("block-path kernels before timing. Acceptance floors (single");
-    println!("thread, 64x256x256): >= 3x for BFP GEMM, >= 2x for RNS-BFP GEMM.");
+    println!("block-path kernels before timing, and the SIMD rows are asserted");
+    println!("bit-identical to the scalar packed kernels. Acceptance floors");
+    println!("(single thread, 64x256x256): >= 3x packed-vs-legacy for BFP,");
+    println!(">= 2x for RNS-BFP, and >= 1.5x SIMD-vs-scalar on both.");
 
     if smoke {
         println!("\n--test smoke mode: timings above are single-shot; JSON skipped.");

@@ -19,13 +19,18 @@ pub enum JsonField {
     Num(&'static str, f64),
 }
 
-/// Serializes `rows` as `{"bench": name, "rows": [{...}, ...]}`.
+/// Serializes `rows` as
+/// `{"bench": name, "cpu": {...}, "rows": [{...}, ...]}` — the `cpu`
+/// object ([`crate::cpu::CpuReport`]) makes every summary
+/// self-describing about the host (core count, SIMD features, and the
+/// `MIRAGE_SIMD` setting in effect).
 pub fn to_json(bench: &str, rows: &[Vec<JsonField>]) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\n  \"bench\": \"{}\",\n  \"rows\": [",
-        escape(bench)
+        "{{\n  \"bench\": \"{}\",\n  \"cpu\": {},\n  \"rows\": [",
+        escape(bench),
+        crate::cpu::CpuReport::detect().to_json_object()
     );
     for (i, row) in rows.iter().enumerate() {
         let _ = write!(out, "{}\n    {{", if i == 0 { "" } else { "," });
@@ -60,7 +65,7 @@ pub fn write_summary(path: impl AsRef<Path>, bench: &str, rows: &[Vec<JsonField>
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
             '"' => "\\\"".chars().collect::<Vec<_>>(),
@@ -92,6 +97,10 @@ mod tests {
         assert!(json.contains("\"bench\": \"kernels\""));
         assert!(json.contains("\"speedup\": 3.5"));
         assert!(json.contains("\"speedup\": null"));
+        // Every summary self-describes the recording host.
+        assert!(json.contains("\"cpu\": {\"arch\": "));
+        assert!(json.contains("\"cores\": "));
+        assert!(json.contains("\"simd_tier\": "));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -29,12 +29,16 @@
 #![deny(unused_must_use)]
 
 pub mod counting;
+pub mod cpu;
 pub mod experiments;
 pub mod json;
+pub mod paired;
 pub mod stats;
 pub mod table;
 
 pub use counting::{CountingEngine, GemmCounters};
+pub use cpu::CpuReport;
 pub use json::{write_summary, JsonField};
+pub use paired::{paired_speedup, PairedSpeedup};
 pub use stats::{percentile, percentile_sorted};
 pub use table::print_table;

@@ -25,7 +25,7 @@
 //! # Ok::<(), mirage_bfp::BfpError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(unused_must_use)]
 
@@ -34,6 +34,7 @@ mod config;
 mod error;
 mod math;
 mod packed;
+pub mod simd;
 mod stats;
 mod vector;
 
@@ -42,6 +43,7 @@ pub use config::{BfpConfig, RoundingMode};
 pub use error::BfpError;
 pub use math::pow2;
 pub use packed::{group_dot, group_dot_i16, group_dot_i32, PackedBfpMatrix};
+pub use simd::{GemmTail, SimdPolicy, SimdTier};
 pub use stats::QuantizationStats;
 pub use vector::BfpVector;
 

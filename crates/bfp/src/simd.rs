@@ -1,0 +1,838 @@
+//! Explicit SIMD kernels for the packed BFP GEMM hot path.
+//!
+//! The scalar flat kernels in [`crate::packed`] remain the semantic
+//! oracle; this module adds `core::arch::x86_64` implementations of the
+//! same arithmetic — `i16 × i16 → i32` multiply-accumulate (`pmaddwd`)
+//! over the contiguous [`PackedBfpMatrix`] mantissa buffers — selected
+//! at runtime and **bit-identical** to the scalar path by construction:
+//!
+//! - Integer dots are exact in any association order. The engines only
+//!   take this path under the [`PackedBfpMatrix::dot_fits_i32`] bound
+//!   (`g · max_a · max_b ≤ i32::MAX`), so every partial sum of a
+//!   column's products — including `pmaddwd`'s pairwise sums and the
+//!   horizontal-add reduction tree — is bounded and never wraps, and
+//!   integer addition is associative. The SIMD lane order therefore
+//!   yields the *same exact integer* as the scalar left-to-right loop.
+//! - Scale recombination applies, per column, the identical operation
+//!   chain as the scalar kernel: `(dot as f64) * (pow2(ae) * pow2(be))`
+//!   rounded to `f32` (`vcvtpd2ps` rounds to nearest-even, exactly like
+//!   `as f32`), accumulated in ascending group order. k-order and group
+//!   order are unchanged; only which *columns* share an instruction
+//!   changes, and columns are independent.
+//!
+//! ## Dispatch
+//!
+//! Three levels gate the vector path, every one falling back to the
+//! scalar kernel:
+//!
+//! 1. **Compile time** — non-x86_64 targets compile only the scalar
+//!    fallback.
+//! 2. **Run time** — `is_x86_feature_detected!("avx2")` picks the
+//!    256-bit tier; plain x86_64 always has SSE2 (baseline feature).
+//! 3. **Environment** — `MIRAGE_SIMD=off` forces scalar (the CI smoke
+//!    runs use it to keep the fallback exercised), `MIRAGE_SIMD=sse2`
+//!    caps the tier, `auto`/unset detects.
+//!
+//! Engines additionally carry a per-instance [`SimdPolicy`] so tests
+//! and benches can diff tiers in-process (the environment knob is
+//! read once per process).
+//!
+//! ## Safety
+//!
+//! This is one of the two modules in the workspace allowed to use
+//! `unsafe` (machine-enforced by `mirage-lint`'s unsafe-confined rule):
+//! `#[target_feature]` kernels and unaligned vector loads/stores need
+//! it. Every `unsafe` is preceded by a `// SAFETY:` argument; all
+//! bounds are validated once at the safe entry point.
+#![allow(unsafe_code)]
+
+use crate::math::pow2;
+use crate::packed::{group_dot_i16, PackedBfpMatrix};
+use std::sync::OnceLock;
+
+/// The environment variable gating SIMD dispatch workspace-wide.
+///
+/// Values: `off`/`0`/`false`/`scalar` force the scalar kernels,
+/// `sse2` caps the tier at SSE2, `avx2`/`auto` (and unset) detect the
+/// best tier at runtime. Unknown values warn and behave like `auto`.
+pub const SIMD_ENV: &str = "MIRAGE_SIMD";
+
+/// Instruction-set tier the dispatcher resolved, ordered by width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Scalar fallback — always available, the bit-identity oracle.
+    Scalar,
+    /// 128-bit `pmaddwd` kernels (baseline on every x86_64).
+    Sse2,
+    /// 256-bit `vpmaddwd` kernels (runtime-detected).
+    Avx2,
+}
+
+impl SimdTier {
+    /// Stable label for bench reports and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdTier::Scalar => "scalar",
+            SimdTier::Sse2 => "sse2",
+            SimdTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Per-engine-instance SIMD policy, combined with the process-wide
+/// environment tier by [`resolve_tier`]. The effective tier is the
+/// *minimum* of the two, so neither an instance nor the environment can
+/// escalate past what the other allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimdPolicy {
+    /// Use the best tier the environment and CPU allow (default).
+    #[default]
+    Auto,
+    /// Cap this instance at the SSE2 tier (tier-diff testing).
+    Sse2,
+    /// Force this instance scalar — the oracle side of every
+    /// SIMD-vs-scalar bit-identity assertion.
+    Off,
+}
+
+/// The process-wide tier from `MIRAGE_SIMD` + CPU detection, cached.
+fn env_tier() -> SimdTier {
+    static TIER: OnceLock<SimdTier> = OnceLock::new();
+    *TIER.get_or_init(|| {
+        let cap = match std::env::var(SIMD_ENV) {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "off" | "0" | "false" | "scalar" => SimdTier::Scalar,
+                "sse2" => SimdTier::Sse2,
+                "avx2" | "auto" | "" => SimdTier::Avx2,
+                other => {
+                    eprintln!(
+                        "mirage-bfp: ignoring unparsable {SIMD_ENV}={other:?} (want \
+                         off|sse2|avx2|auto); detecting"
+                    );
+                    debug_assert!(false, "unparsable {SIMD_ENV}: {other:?}");
+                    SimdTier::Avx2
+                }
+            },
+            Err(_) => SimdTier::Avx2,
+        };
+        cap.min(detected_tier())
+    })
+}
+
+/// The widest tier this CPU supports.
+fn detected_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            SimdTier::Avx2
+        } else {
+            SimdTier::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        SimdTier::Scalar
+    }
+}
+
+/// Resolves an instance policy against the process-wide environment
+/// tier: the effective tier is the narrower of the two.
+pub fn resolve_tier(policy: SimdPolicy) -> SimdTier {
+    match policy {
+        SimdPolicy::Off => SimdTier::Scalar,
+        SimdPolicy::Sse2 => SimdTier::Sse2.min(env_tier()),
+        SimdPolicy::Auto => env_tier(),
+    }
+}
+
+/// Whether the resolved default policy runs any vector tier.
+pub fn simd_enabled() -> bool {
+    resolve_tier(SimdPolicy::Auto) != SimdTier::Scalar
+}
+
+/// The elementwise tail a GEMM kernel may fold into its output write:
+/// an optional per-output-column bias and an optional trailing ReLU.
+///
+/// Kernels apply the tail to the accumulator **registers** right before
+/// the store — `acc + bias[j]`, then `max(acc, 0.0)` — so a fused tail
+/// costs zero extra passes over the output. This is bit-identical to a
+/// separate post-pass computing the same `(v + b).max(0.0)` chain over
+/// the stored values, because an `f32` store/load round trip is exact
+/// and the add/max operands are identical lane by lane.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GemmTail<'a> {
+    /// Per-output-column bias (length must equal the GEMM's `n`).
+    pub bias: Option<&'a [f32]>,
+    /// Apply `v.max(0.0)` after the bias add.
+    pub relu: bool,
+}
+
+impl GemmTail<'_> {
+    /// The empty tail: kernels write raw GEMM outputs.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the tail performs any work.
+    pub fn is_empty(&self) -> bool {
+        self.bias.is_none() && !self.relu
+    }
+
+    /// Applies the tail to one scalar accumulator at output column `j`
+    /// — the exact chain every kernel (scalar or vector) must fold in.
+    #[inline(always)]
+    pub fn fold(&self, acc: f32, j: usize) -> f32 {
+        let mut v = acc;
+        if let Some(bias) = self.bias {
+            v += bias.get(j).copied().unwrap_or(0.0);
+        }
+        if self.relu {
+            v = v.max(0.0);
+        }
+        v
+    }
+}
+
+/// Attempts the vectorized flat GEMM over two packed matrices (`a`
+/// rows × a `col_start..col_start + n` row range of `cols`, the packed
+/// `Bᵀ`), writing the `m × n` result into `out`.
+///
+/// Returns `false` — leaving `out` untouched — when the operands don't
+/// qualify (no `i16` shadow, `dot_fits_i32` violated, group size not a
+/// multiple of 16, scalar tier): the caller then runs the scalar flat
+/// kernel. On `true`, the result is bit-identical to the scalar kernel
+/// (see the module docs for the argument).
+pub fn gemm_i16_into(
+    tier: SimdTier,
+    a: &PackedBfpMatrix,
+    cols: &PackedBfpMatrix,
+    col_start: usize,
+    m: usize,
+    n: usize,
+    out: &mut Vec<f32>,
+) -> bool {
+    gemm_i16_tail_into(tier, a, cols, col_start, m, n, GemmTail::none(), out)
+}
+
+/// [`gemm_i16_into`] with a fused [`GemmTail`]: bias and ReLU are
+/// applied to the accumulator registers before each output store, so
+/// the epilogue costs zero extra passes over `out`. Declines (returns
+/// `false`) under the same conditions as [`gemm_i16_into`], plus a
+/// bias whose length is not exactly `n`.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_i16_tail_into(
+    tier: SimdTier,
+    a: &PackedBfpMatrix,
+    cols: &PackedBfpMatrix,
+    col_start: usize,
+    m: usize,
+    n: usize,
+    tail: GemmTail<'_>,
+    out: &mut Vec<f32>,
+) -> bool {
+    let g = a.config().group_size();
+    if tier == SimdTier::Scalar || !g.is_multiple_of(16) {
+        return false;
+    }
+    if !a.dot_fits_i32(cols) || a.mantissas_i16().is_none() || cols.mantissas_i16().is_none() {
+        return false;
+    }
+    if a.rows() < m || cols.rows() < col_start + n || cols.k() != a.k() {
+        return false;
+    }
+    if tail.bias.is_some_and(|b| b.len() != n) {
+        return false;
+    }
+    debug_assert_eq!(a.padded_k(), cols.padded_k());
+    out.clear();
+    out.resize(m * n, 0.0);
+    match tier {
+        SimdTier::Scalar => false,
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => {
+            if !std::arch::is_x86_feature_detected!("avx2") {
+                return false;
+            }
+            // SAFETY: AVX2 is verified present on this CPU immediately
+            // above; all slice bounds the kernel dereferences are
+            // validated by the shape checks at the top of this function
+            // (including `bias.len() == n`).
+            unsafe { x86::gemm_avx2(a, cols, col_start, m, n, tail, out) };
+            true
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Sse2 => {
+            // SAFETY: SSE2 is a baseline feature of the x86_64 ABI —
+            // present on every CPU this cfg-gated arm can run on; the
+            // slice bounds the kernel dereferences are validated above.
+            unsafe { x86::gemm_sse2(a, cols, col_start, m, n, tail, out) };
+            true
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// The ragged column tail (and any column range narrower than a vector
+/// block): plain scalar code running the *same* per-column chain as the
+/// vector kernels and the scalar flat kernel — `group_dot_i16`, then
+/// `(dot as f64 * (pow2(ae) * pow2(be))) as f32` accumulated in
+/// ascending group order.
+#[allow(clippy::too_many_arguments)]
+fn scalar_columns(
+    a: &PackedBfpMatrix,
+    cols: &PackedBfpMatrix,
+    col_start: usize,
+    j0: usize,
+    jw: usize,
+    m: usize,
+    n: usize,
+    tail: GemmTail<'_>,
+    out: &mut [f32],
+) {
+    let (Some(a16), Some(b16)) = (a.mantissas_i16(), cols.mantissas_i16()) else {
+        debug_assert!(false, "scalar_columns called without i16 shadows");
+        return;
+    };
+    let g = a.config().group_size();
+    let groups = a.groups_per_row();
+    let padded = a.padded_k();
+    for i in 0..m {
+        let a_row = &a16[i * padded..(i + 1) * padded];
+        let a_exps = a.row_scale_exps(i);
+        for jj in 0..jw {
+            let col = col_start + j0 + jj;
+            let b_row = &b16[col * padded..(col + 1) * padded];
+            let b_exps = cols.row_scale_exps(col);
+            let mut acc = 0.0f32;
+            for gi in 0..groups {
+                let base = gi * g;
+                let dot = group_dot_i16(&a_row[base..base + g], &b_row[base..base + g]);
+                acc += (dot as f64 * (pow2(a_exps[gi]) * pow2(b_exps[gi]))) as f32;
+            }
+            out[i * n + j0 + jj] = tail.fold(acc, j0 + jj);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{pow2, scalar_columns, GemmTail, PackedBfpMatrix};
+    use core::arch::x86_64::*;
+
+    /// Columns per AVX2 block: one `__m256` of output accumulators.
+    const JW8: usize = 8;
+    /// Columns per SSE2 block: one `__m128` of output accumulators.
+    const JW4: usize = 4;
+
+    /// The 256-bit flat GEMM kernel. Layout and loop order mirror the
+    /// scalar flat kernel; see the module docs for the bit-identity
+    /// argument.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available at runtime, and `a`/`cols` must satisfy
+    /// the shape checks of [`super::gemm_i16_tail_into`] (equal `k`,
+    /// equal padded widths, `i16` shadows present, `col_start + n`
+    /// within `cols`, `out.len() == m * n`, any bias of length `n`).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gemm_avx2(
+        a: &PackedBfpMatrix,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        m: usize,
+        n: usize,
+        tail: GemmTail<'_>,
+        out: &mut [f32],
+    ) {
+        let (Some(a16), Some(b16)) = (a.mantissas_i16(), cols.mantissas_i16()) else {
+            debug_assert!(false, "gemm_avx2 called without i16 shadows");
+            return;
+        };
+        let g = a.config().group_size();
+        let vecs = g / 16;
+        let groups = a.groups_per_row();
+        let padded = a.padded_k();
+        // Per-block B-side scale factors, staged like the scalar
+        // kernel's `bexp2` buffer (one allocation per GEMM call).
+        let mut bexp2 = vec![0.0f64; groups * JW8];
+        for j0 in (0..n).step_by(JW8) {
+            let jw = (n - j0).min(JW8);
+            if jw < JW8 {
+                scalar_columns(a, cols, col_start, j0, jw, m, n, tail, out);
+                continue;
+            }
+            // The block's fused-tail bias lanes (validated `len == n`
+            // by the dispatcher; this is a full-width block).
+            // SAFETY: `j0 + 8 <= n == bias.len()`.
+            let bias_v = tail
+                .bias
+                .map(|b| unsafe { _mm256_loadu_ps(b.as_ptr().add(j0)) });
+            for gi in 0..groups {
+                for jj in 0..jw {
+                    bexp2[gi * JW8 + jj] = pow2(cols.row_scale_exps(col_start + j0 + jj)[gi]);
+                }
+            }
+            for i in 0..m {
+                let a_row = &a16[i * padded..(i + 1) * padded];
+                let a_exps = a.row_scale_exps(i);
+                let mut acc = _mm256_setzero_ps();
+                for (gi, &a_exp) in a_exps.iter().enumerate().take(groups) {
+                    let base = gi * g;
+                    let b_base = (col_start + j0) * padded + base;
+                    debug_assert!(b_base + (JW8 - 1) * padded + g <= b16.len());
+                    // Integer dots for the block's 8 columns — exact in
+                    // any association order under the dot_fits_i32
+                    // bound (module docs).
+                    // mirage-lint: region(int_kernel)
+                    // SAFETY: `a_row` spans `padded >= base + g` lanes
+                    // and the column groups are in bounds
+                    // (debug-checked above); AVX2 was verified by the
+                    // dispatcher.
+                    let sums =
+                        unsafe { dot8_i16(a_row.as_ptr().add(base), b16, b_base, padded, vecs) };
+                    // mirage-lint: end_region(int_kernel)
+                    // Scale recombination, 4 f64 lanes at a time: the
+                    // same `(dot as f64) * (pa2 * be2)` chain as the
+                    // scalar kernel, `vcvtpd2ps` rounding to
+                    // nearest-even exactly like `as f32`.
+                    let pa2 = _mm256_set1_pd(pow2(a_exp));
+                    // SAFETY: `bexp2` holds `groups * 8` doubles and
+                    // `gi < groups`, so both 4-lane loads are in range.
+                    let (be_lo, be_hi) = unsafe {
+                        (
+                            _mm256_loadu_pd(bexp2.as_ptr().add(gi * JW8)),
+                            _mm256_loadu_pd(bexp2.as_ptr().add(gi * JW8 + 4)),
+                        )
+                    };
+                    let lo = _mm256_cvtpd_ps(_mm256_mul_pd(
+                        _mm256_cvtepi32_pd(_mm256_castsi256_si128(sums)),
+                        _mm256_mul_pd(pa2, be_lo),
+                    ));
+                    let hi = _mm256_cvtpd_ps(_mm256_mul_pd(
+                        _mm256_cvtepi32_pd(_mm256_extracti128_si256::<1>(sums)),
+                        _mm256_mul_pd(pa2, be_hi),
+                    ));
+                    acc = _mm256_add_ps(acc, _mm256_set_m128(hi, lo));
+                }
+                // Fused tail: the same `(v + b).max(0.0)` chain a
+                // post-pass would run over the stored values, applied
+                // lane-wise to the accumulator registers instead —
+                // bit-identical, zero extra passes over `out`.
+                if let Some(bias) = bias_v {
+                    acc = _mm256_add_ps(acc, bias);
+                }
+                if tail.relu {
+                    acc = _mm256_max_ps(acc, _mm256_setzero_ps());
+                }
+                // SAFETY: `out.len() == m * n`, `i < m`, and this is a
+                // full-width block (`j0 + 8 <= n`), so the 8-lane store
+                // ends at most at `(i + 1) * n`.
+                unsafe { _mm256_storeu_ps(out.as_mut_ptr().add(i * n + j0), acc) };
+            }
+        }
+    }
+
+    /// 8 column dots of one activation group: `vpmaddwd` per column,
+    /// then a horizontal-add tree folding the 8 partial vectors into
+    /// one `[dot0..dot7]` vector. Every intermediate is a subset-sum of
+    /// a single column's products, so the dot_fits_i32 bound keeps all
+    /// of them exact.
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be enabled; `a_g` must point at `16 * vecs` readable
+    /// `i16`s and `b[b_base + c * stride .. + 16 * vecs]` must be in
+    /// bounds for `c < 8`.
+    // mirage-lint: region(int_kernel)
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot8_i16(
+        a_g: *const i16,
+        b: &[i16],
+        b_base: usize,
+        stride: usize,
+        vecs: usize,
+    ) -> __m256i {
+        let mut v = [_mm256_setzero_si256(); 8];
+        for t in 0..vecs {
+            // SAFETY: caller guarantees `a_g` spans `16 * vecs` lanes.
+            let av = unsafe { _mm256_loadu_si256(a_g.add(t * 16).cast()) };
+            for (c, slot) in v.iter_mut().enumerate() {
+                let off = b_base + c * stride + t * 16;
+                debug_assert!(off + 16 <= b.len());
+                // SAFETY: caller guarantees the column group is in
+                // bounds (debug-checked above).
+                let bv = unsafe { _mm256_loadu_si256(b.as_ptr().add(off).cast()) };
+                *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(av, bv));
+            }
+        }
+        // hadd tree: [v0(0..3) v1(0..3) v2(0..3) v3(0..3) | v0(4..7) ..]
+        let a01 = _mm256_hadd_epi32(v[0], v[1]);
+        let a23 = _mm256_hadd_epi32(v[2], v[3]);
+        let a45 = _mm256_hadd_epi32(v[4], v[5]);
+        let a67 = _mm256_hadd_epi32(v[6], v[7]);
+        let b0123 = _mm256_hadd_epi32(a01, a23);
+        let b4567 = _mm256_hadd_epi32(a45, a67);
+        let s0 = _mm_add_epi32(
+            _mm256_castsi256_si128(b0123),
+            _mm256_extracti128_si256::<1>(b0123),
+        );
+        let s1 = _mm_add_epi32(
+            _mm256_castsi256_si128(b4567),
+            _mm256_extracti128_si256::<1>(b4567),
+        );
+        _mm256_set_m128i(s1, s0)
+    }
+    // mirage-lint: end_region(int_kernel)
+
+    /// The 128-bit flat GEMM kernel (baseline x86_64, no runtime
+    /// detection needed): 4 columns per block, `pmaddwd` dots, an
+    /// unpack-transpose reduction (SSE2 has no `phaddd`), and the same
+    /// scale-recombination chain as the scalar kernel.
+    ///
+    /// # Safety
+    ///
+    /// SSE2 must be available (always true on x86_64 — the annotation
+    /// exists because rustc requires intrinsic callers to list the
+    /// feature explicitly), and `a`/`cols` must satisfy the shape
+    /// checks of [`super::gemm_i16_tail_into`].
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn gemm_sse2(
+        a: &PackedBfpMatrix,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        m: usize,
+        n: usize,
+        tail: GemmTail<'_>,
+        out: &mut [f32],
+    ) {
+        let (Some(a16), Some(b16)) = (a.mantissas_i16(), cols.mantissas_i16()) else {
+            debug_assert!(false, "gemm_sse2 called without i16 shadows");
+            return;
+        };
+        let g = a.config().group_size();
+        let vecs = g / 8;
+        let groups = a.groups_per_row();
+        let padded = a.padded_k();
+        let mut bexp2 = vec![0.0f64; groups * JW4];
+        for j0 in (0..n).step_by(JW4) {
+            let jw = (n - j0).min(JW4);
+            if jw < JW4 {
+                scalar_columns(a, cols, col_start, j0, jw, m, n, tail, out);
+                continue;
+            }
+            // SAFETY: `j0 + 4 <= n == bias.len()` (full-width block,
+            // length validated by the dispatcher).
+            let bias_v = tail
+                .bias
+                .map(|b| unsafe { _mm_loadu_ps(b.as_ptr().add(j0)) });
+            for gi in 0..groups {
+                for jj in 0..jw {
+                    bexp2[gi * JW4 + jj] = pow2(cols.row_scale_exps(col_start + j0 + jj)[gi]);
+                }
+            }
+            for i in 0..m {
+                let a_row = &a16[i * padded..(i + 1) * padded];
+                let a_exps = a.row_scale_exps(i);
+                let mut acc = _mm_setzero_ps();
+                for (gi, &a_exp) in a_exps.iter().enumerate().take(groups) {
+                    let base = gi * g;
+                    let b_base = (col_start + j0) * padded + base;
+                    debug_assert!(b_base + (JW4 - 1) * padded + g <= b16.len());
+                    // mirage-lint: region(int_kernel)
+                    // SAFETY: `a_row` spans `padded >= base + g` lanes
+                    // and the column groups are in bounds
+                    // (debug-checked above) — same contract as the
+                    // AVX2 kernel, SSE2 is baseline on x86_64.
+                    let sums =
+                        unsafe { dot4_i16(a_row.as_ptr().add(base), b16, b_base, padded, vecs) };
+                    // mirage-lint: end_region(int_kernel)
+                    let pa2 = _mm_set1_pd(pow2(a_exp));
+                    // SAFETY: `bexp2` holds `groups * 4` doubles.
+                    let (be_lo, be_hi) = unsafe {
+                        (
+                            _mm_loadu_pd(bexp2.as_ptr().add(gi * JW4)),
+                            _mm_loadu_pd(bexp2.as_ptr().add(gi * JW4 + 2)),
+                        )
+                    };
+                    let lo =
+                        _mm_cvtpd_ps(_mm_mul_pd(_mm_cvtepi32_pd(sums), _mm_mul_pd(pa2, be_lo)));
+                    let hi = _mm_cvtpd_ps(_mm_mul_pd(
+                        _mm_cvtepi32_pd(_mm_shuffle_epi32::<0b00_00_11_10>(sums)),
+                        _mm_mul_pd(pa2, be_hi),
+                    ));
+                    acc = _mm_add_ps(acc, _mm_movelh_ps(lo, hi));
+                }
+                // Fused tail, lane-wise on the accumulator registers —
+                // same chain as the AVX2 kernel and the scalar fold.
+                if let Some(bias) = bias_v {
+                    acc = _mm_add_ps(acc, bias);
+                }
+                if tail.relu {
+                    acc = _mm_max_ps(acc, _mm_setzero_ps());
+                }
+                // SAFETY: full-width block, `i < m` — the 4-lane store
+                // ends at most at `(i + 1) * n`.
+                unsafe { _mm_storeu_ps(out.as_mut_ptr().add(i * n + j0), acc) };
+            }
+        }
+    }
+
+    /// 4 column dots of one activation group, SSE2 only: `pmaddwd` per
+    /// column, then an unpack-transpose so one vector add folds the 4
+    /// partial vectors into `[dot0..dot3]`. Same exactness argument as
+    /// [`dot8_i16`].
+    ///
+    /// # Safety
+    ///
+    /// `a_g` must point at `8 * vecs` readable `i16`s and
+    /// `b[b_base + c * stride .. + 8 * vecs]` must be in bounds for
+    /// `c < 4`.
+    // mirage-lint: region(int_kernel)
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn dot4_i16(
+        a_g: *const i16,
+        b: &[i16],
+        b_base: usize,
+        stride: usize,
+        vecs: usize,
+    ) -> __m128i {
+        let mut v = [_mm_setzero_si128(); 4];
+        for t in 0..vecs {
+            // SAFETY: caller guarantees `a_g` spans `8 * vecs` lanes.
+            let av = unsafe { _mm_loadu_si128(a_g.add(t * 8).cast()) };
+            for (c, slot) in v.iter_mut().enumerate() {
+                let off = b_base + c * stride + t * 8;
+                debug_assert!(off + 8 <= b.len());
+                // SAFETY: caller guarantees the column group is in
+                // bounds (debug-checked above).
+                let bv = unsafe { _mm_loadu_si128(b.as_ptr().add(off).cast()) };
+                *slot = _mm_add_epi32(*slot, _mm_madd_epi16(av, bv));
+            }
+        }
+        // Transpose-and-add: u0..u3 hold lane L of every column, so the
+        // three adds produce [sum(v0), sum(v1), sum(v2), sum(v3)].
+        let t0 = _mm_unpacklo_epi32(v[0], v[1]);
+        let t1 = _mm_unpackhi_epi32(v[0], v[1]);
+        let t2 = _mm_unpacklo_epi32(v[2], v[3]);
+        let t3 = _mm_unpackhi_epi32(v[2], v[3]);
+        let u0 = _mm_unpacklo_epi64(t0, t2);
+        let u1 = _mm_unpackhi_epi64(t0, t2);
+        let u2 = _mm_unpacklo_epi64(t1, t3);
+        let u3 = _mm_unpackhi_epi64(t1, t3);
+        _mm_add_epi32(_mm_add_epi32(u0, u1), _mm_add_epi32(u2, u3))
+    }
+    // mirage-lint: end_region(int_kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BfpConfig;
+
+    fn values(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / 8388608.0) - 1.0
+            })
+            .collect()
+    }
+
+    /// The scalar oracle: per-column dots via `group_dot_i16` with the
+    /// canonical recombination chain.
+    fn scalar_gemm(
+        a: &PackedBfpMatrix,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        m: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        scalar_columns(a, cols, col_start, 0, n, m, n, GemmTail::none(), &mut out);
+        out
+    }
+
+    #[test]
+    fn every_available_tier_matches_scalar_bit_exactly() {
+        for (m, k, n, bm, g) in [
+            (1, 1, 1, 4, 16),
+            (3, 19, 5, 4, 16),
+            (7, 40, 13, 4, 16),
+            (8, 64, 8, 5, 32),
+            (2, 130, 17, 3, 64),
+            // bm = 13 is the widest mantissa whose g = 16 dot still
+            // satisfies dot_fits_i32 (16 · 8191² < i32::MAX).
+            (5, 16, 9, 13, 16),
+        ] {
+            let cfg = BfpConfig::new(bm, g).unwrap();
+            let a =
+                PackedBfpMatrix::quantize_rows(&values(m * k, 7 + m as u64), m, k, cfg).unwrap();
+            let b =
+                PackedBfpMatrix::quantize_rows(&values(n * k, 11 + n as u64), n, k, cfg).unwrap();
+            let want = scalar_gemm(&a, &b, 0, m, n);
+            for tier in [SimdTier::Sse2, SimdTier::Avx2] {
+                if tier > detected_tier() {
+                    continue;
+                }
+                let mut got = Vec::new();
+                assert!(
+                    gemm_i16_into(tier, &a, &b, 0, m, n, &mut got),
+                    "{m}x{k}x{n} bm={bm} g={g} should take the {} path",
+                    tier.label()
+                );
+                let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    got_bits,
+                    want_bits,
+                    "{m}x{k}x{n} bm={bm} g={g} {}",
+                    tier.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_tail_matches_the_separate_post_pass_bit_exactly() {
+        // The fused bias/ReLU fold must equal running the plain kernel
+        // and then sweeping `(v + b).max(0.0)` over the stored output.
+        for (m, k, n) in [(1, 16, 1), (3, 40, 13), (6, 64, 21)] {
+            let cfg = BfpConfig::mirage_default();
+            let a = PackedBfpMatrix::quantize_rows(&values(m * k, 17), m, k, cfg).unwrap();
+            let b = PackedBfpMatrix::quantize_rows(&values(n * k, 23), n, k, cfg).unwrap();
+            let bias = values(n, 29);
+            for tier in [SimdTier::Sse2, SimdTier::Avx2] {
+                if tier > detected_tier() {
+                    continue;
+                }
+                for (use_bias, relu) in [(true, false), (false, true), (true, true)] {
+                    let tail = GemmTail {
+                        bias: use_bias.then_some(bias.as_slice()),
+                        relu,
+                    };
+                    let mut fused = Vec::new();
+                    assert!(gemm_i16_tail_into(tier, &a, &b, 0, m, n, tail, &mut fused));
+                    let mut want = Vec::new();
+                    assert!(gemm_i16_into(tier, &a, &b, 0, m, n, &mut want));
+                    for (i, v) in want.iter_mut().enumerate() {
+                        if use_bias {
+                            *v += bias[i % n];
+                        }
+                        if relu {
+                            *v = v.max(0.0);
+                        }
+                    }
+                    let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+                    let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(
+                        fused_bits,
+                        want_bits,
+                        "{m}x{k}x{n} bias={use_bias} relu={relu} {}",
+                        tier.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_tail_bias_declines() {
+        let tier = detected_tier();
+        if tier == SimdTier::Scalar {
+            return;
+        }
+        let cfg = BfpConfig::mirage_default();
+        let a = PackedBfpMatrix::quantize_rows(&values(32, 3), 2, 16, cfg).unwrap();
+        let short = values(1, 5);
+        let tail = GemmTail {
+            bias: Some(short.as_slice()),
+            relu: false,
+        };
+        let mut out = Vec::new();
+        assert!(!gemm_i16_tail_into(tier, &a, &a, 0, 2, 2, tail, &mut out));
+    }
+
+    #[test]
+    fn column_ranges_match_the_full_gemm() {
+        let cfg = BfpConfig::mirage_default();
+        let (m, k, n) = (4, 33, 21);
+        let a = PackedBfpMatrix::quantize_rows(&values(m * k, 3), m, k, cfg).unwrap();
+        let b = PackedBfpMatrix::quantize_rows(&values(n * k, 5), n, k, cfg).unwrap();
+        let tier = detected_tier();
+        if tier == SimdTier::Scalar {
+            return;
+        }
+        let mut full = Vec::new();
+        assert!(gemm_i16_into(tier, &a, &b, 0, m, n, &mut full));
+        for (c0, width) in [(0usize, 9usize), (9, 12), (5, 4)] {
+            let mut tile = Vec::new();
+            assert!(gemm_i16_into(tier, &a, &b, c0, m, width, &mut tile));
+            for i in 0..m {
+                for j in 0..width {
+                    assert_eq!(
+                        tile[i * width + j].to_bits(),
+                        full[i * n + c0 + j].to_bits(),
+                        "tile ({c0}, {width}) at ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_shapes_decline() {
+        let tier = detected_tier();
+        if tier == SimdTier::Scalar {
+            return;
+        }
+        let mut out = Vec::new();
+        // g = 8 is below the vector width.
+        let cfg8 = BfpConfig::new(4, 8).unwrap();
+        let a = PackedBfpMatrix::quantize_rows(&values(16, 1), 2, 8, cfg8).unwrap();
+        assert!(!gemm_i16_into(tier, &a, &a, 0, 2, 2, &mut out));
+        // Wide mantissae have no i16 shadow.
+        let cfg_wide = BfpConfig::new(20, 16).unwrap();
+        let w = PackedBfpMatrix::quantize_rows(&values(32, 2), 2, 16, cfg_wide).unwrap();
+        assert!(!gemm_i16_into(tier, &w, &w, 0, 2, 2, &mut out));
+        // bm = 15 keeps the i16 shadow but 16 · 32767² overflows the
+        // i32 accumulator bound, so the vector path must decline.
+        let cfg15 = BfpConfig::new(15, 16).unwrap();
+        let v = PackedBfpMatrix::quantize_rows(&values(32, 9), 2, 16, cfg15).unwrap();
+        assert!(!gemm_i16_into(tier, &v, &v, 0, 2, 2, &mut out));
+        // Scalar tier always declines.
+        let cfg = BfpConfig::mirage_default();
+        let p = PackedBfpMatrix::quantize_rows(&values(32, 3), 2, 16, cfg).unwrap();
+        assert!(!gemm_i16_into(SimdTier::Scalar, &p, &p, 0, 2, 2, &mut out));
+    }
+
+    #[test]
+    fn zero_dimension_gemms_are_well_formed() {
+        let tier = detected_tier();
+        if tier == SimdTier::Scalar {
+            return;
+        }
+        let cfg = BfpConfig::mirage_default();
+        let empty_k = PackedBfpMatrix::quantize_rows(&[], 3, 0, cfg).unwrap();
+        let mut out = vec![1.0f32; 9];
+        assert!(gemm_i16_into(tier, &empty_k, &empty_k, 0, 3, 3, &mut out));
+        assert!(out.iter().all(|&v| v == 0.0), "k = 0 dots are all zero");
+        let a = PackedBfpMatrix::quantize_rows(&values(32, 4), 2, 16, cfg).unwrap();
+        assert!(gemm_i16_into(tier, &a, &a, 0, 0, 0, &mut out));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn policy_resolution_is_monotone() {
+        assert_eq!(resolve_tier(SimdPolicy::Off), SimdTier::Scalar);
+        assert!(resolve_tier(SimdPolicy::Sse2) <= SimdTier::Sse2);
+        assert!(resolve_tier(SimdPolicy::Sse2) <= resolve_tier(SimdPolicy::Auto));
+        // The labels are stable bench-report vocabulary.
+        assert_eq!(SimdTier::Scalar.label(), "scalar");
+        assert_eq!(SimdTier::Sse2.label(), "sse2");
+        assert_eq!(SimdTier::Avx2.label(), "avx2");
+    }
+}

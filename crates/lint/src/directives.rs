@@ -18,12 +18,13 @@
 use crate::lexer::Comment;
 
 /// The waiver keys accepted by `allow(...)`, one per enforceable rule.
-pub const WAIVER_KEYS: [&str; 5] = [
+pub const WAIVER_KEYS: [&str; 6] = [
     "float_ok",
     "alloc_ok",
     "panic_ok",
     "contract_ok",
     "hygiene_ok",
+    "unsafe_ok",
 ];
 
 /// One parsed directive.

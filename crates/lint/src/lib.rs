@@ -34,7 +34,13 @@
 //!    `prepare` must also override `gemm_prepared`,
 //!    `gemm_prepared_into`, and `prepare_tile`.
 //! 5. **`crate-hygiene`** — every crate root carries the workspace's
-//!    standard attribute block ([`rules::REQUIRED_CRATE_ATTRS`]).
+//!    standard attribute block ([`rules::REQUIRED_CRATE_ATTRS`]);
+//!    `#![deny(unsafe_code)]` is accepted in place of `forbid` so the
+//!    SIMD kernel crates can open confined `#![allow(unsafe_code)]`
+//!    scopes.
+//! 6. **`unsafe-confined`** — `unsafe` appears only in the allowlisted
+//!    SIMD kernel modules ([`rules::UNSAFE_KERNEL_MODULES`]), and every
+//!    unsafe line there carries a `SAFETY:` justification comment.
 //!
 //! Findings can be waived line by line with
 //! `// mirage-lint: allow(<key>) -- <reason>`; the reason is mandatory

@@ -16,6 +16,9 @@ pub enum Rule {
     EngineContract,
     /// Rule 5: crate roots carry the standard forbid/deny block.
     CrateHygiene,
+    /// Rule 6: `unsafe` appears only in the allowlisted SIMD kernel
+    /// modules, and every unsafe line there carries a `SAFETY:` comment.
+    UnsafeConfined,
     /// Malformed or unpaired `mirage-lint:` directives.
     Directive,
 }
@@ -29,6 +32,7 @@ impl Rule {
             Rule::PanicInServing => "panic-in-serving",
             Rule::EngineContract => "engine-contract",
             Rule::CrateHygiene => "crate-hygiene",
+            Rule::UnsafeConfined => "unsafe-confined",
             Rule::Directive => "directive",
         }
     }
@@ -41,6 +45,7 @@ impl Rule {
             Rule::PanicInServing => Some("panic_ok"),
             Rule::EngineContract => Some("contract_ok"),
             Rule::CrateHygiene => Some("hygiene_ok"),
+            Rule::UnsafeConfined => Some("unsafe_ok"),
             Rule::Directive => None,
         }
     }

@@ -1,4 +1,4 @@
-//! The five workspace rules, applied to one file at a time.
+//! The six workspace rules, applied to one file at a time.
 //!
 //! | rule | trigger | scope |
 //! |------|---------|-------|
@@ -6,19 +6,20 @@
 //! | `alloc-in-no-alloc` | `Vec::new`/`with_capacity`, `Box::new`, `String::from`, `.push/.collect/.to_vec/.to_owned/.clone`, `format!`, `vec!` | functions marked `no_alloc` |
 //! | `panic-in-serving` | `.unwrap()`, `.expect()`, `panic!`, `assert!`/`assert_eq!`/`assert_ne!`, `todo!`, `unimplemented!`, `unreachable!` (`debug_assert!` stays legal) | non-test code of the serving modules |
 //! | `engine-contract` | `impl … GemmEngine` overriding `prepare` without `gemm_prepared` + `gemm_prepared_into` + `prepare_tile` | every file |
-//! | `crate-hygiene` | missing `#![forbid(unsafe_code)]` / standard deny set | crate roots |
+//! | `crate-hygiene` | missing `#![forbid(unsafe_code)]` (or `#![deny(unsafe_code)]`) / standard deny set | crate roots |
+//! | `unsafe-confined` | any `unsafe` token outside [`UNSAFE_KERNEL_MODULES`], or one inside them without a nearby `SAFETY:` comment | every file |
 //!
 //! Waivers: `// mirage-lint: allow(<key>) -- <reason>` on the offending
 //! line (trailing) or on the line directly above (standalone) waives
 //! that line's findings for the matching rule. The reason is mandatory.
 
 use crate::directives::{parse_directives, Directive, DirectiveKind};
-use crate::lexer::{lex, Token, TokenKind};
+use crate::lexer::{lex, Comment, Token, TokenKind};
 use crate::report::{Finding, Rule};
 use crate::scan::{scan, ScanInfo};
 
 /// The serving modules rule 3 protects (workspace-relative paths).
-pub const SERVING_MODULES: [&str; 7] = [
+pub const SERVING_MODULES: [&str; 8] = [
     "crates/nn/src/compile.rs",
     "crates/nn/src/shard.rs",
     "crates/core/src/serve.rs",
@@ -26,6 +27,7 @@ pub const SERVING_MODULES: [&str; 7] = [
     "crates/tensor/src/parallel.rs",
     "crates/tensor/src/faults.rs",
     "crates/tensor/src/engines/protected_rns.rs",
+    "crates/tensor/src/engines/epilogue.rs",
 ];
 
 /// The standard crate-root attribute block rule 5 requires, in the
@@ -35,6 +37,19 @@ pub const REQUIRED_CRATE_ATTRS: [&str; 3] = [
     "#![deny(missing_docs)]",
     "#![deny(unused_must_use)]",
 ];
+
+/// The only modules allowed to contain `unsafe` (rule 6): the explicit
+/// SIMD kernels, which need `core::arch` intrinsics. Crates hosting one
+/// of these demote `forbid(unsafe_code)` to `deny(unsafe_code)` at the
+/// root (a command-line `forbid` cannot be re-allowed module-locally),
+/// and this rule is what keeps the demotion honest: `unsafe` anywhere
+/// else in the workspace is an active finding.
+pub const UNSAFE_KERNEL_MODULES: [&str; 2] = ["crates/bfp/src/simd.rs", "crates/rns/src/simd.rs"];
+
+/// How far above an `unsafe` token a `SAFETY:` comment may sit (in
+/// lines) and still justify it. Covers the idiomatic
+/// `// SAFETY: …` block directly above a multi-line `unsafe {` call.
+const SAFETY_COMMENT_REACH: u32 = 6;
 
 /// Region name with int-kernel (rule 1) semantics.
 const INT_KERNEL: &str = "int_kernel";
@@ -123,6 +138,7 @@ pub fn lint_source(rel: &str, source: &str, class: FileClass) -> Vec<Finding> {
     if class.crate_root {
         crate_hygiene(rel, &info, &mut findings);
     }
+    unsafe_confined(rel, &lexed.tokens, &lexed.comments, &mut findings);
 
     apply_waivers(&lexed.tokens, &directives, &mut findings);
     findings
@@ -402,15 +418,83 @@ fn engine_contract(rel: &str, info: &ScanInfo, findings: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 5: crate roots carry the standard forbid/deny block.
+/// Rule 5: crate roots carry the standard forbid/deny block. For the
+/// unsafe-code attribute specifically, `#![deny(unsafe_code)]` is an
+/// accepted alternative to `forbid`: crates hosting an allowlisted SIMD
+/// kernel module must use `deny` so that module can open a local
+/// `#![allow(unsafe_code)]` scope, and rule 6 (`unsafe-confined`)
+/// guarantees the demotion cannot leak `unsafe` anywhere else.
 fn crate_hygiene(rel: &str, info: &ScanInfo, findings: &mut Vec<Finding>) {
+    const UNSAFE_ALTERNATIVES: [&str; 2] = ["#![forbid(unsafe_code)]", "#![deny(unsafe_code)]"];
     for required in REQUIRED_CRATE_ATTRS {
-        if !info.inner_attrs.iter().any(|a| a == required) {
+        let present = if required == UNSAFE_ALTERNATIVES[0] {
+            info.inner_attrs
+                .iter()
+                .any(|a| UNSAFE_ALTERNATIVES.contains(&a.as_str()))
+        } else {
+            info.inner_attrs.iter().any(|a| a == required)
+        };
+        if !present {
             findings.push(Finding::new(
                 rel,
                 1,
                 Rule::CrateHygiene,
                 format!("crate root is missing `{required}`"),
+            ));
+        }
+    }
+}
+
+/// Rule 6: `unsafe` is confined to the allowlisted SIMD kernel modules
+/// ([`UNSAFE_KERNEL_MODULES`]), and every line using it there must be
+/// justified — by a `// SAFETY:` comment (trailing on the same line or
+/// standing within [`SAFETY_COMMENT_REACH`] lines above), or, for
+/// `unsafe fn` declarations, by a rustdoc `# Safety` section (every
+/// line of a contiguous comment run containing the header counts, so
+/// the section reaches past its own prose and the attributes between
+/// doc and `fn`).
+fn unsafe_confined(rel: &str, tokens: &[Token], comments: &[Comment], findings: &mut Vec<Finding>) {
+    let allowlisted = UNSAFE_KERNEL_MODULES.contains(&rel);
+    let mut safety_lines: Vec<u32> = Vec::new();
+    let mut run_is_safety = false;
+    let mut prev_line = 0u32;
+    for c in comments {
+        // A gap in own-line comment lines ends the current doc run.
+        if !(c.own_line && c.line == prev_line + 1) {
+            run_is_safety = false;
+        }
+        prev_line = c.line;
+        run_is_safety = (run_is_safety && c.own_line) || c.text.contains("# Safety");
+        if run_is_safety || c.text.contains("SAFETY:") {
+            safety_lines.push(c.line);
+        }
+    }
+    for t in tokens {
+        if t.kind != TokenKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        if !allowlisted {
+            findings.push(Finding::new(
+                rel,
+                t.line,
+                Rule::UnsafeConfined,
+                "`unsafe` outside the allowlisted SIMD kernel modules — the workspace \
+                 confines unsafe code to the explicit-SIMD kernels",
+            ));
+            continue;
+        }
+        let justified = safety_lines
+            .iter()
+            .any(|&l| l <= t.line && t.line - l <= SAFETY_COMMENT_REACH);
+        if !justified {
+            findings.push(Finding::new(
+                rel,
+                t.line,
+                Rule::UnsafeConfined,
+                format!(
+                    "`unsafe` without a `SAFETY:` comment on the same line or within \
+                     {SAFETY_COMMENT_REACH} lines above"
+                ),
             ));
         }
     }

@@ -1,0 +1,58 @@
+//! Fixture for the `unsafe-confined` rule.
+//!
+//! Linted twice by `rules_fire.rs`:
+//! * as `crates/bfp/src/simd.rs` (allowlisted): the three justified
+//!   `unsafe` sites (trailing `SAFETY:`, `SAFETY:` block above, rustdoc
+//!   `# Safety` section) stay silent, the bare one and the
+//!   stale-comment one fire, and the waived one comes back waived —
+//!   2 active, 1 waived;
+//! * as `crates/x/src/other.rs` (not allowlisted): every `unsafe` token
+//!   fires regardless of justification — 5 active (the reasoned waiver
+//!   still covers its line), 1 waived.
+//!
+//! Never compiled — consumed via `include_str!`.
+
+fn justified_trailing() {
+    let x = unsafe { core::ptr::read(&0i32) }; // SAFETY: reads a live local.
+    let _ = x;
+}
+
+fn justified_block_above() {
+    // SAFETY: the pointer comes from a reference two lines up, so it is
+    // valid, aligned, and initialized for the whole call.
+    let x = unsafe { core::ptr::read(&1i32) };
+    let _ = x;
+}
+
+/// A declaration justified by its rustdoc safety section, the idiom
+/// for `unsafe fn` (the contract binds the caller, not one call site).
+///
+/// # Safety
+///
+/// `p` must be valid, aligned, and initialized for an `i32` read.
+unsafe fn doc_justified(p: *const i32) -> i32 {
+    core::ptr::read(p)
+}
+
+fn comment_too_far_away() {
+    // SAFETY: this comment is stale — more than six lines separate it
+    // from the unsafe block below, so it no longer justifies anything.
+    let a = 0;
+    let b = a + 1;
+    let c = b + 1;
+    let d = c + 1;
+    let e = d + 1;
+    let x = unsafe { core::ptr::read(&e) };
+    let _ = x;
+}
+
+fn bare() {
+    let x = unsafe { core::ptr::read(&2i32) };
+    let _ = x;
+}
+
+fn waived() {
+    // mirage-lint: allow(unsafe_ok) -- fixture: reasoned waiver under test
+    let x = unsafe { core::ptr::read(&3i32) };
+    let _ = x;
+}

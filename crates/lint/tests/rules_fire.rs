@@ -117,6 +117,53 @@ fn crate_hygiene_fires_on_crate_roots_only() {
 }
 
 #[test]
+fn deny_unsafe_code_satisfies_hygiene_in_place_of_forbid() {
+    let src = "//! Docs.\n\
+               #![deny(unsafe_code)]\n\
+               #![deny(missing_docs)]\n\
+               #![deny(unused_must_use)]\n\
+               pub fn f() {}\n";
+    let rel = "crates/demo/src/lib.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::CrateHygiene), 0, "{findings:#?}");
+
+    // `allow(unsafe_code)` is NOT an accepted alternative.
+    let loose = src.replace("#![deny(unsafe_code)]", "#![allow(unsafe_code)]");
+    let findings = lint_source(rel, &loose, classify(rel));
+    assert_eq!(active(&findings, Rule::CrateHygiene), 1, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .any(|f| f.message.contains("forbid(unsafe_code)")));
+}
+
+#[test]
+fn unsafe_confined_fires() {
+    let src = include_str!("fixtures/unsafe_confined.rs");
+
+    // Allowlisted SIMD kernel module: `unsafe` is legal when justified
+    // by a nearby `SAFETY:` comment.
+    let rel = "crates/bfp/src/simd.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::UnsafeConfined), 2, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::UnsafeConfined), 1, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeConfined && !f.waived)
+        .all(|f| f.message.contains("SAFETY:")));
+
+    // Any other module: every `unsafe` fires, SAFETY comments or not
+    // (the reasoned waiver still covers its one line).
+    let rel = "crates/x/src/other.rs";
+    let findings = lint_source(rel, src, classify(rel));
+    assert_eq!(active(&findings, Rule::UnsafeConfined), 5, "{findings:#?}");
+    assert_eq!(waived(&findings, Rule::UnsafeConfined), 1, "{findings:#?}");
+    assert!(findings
+        .iter()
+        .filter(|f| f.rule == Rule::UnsafeConfined && !f.waived)
+        .all(|f| f.message.contains("outside the allowlisted")));
+}
+
+#[test]
 fn hygiene_ok_waiver_is_file_scoped() {
     let src = "//! Docs.\n\
                // mirage-lint: allow(hygiene_ok) -- fixture: demo root opts out of the full block\n\
@@ -165,13 +212,14 @@ fn seeded_workspace_turns_every_rule_red() {
         Rule::PanicInServing,
         Rule::EngineContract,
         Rule::CrateHygiene,
+        Rule::UnsafeConfined,
     ] {
         assert!(
             !report.active_for(rule).is_empty(),
             "{rule} produced no active finding in the seeded workspace"
         );
     }
-    assert!(report.active_count() >= 5);
+    assert!(report.active_count() >= 6);
     let json = report.to_json();
     assert!(json.contains("\"rule\": \"engine-contract\""));
 }

@@ -55,6 +55,31 @@ pub fn cnn_head_proxy(
     net
 }
 
+/// A runnable proxy for a recommender-style MLP tower (the DLRM
+/// bottom/top MLP shape: a stack of dense layers with a ReLU after
+/// **every** layer, narrowing toward an embedding-sized output).
+/// `dims` lists the layer widths end to end — `&[64, 512, 256, 64]`
+/// builds `Dense(64→512)+ReLU, Dense(512→256)+ReLU, Dense(256→64)+ReLU`.
+///
+/// Because every dense feeds a ReLU, the compiled plan fuses **all** of
+/// its steps (`dense+relu` each), making this the serving shape where
+/// epilogue fusion matters most: the activations are narrow, so the
+/// unfused plan's separate bias sweep and ReLU step (with its fresh
+/// output allocation) are a visible slice of each request.
+///
+/// # Panics
+///
+/// Panics when `dims` has fewer than two entries (no layer to build).
+pub fn mlp_tower_proxy(dims: &[usize], rng: &mut impl RngExt) -> Sequential {
+    assert!(dims.len() >= 2, "an MLP tower needs at least one layer");
+    let mut net = Sequential::new();
+    for w in dims.windows(2) {
+        net.push(Dense::new(w[0], w[1], rng));
+        net.push(Relu::new());
+    }
+    net
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +109,22 @@ mod tests {
         let e = Engines::uniform(ExactEngine);
         let y = net.forward(&Tensor::ones(&[2, 64]), &e).unwrap();
         assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn mlp_tower_proxy_fuses_every_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let mut net = mlp_tower_proxy(&[8, 16, 12, 4], &mut rng);
+        let e = Engines::uniform(ExactEngine);
+        let compiled = net.compile(&e).unwrap();
+        assert_eq!(
+            compiled.step_names(),
+            vec!["dense+relu", "dense+relu", "dense+relu"]
+        );
+        let x = Tensor::randn(&[3, 8], 1.0, &mut rng);
+        assert_eq!(
+            compiled.run(&x).unwrap().data(),
+            net.forward(&x, &e).unwrap().data()
+        );
     }
 }

@@ -65,6 +65,7 @@ use crate::{NnError, Result};
 use mirage_tensor::conv::{
     conv2d_forward_prepared, global_avgpool2d, maxpool2d_forward, Conv2dGeometry,
 };
+use mirage_tensor::engines::Epilogue;
 use mirage_tensor::scratch::ActivationScratch;
 use mirage_tensor::{GemmEngine, PreparedRhs, Tensor};
 use std::sync::{Arc, Mutex};
@@ -91,6 +92,38 @@ pub trait PlanStep: Send + Sync {
     /// deep-copying the activation through them on every request.
     fn is_identity(&self) -> bool {
         false
+    }
+
+    /// Whether this step is exactly an elementwise ReLU
+    /// (`v.max(0.0)`) — the trigger for the plan-level fusion peephole:
+    /// when a ReLU step directly follows a step whose
+    /// [`fuse_relu`](PlanStep::fuse_relu) returns `Some`, the pair is
+    /// collapsed into the fused step.
+    fn is_relu(&self) -> bool {
+        false
+    }
+
+    /// Returns a copy of this step with an elementwise ReLU fused onto
+    /// its tail, or `None` when the step has no fused form (the
+    /// default). The contract is bit-identity: the fused step's output
+    /// must equal this step followed by `v.max(0.0)` over every
+    /// element, to the last bit. Fusing must be **idempotent** — fusing
+    /// an already-fused step returns an equivalent step, since
+    /// `max(max(v, 0), 0) == max(v, 0)`.
+    fn fuse_relu(&self) -> Option<Arc<dyn PlanStep>> {
+        None
+    }
+
+    /// Returns a copy of this step with any internally fused epilogue
+    /// split back into separate whole-activation sweeps, or `None` when
+    /// the step has nothing fused (the default). This is the baseline
+    /// side of the fused-vs-unfused comparison: a dense layer's unfused
+    /// form runs the bare GEMM and then a standalone bias sweep, the
+    /// way the eager forward pass does, instead of folding the bias
+    /// into the kernel's output write. Bit-identity is required — the
+    /// unfused form must produce the same bits, only slower.
+    fn unfuse_epilogue(&self) -> Option<Arc<dyn PlanStep>> {
+        None
     }
 
     /// Splits this step into tensor-parallel stages over `shards`
@@ -135,12 +168,45 @@ impl CompiledNetwork {
     /// are elided from the plan: every layer must still *compile*, but
     /// serving skips the no-op activation copies.
     pub(crate) fn from_layers(layers: &[Box<dyn Layer>], engines: &Engines) -> Result<Self> {
+        Self::from_layers_with(layers, engines, true)
+    }
+
+    /// [`CompiledNetwork::from_layers`] with the epilogue-fusion
+    /// peephole switchable: after identity elision, a step that
+    /// [`is_relu`](PlanStep::is_relu) directly following a step with a
+    /// fused form ([`fuse_relu`](PlanStep::fuse_relu)) is folded into
+    /// it — `dense, relu → dense+relu`, visible in
+    /// [`step_names`](CompiledNetwork::step_names). Fusion is
+    /// bit-identical by the `fuse_relu` contract; `fuse: false` keeps
+    /// the unfused step sequence (the baseline side of the
+    /// fused-vs-unfused bench comparison).
+    pub(crate) fn from_layers_with(
+        layers: &[Box<dyn Layer>],
+        engines: &Engines,
+        fuse: bool,
+    ) -> Result<Self> {
         let mut steps: Vec<Arc<dyn PlanStep>> = Vec::with_capacity(layers.len());
         for layer in layers {
-            let step = layer.compile(engines)?;
-            if !step.is_identity() {
-                steps.push(Arc::from(step));
+            let mut step: Arc<dyn PlanStep> = Arc::from(layer.compile(engines)?);
+            if step.is_identity() {
+                continue;
             }
+            if !fuse {
+                // Baseline plans also forgo the in-kernel bias fold:
+                // bare GEMM plus separate sweeps, like the eager pass.
+                if let Some(unfused) = step.unfuse_epilogue() {
+                    step = unfused;
+                }
+            }
+            if fuse && step.is_relu() {
+                if let Some(fused) = steps.last().and_then(|prev| prev.fuse_relu()) {
+                    if let Some(slot) = steps.last_mut() {
+                        *slot = fused;
+                        continue;
+                    }
+                }
+            }
+            steps.push(step);
         }
         Ok(CompiledNetwork {
             steps,
@@ -319,14 +385,26 @@ impl PlanStep for EagerStep {
 
 // ───────────────────────── GEMM-bearing steps ──────────────────────────
 
-/// `Dense` frozen: `y = x · prepared(Wᵀ) + b`. The weight transpose and
-/// the engine's B-side quantization happened once at compile time; per
-/// request only the activation side touches the quantizer, and the GEMM
-/// output lands in a recycled scratch buffer.
+/// `Dense` frozen: `y = x · prepared(Wᵀ) + b`, with an optionally fused
+/// trailing ReLU. The weight transpose and the engine's B-side
+/// quantization happened once at compile time; per request only the
+/// activation side touches the quantizer, and the GEMM output lands in
+/// a recycled scratch buffer. The bias (and the ReLU, when the fusion
+/// peephole folded a following `ReluStep` in) is applied by the
+/// engine's fused-[`Epilogue`] entry point — one pass over the
+/// still-hot output block, bit-identical to the separate sweeps by the
+/// [`mirage_tensor::GemmEngine::gemm_prepared_epilogue_into`] contract.
 pub(crate) struct DenseStep {
     engine: Arc<dyn GemmEngine>,
     prepared: PreparedRhs,
     bias: Vec<f32>,
+    relu: bool,
+    /// `true` (the default) routes through the engine's fused
+    /// [`Epilogue`] entry point so bias/ReLU fold into the kernel's
+    /// output write; `false` (the [`unfuse_epilogue`]
+    /// (PlanStep::unfuse_epilogue) baseline) runs the bare GEMM and a
+    /// standalone bias sweep like the eager pass.
+    fused_epilogue: bool,
 }
 
 impl DenseStep {
@@ -335,22 +413,69 @@ impl DenseStep {
             engine,
             prepared,
             bias,
+            relu: false,
+            fused_epilogue: true,
         }
     }
 }
 
 impl PlanStep for DenseStep {
     fn name(&self) -> &'static str {
-        "dense"
+        if self.relu {
+            "dense+relu"
+        } else {
+            "dense"
+        }
     }
 
     fn run(&self, x: &Tensor, scratch: &mut ActivationScratch) -> Result<Tensor> {
         let mut out = scratch.take(x.shape().first().copied().unwrap_or(0) * self.bias.len());
-        let (m, n) = self
-            .engine
-            .gemm_prepared_into(x, &self.prepared, &mut out)?;
-        crate::layers::add_row_bias(&mut out, &self.bias);
-        Ok(Tensor::from_vec(out, &[m, n])?)
+        if self.fused_epilogue {
+            let mut epilogue = Epilogue::none().with_bias(&self.bias);
+            if self.relu {
+                epilogue = epilogue.with_relu();
+            }
+            let (m, n) =
+                self.engine
+                    .gemm_prepared_epilogue_into(x, &self.prepared, &epilogue, &mut out)?;
+            Ok(Tensor::from_vec(out, &[m, n])?)
+        } else {
+            // The unfused baseline: bare GEMM, then the same standalone
+            // whole-activation bias sweep the eager forward pass runs.
+            // Bit-identical to the fused path — an `f32` store
+            // round-trips exactly, so adding the bias after the store
+            // equals adding it to the accumulator before it.
+            let (m, n) = self
+                .engine
+                .gemm_prepared_into(x, &self.prepared, &mut out)?;
+            crate::layers::add_row_bias(&mut out, &self.bias);
+            if self.relu {
+                for v in out.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            Ok(Tensor::from_vec(out, &[m, n])?)
+        }
+    }
+
+    fn fuse_relu(&self) -> Option<Arc<dyn PlanStep>> {
+        Some(Arc::new(DenseStep {
+            engine: self.engine.clone(),
+            prepared: self.prepared.clone(),
+            bias: self.bias.clone(),
+            relu: true,
+            fused_epilogue: self.fused_epilogue,
+        }))
+    }
+
+    fn unfuse_epilogue(&self) -> Option<Arc<dyn PlanStep>> {
+        Some(Arc::new(DenseStep {
+            engine: self.engine.clone(),
+            prepared: self.prepared.clone(),
+            bias: self.bias.clone(),
+            relu: self.relu,
+            fused_epilogue: false,
+        }))
     }
 
     /// Column-shards the prepared weight: shard `i` owns a contiguous
@@ -358,7 +483,9 @@ impl PlanStep for DenseStep {
     /// [`GemmEngine::prepare_tile`], plus the matching bias slice. The
     /// fixed-order column concat equals the whole GEMM bit-exactly for
     /// tile-invariant engines — the same invariant the tiled parallel
-    /// driver relies on, lifted to model level.
+    /// driver relies on, lifted to model level. A fused ReLU shards
+    /// freely: it is elementwise, so applying it per column shard
+    /// before the concat equals applying it after.
     fn shard(&self, shards: usize) -> Result<Option<Vec<crate::shard::ShardedStep>>> {
         use crate::shard::{column_ranges, slice_prepared, GemmShardPart, ShardedStep};
         if !self.engine.tile_invariant() {
@@ -372,9 +499,10 @@ impl PlanStep for DenseStep {
                 self.engine.clone(),
                 tile,
                 Some(self.bias[c0..c0 + width].to_vec()),
+                self.relu,
             )));
         }
-        Ok(Some(vec![ShardedStep::concat("dense", parts)?]))
+        Ok(Some(vec![ShardedStep::concat(self.name(), parts)?]))
     }
 }
 
@@ -530,6 +658,7 @@ impl PlanStep for SelfAttentionStep {
                 self.engine.clone(),
                 slice_prepared(&self.engine, &self.wo_t, c0, width)?,
                 None,
+                false,
             )));
         }
         Ok(Some(vec![
@@ -571,6 +700,12 @@ impl PlanStep for ReluStep {
 
     fn run(&self, x: &Tensor, _scratch: &mut ActivationScratch) -> Result<Tensor> {
         Ok(x.map(|v| v.max(0.0)))
+    }
+
+    /// Exactly the expression the fused [`Epilogue`] ReLU applies —
+    /// the peephole may fold this step into its predecessor.
+    fn is_relu(&self) -> bool {
+        true
     }
 }
 
@@ -713,8 +848,9 @@ mod tests {
         let mut net = net(1);
         let e = engines();
         let compiled = net.compile(&e).unwrap();
-        assert_eq!(compiled.len(), 3);
-        assert_eq!(compiled.step_names(), vec!["dense", "relu", "dense"]);
+        // The dense→relu pair fused into one step by the peephole.
+        assert_eq!(compiled.len(), 2);
+        assert_eq!(compiled.step_names(), vec!["dense+relu", "dense"]);
         let mut rng = rand::rngs::StdRng::seed_from_u64(2);
         for rows in [1, 5] {
             let x = Tensor::randn(&[rows, 6], 1.0, &mut rng);
@@ -723,6 +859,37 @@ mod tests {
                 net.forward(&x, &e).unwrap().data()
             );
         }
+    }
+
+    #[test]
+    fn fused_plan_matches_unfused_plan_bitwise() {
+        let net = net(9);
+        let e = engines();
+        let fused = net.compile(&e).unwrap();
+        let unfused = net.compile_unfused(&e).unwrap();
+        assert_eq!(fused.step_names(), vec!["dense+relu", "dense"]);
+        assert_eq!(unfused.step_names(), vec!["dense", "relu", "dense"]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        for rows in [1, 4, 32] {
+            let x = Tensor::randn(&[rows, 6], 1.0, &mut rng);
+            let yf = fused.run(&x).unwrap();
+            let yu = unfused.run(&x).unwrap();
+            let fbits: Vec<u32> = yf.data().iter().map(|v| v.to_bits()).collect();
+            let ubits: Vec<u32> = yu.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fbits, ubits, "rows={rows}");
+        }
+    }
+
+    #[test]
+    fn relu_without_fusable_predecessor_stays_a_step() {
+        use crate::layers::Relu;
+        let mut net = Sequential::new();
+        net.push(Relu::new()); // first step: nothing to fuse into
+        net.push(Relu::new()); // relu after relu: ReluStep has no fused form
+        let compiled = net.compile(&engines()).unwrap();
+        assert_eq!(compiled.step_names(), vec!["relu", "relu"]);
+        let x = Tensor::from_vec(vec![-2.0, 3.0], &[1, 2]).unwrap();
+        assert_eq!(compiled.run(&x).unwrap().data(), &[0.0, 3.0]);
     }
 
     #[test]

@@ -107,6 +107,19 @@ impl Sequential {
         crate::compile::CompiledNetwork::from_layers(&self.layers, engines)
     }
 
+    /// [`Sequential::compile`] without the epilogue-fusion peephole:
+    /// `dense, relu` pairs stay separate plan steps. Fused and unfused
+    /// plans are bit-identical — this exists so benchmarks (and anyone
+    /// auditing the fusion) can time the step-per-layer baseline
+    /// against the fused plan on the same prepared weights.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Sequential::compile`].
+    pub fn compile_unfused(&self, engines: &Engines) -> Result<crate::compile::CompiledNetwork> {
+        crate::compile::CompiledNetwork::from_layers_with(&self.layers, engines, false)
+    }
+
     /// Visits every trainable parameter in a stable order.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         for layer in &mut self.layers {

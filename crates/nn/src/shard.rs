@@ -75,6 +75,7 @@
 
 use crate::compile::{run_steps, CompiledNetwork, PlanStep};
 use crate::{NnError, Result};
+use mirage_tensor::engines::Epilogue;
 use mirage_tensor::scratch::ActivationScratch;
 use mirage_tensor::{GemmEngine, PreparedRhs, Tensor, TensorError};
 use std::sync::Arc;
@@ -306,12 +307,16 @@ impl PlanStep for ShardedStep {
 
 /// One shard's slice of a column-sharded GEMM: `y = x · tile(Wᵀ) [+ b]`
 /// — the per-instance part behind sharded `Dense` (bias slice attached)
-/// and the attention output projection (no bias).
+/// and the attention output projection (no bias). A fused trailing ReLU
+/// (from a fused `dense+relu` step) applies per shard: it is
+/// elementwise, so clamping each column shard before the fixed-order
+/// concat is bit-identical to clamping the concatenated result.
 pub(crate) struct GemmShardPart {
     name: &'static str,
     engine: Arc<dyn GemmEngine>,
     prepared: PreparedRhs,
     bias: Option<Vec<f32>>,
+    relu: bool,
 }
 
 impl GemmShardPart {
@@ -320,12 +325,14 @@ impl GemmShardPart {
         engine: Arc<dyn GemmEngine>,
         prepared: PreparedRhs,
         bias: Option<Vec<f32>>,
+        relu: bool,
     ) -> Self {
         GemmShardPart {
             name,
             engine,
             prepared,
             bias,
+            relu,
         }
     }
 }
@@ -357,12 +364,16 @@ impl PlanStep for GemmShardPart {
             return Ok(Tensor::from_vec(Vec::new(), &[rows, 0])?);
         }
         let mut out = scratch.take(rows * self.prepared.n());
-        let (m, n) = self
-            .engine
-            .gemm_prepared_into(x, &self.prepared, &mut out)?;
+        let mut epilogue = Epilogue::none();
         if let Some(bias) = &self.bias {
-            crate::layers::add_row_bias(&mut out, bias);
+            epilogue = epilogue.with_bias(bias);
         }
+        if self.relu {
+            epilogue = epilogue.with_relu();
+        }
+        let (m, n) =
+            self.engine
+                .gemm_prepared_epilogue_into(x, &self.prepared, &epilogue, &mut out)?;
         Ok(Tensor::from_vec(out, &[m, n])?)
     }
 }
@@ -971,8 +982,11 @@ mod tests {
         for k in [1, 2, 4, 7] {
             let plan = ShardPlan::new(&net, &ShardSpec::tensor(k)).unwrap();
             assert_eq!(plan.shards(), k);
-            assert_eq!(plan.sharded_steps(), 2); // the two Dense steps
-            assert_eq!(plan.replicated_steps(), 1); // relu
+            // Both steps shard: the fused dense+relu and the final
+            // dense. Nothing is left to replicate — the relu rides
+            // inside the first step's column shards.
+            assert_eq!(plan.sharded_steps(), 2);
+            assert_eq!(plan.replicated_steps(), 0);
             assert_eq!(plan.run(&x).unwrap().data(), net.run(&x).unwrap().data());
         }
     }

@@ -38,7 +38,7 @@
 //! - [`rrns`] — redundant RNS for error detection and correction
 //!   (paper §VI-E).
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 #![deny(unused_must_use)]
 
@@ -49,6 +49,7 @@ pub mod modulus;
 pub mod planes;
 pub mod residue;
 pub mod rrns;
+pub mod simd;
 
 mod error;
 

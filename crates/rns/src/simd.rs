@@ -1,0 +1,347 @@
+//! Explicit SIMD kernels for per-channel residue dot products.
+//!
+//! The RNS-BFP GEMM's hot loop computes, per activation group, one
+//! small dot product *per residue channel* over the contiguous `u16`
+//! planes of a packed matrix (the `U16` storage tier is chosen only
+//! when `(m − 1)² · g ≤ u32::MAX`, so a plain `u32` accumulator never
+//! overflows). This module vectorizes those dots with `pmaddwd`, the
+//! same instruction the BFP mantissa kernels use:
+//!
+//! - **Residues fit `i16`.** The `U16` tier bound with `g ≥ 8` forces
+//!   `m − 1 ≤ ⌊√(u32::MAX / 8)⌋ = 23170 < 32768`, so every residue is
+//!   a non-negative `i16` and `pmaddwd`'s signed products equal the
+//!   unsigned ones.
+//! - **Pairwise sums fit `i32`.** `2 · (m − 1)² ≤ 2 · 23170² < 2³¹`.
+//! - **Lane accumulation is exact mod 2³².** `add_epi32` wraps mod
+//!   2³², which is bit-identical to `u32` wrapping arithmetic, and the
+//!   true column sum is ≤ `u32::MAX` by the tier bound — so the final
+//!   lane bits *are* the exact `u32` dot, the same value the scalar
+//!   `u32` accumulator produces.
+//!
+//! Callers (the tensor crate's RNS-BFP engine) pick the tier once per
+//! GEMM; each entry point re-verifies its CPU feature before touching
+//! an intrinsic, so a stale caller decision degrades to `false` (take
+//! the scalar path), never to undefined behavior.
+//!
+//! ## Safety
+//!
+//! This is one of the two modules in the workspace allowed to use
+//! `unsafe` (machine-enforced by `mirage-lint`'s unsafe-confined rule).
+//! Every `unsafe` is preceded by a `// SAFETY:` argument; all bounds
+//! are validated once at the safe entry points.
+#![allow(unsafe_code)]
+
+/// Residue channels per call — the paper's special set `{2^k − 1, 2^k,
+/// 2^k + 1}` is always three channels.
+pub const CHANNELS: usize = 3;
+
+/// Whether the 256-bit residue kernels can run on this CPU.
+pub fn dot8_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Whether the 128-bit residue kernels can run on this CPU.
+pub fn dot4_available() -> bool {
+    cfg!(target_arch = "x86_64")
+}
+
+/// Computes, for each of the three residue channels, the `u32` dots of
+/// one `a` group against the same group of **8 consecutive columns**
+/// (column `c`'s group starting at `b_base + c * stride`), writing
+/// `out[channel][column]`.
+///
+/// Returns `false` — leaving `out` untouched — if AVX2 is unavailable,
+/// `g` is not a positive multiple of 16, or any slice is too short;
+/// the caller then runs its scalar loop. On `true` the results are
+/// bit-identical to a scalar `u32` accumulator (see module docs).
+pub fn dot8x3_u16(
+    a: [&[u16]; CHANNELS],
+    a_off: usize,
+    b: [&[u16]; CHANNELS],
+    b_base: usize,
+    stride: usize,
+    g: usize,
+    out: &mut [[u32; 8]; CHANNELS],
+) -> bool {
+    if g == 0 || !g.is_multiple_of(16) || !dot8_available() {
+        return false;
+    }
+    for c in 0..CHANNELS {
+        if a[c].len() < a_off + g || b[c].len() < b_base + 7 * stride + g {
+            return false;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        for c in 0..CHANNELS {
+            // SAFETY: AVX2 availability and the slice bounds for this
+            // channel are verified above.
+            out[c] = unsafe { x86::dot8_u16_avx2(a[c], a_off, b[c], b_base, stride, g) };
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The 128-bit sibling of [`dot8x3_u16`]: three channels × **4
+/// consecutive columns** per call. SSE2 is baseline on x86_64, so on
+/// that arch this only declines for shape reasons (`g` not a positive
+/// multiple of 8, short slices).
+pub fn dot4x3_u16(
+    a: [&[u16]; CHANNELS],
+    a_off: usize,
+    b: [&[u16]; CHANNELS],
+    b_base: usize,
+    stride: usize,
+    g: usize,
+    out: &mut [[u32; 4]; CHANNELS],
+) -> bool {
+    if g == 0 || !g.is_multiple_of(8) {
+        return false;
+    }
+    for c in 0..CHANNELS {
+        if a[c].len() < a_off + g || b[c].len() < b_base + 3 * stride + g {
+            return false;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        for c in 0..CHANNELS {
+            // SAFETY: SSE2 is a baseline feature of the x86_64 ABI,
+            // and the slice bounds for this channel are verified above.
+            out[c] = unsafe { x86::dot4_u16_sse2(a[c], a_off, b[c], b_base, stride, g) };
+        }
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// One channel, 8 columns: `vpmaddwd` dots plus a horizontal-add
+    /// tree, all arithmetic wrapping mod 2³² (≡ exact `u32` under the
+    /// tier bound; see the module docs).
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available; `a[a_off..a_off + g]` and
+    /// `b[b_base + c * stride ..][..g]` for `c < 8` must be in bounds;
+    /// `g` must be a positive multiple of 16.
+    // mirage-lint: region(int_kernel)
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot8_u16_avx2(
+        a: &[u16],
+        a_off: usize,
+        b: &[u16],
+        b_base: usize,
+        stride: usize,
+        g: usize,
+    ) -> [u32; 8] {
+        let mut v = [_mm256_setzero_si256(); 8];
+        for t in (0..g).step_by(16) {
+            // SAFETY: caller guarantees `a_off + g <= a.len()`.
+            let av = unsafe { _mm256_loadu_si256(a.as_ptr().add(a_off + t).cast()) };
+            for (c, slot) in v.iter_mut().enumerate() {
+                let off = b_base + c * stride + t;
+                debug_assert!(off + 16 <= b.len());
+                // SAFETY: caller guarantees the column group is in
+                // bounds (debug-checked above).
+                let bv = unsafe { _mm256_loadu_si256(b.as_ptr().add(off).cast()) };
+                *slot = _mm256_add_epi32(*slot, _mm256_madd_epi16(av, bv));
+            }
+        }
+        let a01 = _mm256_hadd_epi32(v[0], v[1]);
+        let a23 = _mm256_hadd_epi32(v[2], v[3]);
+        let a45 = _mm256_hadd_epi32(v[4], v[5]);
+        let a67 = _mm256_hadd_epi32(v[6], v[7]);
+        let b0123 = _mm256_hadd_epi32(a01, a23);
+        let b4567 = _mm256_hadd_epi32(a45, a67);
+        let s0 = _mm_add_epi32(
+            _mm256_castsi256_si128(b0123),
+            _mm256_extracti128_si256::<1>(b0123),
+        );
+        let s1 = _mm_add_epi32(
+            _mm256_castsi256_si128(b4567),
+            _mm256_extracti128_si256::<1>(b4567),
+        );
+        let mut out = [0u32; 8];
+        // SAFETY: `out` is 8 × 4 bytes, exactly two 128-bit stores.
+        unsafe {
+            _mm_storeu_si128(out.as_mut_ptr().cast(), s0);
+            _mm_storeu_si128(out.as_mut_ptr().add(4).cast(), s1);
+        }
+        out
+    }
+
+    /// One channel, 4 columns: `pmaddwd` dots plus an unpack-transpose
+    /// reduction (SSE2 has no `phaddd`).
+    ///
+    /// # Safety
+    ///
+    /// `a[a_off..a_off + g]` and `b[b_base + c * stride ..][..g]` for
+    /// `c < 4` must be in bounds; `g` must be a positive multiple of 8.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn dot4_u16_sse2(
+        a: &[u16],
+        a_off: usize,
+        b: &[u16],
+        b_base: usize,
+        stride: usize,
+        g: usize,
+    ) -> [u32; 4] {
+        let mut v = [_mm_setzero_si128(); 4];
+        for t in (0..g).step_by(8) {
+            // SAFETY: caller guarantees `a_off + g <= a.len()`.
+            let av = unsafe { _mm_loadu_si128(a.as_ptr().add(a_off + t).cast()) };
+            for (c, slot) in v.iter_mut().enumerate() {
+                let off = b_base + c * stride + t;
+                debug_assert!(off + 8 <= b.len());
+                // SAFETY: caller guarantees the column group is in
+                // bounds (debug-checked above).
+                let bv = unsafe { _mm_loadu_si128(b.as_ptr().add(off).cast()) };
+                *slot = _mm_add_epi32(*slot, _mm_madd_epi16(av, bv));
+            }
+        }
+        let t0 = _mm_unpacklo_epi32(v[0], v[1]);
+        let t1 = _mm_unpackhi_epi32(v[0], v[1]);
+        let t2 = _mm_unpacklo_epi32(v[2], v[3]);
+        let t3 = _mm_unpackhi_epi32(v[2], v[3]);
+        let u0 = _mm_unpacklo_epi64(t0, t2);
+        let u1 = _mm_unpackhi_epi64(t0, t2);
+        let u2 = _mm_unpacklo_epi64(t1, t3);
+        let u3 = _mm_unpackhi_epi64(t1, t3);
+        let sums = _mm_add_epi32(_mm_add_epi32(u0, u1), _mm_add_epi32(u2, u3));
+        let mut out = [0u32; 4];
+        // SAFETY: `out` is 4 × 4 bytes, exactly one 128-bit store.
+        unsafe { _mm_storeu_si128(out.as_mut_ptr().cast(), sums) };
+        out
+    }
+    // mirage-lint: end_region(int_kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residues(n: usize, m: u64, seed: u64) -> Vec<u16> {
+        let mut state = seed | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 33) % m) as u16
+            })
+            .collect()
+    }
+
+    fn scalar_dot(a: &[u16], a_off: usize, b: &[u16], b_off: usize, g: usize) -> u32 {
+        let mut acc = 0u32;
+        for t in 0..g {
+            acc = acc.wrapping_add(u32::from(a[a_off + t]).wrapping_mul(u32::from(b[b_off + t])));
+        }
+        acc
+    }
+
+    #[test]
+    fn vector_dots_match_scalar_u32_exactly() {
+        // Paper-scale moduli (k = 5: {31, 32, 33}) and the largest
+        // modulus the U16 tier admits at g = 16.
+        for (m, g, cols) in [(33u64, 16usize, 8usize), (65, 32, 8), (16384, 16, 8)] {
+            let stride = g * 2; // column groups interleaved with padding
+            let a: [Vec<u16>; CHANNELS] = [
+                residues(g * 3, m, 1),
+                residues(g * 3, m - 1, 2),
+                residues(g * 3, m + 1, 3),
+            ];
+            let b: [Vec<u16>; CHANNELS] = [
+                residues(stride * cols, m, 4),
+                residues(stride * cols, m - 1, 5),
+                residues(stride * cols, m + 1, 6),
+            ];
+            let ar: [&[u16]; CHANNELS] = [&a[0], &a[1], &a[2]];
+            let br: [&[u16]; CHANNELS] = [&b[0], &b[1], &b[2]];
+            let a_off = g; // exercise a nonzero group offset
+            if dot8_available() {
+                let mut got = [[0u32; 8]; CHANNELS];
+                assert!(dot8x3_u16(ar, a_off, br, 0, stride, g, &mut got));
+                for c in 0..CHANNELS {
+                    for (j, &lane) in got[c].iter().enumerate() {
+                        assert_eq!(
+                            lane,
+                            scalar_dot(&a[c], a_off, &b[c], j * stride, g),
+                            "avx2 m={m} g={g} channel {c} column {j}"
+                        );
+                    }
+                }
+            }
+            if dot4_available() {
+                let mut got = [[0u32; 4]; CHANNELS];
+                assert!(dot4x3_u16(ar, a_off, br, 0, stride, g, &mut got));
+                for c in 0..CHANNELS {
+                    for (j, &lane) in got[c].iter().enumerate() {
+                        assert_eq!(
+                            lane,
+                            scalar_dot(&a[c], a_off, &b[c], j * stride, g),
+                            "sse2 m={m} g={g} channel {c} column {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn near_wraparound_sums_stay_exact() {
+        // 16 products of 16383² ≈ 0.99 · u32::MAX: the largest column
+        // sum the U16 tier can produce at g = 16 — one step from
+        // wrapping, still exact.
+        let g = 16;
+        let a = vec![16383u16; g];
+        let b = vec![16383u16; g * 8];
+        let ar: [&[u16]; CHANNELS] = [&a, &a, &a];
+        let br: [&[u16]; CHANNELS] = [&b, &b, &b];
+        let want = scalar_dot(&a, 0, &b, 0, g);
+        assert_eq!(want, 16383u32 * 16383 * 16);
+        if dot8_available() {
+            let mut got = [[0u32; 8]; CHANNELS];
+            assert!(dot8x3_u16(ar, 0, br, 0, g, g, &mut got));
+            assert!(got.iter().all(|ch| ch.iter().all(|&v| v == want)));
+        }
+        if dot4_available() {
+            let mut got = [[0u32; 4]; CHANNELS];
+            assert!(dot4x3_u16(ar, 0, br, 0, g, g, &mut got));
+            assert!(got.iter().all(|ch| ch.iter().all(|&v| v == want)));
+        }
+    }
+
+    #[test]
+    fn bad_shapes_decline() {
+        let a = vec![1u16; 8];
+        let ar: [&[u16]; CHANNELS] = [&a, &a, &a];
+        let mut out8 = [[0u32; 8]; CHANNELS];
+        let mut out4 = [[0u32; 4]; CHANNELS];
+        // g = 8 is below the 256-bit lane width.
+        assert!(!dot8x3_u16(ar, 0, ar, 0, 8, 8, &mut out8));
+        // g = 0 and short slices decline on both tiers.
+        assert!(!dot8x3_u16(ar, 0, ar, 0, 8, 0, &mut out8));
+        assert!(!dot4x3_u16(ar, 0, ar, 0, 8, 0, &mut out4));
+        assert!(!dot4x3_u16(ar, 4, ar, 0, 8, 8, &mut out4));
+        assert!(!dot8x3_u16(ar, 0, ar, 0, 8, 16, &mut out8));
+    }
+}

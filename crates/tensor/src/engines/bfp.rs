@@ -1,9 +1,10 @@
 //! Mirage's BFP-quantized GEMM engine.
 
-use super::{gemm_dims, GemmEngine, PreparedRhs};
+use super::{gemm_dims, Epilogue, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor, TensorError};
 use mirage_bfp::{
-    group_dot, group_dot_i16, group_dot_i32, pow2, BfpBlock, BfpConfig, PackedBfpMatrix,
+    group_dot, group_dot_i16, group_dot_i32, pow2, BfpBlock, BfpConfig, GemmTail, PackedBfpMatrix,
+    SimdPolicy,
 };
 use std::sync::Arc;
 
@@ -21,6 +22,11 @@ const J_BLOCK: usize = 16;
 /// 1. every group's integer dots for the block's columns (a pure
 ///    vectorizable sweep into `ints`), then
 /// 2. the power-of-two scales into per-column accumulators.
+///
+/// An optional fused [`GemmTail`] (per-column bias, trailing ReLU) is
+/// folded into the accumulators right before each output store — zero
+/// extra passes over `out`, bit-identical to a separate post-pass by
+/// the exact-`f32`-store argument on [`GemmTail`].
 ///
 /// Per output element the groups accumulate in ascending order, so the
 /// result is bit-identical to [`PackedBfpMatrix::dot_rows`] and to the
@@ -41,6 +47,7 @@ fn flat_gemm<T: Copy>(
     col_start: usize,
     m: usize,
     n: usize,
+    tail: GemmTail<'_>,
     out: &mut Vec<f32>,
 ) {
     let groups = a_packed.groups_per_row();
@@ -67,19 +74,19 @@ fn flat_gemm<T: Copy>(
         let g = a_packed.config().group_size();
         match (jw == J_BLOCK, g) {
             (true, 8) => flat_block::<T, J_BLOCK, 8>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, tail, &mut *out,
             ),
             (true, 16) => flat_block::<T, J_BLOCK, 16>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, tail, &mut *out,
             ),
             (true, 32) => flat_block::<T, J_BLOCK, 32>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, tail, &mut *out,
             ),
             (true, 64) => flat_block::<T, J_BLOCK, 64>(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, &mut *out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, m, n, tail, &mut *out,
             ),
             _ => flat_block_dyn(
-                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, jw, m, n, out,
+                a_packed, a_m, b_m, dot, &bexp2, col_start, j0, jw, m, n, tail, out,
             ),
         }
     }
@@ -101,6 +108,7 @@ fn flat_block<T: Copy, const JW: usize, const G: usize>(
     j0: usize,
     m: usize,
     n: usize,
+    tail: GemmTail<'_>,
     out: &mut [f32],
 ) {
     debug_assert_eq!(a_packed.config().group_size(), G);
@@ -128,6 +136,12 @@ fn flat_block<T: Copy, const JW: usize, const G: usize>(
                 *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
             }
         }
+        // Fused tail on the register accumulators — same
+        // `(v + b).max(0.0)` chain as a separate post-pass, applied
+        // before the store instead of in a second sweep.
+        for (jj, slot) in acc.iter_mut().enumerate() {
+            *slot = tail.fold(*slot, j0 + jj);
+        }
         out[i * n + j0..i * n + j0 + JW].copy_from_slice(&acc);
     }
 }
@@ -147,6 +161,7 @@ fn flat_block_dyn<T: Copy>(
     jw: usize,
     m: usize,
     n: usize,
+    tail: GemmTail<'_>,
     out: &mut [f32],
 ) {
     let g = a_packed.config().group_size();
@@ -172,6 +187,9 @@ fn flat_block_dyn<T: Copy>(
             for (jj, slot) in acc[..jw].iter_mut().enumerate() {
                 *slot += (ints[jj] as f64 * (pa2 * bexp2[gi * J_BLOCK + jj])) as f32;
             }
+        }
+        for (jj, slot) in acc[..jw].iter_mut().enumerate() {
+            *slot = tail.fold(*slot, j0 + jj);
         }
         out[i * n + j0..i * n + j0 + jw].copy_from_slice(&acc[..jw]);
     }
@@ -221,12 +239,33 @@ pub(crate) struct PreparedBfpCols {
 #[derive(Debug, Clone, Copy)]
 pub struct BfpEngine {
     config: BfpConfig,
+    simd: SimdPolicy,
 }
 
 impl BfpEngine {
-    /// Creates an engine for the given BFP operating point.
+    /// Creates an engine for the given BFP operating point. SIMD
+    /// dispatch defaults to [`SimdPolicy::Auto`] (runtime detection,
+    /// gated by the `MIRAGE_SIMD` environment knob).
     pub fn new(config: BfpConfig) -> Self {
-        BfpEngine { config }
+        BfpEngine {
+            config,
+            simd: SimdPolicy::default(),
+        }
+    }
+
+    /// Returns a copy with the given per-instance SIMD policy. The
+    /// effective tier is the narrower of this policy and the
+    /// process-wide `MIRAGE_SIMD` setting — every tier is bit-identical
+    /// to every other, so this only affects speed (and lets tests and
+    /// benches diff tiers in one process).
+    pub fn with_simd_policy(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// This instance's SIMD policy.
+    pub fn simd_policy(&self) -> SimdPolicy {
+        self.simd
     }
 
     /// The configured BFP operating point.
@@ -337,6 +376,25 @@ impl BfpEngine {
         n: usize,
         out: &mut Vec<f32>,
     ) -> Result<usize> {
+        self.gemm_with_packed_tail_into(a, cols, col_start, n, GemmTail::none(), out)
+    }
+
+    /// [`BfpEngine::gemm_with_packed_into`] with a fused [`GemmTail`]:
+    /// bias/ReLU are folded into the accumulator registers right before
+    /// each output store, in both the SIMD and scalar kernels — zero
+    /// extra passes, bit-identical to running the separate sweeps
+    /// afterwards (an `f32` store round-trips exactly and the fold uses
+    /// the identical `+` / `max(0.0)` chain per lane).
+    // mirage-lint: no_alloc
+    fn gemm_with_packed_tail_into(
+        &self,
+        a: &Tensor,
+        cols: &PackedBfpMatrix,
+        col_start: usize,
+        n: usize,
+        tail: GemmTail<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<usize> {
         let (m, k) = (a.shape()[0], a.shape()[1]);
         if cols.k() != k {
             return Err(TensorError::DimMismatch {
@@ -346,6 +404,13 @@ impl BfpEngine {
         }
         let a_packed = Self::pack_rows(a, self.config);
         let fits_i32 = a_packed.dot_fits_i32(cols);
+        // Vector tiers first: bit-identical to the scalar kernels below
+        // (the simd module carries the proof obligations), declining —
+        // via `false` — whenever the operands don't qualify.
+        let tier = mirage_bfp::simd::resolve_tier(self.simd);
+        if mirage_bfp::simd::gemm_i16_tail_into(tier, &a_packed, cols, col_start, m, n, tail, out) {
+            return Ok(m);
+        }
         // Narrowest exact integer path available: the i16 shadow (SIMD
         // dot idiom), then i32 accumulation, then widening i64 — all
         // producing the same exact group integers.
@@ -359,6 +424,7 @@ impl BfpEngine {
                 col_start,
                 m,
                 n,
+                tail,
                 out,
             ),
             (_, _, true) => flat_gemm(
@@ -370,6 +436,7 @@ impl BfpEngine {
                 col_start,
                 m,
                 n,
+                tail,
                 out,
             ),
             _ => flat_gemm(
@@ -381,6 +448,7 @@ impl BfpEngine {
                 col_start,
                 m,
                 n,
+                tail,
                 out,
             ),
         }
@@ -484,6 +552,57 @@ impl GemmEngine for BfpEngine {
                 Ok((m, n))
             }
         }
+    }
+
+    /// Folds the bias/ReLU parts of the epilogue into the GEMM kernel's
+    /// output write (see [`GemmTail`]): the accumulator is still in
+    /// registers when the tail applies, so the fused step costs zero
+    /// extra passes over the activation. Residual epilogues and foreign
+    /// preparations fall back to the unfused sequence — which is
+    /// bit-identical, so callers can't tell the difference except in
+    /// time.
+    fn gemm_prepared_epilogue_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        epilogue: &Epilogue<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (_m, _k, n) = gemm_dims(a, b.raw())?;
+        // Same shape contract `Epilogue::apply` enforces, checked up
+        // front so the fused and fallback paths reject identically.
+        if let Some(bias) = epilogue.bias() {
+            if bias.len() != n {
+                return Err(TensorError::DimMismatch {
+                    left: bias.len(),
+                    right: n,
+                });
+            }
+        }
+        if epilogue.residual().is_none() {
+            if let Some(state) = b.state_for::<PreparedBfpCols>(self.name()) {
+                if state.config == self.config && state.col_count == n {
+                    let tail = GemmTail {
+                        bias: epilogue.bias(),
+                        relu: epilogue.relu(),
+                    };
+                    let m = self.gemm_with_packed_tail_into(
+                        a,
+                        &state.packed,
+                        state.col_start,
+                        n,
+                        tail,
+                        out,
+                    )?;
+                    return Ok((m, n));
+                }
+            }
+        }
+        // Residual present or foreign preparation: the trait-default
+        // sequence (GEMM, then one fused elementwise pass).
+        let (m, n) = self.gemm_prepared_into(a, b, out)?;
+        epilogue.apply(out, m, n)?;
+        Ok((m, n))
     }
 }
 

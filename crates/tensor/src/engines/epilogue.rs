@@ -1,0 +1,266 @@
+//! Fused GEMM epilogues: the cheap elementwise tails of a layer (bias
+//! add, residual add, ReLU) applied in **one pass** over the output
+//! buffer right after the matmul, instead of separate whole-activation
+//! sweeps.
+//!
+//! Compiled serving plans use this to collapse `dense → relu` step
+//! pairs into a single `dense+relu` step: the GEMM writes the output
+//! block and the epilogue touches each element exactly once while the
+//! block is still cache-hot.
+//!
+//! Fusion is bit-identical to the unfused step sequence by
+//! construction: every epilogue operation is elementwise, applied in
+//! the same fixed order the separate steps would run (bias, then
+//! residual, then ReLU), using the same scalar expressions (`+` and
+//! `f32::max(0.0)`). Only the traversal is fused, never the arithmetic.
+//!
+//! This module is on mirage-lint's `SERVING_MODULES` list: it must stay
+//! panic-free (no `unwrap`/`expect`/indexing that can panic on request
+//! data) because it runs inside the serving hot loop.
+
+use crate::{Result, TensorError};
+
+/// A descriptor of the elementwise work fused onto the tail of one
+/// GEMM: optional per-column bias, optional residual summand (same
+/// shape as the output), optional ReLU. Order is fixed — bias, then
+/// residual, then ReLU — matching the step order a compiled plan would
+/// otherwise execute.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epilogue<'a> {
+    bias: Option<&'a [f32]>,
+    residual: Option<&'a [f32]>,
+    relu: bool,
+}
+
+impl<'a> Epilogue<'a> {
+    /// The empty epilogue: applying it is a no-op.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds a per-column bias (length must equal the GEMM's `n`).
+    pub fn with_bias(mut self, bias: &'a [f32]) -> Self {
+        self.bias = Some(bias);
+        self
+    }
+
+    /// Adds an elementwise residual summand (length must equal the
+    /// GEMM's `m * n`).
+    pub fn with_residual(mut self, residual: &'a [f32]) -> Self {
+        self.residual = Some(residual);
+        self
+    }
+
+    /// Applies `v.max(0.0)` after bias/residual — the exact expression
+    /// an unfused ReLU step evaluates.
+    pub fn with_relu(mut self) -> Self {
+        self.relu = true;
+        self
+    }
+
+    /// Whether this epilogue performs any work at all.
+    pub fn is_empty(&self) -> bool {
+        self.bias.is_none() && self.residual.is_none() && !self.relu
+    }
+
+    /// The per-column bias, if any — read by engines that fold the
+    /// epilogue into their GEMM kernel's output write (the accumulator
+    /// is in registers, so the fold costs zero extra passes and is
+    /// bit-identical to [`Epilogue::apply`] because an `f32` store
+    /// round-trips exactly).
+    pub fn bias(&self) -> Option<&'a [f32]> {
+        self.bias
+    }
+
+    /// The residual summand, if any (see [`Epilogue::bias`]).
+    pub fn residual(&self) -> Option<&'a [f32]> {
+        self.residual
+    }
+
+    /// Whether a trailing ReLU is requested (see [`Epilogue::bias`]).
+    pub fn relu(&self) -> bool {
+        self.relu
+    }
+
+    /// Applies the epilogue in place over a row-major `rows × cols`
+    /// output buffer: per element, bias add, then residual add, then
+    /// ReLU — one traversal, same arithmetic and order as the separate
+    /// passes, hence bit-identical to them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DimMismatch`] when `out`, the bias, or
+    /// the residual disagree with `rows × cols` — never panics, this
+    /// runs on the serving path.
+    pub fn apply(&self, out: &mut [f32], rows: usize, cols: usize) -> Result<()> {
+        let len = rows.checked_mul(cols).ok_or(TensorError::DimMismatch {
+            left: rows,
+            right: cols,
+        })?;
+        if out.len() != len {
+            return Err(TensorError::DimMismatch {
+                left: out.len(),
+                right: len,
+            });
+        }
+        if let Some(bias) = self.bias {
+            if bias.len() != cols {
+                return Err(TensorError::DimMismatch {
+                    left: bias.len(),
+                    right: cols,
+                });
+            }
+        }
+        if let Some(residual) = self.residual {
+            if residual.len() != len {
+                return Err(TensorError::DimMismatch {
+                    left: residual.len(),
+                    right: len,
+                });
+            }
+        }
+        // Specialized per-combination loops: the hot serving cases
+        // (ReLU-only, bias[+ReLU]) run branch-free inner loops the
+        // compiler can vectorize; zips make every access bounds-free.
+        // Each arm applies the identical scalar expressions in the
+        // identical bias → residual → ReLU order.
+        match (self.bias, self.residual, self.relu) {
+            (None, None, false) => {}
+            (None, None, true) => {
+                for v in out.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            (Some(bias), None, false) => {
+                for row in out.chunks_exact_mut(cols.max(1)) {
+                    for (v, &b) in row.iter_mut().zip(bias) {
+                        *v += b;
+                    }
+                }
+            }
+            (Some(bias), None, true) => {
+                for row in out.chunks_exact_mut(cols.max(1)) {
+                    for (v, &b) in row.iter_mut().zip(bias) {
+                        // Same ops, same order as the unfused pair of
+                        // sweeps: add, then `max(0.0)`.
+                        *v = (*v + b).max(0.0);
+                    }
+                }
+            }
+            (bias, Some(residual), relu) => {
+                for (row, rrow) in out
+                    .chunks_exact_mut(cols.max(1))
+                    .zip(residual.chunks_exact(cols.max(1)))
+                {
+                    for (c, (v, &r)) in row.iter_mut().zip(rrow).enumerate() {
+                        if let Some(bias) = bias {
+                            // `bias.len() == cols` was checked above
+                            // and `c < cols` by construction.
+                            *v += bias.get(c).copied().unwrap_or(0.0);
+                        }
+                        *v += r;
+                        if relu {
+                            *v = v.max(0.0);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(rows: usize, cols: usize) -> Vec<f32> {
+        (0..rows * cols).map(|i| (i as f32 - 7.5) * 0.375).collect()
+    }
+
+    #[test]
+    fn fused_matches_separate_passes_bitwise() {
+        let (rows, cols) = (3, 5);
+        let bias: Vec<f32> = (0..cols).map(|c| c as f32 * 0.25 - 0.5).collect();
+        let residual: Vec<f32> = demo(rows, cols).iter().map(|v| -v * 0.5).collect();
+
+        let mut fused = demo(rows, cols);
+        Epilogue::none()
+            .with_bias(&bias)
+            .with_residual(&residual)
+            .with_relu()
+            .apply(&mut fused, rows, cols)
+            .unwrap();
+
+        // The unfused reference: three separate whole-buffer sweeps.
+        let mut separate = demo(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                separate[r * cols + c] += bias[c];
+            }
+        }
+        for (v, r) in separate.iter_mut().zip(&residual) {
+            *v += r;
+        }
+        for v in separate.iter_mut() {
+            *v = v.max(0.0);
+        }
+
+        let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+        let separate_bits: Vec<u32> = separate.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fused_bits, separate_bits);
+    }
+
+    #[test]
+    fn empty_epilogue_is_a_noop() {
+        let mut out = demo(2, 4);
+        let before = out.clone();
+        let e = Epilogue::none();
+        assert!(e.is_empty());
+        e.apply(&mut out, 2, 4).unwrap();
+        assert_eq!(out, before);
+    }
+
+    #[test]
+    fn relu_only_clamps_negatives() {
+        let mut out = vec![-1.5f32, 0.0, 2.5, -0.0];
+        Epilogue::none().with_relu().apply(&mut out, 1, 4).unwrap();
+        assert_eq!(out, vec![0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn shape_mismatches_are_typed_errors() {
+        let mut out = demo(2, 3);
+        let short_bias = [1.0f32; 2];
+        assert!(matches!(
+            Epilogue::none()
+                .with_bias(&short_bias)
+                .apply(&mut out, 2, 3),
+            Err(TensorError::DimMismatch { .. })
+        ));
+        let short_residual = [0.0f32; 5];
+        assert!(matches!(
+            Epilogue::none()
+                .with_residual(&short_residual)
+                .apply(&mut out, 2, 3),
+            Err(TensorError::DimMismatch { .. })
+        ));
+        assert!(matches!(
+            Epilogue::none().with_relu().apply(&mut out, 2, 4),
+            Err(TensorError::DimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_size_buffers_are_fine() {
+        let mut empty: Vec<f32> = Vec::new();
+        Epilogue::none()
+            .with_relu()
+            .apply(&mut empty, 0, 7)
+            .unwrap();
+        Epilogue::none()
+            .with_relu()
+            .apply(&mut empty, 3, 0)
+            .unwrap();
+    }
+}

@@ -8,6 +8,7 @@
 
 mod analog;
 mod bfp;
+mod epilogue;
 mod exact;
 mod formats;
 mod prepared;
@@ -17,6 +18,7 @@ mod stochastic;
 
 pub use analog::AnalogFxpEngine;
 pub use bfp::BfpEngine;
+pub use epilogue::Epilogue;
 pub use exact::ExactEngine;
 pub use formats::{Bf16Engine, Hfp8Engine, IntEngine};
 pub use prepared::PreparedRhs;
@@ -187,6 +189,40 @@ pub trait GemmEngine: Send + Sync {
         Ok((m, n))
     }
 
+    /// [`GemmEngine::gemm_prepared_into`] with a fused [`Epilogue`]:
+    /// the GEMM writes `out`, then bias/residual/ReLU run in **one**
+    /// pass over the still-hot buffer instead of separate
+    /// whole-activation sweeps. Compiled plans use this to collapse
+    /// `dense → relu` step pairs.
+    ///
+    /// **Bit-identity contract:** the result equals running
+    /// `gemm_prepared_into` and then each epilogue operation as its own
+    /// sweep — the epilogue is elementwise and applied in the same
+    /// fixed order (bias, residual, ReLU) with the same scalar
+    /// expressions, so fusion changes traversal, never arithmetic.
+    ///
+    /// The default implementation dispatches through
+    /// `Self::gemm_prepared_into` (so instrumented engines keep
+    /// counting one prepared GEMM per call) and then applies the
+    /// epilogue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors as [`GemmEngine::gemm_prepared_into`],
+    /// plus [`TensorError::DimMismatch`] when an epilogue operand
+    /// disagrees with the output shape.
+    fn gemm_prepared_epilogue_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        epilogue: &Epilogue<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        let (m, n) = self.gemm_prepared_into(a, b, out)?;
+        epilogue.apply(out, m, n)?;
+        Ok((m, n))
+    }
+
     /// Lifts the engine onto the tiled multi-threaded driver with the
     /// automatic tile/thread heuristic ([`TileConfig::auto`]).
     fn parallel(self) -> ParallelGemm<Self>
@@ -244,6 +280,16 @@ impl<E: GemmEngine + ?Sized> GemmEngine for std::sync::Arc<E> {
     ) -> Result<(usize, usize)> {
         (**self).gemm_prepared_into(a, b, out)
     }
+
+    fn gemm_prepared_epilogue_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        epilogue: &Epilogue<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        (**self).gemm_prepared_epilogue_into(a, b, epilogue, out)
+    }
 }
 
 impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
@@ -283,6 +329,16 @@ impl<E: GemmEngine + ?Sized> GemmEngine for Box<E> {
         out: &mut Vec<f32>,
     ) -> Result<(usize, usize)> {
         (**self).gemm_prepared_into(a, b, out)
+    }
+
+    fn gemm_prepared_epilogue_into(
+        &self,
+        a: &Tensor,
+        b: &PreparedRhs,
+        epilogue: &Epilogue<'_>,
+        out: &mut Vec<f32>,
+    ) -> Result<(usize, usize)> {
+        (**self).gemm_prepared_epilogue_into(a, b, epilogue, out)
     }
 }
 

@@ -3,9 +3,9 @@
 use super::bfp::BfpEngine;
 use super::{gemm_dims, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor, TensorError};
-use mirage_bfp::{pow2, BfpConfig, PackedBfpMatrix};
+use mirage_bfp::{pow2, BfpConfig, PackedBfpMatrix, SimdPolicy, SimdTier};
 use mirage_rns::convert::{CrtConverter, ReverseConverter};
-use mirage_rns::{ModuliSet, ResiduePlane};
+use mirage_rns::{simd as rns_simd, ModuliSet, ResiduePlane};
 use std::sync::Arc;
 
 /// A packed matrix forward-converted into the RNS domain: one flat
@@ -100,6 +100,7 @@ pub struct RnsBfpEngine {
     config: BfpConfig,
     moduli: ModuliSet,
     converter: CrtConverter,
+    simd: SimdPolicy,
 }
 
 impl RnsBfpEngine {
@@ -123,7 +124,22 @@ impl RnsBfpEngine {
             config,
             moduli,
             converter,
+            simd: SimdPolicy::default(),
         })
+    }
+
+    /// Returns a copy with the given per-instance SIMD policy (see
+    /// [`super::BfpEngine::with_simd_policy`] — the same narrowing
+    /// semantics against the process-wide `MIRAGE_SIMD` knob, and the
+    /// same bit-identity guarantee across tiers).
+    pub fn with_simd_policy(mut self, simd: SimdPolicy) -> Self {
+        self.simd = simd;
+        self
+    }
+
+    /// This instance's SIMD policy.
+    pub fn simd_policy(&self) -> SimdPolicy {
+        self.simd
     }
 
     /// Creates an engine using the smallest special set `{2^k-1, 2^k,
@@ -260,7 +276,33 @@ impl RnsBfpEngine {
                 }
                 u64::from(acc)
             }
+            // Fig. 2 step 7: the fused small-range CRT (identical
+            // arithmetic to `to_signed_trusted`, constants hoisted),
+            // shared by the scalar and vector dot paths — which feed it
+            // bit-identical `u32` channel dots, so everything from here
+            // down is tier-independent.
+            let crt_signed = |d0: u64, d1: u64, d2: u64| -> i64 {
+                let r0 = m0.fast_rem(d0);
+                let r1 = m1.fast_rem(d1);
+                let r2 = m2.fast_rem(d2);
+                let s = crt.m.fast_rem(r0 * w0) + crt.m.fast_rem(r1 * w1) + crt.m.fast_rem(r2 * w2);
+                let v = crt.m.fast_rem(s);
+                if v > crt.psi {
+                    v as i64 - crt.m.value() as i64
+                } else {
+                    v as i64
+                }
+            };
             // mirage-lint: end_region(int_kernel)
+            // Vector residue dots when the tier, group size, and block
+            // width allow: one `pmaddwd` sweep yields all 3 channels ×
+            // 8 columns of exact `u32` dots (see `mirage_rns::simd` for
+            // the exactness argument). Ragged tails and declined shapes
+            // run the scalar dot — same integers either way.
+            let tier = mirage_bfp::simd::resolve_tier(self.simd);
+            let use8 = tier == SimdTier::Avx2 && G.is_multiple_of(16) && rns_simd::dot8_available();
+            let use4 = tier >= SimdTier::Sse2 && G.is_multiple_of(8) && rns_simd::dot4_available();
+            let stride = cols.groups_per_row * cols.g;
             let mut acc = [0.0f32; JW];
             for j0 in (0..n).step_by(JW) {
                 let jw = (n - j0).min(JW);
@@ -269,32 +311,78 @@ impl RnsBfpEngine {
                     for gi in 0..a_rns.groups_per_row {
                         let a_off = a_rns.group_offset(i, gi);
                         let pa2 = pow2(a_rns.scale_exp(i, gi));
-                        for (jj, slot) in acc[..jw].iter_mut().enumerate() {
-                            let col = col_start + j0 + jj;
-                            let b_off = cols.group_offset(col, gi);
-                            // Fig. 2 steps 5-6: one modular dot per
-                            // channel… (exact integers up to the scale
-                            // recombination below)
-                            // mirage-lint: region(int_kernel)
-                            let r0 = m0.fast_rem(dot::<G>(a0, a_off, b0, b_off));
-                            let r1 = m1.fast_rem(dot::<G>(a1, a_off, b1, b_off));
-                            let r2 = m2.fast_rem(dot::<G>(a2, a_off, b2, b_off));
-                            // …step 7, the fused small-range CRT
-                            // (identical arithmetic to
-                            // `to_signed_trusted`, constants hoisted)…
-                            let s = crt.m.fast_rem(r0 * w0)
-                                + crt.m.fast_rem(r1 * w1)
-                                + crt.m.fast_rem(r2 * w2);
-                            let v = crt.m.fast_rem(s);
-                            let integer = if v > crt.psi {
-                                v as i64 - crt.m.value() as i64
-                            } else {
-                                v as i64
-                            };
-                            // mirage-lint: end_region(int_kernel)
-                            // …step 8, exponent recombination.
-                            let pb2 = pow2(cols.scale_exp(col, gi));
-                            *slot += (integer as f64 * (pa2 * pb2)) as f32;
+                        let b_base = cols.group_offset(col_start + j0, gi);
+                        let mut dots = [[0u32; JW]; 3];
+                        let vector = if jw != JW {
+                            false
+                        } else if use8 {
+                            rns_simd::dot8x3_u16(
+                                [a0, a1, a2],
+                                a_off,
+                                [b0, b1, b2],
+                                b_base,
+                                stride,
+                                G,
+                                &mut dots,
+                            )
+                        } else if use4 {
+                            let mut lo = [[0u32; 4]; 3];
+                            let mut hi = [[0u32; 4]; 3];
+                            let ok = rns_simd::dot4x3_u16(
+                                [a0, a1, a2],
+                                a_off,
+                                [b0, b1, b2],
+                                b_base,
+                                stride,
+                                G,
+                                &mut lo,
+                            ) && rns_simd::dot4x3_u16(
+                                [a0, a1, a2],
+                                a_off,
+                                [b0, b1, b2],
+                                b_base + 4 * stride,
+                                stride,
+                                G,
+                                &mut hi,
+                            );
+                            if ok {
+                                for (d, (l, h)) in dots.iter_mut().zip(lo.iter().zip(hi.iter())) {
+                                    d[..4].copy_from_slice(l);
+                                    d[4..].copy_from_slice(h);
+                                }
+                            }
+                            ok
+                        } else {
+                            false
+                        };
+                        if vector {
+                            for (jj, slot) in acc.iter_mut().enumerate() {
+                                let col = col_start + j0 + jj;
+                                let integer = crt_signed(
+                                    u64::from(dots[0][jj]),
+                                    u64::from(dots[1][jj]),
+                                    u64::from(dots[2][jj]),
+                                );
+                                // Fig. 2 step 8, exponent recombination.
+                                let pb2 = pow2(cols.scale_exp(col, gi));
+                                *slot += (integer as f64 * (pa2 * pb2)) as f32;
+                            }
+                        } else {
+                            for (jj, slot) in acc[..jw].iter_mut().enumerate() {
+                                let col = col_start + j0 + jj;
+                                let b_off = cols.group_offset(col, gi);
+                                // Fig. 2 steps 5-7: one modular dot per
+                                // channel, then the fused CRT — exact
+                                // integers up to the recombination.
+                                let integer = crt_signed(
+                                    dot::<G>(a0, a_off, b0, b_off),
+                                    dot::<G>(a1, a_off, b1, b_off),
+                                    dot::<G>(a2, a_off, b2, b_off),
+                                );
+                                // Fig. 2 step 8, exponent recombination.
+                                let pb2 = pow2(cols.scale_exp(col, gi));
+                                *slot += (integer as f64 * (pa2 * pb2)) as f32;
+                            }
                         }
                     }
                     for (jj, &v) in acc[..jw].iter().enumerate() {

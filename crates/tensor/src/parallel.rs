@@ -47,7 +47,12 @@
 //!
 //! `threads == 0` resolves at call time: the `MIRAGE_THREADS` environment
 //! variable if set (parsed **once per process**), else
-//! [`std::thread::available_parallelism`].
+//! [`std::thread::available_parallelism`]. Whatever the configuration
+//! resolves to, the driver then plans the *actual* worker count per
+//! call ([`ParallelGemm::planned_workers`]): never more workers than
+//! the host has cores, never more than one per [`MIN_PARALLEL_WORK`]
+//! quantum of the problem, and exactly one (the serial path) below the
+//! threshold — so parallelism never loses to its own overhead.
 
 use crate::engines::{gemm_dims, GemmEngine, PreparedRhs};
 use crate::{Result, Tensor, TensorError};
@@ -59,7 +64,10 @@ use std::sync::{Mutex, OnceLock};
 pub const THREADS_ENV: &str = "MIRAGE_THREADS";
 
 /// Below this `m·k·n` product the parallel driver runs serially: thread
-/// spawn and operand staging would cost more than the GEMM itself.
+/// spawn and operand staging would cost more than the GEMM itself. The
+/// same constant is the per-worker work quantum — the driver never
+/// spawns more workers than `work / MIN_PARALLEL_WORK`, so each thread
+/// it does spawn has at least one threshold-sized problem to chew on.
 pub const MIN_PARALLEL_WORK: usize = 32 * 32 * 32;
 
 /// Tiling geometry and worker count for [`ParallelGemm`].
@@ -309,7 +317,9 @@ impl<E: GemmEngine> ParallelGemm<E> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let threads = self.config.effective_threads();
+        // Same oversubscription clamp as `planned_workers`: spawning
+        // more batch workers than cores only adds scheduling overhead.
+        let threads = self.config.effective_threads().min(host_parallelism());
         // Batches too small to occupy every worker with one item each:
         // tile-invariant engines get their parallelism from the tiled
         // per-item path instead (bit-identical either way), so a batch
@@ -565,6 +575,45 @@ impl<E: GemmEngine> ParallelGemm<E> {
             || m * k.max(1) * n < MIN_PARALLEL_WORK
             || IN_PARALLEL_WORKER.with(|flag| flag.get())
     }
+
+    /// The worker count the driver will actually spawn for an `m×k×n`
+    /// problem — the regression guard behind BENCH_parallel.json:
+    /// parallelism must never lose to its own overhead, so the
+    /// configured thread count is clamped twice before any thread
+    /// spawns.
+    ///
+    /// 1. **Host parallelism.** More workers than cores is pure
+    ///    scheduling overhead for a CPU-bound GEMM (the 0.94× / 0.88×
+    ///    regressions this replaces came from four pinned workers
+    ///    time-slicing one container CPU), so the count never exceeds
+    ///    [`std::thread::available_parallelism`] regardless of the
+    ///    `threads` field or [`THREADS_ENV`].
+    /// 2. **Work quantum.** Each worker must have at least one
+    ///    [`MIN_PARALLEL_WORK`]-sized problem's worth of output to
+    ///    compute; a GEMM barely over the serial threshold gets 1–2
+    ///    workers, not the whole configured pool.
+    ///
+    /// Returns `1` exactly when the call would take the serial path
+    /// (small problem, non-tile-invariant engine, or nested driver).
+    /// Bit-identity is unaffected — the worker count never changes
+    /// results, only wall clock.
+    pub fn planned_workers(&self, m: usize, k: usize, n: usize) -> usize {
+        if self.serial_fallback(m, k, n) {
+            return 1;
+        }
+        let work = m * k.max(1) * n;
+        self.config
+            .effective_threads()
+            .min(host_parallelism())
+            .min((work / MIN_PARALLEL_WORK).max(1))
+    }
+}
+
+/// The host's available parallelism (`1` when unknown).
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// One finished batch item, filled in by whichever worker claimed it.
@@ -598,10 +647,7 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
 
     fn gemm(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {
         let (m, k, n) = gemm_dims(a, b)?;
-        if self.serial_fallback(m, k, n) {
-            return self.inner.gemm(a, b);
-        }
-        let threads = self.config.effective_threads();
+        let threads = self.planned_workers(m, k, n);
         if threads <= 1 {
             return self.inner.gemm(a, b);
         }
@@ -635,10 +681,7 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
     /// re-run the engine's B-side quantization — per band *or* per call.
     fn gemm_prepared(&self, a: &Tensor, b: &PreparedRhs) -> Result<Tensor> {
         let (m, k, n) = gemm_dims(a, b.raw())?;
-        if self.serial_fallback(m, k, n) {
-            return self.inner.gemm_prepared(a, b);
-        }
-        let threads = self.config.effective_threads();
+        let threads = self.planned_workers(m, k, n);
         if threads <= 1 {
             return self.inner.gemm_prepared(a, b);
         }
@@ -656,10 +699,10 @@ impl<E: GemmEngine> GemmEngine for ParallelGemm<E> {
         out: &mut Vec<f32>,
     ) -> Result<(usize, usize)> {
         let (m, k, n) = gemm_dims(a, b.raw())?;
-        if self.serial_fallback(m, k, n) || self.config.effective_threads() <= 1 {
+        let threads = self.planned_workers(m, k, n);
+        if threads <= 1 {
             return self.inner.gemm_prepared_into(a, b, out);
         }
-        let threads = self.config.effective_threads();
         self.fan_out_into(a, b.raw(), Some(b), (m, k, n), threads, out)?;
         Ok((m, n))
     }
@@ -813,6 +856,41 @@ mod tests {
         for (input, got) in inputs.iter().zip(&batched) {
             assert_eq!(got.data(), engine.gemm(input, &b).unwrap().data());
         }
+    }
+
+    #[test]
+    fn planned_workers_clamp_to_host_and_work() {
+        // Regression guard for the BENCH_parallel.json slowdowns (0.94×
+        // BFP, 0.88× prepared fp32): those came from workers pinned past
+        // the host's core count time-slicing one CPU. The plan must
+        // never oversubscribe, never hand a worker less than one
+        // MIN_PARALLEL_WORK quantum, and go fully serial below the
+        // threshold.
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let over = ParallelGemm::new(ExactEngine, TileConfig::auto().with_threads(cores * 16));
+        assert!(over.planned_workers(256, 256, 256) <= cores);
+        assert!(over.planned_workers(256, 256, 256) >= 1);
+        // Barely over the serial threshold: the work quantum, not the
+        // configured pool, bounds the worker count.
+        let quantum_bound = (33 * 32 * 32) / MIN_PARALLEL_WORK;
+        assert!(over.planned_workers(33, 32, 32) <= quantum_bound);
+        // Below the threshold the plan is exactly serial.
+        assert_eq!(over.planned_workers(31, 32, 32), 1);
+        assert_eq!(over.planned_workers(0, 256, 256), 1);
+        // Non-tile-invariant engines always plan serially.
+        let stochastic = ParallelGemm::new(
+            StochasticBfpEngine::new(BfpConfig::mirage_default(), 3),
+            TileConfig::auto().with_threads(4),
+        );
+        assert_eq!(stochastic.planned_workers(256, 256, 256), 1);
+        // The clamped plan still produces bit-identical results.
+        let (a, b) = pair(98, 64, 64, 64);
+        assert_eq!(
+            over.gemm(&a, &b).unwrap().data(),
+            ExactEngine.gemm(&a, &b).unwrap().data()
+        );
     }
 
     #[test]

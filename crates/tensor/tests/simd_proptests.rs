@@ -1,0 +1,162 @@
+//! SIMD == scalar bit-identity, property-tested at the engine level.
+//!
+//! The explicit SIMD kernels (`mirage_bfp::simd`, `mirage_rns::simd`)
+//! promise results bit-identical to the scalar packed kernels — not
+//! approximately equal, *element-exact* — across every shape they
+//! accept and every shape they decline (where the scalar path runs on
+//! both sides anyway). These properties drive the engines through
+//! [`SimdPolicy`]: `Off` is the scalar oracle, `Auto`/`Sse2` are the
+//! kernels under test, so the comparison covers the dispatch layer and
+//! the ragged-tail stitching as well as the lane arithmetic.
+//!
+//! Shapes deliberately include k not a multiple of any lane width,
+//! group sizes g ∈ {8, 16, 32, 64}, the i16-shadow mantissa tier
+//! (bm ≤ 15, the SIMD entry requirement) and mantissas past it, and
+//! zero-dimension edges.
+
+use mirage_bfp::{BfpConfig, SimdPolicy};
+use mirage_tensor::engines::{BfpEngine, Epilogue, RnsBfpEngine};
+use mirage_tensor::{GemmEngine, Tensor};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random operands from one seed, any shape.
+fn operands(m: usize, k: usize, n: usize, seed: u64) -> (Tensor, Tensor) {
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        ((state >> 40) as f32 / 8388608.0) - 1.0
+    };
+    let a = Tensor::from_vec((0..m * k).map(|_| next()).collect(), &[m, k]).unwrap();
+    let b = Tensor::from_vec((0..k * n).map(|_| next()).collect(), &[k, n]).unwrap();
+    (a, b)
+}
+
+/// Shape strategy: ragged everywhere — m and n straddle the 8/4-column
+/// block widths, k straddles the 16-lane vectors and the group size.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (1usize..20, 1usize..80, 1usize..20, any::<u64>())
+}
+
+/// Compares one engine's output across SIMD policies, bit-exactly, on
+/// both the plain and the prepared path.
+fn assert_policies_bit_identical<E, F>(make: F, a: &Tensor, b: &Tensor) -> Result<(), TestCaseError>
+where
+    E: GemmEngine,
+    F: Fn(SimdPolicy) -> E,
+{
+    let scalar = make(SimdPolicy::Off);
+    let reference = scalar.gemm(a, b).unwrap();
+    let ref_bits: Vec<u32> = reference.data().iter().map(|v| v.to_bits()).collect();
+    for policy in [SimdPolicy::Auto, SimdPolicy::Sse2] {
+        let engine = make(policy);
+        let direct = engine.gemm(a, b).unwrap();
+        let bits: Vec<u32> = direct.data().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&bits, &ref_bits, "direct path, {:?}", policy);
+
+        let prepared = engine.prepare(b).unwrap();
+        let mut out = Vec::new();
+        engine.gemm_prepared_into(a, &prepared, &mut out).unwrap();
+        let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&bits, &ref_bits, "prepared path, {:?}", policy);
+
+        // Fused-epilogue path: engines may fold bias/ReLU into the
+        // kernel's output store (the BFP engine does); the result must
+        // equal the scalar reference followed by a separate
+        // `Epilogue::apply` pass, bit-exactly, for every tail combo.
+        let (m, n) = (a.shape()[0], b.shape()[1]);
+        let bias: Vec<f32> = (0..n)
+            .map(|j| (j as f32) * 0.37 - 0.11 * n as f32)
+            .collect();
+        for (with_bias, with_relu) in [(true, false), (false, true), (true, true)] {
+            let mut epilogue = Epilogue::none();
+            if with_bias {
+                epilogue = epilogue.with_bias(&bias);
+            }
+            if with_relu {
+                epilogue = epilogue.with_relu();
+            }
+            let mut fused = Vec::new();
+            engine
+                .gemm_prepared_epilogue_into(a, &prepared, &epilogue, &mut fused)
+                .unwrap();
+            let mut post = reference.data().to_vec();
+            epilogue.apply(&mut post, m, n).unwrap();
+            let fused_bits: Vec<u32> = fused.iter().map(|v| v.to_bits()).collect();
+            let post_bits: Vec<u32> = post.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                &fused_bits,
+                &post_bits,
+                "fused epilogue path, {:?}, bias={} relu={}",
+                policy,
+                with_bias,
+                with_relu
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// BFP engine: every SIMD policy matches the scalar oracle
+    /// bit-exactly across ragged shapes, all supported group sizes, and
+    /// mantissa widths inside and past the i16-shadow tier (bm ≤ 15 —
+    /// wider mantissas must cleanly decline into the scalar kernel, not
+    /// diverge).
+    #[test]
+    fn bfp_simd_policies_are_bit_identical(
+        (m, k, n, seed) in shapes(),
+        g_pick in 0usize..4,
+        bm in 2u32..=16,
+    ) {
+        let g = [8, 16, 32, 64][g_pick];
+        let config = BfpConfig::new(bm, g).unwrap();
+        let (a, b) = operands(m, k, n, seed);
+        assert_policies_bit_identical(
+            |policy| BfpEngine::new(config).with_simd_policy(policy),
+            &a,
+            &b,
+        )?;
+    }
+
+    /// RNS-BFP engine: the three-channel residue dots match the scalar
+    /// CRT path bit-exactly under every policy.
+    #[test]
+    fn rns_bfp_simd_policies_are_bit_identical(
+        (m, k, n, seed) in shapes(),
+        g_pick in 0usize..4,
+        bm in 2u32..=8,
+    ) {
+        let g = [8, 16, 32, 64][g_pick];
+        let config = BfpConfig::new(bm, g).unwrap();
+        let (a, b) = operands(m, k, n, seed);
+        assert_policies_bit_identical(
+            |policy| {
+                RnsBfpEngine::with_min_special_set(config)
+                    .unwrap()
+                    .with_simd_policy(policy)
+            },
+            &a,
+            &b,
+        )?;
+    }
+}
+
+#[test]
+fn zero_dimension_edges_are_bit_identical() {
+    // m = 0, n = 0, and k = 0 each produce well-formed (empty or
+    // all-zero) outputs identically under every policy.
+    let config = BfpConfig::mirage_default();
+    for (m, k, n) in [(0, 16, 8), (4, 16, 0), (4, 0, 8), (0, 0, 0)] {
+        let (a, b) = operands(m, k, n, 7);
+        let scalar = BfpEngine::new(config)
+            .with_simd_policy(SimdPolicy::Off)
+            .gemm(&a, &b)
+            .unwrap();
+        for policy in [SimdPolicy::Auto, SimdPolicy::Sse2] {
+            let engine = BfpEngine::new(config).with_simd_policy(policy);
+            let out = engine.gemm(&a, &b).unwrap();
+            assert_eq!(out.shape(), &[m, n], "{m}x{k}x{n} {policy:?}");
+            assert_eq!(out.data(), scalar.data(), "{m}x{k}x{n} {policy:?}");
+        }
+    }
+}
